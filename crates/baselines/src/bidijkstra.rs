@@ -1,0 +1,190 @@
+//! In-memory bidirectional Dijkstra — the paper's **IM-DIJ** baseline.
+//!
+//! Table 8 compares IS-LABEL against bidirectional Dijkstra run entirely in
+//! memory over the original graph. This implementation alternates
+//! extractions between the cheaper frontier and stops when
+//! `min(FQ) + min(RQ) ≥ µ`, the same cutoff Algorithm 1 uses.
+
+use islabel_graph::{CsrGraph, Dist, VertexId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable bidirectional Dijkstra.
+pub struct BiDijkstra {
+    dist_f: Vec<Dist>,
+    dist_r: Vec<Dist>,
+    settled_f: Vec<bool>,
+    settled_r: Vec<bool>,
+    touched: Vec<VertexId>,
+    fq: BinaryHeap<Reverse<(Dist, VertexId)>>,
+    rq: BinaryHeap<Reverse<(Dist, VertexId)>>,
+}
+
+impl BiDijkstra {
+    /// Allocates buffers for graphs of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            dist_f: vec![INF; n],
+            dist_r: vec![INF; n],
+            settled_f: vec![false; n],
+            settled_r: vec![false; n],
+            touched: Vec::new(),
+            fq: BinaryHeap::new(),
+            rq: BinaryHeap::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist_f[v as usize] = INF;
+            self.dist_r[v as usize] = INF;
+            self.settled_f[v as usize] = false;
+            self.settled_r[v as usize] = false;
+        }
+        self.touched.clear();
+        self.fq.clear();
+        self.rq.clear();
+    }
+
+    /// Point-to-point distance, plus the number of settled vertices (the
+    /// search-volume diagnostic reported by the benches).
+    pub fn distance_with_cost(
+        &mut self,
+        g: &CsrGraph,
+        s: VertexId,
+        t: VertexId,
+    ) -> (Option<Dist>, usize) {
+        if s == t {
+            return (Some(0), 0);
+        }
+        self.reset();
+        self.dist_f[s as usize] = 0;
+        self.dist_r[t as usize] = 0;
+        self.touched.push(s);
+        self.touched.push(t);
+        self.fq.push(Reverse((0, s)));
+        self.rq.push(Reverse((0, t)));
+        let mut mu = INF;
+        let mut settled = 0usize;
+
+        loop {
+            let min_f = clean_top(&mut self.fq, &self.dist_f, &self.settled_f);
+            let min_r = clean_top(&mut self.rq, &self.dist_r, &self.settled_r);
+            if min_f == INF || min_r == INF {
+                break;
+            }
+            if min_f.saturating_add(min_r) >= mu {
+                break;
+            }
+            let forward = min_f <= min_r;
+            let (q, dist_x, settled_x, dist_y) = if forward {
+                (&mut self.fq, &mut self.dist_f, &mut self.settled_f, &self.dist_r)
+            } else {
+                (&mut self.rq, &mut self.dist_r, &mut self.settled_r, &self.dist_f)
+            };
+            let Reverse((d, v)) = q.pop().expect("live entry");
+            settled_x[v as usize] = true;
+            settled += 1;
+            if dist_y[v as usize] < INF {
+                mu = mu.min(d + dist_y[v as usize]);
+            }
+            for (u, w) in g.edges(v) {
+                let nd = d + w as Dist;
+                if nd < dist_x[u as usize] {
+                    if dist_x[u as usize] == INF && dist_y[u as usize] == INF {
+                        self.touched.push(u);
+                    }
+                    dist_x[u as usize] = nd;
+                    q.push(Reverse((nd, u)));
+                    if dist_y[u as usize] < INF {
+                        mu = mu.min(nd.saturating_add(dist_y[u as usize]));
+                    }
+                }
+            }
+        }
+        ((mu < INF).then_some(mu), settled)
+    }
+
+    /// Point-to-point distance.
+    pub fn distance(&mut self, g: &CsrGraph, s: VertexId, t: VertexId) -> Option<Dist> {
+        self.distance_with_cost(g, s, t).0
+    }
+}
+
+fn clean_top(
+    q: &mut BinaryHeap<Reverse<(Dist, VertexId)>>,
+    dist: &[Dist],
+    settled: &[bool],
+) -> Dist {
+    while let Some(&Reverse((d, v))) = q.peek() {
+        if settled[v as usize] || d > dist[v as usize] {
+            q.pop();
+        } else {
+            return d;
+        }
+    }
+    INF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islabel_graph::generators::{barabasi_albert, erdos_renyi_gnm, WeightModel};
+    use islabel_graph::GraphBuilder;
+
+    #[test]
+    fn matches_unidirectional_dijkstra() {
+        let g = erdos_renyi_gnm(150, 400, WeightModel::UniformRange(1, 9), 7);
+        let mut bi = BiDijkstra::new(150);
+        for i in 0..60u32 {
+            let (s, t) = ((i * 3) % 150, (i * 11 + 1) % 150);
+            assert_eq!(
+                bi.distance(&g, s, t),
+                islabel_core::reference::dijkstra_p2p(&g, s, t),
+                "({s}, {t})"
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_and_self() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 2);
+        let g = b.build();
+        let mut bi = BiDijkstra::new(4);
+        assert_eq!(bi.distance(&g, 0, 3), None);
+        assert_eq!(bi.distance(&g, 3, 3), Some(0));
+        assert_eq!(bi.distance(&g, 1, 0), Some(2));
+    }
+
+    #[test]
+    fn settles_fewer_than_full_dijkstra_on_average() {
+        // The point of bidirectional search: two small balls instead of one
+        // big one. Compare settled counts on a heavy-tailed graph.
+        let g = barabasi_albert(2000, 3, WeightModel::Unit, 9);
+        let mut bi = BiDijkstra::new(2000);
+        let mut total_settled = 0usize;
+        for i in 0..20u32 {
+            let (s, t) = ((i * 97) % 2000, (i * 131 + 50) % 2000);
+            let (_, settled) = bi.distance_with_cost(&g, s, t);
+            total_settled += settled;
+        }
+        // Unidirectional would settle ~n per far query; 20 queries over a
+        // 2000-vertex small-world graph should stay well under 20 * 2000.
+        assert!(total_settled < 20 * 2000, "settled {total_settled}");
+    }
+
+    #[test]
+    fn reuse_across_queries_is_clean() {
+        let g = erdos_renyi_gnm(60, 150, WeightModel::Unit, 2);
+        let mut bi = BiDijkstra::new(60);
+        let expect: Vec<Option<Dist>> =
+            (0..30u32).map(|i| islabel_core::reference::dijkstra_p2p(&g, i, 59 - i)).collect();
+        for round in 0..3 {
+            for (i, e) in expect.iter().enumerate() {
+                let i = i as u32;
+                assert_eq!(bi.distance(&g, i, 59 - i), *e, "round {round} query {i}");
+            }
+        }
+    }
+}

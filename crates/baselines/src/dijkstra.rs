@@ -1,0 +1,128 @@
+//! Plain Dijkstra with reusable buffers.
+//!
+//! The "conventional algorithm" the paper's introduction argues against for
+//! large graphs; used as ground truth in tests and as a baseline in the
+//! benches. Buffers are reused across queries (touched-list reset) so that
+//! repeated querying doesn't pay an `O(n)` clear per query.
+
+use islabel_graph::{CsrGraph, Dist, VertexId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reusable single-source / point-to-point Dijkstra.
+pub struct Dijkstra {
+    dist: Vec<Dist>,
+    touched: Vec<VertexId>,
+    heap: BinaryHeap<Reverse<(Dist, VertexId)>>,
+}
+
+impl Dijkstra {
+    /// Allocates buffers for graphs of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { dist: vec![INF; n], touched: Vec::new(), heap: BinaryHeap::new() }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.dist[v as usize] = INF;
+        }
+        self.touched.clear();
+        self.heap.clear();
+    }
+
+    /// Point-to-point distance with early termination at `t`.
+    pub fn distance(&mut self, g: &CsrGraph, s: VertexId, t: VertexId) -> Option<Dist> {
+        if s == t {
+            return Some(0);
+        }
+        self.reset();
+        self.dist[s as usize] = 0;
+        self.touched.push(s);
+        self.heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if v == t {
+                return Some(d);
+            }
+            if d > self.dist[v as usize] {
+                continue;
+            }
+            for (u, w) in g.edges(v) {
+                let nd = d + w as Dist;
+                if nd < self.dist[u as usize] {
+                    if self.dist[u as usize] == INF {
+                        self.touched.push(u);
+                    }
+                    self.dist[u as usize] = nd;
+                    self.heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+        None
+    }
+
+    /// Full single-source shortest paths; the returned slice is valid until
+    /// the next call.
+    pub fn sssp(&mut self, g: &CsrGraph, s: VertexId) -> &[Dist] {
+        self.reset();
+        self.dist[s as usize] = 0;
+        self.touched.push(s);
+        self.heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if d > self.dist[v as usize] {
+                continue;
+            }
+            for (u, w) in g.edges(v) {
+                let nd = d + w as Dist;
+                if nd < self.dist[u as usize] {
+                    if self.dist[u as usize] == INF {
+                        self.touched.push(u);
+                    }
+                    self.dist[u as usize] = nd;
+                    self.heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+        &self.dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islabel_graph::generators::{erdos_renyi_gnm, WeightModel};
+    use islabel_graph::GraphBuilder;
+
+    #[test]
+    fn p2p_matches_reference() {
+        let g = erdos_renyi_gnm(120, 300, WeightModel::UniformRange(1, 9), 5);
+        let mut dij = Dijkstra::new(120);
+        for (s, t) in [(0u32, 119u32), (5, 5), (3, 40), (100, 7)] {
+            assert_eq!(
+                dij.distance(&g, s, t),
+                islabel_core::reference::dijkstra_p2p(&g, s, t),
+                "({s}, {t})"
+            );
+        }
+    }
+
+    #[test]
+    fn buffers_reset_between_queries() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let mut dij = Dijkstra::new(4);
+        assert_eq!(dij.distance(&g, 0, 1), Some(1));
+        // Second query must not see stale distances from the first.
+        assert_eq!(dij.distance(&g, 2, 0), None);
+        assert_eq!(dij.distance(&g, 2, 3), Some(1));
+    }
+
+    #[test]
+    fn sssp_matches_reference() {
+        let g = erdos_renyi_gnm(90, 200, WeightModel::UniformRange(1, 4), 8);
+        let mut dij = Dijkstra::new(90);
+        let expect = islabel_core::reference::dijkstra_all(&g, 13);
+        assert_eq!(dij.sssp(&g, 13), &expect[..]);
+    }
+}

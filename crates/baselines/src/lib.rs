@@ -1,0 +1,25 @@
+//! # islabel-baselines
+//!
+//! Every comparison method the paper's evaluation needs:
+//!
+//! * [`Dijkstra`] — textbook single-source / point-to-point Dijkstra with
+//!   reusable buffers.
+//! * [`BiDijkstra`] — in-memory bidirectional Dijkstra, the paper's
+//!   **IM-DIJ** baseline (Table 8).
+//! * [`VcIndex`] — a clean-room reimplementation of the vertex-cover
+//!   distance index of Cheng et al. (SIGMOD 2012), converted for
+//!   point-to-point querying by early termination exactly as the paper did
+//!   (**VC-Index(P2P)**, Tables 8 and 9).
+//! * [`PllIndex`] — Pruned Landmark Labeling, the canonical practical
+//!   2-hop labeling; stands in for the Cohen et al. 2-hop family whose
+//!   construction cost Section 3 argues is prohibitive (ablation C).
+
+pub mod bidijkstra;
+pub mod dijkstra;
+pub mod pll;
+pub mod vc_index;
+
+pub use bidijkstra::BiDijkstra;
+pub use dijkstra::Dijkstra;
+pub use pll::PllIndex;
+pub use vc_index::{VcConfig, VcIndex, VcQueryCost};

@@ -1,0 +1,48 @@
+//! Index-construction benchmarks: in-memory build, external-memory build
+//! (counted-I/O in-memory backend), and the baseline indexes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use islabel_baselines::{PllIndex, VcConfig, VcIndex};
+use islabel_core::embuild::{build_external_from_csr, EmConfig};
+use islabel_core::{BuildConfig, IsLabelIndex};
+use islabel_extmem::MemStorage;
+use islabel_graph::{Dataset, Scale};
+
+fn construction_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    for ds in [Dataset::BtcLike, Dataset::GoogleLike] {
+        let g = ds.generate(Scale::Tiny);
+        group.bench_function(BenchmarkId::new("is-label", ds.name()), |b| {
+            b.iter(|| black_box(IsLabelIndex::build(&g, BuildConfig::default())))
+        });
+        group.bench_function(BenchmarkId::new("is-label-no-paths", ds.name()), |b| {
+            let config = BuildConfig { keep_path_info: false, ..BuildConfig::default() };
+            b.iter(|| black_box(IsLabelIndex::build(&g, config)))
+        });
+        group.bench_function(BenchmarkId::new("is-label-external", ds.name()), |b| {
+            b.iter(|| {
+                let storage = MemStorage::new();
+                black_box(
+                    build_external_from_csr(
+                        &storage,
+                        &g,
+                        BuildConfig::default(),
+                        EmConfig::default(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("vc-index", ds.name()), |b| {
+            b.iter(|| black_box(VcIndex::build(&g, VcConfig::default())))
+        });
+        group.bench_function(BenchmarkId::new("pll", ds.name()), |b| {
+            b.iter(|| black_box(PllIndex::build(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, construction_benches);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Microbenchmarks of the Equation 1 merge-join at controlled label sizes —
+//! the CPU component of the paper's "sequential scanning" claim.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use islabel_core::label::LabelView;
+use islabel_core::query::intersect_min;
+
+/// Two synthetic labels of `len` entries each, sharing roughly half their
+/// ancestors.
+fn make_labels(len: usize) -> (Vec<u32>, Vec<u64>, Vec<u32>, Vec<u64>) {
+    let a_anc: Vec<u32> = (0..len as u32).map(|i| i * 2).collect();
+    let a_d: Vec<u64> = (0..len as u64).map(|i| (i * 7) % 100 + 1).collect();
+    let b_anc: Vec<u32> =
+        (0..len as u32).map(|i| if i % 2 == 0 { i * 2 } else { i * 2 + 1 }).collect();
+    let b_d: Vec<u64> = (0..len as u64).map(|i| (i * 13) % 100 + 1).collect();
+    (a_anc, a_d, b_anc, b_d)
+}
+
+fn label_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersect_min");
+    for len in [8usize, 64, 512, 4096] {
+        let (a_anc, a_d, b_anc, b_d) = make_labels(len);
+        group.throughput(Throughput::Elements(2 * len as u64));
+        group.bench_function(BenchmarkId::from_parameter(len), |bch| {
+            let a = LabelView { ancestors: &a_anc, dists: &a_d, first_hops: &[] };
+            let b = LabelView { ancestors: &b_anc, dists: &b_d, first_hops: &[] };
+            bch.iter(|| black_box(intersect_min(a, b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, label_ops);
+criterion_main!(benches);

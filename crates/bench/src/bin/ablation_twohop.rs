@@ -1,0 +1,5 @@
+//! Ablation runner (see DESIGN.md's per-experiment index).
+
+fn main() {
+    println!("{}", islabel_bench::experiments::ablation_twohop());
+}

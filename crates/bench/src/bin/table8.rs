@@ -1,0 +1,5 @@
+//! Reproduces the paper's Table 8. See `islabel-bench` docs for knobs.
+
+fn main() {
+    println!("{}", islabel_bench::experiments::table8());
+}

@@ -1,0 +1,55 @@
+//! Timing helpers.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f`, returning its result and wall-clock duration.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Formats a duration as fractional milliseconds, the unit of the paper's
+/// query-time tables.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2} ms", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a duration as fractional seconds, the unit of the paper's
+/// indexing-time tables.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2} s", d.as_secs_f64())
+}
+
+/// Mean duration per item.
+pub fn per_query(total: Duration, n: usize) -> Duration {
+    if n == 0 {
+        Duration::ZERO
+    } else {
+        total / n as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(ms(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(secs(Duration::from_millis(2500)), "2.50 s");
+    }
+
+    #[test]
+    fn per_query_division() {
+        assert_eq!(per_query(Duration::from_millis(100), 10), Duration::from_millis(10));
+        assert_eq!(per_query(Duration::from_millis(100), 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_measures() {
+        let (v, d) = time(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+}

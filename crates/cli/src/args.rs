@@ -1,0 +1,136 @@
+//! Tiny dependency-free flag parser: positional arguments plus
+//! `--flag[=value]` / `--flag value` options.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+    /// Option names the command recognizes as taking a value.
+    value_options: &'static [&'static str],
+}
+
+impl Args {
+    /// Parses `argv`, treating any name in `value_options` as requiring a
+    /// value (either `--name value` or `--name=value`); other `--name`
+    /// occurrences are boolean flags.
+    pub fn parse(argv: &[String], value_options: &'static [&'static str]) -> Result<Self, String> {
+        let mut out = Args { value_options, ..Default::default() };
+        let mut it = argv.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if let Some((key, value)) = name.split_once('=') {
+                    out.options.insert(key.to_string(), value.to_string());
+                } else if value_options.contains(&name) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    out.options.insert(name.to_string(), value.clone());
+                } else {
+                    out.flags.push(name.to_string());
+                }
+            } else if let Some(name) = arg.strip_prefix("-") {
+                // Short alias: only -o for --out.
+                if name == "o" {
+                    let value =
+                        it.next().ok_or_else(|| "-o requires a value".to_string())?;
+                    out.options.insert("out".to_string(), value.clone());
+                } else {
+                    return Err(format!("unknown option -{name}"));
+                }
+            } else {
+                out.positional.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn pos(&self, i: usize, what: &str) -> Result<&str, String> {
+        self.positional.get(i).map(|s| s.as_str()).ok_or_else(|| format!("missing {what}"))
+    }
+
+    /// Optional `--name value`.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        debug_assert!(self.value_options.contains(&name), "undeclared option {name}");
+        self.options.get(name).map(|s| s.as_str())
+    }
+
+    /// Parsed optional value.
+    pub fn opt_parse<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.opt(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value '{v}' for --{name}")),
+        }
+    }
+
+    /// Boolean `--name`.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Errors on unrecognized flags (catches typos).
+    pub fn reject_unknown_flags(&self, known: &[&str]) -> Result<(), String> {
+        for f in &self.flags {
+            if !known.contains(&f.as_str()) {
+                return Err(format!("unknown flag --{f}"));
+            }
+        }
+        for k in self.options.keys() {
+            if !self.value_options.contains(&k.as_str()) {
+                return Err(format!("unknown option --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = Args::parse(&argv(&["graph.txt", "--sigma", "0.9", "--path", "-o", "x.islx"]),
+            &["sigma", "out"]).unwrap();
+        assert_eq!(a.pos(0, "graph").unwrap(), "graph.txt");
+        assert_eq!(a.opt("sigma"), Some("0.9"));
+        assert_eq!(a.opt("out"), Some("x.islx"));
+        assert!(a.flag("path"));
+        assert!(!a.flag("other"));
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = Args::parse(&argv(&["--sigma=0.85"]), &["sigma"]).unwrap();
+        assert_eq!(a.opt_parse::<f64>("sigma").unwrap(), Some(0.85));
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        assert!(Args::parse(&argv(&["--sigma"]), &["sigma"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        let a = Args::parse(&argv(&["--bogus"]), &[]).unwrap();
+        assert!(a.reject_unknown_flags(&["path"]).is_err());
+    }
+
+    #[test]
+    fn bad_parse_reports_name() {
+        let a = Args::parse(&argv(&["--sigma", "abc"]), &["sigma"]).unwrap();
+        let err = a.opt_parse::<f64>("sigma").unwrap_err();
+        assert!(err.contains("sigma"), "{err}");
+    }
+}

@@ -1,0 +1,359 @@
+//! Command implementations.
+
+use crate::args::Args;
+use islabel_core::persist::{load_index_from_path, save_index_to_path};
+use islabel_core::{BuildConfig, IsLabelIndex, KSelection};
+use islabel_graph::algo::stats::{human_bytes, human_count};
+use islabel_graph::io::{read_csr_binary, read_edge_list, write_csr_binary, write_edge_list};
+use islabel_extmem::storage::Storage as _;
+use islabel_graph::{CsrGraph, Dataset, Scale, VertexId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::path::Path;
+use std::time::Instant;
+
+const USAGE: &str = "\
+islabel — IS-LABEL point-to-point distance index (VLDB 2013 reproduction)
+
+USAGE:
+    islabel gen <dataset> [--scale tiny|small|medium|large] [-o out.isgb]
+    islabel convert <in> <out>                 (.txt <-> .isgb by extension)
+    islabel build <graph> -o <index.islx> [--sigma F | --k N | --full]
+                  [--no-paths] [--external [--workdir DIR]]
+    islabel query <index.islx> <s> <t> [--path]
+    islabel bench <index.islx> [--queries N] [--seed S]
+    islabel stats <index.islx | graph>
+
+DATASETS: btc, web, skitter, wikitalk, google (synthetic stand-ins for the
+paper's evaluation graphs; see DESIGN.md).";
+
+/// Routes `argv` to a command.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "gen" => gen(rest),
+        "convert" => convert(rest),
+        "build" => build(rest),
+        "query" => query(rest),
+        "bench" => bench(rest),
+        "stats" => stats(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn parse_dataset(name: &str) -> Result<Dataset, String> {
+    Ok(match name {
+        "btc" => Dataset::BtcLike,
+        "web" => Dataset::WebLike,
+        "skitter" => Dataset::SkitterLike,
+        "wikitalk" => Dataset::WikiTalkLike,
+        "google" => Dataset::GoogleLike,
+        other => return Err(format!("unknown dataset '{other}' (btc|web|skitter|wikitalk|google)")),
+    })
+}
+
+fn parse_scale(name: &str) -> Result<Scale, String> {
+    Ok(match name {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "medium" => Scale::Medium,
+        "large" => Scale::Large,
+        other => return Err(format!("unknown scale '{other}' (tiny|small|medium|large)")),
+    })
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let p = Path::new(path);
+    let file = std::fs::File::open(p).map_err(|e| format!("open {path}: {e}"))?;
+    if p.extension().is_some_and(|e| e == "isgb") {
+        read_csr_binary(&mut std::io::BufReader::new(file)).map_err(|e| format!("read {path}: {e}"))
+    } else {
+        read_edge_list(file).map_err(|e| format!("parse {path}: {e}"))
+    }
+}
+
+fn save_graph(g: &CsrGraph, path: &str) -> Result<(), String> {
+    let p = Path::new(path);
+    let file = std::fs::File::create(p).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    if p.extension().is_some_and(|e| e == "isgb") {
+        write_csr_binary(g, &mut w).map_err(|e| format!("write {path}: {e}"))
+    } else {
+        write_edge_list(g, &mut w).map_err(|e| format!("write {path}: {e}"))
+    }
+}
+
+fn gen(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["scale", "out"])?;
+    args.reject_unknown_flags(&[])?;
+    let dataset = parse_dataset(args.pos(0, "dataset name")?)?;
+    let scale = parse_scale(args.opt("scale").unwrap_or("small"))?;
+    let out = args.opt("out").map(str::to_string).unwrap_or_else(|| {
+        format!("{}.isgb", args.pos(0, "dataset").unwrap())
+    });
+    let t0 = Instant::now();
+    let g = dataset.generate(scale);
+    save_graph(&g, &out)?;
+    println!(
+        "{}: {} vertices, {} edges (avg deg {:.2}, max {}) -> {out} in {:.2?}",
+        dataset.name(),
+        human_count(g.num_vertices()),
+        human_count(g.num_edges()),
+        g.avg_degree(),
+        g.max_degree(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn convert(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    args.reject_unknown_flags(&[])?;
+    let input = args.pos(0, "input path")?;
+    let output = args.pos(1, "output path")?;
+    let g = load_graph(input)?;
+    save_graph(&g, output)?;
+    println!("{input} -> {output} ({} vertices, {} edges)", g.num_vertices(), g.num_edges());
+    Ok(())
+}
+
+fn build(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["sigma", "k", "out", "workdir"])?;
+    args.reject_unknown_flags(&["full", "no-paths", "external"])?;
+    let graph_path = args.pos(0, "graph path")?;
+    let out = args.opt("out").ok_or("missing -o <index.islx>")?.to_string();
+
+    let mut config = BuildConfig::default();
+    match (args.opt_parse::<f64>("sigma")?, args.opt_parse::<u32>("k")?, args.flag("full")) {
+        (Some(_), Some(_), _) | (Some(_), _, true) | (_, Some(_), true) => {
+            return Err("--sigma, --k and --full are mutually exclusive".into())
+        }
+        (Some(s), None, false) => config.k_selection = KSelection::SigmaThreshold(s),
+        (None, Some(k), false) => config.k_selection = KSelection::FixedK(k),
+        (None, None, true) => config.k_selection = KSelection::Full,
+        (None, None, false) => {}
+    }
+    if args.flag("no-paths") {
+        config.keep_path_info = false;
+    }
+    config.validate();
+
+    let g = load_graph(graph_path)?;
+    println!(
+        "building over {} vertices / {} edges ...",
+        human_count(g.num_vertices()),
+        human_count(g.num_edges())
+    );
+    let index = if args.flag("external") {
+        let workdir = args.opt("workdir").map(str::to_string).unwrap_or_else(|| {
+            std::env::temp_dir().join("islabel-build").to_string_lossy().into_owned()
+        });
+        let storage = islabel_extmem::DirStorage::new(&workdir)
+            .map_err(|e| format!("workdir {workdir}: {e}"))?;
+        let index = islabel_core::embuild::build_external_from_csr(
+            &storage,
+            &g,
+            config,
+            islabel_core::embuild::EmConfig::default(),
+        )
+        .map_err(|e| format!("external build: {e}"))?;
+        let io = storage.stats().snapshot();
+        println!(
+            "external build I/O: {} read, {} written",
+            human_bytes(io.bytes_read as usize),
+            human_bytes(io.bytes_written as usize)
+        );
+        index
+    } else {
+        IsLabelIndex::build(&g, config)
+    };
+    println!("{}", index.stats());
+    save_index_to_path(&index, &out).map_err(|e| format!("save {out}: {e}"))?;
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!("index written to {out} ({})", human_bytes(bytes as usize));
+    Ok(())
+}
+
+fn query(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    args.reject_unknown_flags(&["path"])?;
+    let index_path = args.pos(0, "index path")?;
+    let s: VertexId =
+        args.pos(1, "source vertex")?.parse().map_err(|_| "invalid source vertex id")?;
+    let t: VertexId =
+        args.pos(2, "target vertex")?.parse().map_err(|_| "invalid target vertex id")?;
+    let index = load_index_from_path(index_path).map_err(|e| format!("load {index_path}: {e}"))?;
+    if (s as usize) >= index.num_vertices() || (t as usize) >= index.num_vertices() {
+        return Err(format!("vertex out of range (index has {} vertices)", index.num_vertices()));
+    }
+    let t0 = Instant::now();
+    let d = index.distance(s, t);
+    let took = t0.elapsed();
+    match d {
+        Some(d) => println!("dist({s}, {t}) = {d}   [{took:.2?}]"),
+        None => println!("dist({s}, {t}) = unreachable   [{took:.2?}]"),
+    }
+    if args.flag("path") {
+        match index.shortest_path(s, t) {
+            Some(p) => {
+                let verts: Vec<String> = p.vertices.iter().map(|v| v.to_string()).collect();
+                println!("path ({} edges): {}", p.num_edges(), verts.join(" -> "));
+            }
+            None if d.is_some() => {
+                println!("path unavailable (index built with --no-paths)")
+            }
+            None => {}
+        }
+    }
+    Ok(())
+}
+
+fn bench(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["queries", "seed"])?;
+    args.reject_unknown_flags(&[])?;
+    let index_path = args.pos(0, "index path")?;
+    let queries: usize = args.opt_parse("queries")?.unwrap_or(1000);
+    let seed: u64 = args.opt_parse("seed")?.unwrap_or(42);
+    let index = load_index_from_path(index_path).map_err(|e| format!("load {index_path}: {e}"))?;
+    let n = index.num_vertices();
+    if n < 2 {
+        return Err("index too small to benchmark".into());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs: Vec<(VertexId, VertexId)> = (0..queries)
+        .map(|_| (rng.gen_range(0..n as VertexId), rng.gen_range(0..n as VertexId)))
+        .collect();
+    let t0 = Instant::now();
+    let mut reachable = 0usize;
+    let mut checksum = 0u64;
+    for &(s, t) in &pairs {
+        if let Some(d) = index.distance(s, t) {
+            reachable += 1;
+            checksum = checksum.wrapping_add(d);
+        }
+    }
+    let took = t0.elapsed();
+    println!(
+        "{queries} queries in {took:.2?} ({:.1} µs/query); {reachable} reachable, checksum {checksum}",
+        took.as_secs_f64() * 1e6 / queries as f64
+    );
+    Ok(())
+}
+
+fn stats(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    args.reject_unknown_flags(&[])?;
+    let path = args.pos(0, "artifact path")?;
+    if path.ends_with(".islx") {
+        let index = load_index_from_path(path).map_err(|e| format!("load {path}: {e}"))?;
+        let s = index.stats();
+        println!("index: {path}");
+        println!("  vertices:      {}", human_count(s.num_vertices));
+        println!("  edges:         {}", human_count(s.num_edges));
+        println!("  k:             {}", s.k);
+        println!("  |V_Gk|:        {} ({:.1}%)", human_count(s.gk_vertices), 100.0 * s.gk_vertex_fraction());
+        println!("  |E_Gk|:        {}", human_count(s.gk_edges));
+        println!("  label entries: {} (avg {:.1}, max {})", human_count(s.label_entries), s.avg_label_len, s.max_label_len);
+        println!("  label bytes:   {}", human_bytes(s.label_bytes));
+        println!("  path info:     {}", index.labels().has_path_info());
+    } else {
+        let g = load_graph(path)?;
+        println!("graph: {path}");
+        println!("  vertices: {}", human_count(g.num_vertices()));
+        println!("  edges:    {}", human_count(g.num_edges()));
+        println!("  avg deg:  {:.2}", g.avg_degree());
+        println!("  max deg:  {}", g.max_degree());
+        println!("  CSR size: {}", human_bytes(g.memory_bytes()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("islabel-cli-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn run(args: &[&str]) -> Result<(), String> {
+        dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn end_to_end_gen_build_query_bench_stats() {
+        let graph = tmp("g.isgb");
+        let index = tmp("i.islx");
+        run(&["gen", "google", "--scale", "tiny", "-o", &graph]).unwrap();
+        run(&["stats", &graph]).unwrap();
+        run(&["build", &graph, "-o", &index]).unwrap();
+        run(&["stats", &index]).unwrap();
+        run(&["query", &index, "0", "5", "--path"]).unwrap();
+        run(&["bench", &index, "--queries", "50"]).unwrap();
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&index).ok();
+    }
+
+    #[test]
+    fn external_build_via_cli() {
+        let graph = tmp("ge.isgb");
+        let index = tmp("ie.islx");
+        let workdir = tmp("wd");
+        run(&["gen", "wikitalk", "--scale", "tiny", "-o", &graph]).unwrap();
+        run(&["build", &graph, "-o", &index, "--external", "--workdir", &workdir, "--sigma", "0.9"])
+            .unwrap();
+        run(&["query", &index, "1", "2"]).unwrap();
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&index).ok();
+        std::fs::remove_dir_all(&workdir).ok();
+    }
+
+    #[test]
+    fn convert_roundtrip() {
+        let bin = tmp("c.isgb");
+        let txt = tmp("c.txt");
+        let back = tmp("c2.isgb");
+        run(&["gen", "btc", "--scale", "tiny", "-o", &bin]).unwrap();
+        run(&["convert", &bin, &txt]).unwrap();
+        run(&["convert", &txt, &back]).unwrap();
+        let a = load_graph(&bin).unwrap();
+        let b = load_graph(&back).unwrap();
+        assert_eq!(a, b);
+        for f in [&bin, &txt, &back] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn conflicting_k_selection_rejected() {
+        let err = run(&["build", "x.isgb", "-o", "y.islx", "--sigma", "0.9", "--full"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn unknown_command_mentions_usage() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("USAGE"), "{err}");
+    }
+
+    #[test]
+    fn query_out_of_range_rejected() {
+        let graph = tmp("r.isgb");
+        let index = tmp("r.islx");
+        run(&["gen", "google", "--scale", "tiny", "-o", &graph]).unwrap();
+        run(&["build", &graph, "-o", &index]).unwrap();
+        let err = run(&["query", &index, "0", "99999999"]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&index).ok();
+    }
+}

@@ -1,0 +1,31 @@
+//! `islabel` — command-line interface to the IS-LABEL index.
+//!
+//! ```text
+//! islabel gen <dataset> [--scale S] [-o graph.isgb]       generate a stand-in dataset
+//! islabel convert <in> <out>                              edge-list <-> binary graph
+//! islabel build <graph> -o index.islx [options]           build and persist an index
+//! islabel query <index.islx> <s> <t> [--path]             one query
+//! islabel bench <index.islx> [--queries N] [--seed S]     random-query benchmark
+//! islabel stats <index.islx|graph>                        artifact statistics
+//! ```
+//!
+//! Graphs are read as edge lists (`.txt`, see `islabel_graph::io`) or binary
+//! CSR snapshots (`.isgb`); indexes are the self-contained `.islx` artifact
+//! of `islabel_core::persist`. Argument parsing is deliberately dependency-
+//! free.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Index construction configuration.
+
+/// How the number of hierarchy levels `k` is chosen (paper Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KSelection {
+    /// Stop at the first level where peeling shrinks the graph by less than
+    /// `1 − σ`: `k` is the first `i` with `|G_i| / |G_{i−1}| > σ`
+    /// (Definition 4 discussion; the paper's default is `σ = 0.95` and
+    /// Table 7 uses `0.90`).
+    SigmaThreshold(f64),
+    /// Build exactly `k` levels (peel `k − 1` independent sets), clamped to
+    /// the natural height if the graph empties first. Used by the Table 6
+    /// sweep around the automatically selected `k`.
+    FixedK(u32),
+    /// Peel until the graph is empty (`k = h + 1`, `G_k = ∅`): every query
+    /// is answered by Equation 1 alone. Section 4's un-truncated hierarchy.
+    Full,
+}
+
+/// Strategy for choosing each level's independent set. The paper uses
+/// greedy minimum-degree (following Halldórsson–Radhakrishnan, "greed is
+/// good"); the alternatives exist for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsStrategy {
+    /// Paper's choice: visit vertices in ascending (degree, id) order.
+    MinDegreeGreedy,
+    /// Ablation: visit vertices in a seeded random order.
+    Random(u64),
+    /// Ablation: visit vertices in descending (degree, id) order — the
+    /// deliberately bad choice that maximizes augmenting-edge blowup.
+    MaxDegreeGreedy,
+}
+
+/// Configuration for [`crate::IsLabelIndex::build`].
+///
+/// # Weight contract
+///
+/// Input edge weights are positive `u32`s (the paper's `ω : E → N+`).
+/// During construction, augmenting-edge weights are sums of weights along
+/// real paths and are kept in `u32` as well; graphs whose shortest-path
+/// lengths exceed `u32::MAX` therefore fail construction with an explicit
+/// panic rather than producing wrong distances. Query-time accumulation
+/// always happens in `u64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildConfig {
+    /// How `k` is selected. Default: `σ = 0.95` (the paper's default).
+    pub k_selection: KSelection,
+    /// Independent-set strategy. Default: greedy min-degree.
+    pub is_strategy: IsStrategy,
+    /// Record the per-edge via vertices and per-entry first hops needed to
+    /// answer shortest-*path* (not just distance) queries (Section 8.1).
+    /// Costs one extra `u32` per label entry and per augmenting edge.
+    /// Default: `true`.
+    pub keep_path_info: bool,
+    /// Hard cap on the number of levels, as a safety net against
+    /// pathological inputs. Default: 10 000 (never reached in practice —
+    /// each level peels at least one vertex).
+    pub max_levels: u32,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        Self {
+            k_selection: KSelection::SigmaThreshold(0.95),
+            is_strategy: IsStrategy::MinDegreeGreedy,
+            keep_path_info: true,
+            max_levels: 10_000,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// Paper default (`σ = 0.95`).
+    pub fn sigma(threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "σ must be in (0, 1], got {threshold}"
+        );
+        Self { k_selection: KSelection::SigmaThreshold(threshold), ..Default::default() }
+    }
+
+    /// Exactly `k` levels.
+    pub fn fixed_k(k: u32) -> Self {
+        assert!(k >= 2, "k must be at least 2 (k = 1 would peel nothing)");
+        Self { k_selection: KSelection::FixedK(k), ..Default::default() }
+    }
+
+    /// Full hierarchy (`G_k` empty; label-only queries).
+    pub fn full() -> Self {
+        Self { k_selection: KSelection::Full, ..Default::default() }
+    }
+
+    /// Validates the configuration, panicking on nonsense values.
+    pub fn validate(&self) {
+        match self.k_selection {
+            KSelection::SigmaThreshold(s) => {
+                assert!(s > 0.0 && s <= 1.0, "σ must be in (0, 1], got {s}");
+            }
+            KSelection::FixedK(k) => assert!(k >= 2, "k must be at least 2, got {k}"),
+            KSelection::Full => {}
+        }
+        assert!(self.max_levels >= 2, "max_levels must allow at least one peel");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = BuildConfig::default();
+        assert_eq!(c.k_selection, KSelection::SigmaThreshold(0.95));
+        assert_eq!(c.is_strategy, IsStrategy::MinDegreeGreedy);
+        assert!(c.keep_path_info);
+        c.validate();
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(BuildConfig::sigma(0.9).k_selection, KSelection::SigmaThreshold(0.9));
+        assert_eq!(BuildConfig::fixed_k(5).k_selection, KSelection::FixedK(5));
+        assert_eq!(BuildConfig::full().k_selection, KSelection::Full);
+    }
+
+    #[test]
+    #[should_panic(expected = "σ must be in (0, 1]")]
+    fn sigma_zero_rejected() {
+        BuildConfig::sigma(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 2")]
+    fn k_one_rejected() {
+        BuildConfig::fixed_k(1);
+    }
+}

@@ -1,0 +1,618 @@
+//! IS-LABEL for directed graphs (paper Section 8.2).
+//!
+//! The directed extension changes three things relative to the undirected
+//! index:
+//!
+//! * **Hierarchy**: independent sets are selected "by simply ignoring the
+//!   direction of the edges"; but distance repair is directional — peeling
+//!   `v` creates an augmenting arc `(u, w)` only when `(u, v)` and `(v, w)`
+//!   both exist as arcs, with weight `ω(u,v) + ω(v,w)`.
+//! * **Labels**: each vertex keeps an *out-label* (out-ancestors reached by
+//!   level-increasing chains of forward arcs) and an *in-label*
+//!   (in-ancestors via backward arcs).
+//! * **Query**: `dist(s → t)` evaluates Equation 1 over
+//!   `X = LABEL_out(s) ∩ LABEL_in(t)`, then runs the bidirectional search
+//!   with the forward frontier on `G_k`'s arcs and the reverse frontier on
+//!   the transposed arcs.
+//!
+//! Because a `dist(s → t) ≠ ∞` answer is exactly a reachability witness,
+//! this index "simultaneously solves the fundamental problem of
+//! reachability" (paper Section 9); see [`DiIsLabelIndex::reachable`].
+//!
+//! Shortest-path reconstruction and dynamic updates are implemented for the
+//! undirected index only (the paper describes them in the undirected
+//! setting); directed queries return distances.
+
+use crate::config::{BuildConfig, IsStrategy, KSelection};
+use crate::label::LabelSet;
+use crate::query::{intersect_min, label_bi_dijkstra_directed, GkGraph, SearchParams};
+use crate::stats::IndexStats;
+use islabel_graph::{CsrDigraph, Dist, FxHashMap, VertexId, Weight, INF};
+use std::time::Instant;
+
+/// A sorted list of `(endpoint, weight)` arcs.
+type ArcList = Vec<(VertexId, Weight)>;
+
+/// Mutable directed adjacency used during peeling (the directed analogue of
+/// `AdjacencyGraph`).
+#[derive(Debug, Clone)]
+struct DiAdjacency {
+    out: Vec<FxHashMap<VertexId, Weight>>,
+    inn: Vec<FxHashMap<VertexId, Weight>>,
+    present: Vec<bool>,
+    num_present: usize,
+    num_arcs: usize,
+}
+
+impl DiAdjacency {
+    fn from_digraph(g: &CsrDigraph) -> Self {
+        let n = g.num_vertices();
+        let mut out: Vec<FxHashMap<VertexId, Weight>> = vec![FxHashMap::default(); n];
+        let mut inn: Vec<FxHashMap<VertexId, Weight>> = vec![FxHashMap::default(); n];
+        for v in g.vertices() {
+            for (u, w) in g.out_edges(v) {
+                out[v as usize].insert(u, w);
+                inn[u as usize].insert(v, w);
+            }
+        }
+        Self { out, inn, present: vec![true; n], num_present: n, num_arcs: g.num_arcs() }
+    }
+
+    fn size(&self) -> usize {
+        self.num_present + self.num_arcs
+    }
+
+    /// Undirected degree used by the greedy IS selection (out + in; an
+    /// antiparallel pair counts twice, a deterministic and cheap proxy).
+    fn degree(&self, v: VertexId) -> usize {
+        self.out[v as usize].len() + self.inn[v as usize].len()
+    }
+
+    /// All vertices adjacent to `v` in either direction.
+    fn undirected_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        self.out[v as usize].keys().copied().chain(self.inn[v as usize].keys().copied())
+    }
+
+    fn upsert_arc_min(&mut self, u: VertexId, w: VertexId, weight: Weight) {
+        debug_assert!(u != w);
+        match self.out[u as usize].entry(w) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(weight);
+                self.inn[w as usize].insert(u, weight);
+                self.num_arcs += 1;
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                if weight < *slot.get() {
+                    *slot.get_mut() = weight;
+                    self.inn[w as usize].insert(u, weight);
+                }
+            }
+        }
+    }
+
+    /// Removes `v`, returning its (sorted) out- and in-adjacency.
+    fn remove_vertex(&mut self, v: VertexId) -> (ArcList, ArcList) {
+        assert!(self.present[v as usize]);
+        let out_map = std::mem::take(&mut self.out[v as usize]);
+        let in_map = std::mem::take(&mut self.inn[v as usize]);
+        let mut out_adj: ArcList = out_map.into_iter().collect();
+        let mut in_adj: ArcList = in_map.into_iter().collect();
+        out_adj.sort_unstable_by_key(|&(u, _)| u);
+        in_adj.sort_unstable_by_key(|&(u, _)| u);
+        for &(u, _) in &out_adj {
+            self.inn[u as usize].remove(&v);
+        }
+        for &(u, _) in &in_adj {
+            self.out[u as usize].remove(&v);
+        }
+        self.num_arcs -= out_adj.len() + in_adj.len();
+        self.present[v as usize] = false;
+        self.num_present -= 1;
+        (out_adj, in_adj)
+    }
+}
+
+/// The directed IS-LABEL index.
+///
+/// # Examples
+///
+/// ```
+/// use islabel_core::{BuildConfig, DiIsLabelIndex};
+/// use islabel_graph::DigraphBuilder;
+///
+/// let mut b = DigraphBuilder::new(3);
+/// b.add_arc(0, 1, 4);
+/// b.add_arc(1, 2, 1);
+/// b.add_arc(2, 0, 1);
+/// let g = b.build();
+/// let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+/// assert_eq!(index.distance(0, 2), Some(5));
+/// assert_eq!(index.distance(2, 1), Some(5)); // 2 → 0 → 1
+/// ```
+#[derive(Debug)]
+pub struct DiIsLabelIndex {
+    level_of: Vec<u32>,
+    k: u32,
+    levels: Vec<Vec<VertexId>>,
+    /// Peel-time outgoing arcs `v → to` (targets at strictly higher levels).
+    peel_out: Vec<Box<[(VertexId, Weight)]>>,
+    /// Peel-time incoming arcs `from → v`.
+    peel_in: Vec<Box<[(VertexId, Weight)]>>,
+    gk: CsrDigraph,
+    gk_members: Vec<VertexId>,
+    out_labels: LabelSet,
+    in_labels: LabelSet,
+    stats: IndexStats,
+}
+
+impl DiIsLabelIndex {
+    /// Builds the directed index.
+    pub fn build(g: &CsrDigraph, config: BuildConfig) -> Self {
+        config.validate();
+        let t0 = Instant::now();
+        let n = g.num_vertices();
+        let mut work = DiAdjacency::from_digraph(g);
+        let mut level_of = vec![0u32; n];
+        let mut levels: Vec<Vec<VertexId>> = Vec::new();
+        let mut peel_out: Vec<Box<[(VertexId, Weight)]>> = vec![Box::default(); n];
+        let mut peel_in: Vec<Box<[(VertexId, Weight)]>> = vec![Box::default(); n];
+
+        let mut i: u32 = 1;
+        let k = loop {
+            if work.num_present == 0 {
+                break i;
+            }
+            match config.k_selection {
+                KSelection::FixedK(kf) if i == kf => break i,
+                _ if i == config.max_levels => break i,
+                _ => {}
+            }
+            let size_before = work.size();
+            let li = select_is(&work, config.is_strategy);
+            debug_assert!(!li.is_empty());
+            for &v in &li {
+                let (out_adj, in_adj) = work.remove_vertex(v);
+                level_of[v as usize] = i;
+                // Directed repair: one arc per (in-neighbor, out-neighbor)
+                // pair — "we create an augmenting edge (u, w) at G_i only if
+                // ∃v ∈ L_{i−1} such that (u, v), (v, w) ∈ E_{G_{i−1}}".
+                for &(u, wu) in &in_adj {
+                    for &(w, ww) in &out_adj {
+                        if u != w {
+                            let weight = wu.checked_add(ww).expect(
+                                "augmenting arc weight overflows u32: input weights are too \
+                                 large (shortest-path lengths must fit in u32 during \
+                                 construction)",
+                            );
+                            work.upsert_arc_min(u, w, weight);
+                        }
+                    }
+                }
+                peel_out[v as usize] = out_adj.into_boxed_slice();
+                peel_in[v as usize] = in_adj.into_boxed_slice();
+            }
+            levels.push(li);
+            let size_after = work.size();
+            if let KSelection::SigmaThreshold(sigma) = config.k_selection {
+                if size_after as f64 > sigma * size_before as f64 {
+                    break i + 1;
+                }
+            }
+            i += 1;
+        };
+
+        let gk_members: Vec<VertexId> =
+            (0..n as VertexId).filter(|&v| work.present[v as usize]).collect();
+        for &v in &gk_members {
+            level_of[v as usize] = k;
+        }
+        let mut gb = islabel_graph::DigraphBuilder::new(n);
+        for &v in &gk_members {
+            for (&u, &w) in &work.out[v as usize] {
+                gb.add_arc(v, u, w);
+            }
+        }
+        let gk = gb.build();
+        let t1 = Instant::now();
+
+        // Top-down labeling in both directions (Algorithm 4 applied to the
+        // out- and in-peel adjacency respectively).
+        let out_labels = build_directional_labels(&level_of, k, &levels, &gk_members, &peel_out);
+        let in_labels = build_directional_labels(&level_of, k, &levels, &gk_members, &peel_in);
+        let t2 = Instant::now();
+
+        let label_entries = out_labels.num_entries() + in_labels.num_entries();
+        let label_bytes = out_labels.memory_bytes() + in_labels.memory_bytes();
+        let stats = IndexStats {
+            num_vertices: n,
+            num_edges: g.num_arcs(),
+            k,
+            gk_vertices: gk_members.len(),
+            gk_edges: gk.num_arcs(),
+            label_entries,
+            label_bytes,
+            avg_label_len: if n == 0 { 0.0 } else { label_entries as f64 / (2.0 * n as f64) },
+            max_label_len: out_labels.max_label_len().max(in_labels.max_label_len()),
+            hierarchy_time: t1 - t0,
+            labeling_time: t2 - t1,
+            build_time: t2 - t0,
+        };
+
+        Self {
+            level_of,
+            k,
+            levels,
+            peel_out,
+            peel_in,
+            gk,
+            gk_members,
+            out_labels,
+            in_labels,
+            stats,
+        }
+    }
+
+    /// Number of vertices indexed.
+    pub fn num_vertices(&self) -> usize {
+        self.level_of.len()
+    }
+
+    /// The number of levels `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The peeled level sets.
+    pub fn levels(&self) -> &[Vec<VertexId>] {
+        &self.levels
+    }
+
+    /// Vertices of the residual graph, ascending.
+    pub fn gk_members(&self) -> &[VertexId] {
+        &self.gk_members
+    }
+
+    /// Peel-time outgoing arcs of `v` (empty for residual vertices).
+    pub fn peel_out(&self, v: VertexId) -> &[(VertexId, Weight)] {
+        &self.peel_out[v as usize]
+    }
+
+    /// Peel-time incoming arcs of `v` (empty for residual vertices).
+    pub fn peel_in(&self, v: VertexId) -> &[(VertexId, Weight)] {
+        &self.peel_in[v as usize]
+    }
+
+    /// Whether `v` survived into the residual graph.
+    pub fn is_in_gk(&self, v: VertexId) -> bool {
+        self.level_of[v as usize] == self.k
+    }
+
+    /// Construction statistics (label fields cover both directions).
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// The out-label of `v` (`(out-ancestor, d(v → ·))` pairs).
+    pub fn out_label(&self, v: VertexId) -> crate::label::LabelView<'_> {
+        self.out_labels.label(v)
+    }
+
+    /// The in-label of `v` (`(in-ancestor, d(· → v))` pairs).
+    pub fn in_label(&self, v: VertexId) -> crate::label::LabelView<'_> {
+        self.in_labels.label(v)
+    }
+
+    /// Directed distance `dist(s → t)`; `None` when `t` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range.
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Option<Dist> {
+        assert!((s as usize) < self.num_vertices(), "vertex {s} out of range");
+        assert!((t as usize) < self.num_vertices(), "vertex {t} out of range");
+        if s == t {
+            return Some(0);
+        }
+        // Stage 1: Equation 1 over X = LABEL_out(s) ∩ LABEL_in(t).
+        let ls = self.out_labels.label(s);
+        let lt = self.in_labels.label(t);
+        let (mu0, witness) = intersect_min(ls, lt);
+
+        // Stage 2: forward search on arcs, reverse search on transposed arcs.
+        let fseeds: Vec<(VertexId, Dist)> = ls.iter().filter(|&(a, _)| self.is_in_gk(a)).collect();
+        let rseeds: Vec<(VertexId, Dist)> = lt.iter().filter(|&(a, _)| self.is_in_gk(a)).collect();
+        let result = label_bi_dijkstra_directed(
+            &Forward(&self.gk),
+            &Backward(&self.gk),
+            SearchParams {
+                fseeds: &fseeds,
+                rseeds: &rseeds,
+                mu0,
+                mu0_witness: witness,
+                track_paths: false,
+            },
+        );
+        (result.dist < INF).then_some(result.dist)
+    }
+
+    /// Directed reachability: whether any path `s → t` exists. The paper
+    /// points out the directed index answers this "fundamental problem"
+    /// for free (Section 9).
+    pub fn reachable(&self, s: VertexId, t: VertexId) -> bool {
+        self.distance(s, t).is_some()
+    }
+}
+
+/// Greedy IS over the undirected skeleton of the remaining digraph.
+fn select_is(work: &DiAdjacency, strategy: IsStrategy) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> =
+        (0..work.present.len() as VertexId).filter(|&v| work.present[v as usize]).collect();
+    match strategy {
+        IsStrategy::MinDegreeGreedy => order.sort_by_key(|&v| (work.degree(v), v)),
+        IsStrategy::MaxDegreeGreedy => {
+            order.sort_by_key(|&v| (std::cmp::Reverse(work.degree(v)), v))
+        }
+        IsStrategy::Random(seed) => {
+            let mut state = seed ^ 0xD1B5_4A32_D192_ED03;
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for j in (1..order.len()).rev() {
+                let r = (next() % (j as u64 + 1)) as usize;
+                order.swap(j, r);
+            }
+        }
+    }
+    let mut excluded = vec![false; work.present.len()];
+    let mut li = Vec::new();
+    for &u in &order {
+        if excluded[u as usize] {
+            continue;
+        }
+        li.push(u);
+        for v in work.undirected_neighbors(u) {
+            excluded[v as usize] = true;
+        }
+    }
+    li.sort_unstable();
+    li
+}
+
+/// Top-down labeling along one direction's peel adjacency.
+fn build_directional_labels(
+    level_of: &[u32],
+    k: u32,
+    levels: &[Vec<VertexId>],
+    gk_members: &[VertexId],
+    peel: &[Box<[(VertexId, Weight)]>],
+) -> LabelSet {
+    let n = level_of.len();
+    let mut labels: Vec<Vec<(VertexId, Dist, VertexId)>> = vec![Vec::new(); n];
+    for &v in gk_members {
+        labels[v as usize].push((v, 0, v));
+    }
+    let mut merge: FxHashMap<VertexId, Dist> = FxHashMap::default();
+    for i in (1..k).rev() {
+        for &v in &levels[(i - 1) as usize] {
+            merge.clear();
+            merge.insert(v, 0);
+            for &(u, w) in peel[v as usize].iter() {
+                debug_assert!(level_of[u as usize] > i);
+                for &(anc, d, _) in &labels[u as usize] {
+                    let cand = w as Dist + d;
+                    let slot = merge.entry(anc).or_insert(Dist::MAX);
+                    if cand < *slot {
+                        *slot = cand;
+                    }
+                }
+            }
+            let mut entries: Vec<(VertexId, Dist, VertexId)> =
+                merge.iter().map(|(&anc, &d)| (anc, d, crate::label::NO_HOP)).collect();
+            entries.sort_unstable_by_key(|&(anc, _, _)| anc);
+            labels[v as usize] = entries;
+        }
+    }
+    LabelSet::from_per_vertex(labels, false)
+}
+
+/// Forward arc view of the residual digraph.
+struct Forward<'a>(&'a CsrDigraph);
+
+impl GkGraph for Forward<'_> {
+    fn edges_of(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.0.out_edges(v)
+    }
+}
+
+/// Transposed arc view for the reverse frontier.
+struct Backward<'a>(&'a CsrDigraph);
+
+impl GkGraph for Backward<'_> {
+    fn edges_of(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.0.in_edges(v)
+    }
+}
+
+/// Reference directed Dijkstra (ground truth for tests and baselines).
+pub fn di_dijkstra_p2p(g: &CsrDigraph, s: VertexId, t: VertexId) -> Option<Dist> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    if s == t {
+        return Some(0);
+    }
+    let mut dist = vec![INF; g.num_vertices()];
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    dist[s as usize] = 0;
+    heap.push(Reverse((0, s)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if v == t {
+            return Some(d);
+        }
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (u, w) in g.out_edges(v) {
+            let nd = d + w as Dist;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islabel_graph::DigraphBuilder;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_digraph(n: usize, m: usize, max_w: Weight, seed: u64) -> CsrDigraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = DigraphBuilder::new(n);
+        for _ in 0..m {
+            let u = rng.gen_range(0..n as VertexId);
+            let v = rng.gen_range(0..n as VertexId);
+            if u != v {
+                b.add_arc(u, v, rng.gen_range(1..=max_w));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_directed_dijkstra_exhaustively_small() {
+        for seed in 0..4u64 {
+            let g = random_digraph(30, 90, 5, seed);
+            let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+            for s in g.vertices() {
+                for t in g.vertices() {
+                    assert_eq!(
+                        index.distance(s, t),
+                        di_dijkstra_p2p(&g, s, t),
+                        "seed {seed} query ({s}, {t})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_directed_dijkstra_across_configs() {
+        let g = random_digraph(150, 600, 9, 42);
+        for config in [BuildConfig::default(), BuildConfig::full(), BuildConfig::fixed_k(3)] {
+            let index = DiIsLabelIndex::build(&g, config);
+            for i in 0..80u32 {
+                let (s, t) = ((i * 7) % 150, (i * 13 + 2) % 150);
+                assert_eq!(
+                    index.distance(s, t),
+                    di_dijkstra_p2p(&g, s, t),
+                    "{:?} ({s}, {t})",
+                    config.k_selection
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetry_is_respected() {
+        // 0 → 1 → 2 with no way back.
+        let mut b = DigraphBuilder::new(3);
+        b.add_arc(0, 1, 2);
+        b.add_arc(1, 2, 3);
+        let g = b.build();
+        let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+        assert_eq!(index.distance(0, 2), Some(5));
+        assert_eq!(index.distance(2, 0), None);
+        assert!(index.reachable(0, 2));
+        assert!(!index.reachable(2, 0));
+    }
+
+    #[test]
+    fn antiparallel_arcs_with_different_weights() {
+        let mut b = DigraphBuilder::new(2);
+        b.add_arc(0, 1, 3);
+        b.add_arc(1, 0, 8);
+        let g = b.build();
+        let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+        assert_eq!(index.distance(0, 1), Some(3));
+        assert_eq!(index.distance(1, 0), Some(8));
+    }
+
+    #[test]
+    fn dag_reachability() {
+        // A layered DAG: level i reaches level j > i only.
+        let mut b = DigraphBuilder::new(9);
+        for layer in 0..2u32 {
+            for i in 0..3u32 {
+                for j in 0..3u32 {
+                    b.add_arc(layer * 3 + i, (layer + 1) * 3 + j, 1);
+                }
+            }
+        }
+        let g = b.build();
+        let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+        assert!(index.reachable(0, 8));
+        assert_eq!(index.distance(0, 8), Some(2));
+        assert!(!index.reachable(8, 0));
+        assert!(!index.reachable(3, 1));
+    }
+
+    #[test]
+    fn in_out_labels_upper_bound_true_distances() {
+        let g = random_digraph(80, 240, 4, 7);
+        let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+        for v in (0..80u32).step_by(9) {
+            for (anc, d) in index.out_label(v).iter() {
+                let truth = di_dijkstra_p2p(&g, v, anc).expect("out-ancestors must be reachable");
+                assert!(d >= truth, "d_out({v}, {anc}) = {d} < {truth}");
+            }
+            for (anc, d) in index.in_label(v).iter() {
+                let truth = di_dijkstra_p2p(&g, anc, v).expect("in-ancestors must reach v");
+                assert!(d >= truth, "d_in({anc}, {v}) = {d} < {truth}");
+            }
+        }
+    }
+
+    #[test]
+    fn strongly_connected_cycle() {
+        let n = 12u32;
+        let mut b = DigraphBuilder::new(n as usize);
+        for v in 0..n {
+            b.add_arc(v, (v + 1) % n, 1);
+        }
+        let g = b.build();
+        let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+        // Around the ring: dist(u, v) = (v - u) mod n.
+        for u in 0..n {
+            for v in 0..n {
+                let expect = ((v + n - u) % n) as Dist;
+                assert_eq!(index.distance(u, v), Some(expect), "({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_both_directions() {
+        let g = random_digraph(60, 200, 3, 3);
+        let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+        let s = index.stats();
+        // Each vertex carries a self entry in both label sets.
+        assert!(s.label_entries >= 2 * 60);
+        assert_eq!(s.num_vertices, 60);
+        assert!(s.k >= 2);
+    }
+
+    #[test]
+    fn isolated_vertices_and_self_queries() {
+        let g = DigraphBuilder::new(5).build();
+        let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+        assert_eq!(index.distance(0, 0), Some(0));
+        assert_eq!(index.distance(0, 4), None);
+    }
+}

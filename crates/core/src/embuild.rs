@@ -1,0 +1,803 @@
+//! I/O-efficient external-memory index construction (paper Section 6).
+//!
+//! The paper's core systems claim is that IS-LABEL can be *built* for graphs
+//! that do not fit in memory, using only sequential scans and external
+//! sorts:
+//!
+//! * **Algorithm 2** (select `L_i`): sort the adjacency-list file by vertex
+//!   degree, stream it, keep every vertex not yet excluded, and archive its
+//!   adjacency (`ADJ(L_i)`). The exclusion buffer `L'` is bounded; when it
+//!   fills, the remaining stream is rewritten without the excluded vertices
+//!   ("scan G'_i to delete all v ∈ L'") and the buffer clears — giving the
+//!   paper's `O(|L'|/M) · scan(|G_i|)` bound.
+//! * **Algorithm 3** (construct `G_{i+1}`): stream `ADJ(L_i)` to emit the
+//!   augmenting-edge array `EA` (both directions per pair), external-sort
+//!   `EA` by vertex ids, and merge-scan it with `G_i`, dropping the peeled
+//!   vertices.
+//! * **Algorithm 4** (top-down labeling): per level, a block nested-loop
+//!   join between that level's labels (blocked by the memory budget) and
+//!   the final labels of all higher levels.
+//!
+//! The pipeline is **semi-external** in the standard sense: per-vertex level
+//! numbers (4 bytes/vertex) stay in memory, while everything edge- and
+//! label-sized streams through [`islabel_extmem`] storage with counted I/O.
+//! The output is identical — labels, hierarchy, via annotations — to the
+//! in-memory builder's (asserted by the equivalence tests), because every
+//! step uses the same total orders and tie-breaking rules:
+//!
+//! * IS selection visits vertices in `(degree, id)` order;
+//! * augmenting-edge collisions keep the minimum weight, then the existing
+//!   edge, then the smallest via vertex;
+//! * label merges keep the minimum distance, then the smallest first hop.
+
+use crate::config::{BuildConfig, KSelection};
+use crate::hierarchy::{PeelEdge, VertexHierarchy};
+use crate::index::IsLabelIndex;
+use crate::label::LabelSet;
+use crate::stats::IndexStats;
+use islabel_extmem::diskgraph::{AdjByDegree, AdjRecord, DiskGraph};
+use islabel_extmem::extsort::{external_sort, ExtRecord, RecordReader, RecordWriter, SortConfig};
+use islabel_extmem::storage::Storage;
+use islabel_graph::adjacency::NO_VIA;
+use islabel_graph::{CsrGraph, Dist, FxHashMap, FxHashSet, VertexId, Weight};
+use std::io;
+use std::time::Instant;
+
+/// Tuning for the external build.
+#[derive(Debug, Clone, Copy)]
+pub struct EmConfig {
+    /// Memory budget in bytes for sort runs and label-join blocks (the
+    /// paper's `M`).
+    pub memory_budget: usize,
+    /// Fan-in of external-sort merge passes.
+    pub sort_fan_in: usize,
+    /// Capacity of the exclusion buffer `L'` (entries) before a purge scan.
+    pub exclusion_capacity: usize,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self { memory_budget: 64 * 1024 * 1024, sort_fan_in: 16, exclusion_capacity: 1 << 22 }
+    }
+}
+
+impl EmConfig {
+    /// A deliberately tiny configuration that forces many sort runs, merge
+    /// passes, exclusion purges and label blocks — used by tests to exercise
+    /// every external code path on small graphs.
+    pub fn tiny_for_tests() -> Self {
+        Self { memory_budget: 4 * 1024, sort_fan_in: 2, exclusion_capacity: 16 }
+    }
+}
+
+/// Streaming adapter: exposes a record file as an iterator for
+/// [`external_sort`], stashing any I/O error for later propagation.
+struct RecordStream<'a, T: ExtRecord> {
+    reader: RecordReader<Box<dyn io::Read + Send + 'a>>,
+    error: &'a mut Option<io::Error>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: ExtRecord> Iterator for RecordStream<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        match self.reader.next() {
+            Ok(item) => item,
+            Err(e) => {
+                *self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+fn sort_file<T: ExtRecord>(
+    storage: &dyn Storage,
+    input_name: &str,
+    output_name: &str,
+    config: SortConfig,
+) -> io::Result<()> {
+    let mut error = None;
+    let stream: RecordStream<'_, T> = RecordStream {
+        reader: RecordReader::new(storage.open(input_name)?),
+        error: &mut error,
+        _marker: std::marker::PhantomData,
+    };
+    external_sort(storage, stream, output_name, config)?;
+    if let Some(e) = error {
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Builds an [`IsLabelIndex`] from a disk-resident graph through the
+/// external-memory pipeline. `config` carries the paper-level parameters
+/// (k-selection, path info); `em` the memory-model tuning.
+///
+/// Only the paper's greedy min-degree strategy is supported externally (the
+/// ablation strategies are in-memory concerns).
+pub fn build_external(
+    storage: &dyn Storage,
+    input: &DiskGraph,
+    config: BuildConfig,
+    em: EmConfig,
+) -> io::Result<IsLabelIndex> {
+    config.validate();
+    assert!(
+        matches!(config.is_strategy, crate::config::IsStrategy::MinDegreeGreedy),
+        "external construction implements the paper's min-degree greedy selection"
+    );
+    let t0 = Instant::now();
+    let n = input.universe;
+    let sort_config = SortConfig { memory_budget: em.memory_budget, fan_in: em.sort_fan_in };
+
+    // Semi-external bookkeeping: ℓ(v), 0 = still present.
+    let mut level_of = vec![0u32; n];
+    let mut present = n;
+    let mut levels: Vec<Vec<VertexId>> = Vec::new();
+    let mut current = input.clone();
+    let mut owned_current = false; // whether `current` is ours to delete
+
+    let mut i: u32 = 1;
+    let k = loop {
+        if present == 0 {
+            break i;
+        }
+        match config.k_selection {
+            KSelection::FixedK(kf) if i == kf => break i,
+            _ if i == config.max_levels => break i,
+            _ => {}
+        }
+        let size_before = present + current.num_edges;
+
+        // ---- Algorithm 2: select L_i, archive ADJ(L_i). ----
+        let li = select_level(storage, &current, i, &mut level_of, &em, sort_config)?;
+        present -= li.len();
+
+        // ---- Algorithm 3: build G_{i+1}. ----
+        let next = build_next_graph(storage, &current, i, &level_of, sort_config)?;
+        if owned_current {
+            current.delete(storage)?;
+        }
+        current = next;
+        owned_current = true;
+        levels.push(li);
+
+        let size_after = present + current.num_edges;
+        if let KSelection::SigmaThreshold(sigma) = config.k_selection {
+            if size_after as f64 > sigma * size_before as f64 {
+                break i + 1;
+            }
+        }
+        i += 1;
+    };
+
+    // Residual graph G_k.
+    let gk_members: Vec<VertexId> =
+        (0..n as VertexId).filter(|&v| level_of[v as usize] == 0).collect();
+    for &v in &gk_members {
+        level_of[v as usize] = k;
+    }
+    let (gk, gk_vias) = materialize_gk(storage, &current, n, config.keep_path_info)?;
+    if owned_current {
+        current.delete(storage)?;
+    }
+    let t1 = Instant::now();
+
+    // ---- Algorithm 4: top-down block nested-loop labeling. ----
+    label_top_down(storage, k, &level_of, &em)?;
+    let t2 = Instant::now();
+
+    // ---- Assembly: identical structures to the in-memory builder. ----
+    let mut peel_adj: Vec<Box<[PeelEdge]>> = vec![Box::default(); n];
+    for level in 1..k {
+        let mut scan = RecordReader::new(storage.open(&adj_name(level))?);
+        while let Some(rec) = scan.next::<AdjRecord>()? {
+            peel_adj[rec.vertex as usize] = rec
+                .edges
+                .iter()
+                .map(|&(to, weight, via)| PeelEdge {
+                    to,
+                    weight,
+                    via: if config.keep_path_info { via } else { NO_VIA },
+                })
+                .collect();
+        }
+    }
+    let mut per_vertex: Vec<Vec<(VertexId, Dist, VertexId)>> = vec![Vec::new(); n];
+    for level in 1..k {
+        let mut scan = RecordReader::new(storage.open(&label_name(level))?);
+        while let Some(rec) = scan.next::<LabelRecord>()? {
+            per_vertex[rec.vertex as usize] = rec.entries;
+        }
+    }
+    // Self-only labels: G_k members and peeled-but-isolated vertices never
+    // appear in the label files.
+    for (v, label) in per_vertex.iter_mut().enumerate() {
+        if label.is_empty() {
+            label.push((v as VertexId, 0, v as VertexId));
+        }
+    }
+    let labels = LabelSet::from_per_vertex(per_vertex, config.keep_path_info);
+
+    // Temp cleanup.
+    for level in 1..k {
+        storage.delete(&adj_name(level))?;
+        storage.delete(&label_name(level))?;
+    }
+
+    let hierarchy =
+        VertexHierarchy::from_parts(level_of, k, levels, peel_adj, gk, gk_vias, gk_members);
+    let graph = input.to_csr(storage)?;
+    let stats = IndexStats {
+        num_vertices: n,
+        num_edges: graph.num_edges(),
+        k,
+        gk_vertices: hierarchy.num_gk_vertices(),
+        gk_edges: hierarchy.num_gk_edges(),
+        label_entries: labels.num_entries(),
+        label_bytes: labels.memory_bytes(),
+        avg_label_len: labels.avg_label_len(),
+        max_label_len: labels.max_label_len(),
+        hierarchy_time: t1 - t0,
+        labeling_time: t2 - t1,
+        build_time: t2 - t0,
+    };
+    Ok(IsLabelIndex::from_parts(graph, hierarchy, labels, config, stats))
+}
+
+/// Convenience: stage a CSR graph into storage and build externally.
+pub fn build_external_from_csr(
+    storage: &dyn Storage,
+    g: &CsrGraph,
+    config: BuildConfig,
+    em: EmConfig,
+) -> io::Result<IsLabelIndex> {
+    let dg = DiskGraph::from_csr(storage, "embuild.input", g)?;
+    let index = build_external(storage, &dg, config, em);
+    dg.delete(storage)?;
+    index
+}
+
+fn adj_name(level: u32) -> String {
+    format!("embuild.adj.L{level}")
+}
+
+fn label_name(level: u32) -> String {
+    format!("embuild.labels.L{level}")
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2 — external greedy independent set
+// ---------------------------------------------------------------------------
+
+/// Sorts `G_i` by degree, streams it with a bounded exclusion buffer, writes
+/// `ADJ(L_i)` and assigns levels. Returns `L_i` ascending.
+fn select_level(
+    storage: &dyn Storage,
+    gi: &DiskGraph,
+    level: u32,
+    level_of: &mut [u32],
+    em: &EmConfig,
+    sort_config: SortConfig,
+) -> io::Result<Vec<VertexId>> {
+    // Degree sort (the paper's sort(|G_i|) step). The id component of the
+    // sort key makes the order total — the same (degree, id) order the
+    // in-memory builder uses.
+    let sorted_name = format!("embuild.degsort.L{level}");
+    sort_file::<AdjByDegree>(storage, &gi.name, &sorted_name, sort_config)?;
+
+    let mut li: Vec<VertexId> = Vec::new();
+    // Vertices seen in the stream; present vertices without records are
+    // isolated in G_i and join L_i unconditionally (degree 0, nothing to
+    // exclude) — mirroring their position at the front of the (degree, id)
+    // order.
+    let mut has_record: FxHashSet<VertexId> = FxHashSet::default();
+
+    let mut adj_writer = RecordWriter::new(storage.create(&adj_name(level))?);
+    let mut excluded: FxHashSet<VertexId> = FxHashSet::default();
+    let mut stream_name = sorted_name;
+    let mut reader = RecordReader::new(storage.open(&stream_name)?);
+    let mut purge_round = 0usize;
+    while let Some(AdjByDegree(rec)) = reader.next::<AdjByDegree>()? {
+        has_record.insert(rec.vertex);
+        if excluded.contains(&rec.vertex) {
+            continue;
+        }
+        // Choose rec.vertex into L_i and archive its adjacency.
+        li.push(rec.vertex);
+        for &(u, _, _) in &rec.edges {
+            excluded.insert(u);
+        }
+        adj_writer.write(&rec)?;
+
+        // Bounded L': purge by rewriting the remaining stream without the
+        // excluded vertices (the paper's mid-scan cleanup), then clear.
+        if excluded.len() >= em.exclusion_capacity {
+            purge_round += 1;
+            let purged_name = format!("embuild.degsort.L{level}.purge{purge_round}");
+            let mut w = RecordWriter::new(storage.create(&purged_name)?);
+            while let Some(rest) = reader.next::<AdjByDegree>()? {
+                has_record.insert(rest.0.vertex);
+                if !excluded.contains(&rest.0.vertex) {
+                    w.write(&rest)?;
+                }
+            }
+            w.finish()?;
+            storage.delete(&stream_name)?;
+            excluded.clear();
+            stream_name = purged_name;
+            reader = RecordReader::new(storage.open(&stream_name)?);
+        }
+    }
+    adj_writer.finish()?;
+    storage.delete(&stream_name)?;
+
+    for v in 0..level_of.len() as VertexId {
+        if level_of[v as usize] == 0 && !has_record.contains(&v) {
+            li.push(v);
+        }
+    }
+    for &v in &li {
+        debug_assert_eq!(level_of[v as usize], 0, "vertex {v} already assigned");
+        level_of[v as usize] = level;
+    }
+    li.sort_unstable();
+    Ok(li)
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3 — external graph reduction
+// ---------------------------------------------------------------------------
+
+/// Streams `ADJ(L_i)` to emit `EA`, sorts it, and merge-scans with `G_i` to
+/// produce `G_{i+1}`.
+fn build_next_graph(
+    storage: &dyn Storage,
+    gi: &DiskGraph,
+    level: u32,
+    level_of: &[u32],
+    sort_config: SortConfig,
+) -> io::Result<DiskGraph> {
+    // Emit EA: for every peeled v and neighbor pair (a, b), both directed
+    // records (a, b, ω(a,v)+ω(v,b), via=v) and (b, a, ·, ·).
+    let ea_raw = format!("embuild.ea.L{level}.raw");
+    {
+        let mut w = RecordWriter::new(storage.create(&ea_raw)?);
+        let mut scan = RecordReader::new(storage.open(&adj_name(level))?);
+        while let Some(rec) = scan.next::<AdjRecord>()? {
+            let v = rec.vertex;
+            for (x, &(a, wa, _)) in rec.edges.iter().enumerate() {
+                for &(b, wb, _) in &rec.edges[x + 1..] {
+                    let weight = wa.checked_add(wb).expect(
+                        "augmenting edge weight overflows u32: input weights are too large",
+                    );
+                    w.write(&(a, b, weight, v))?;
+                    w.write(&(b, a, weight, v))?;
+                }
+            }
+        }
+        w.finish()?;
+    }
+    // Sort EA by (u, v, weight, via): the first record per (u, v) carries
+    // the minimum weight, ties by smallest via — the same tie-break the
+    // in-memory builder realizes by processing L_i in ascending id order.
+    let ea_sorted = format!("embuild.ea.L{level}");
+    sort_file::<(u32, u32, u32, u32)>(storage, &ea_raw, &ea_sorted, sort_config)?;
+    storage.delete(&ea_raw)?;
+
+    // Merge-scan G_i with the sorted EA.
+    let next_name = format!("embuild.g.L{}", level + 1);
+    let mut ea = PeekableEa::new(RecordReader::new(storage.open(&ea_sorted)?));
+    let mut writer = RecordWriter::new(storage.create(&next_name)?);
+    let mut num_vertices = 0usize;
+    let mut half_edges = 0usize;
+    let mut scan = gi.scan(storage)?;
+    while let Some(rec) = scan.next()? {
+        let v = rec.vertex;
+        // Every EA endpoint had an edge to its peeled via vertex in G_i, so
+        // it owns a G_i record; the stream stays aligned.
+        debug_assert!(ea.peek()?.is_none_or(|e| e.0 >= v), "EA endpoint without G_i record");
+        if level_of[v as usize] == level {
+            continue; // peeled: the record is already archived in ADJ(L_i)
+        }
+        // Merge-join v's surviving edges with v's EA entries (both ascending
+        // by target id).
+        let mut merged: Vec<(VertexId, Weight, VertexId)> = Vec::new();
+        let mut old =
+            rec.edges.iter().filter(|&&(t, _, _)| level_of[t as usize] != level).peekable();
+        loop {
+            let ea_here = match ea.peek()? {
+                Some(e) if e.0 == v => Some(*e),
+                _ => None,
+            };
+            match (old.peek(), ea_here) {
+                (None, None) => break,
+                (Some(&&(t, w, via)), None) => {
+                    merged.push((t, w, via));
+                    old.next();
+                }
+                (None, Some((_, t, w, via))) => {
+                    push_first(&mut merged, t, w, via);
+                    ea.advance()?;
+                }
+                (Some(&&(ot, ow, ovia)), Some((_, et, ew, evia))) => {
+                    if ot < et {
+                        merged.push((ot, ow, ovia));
+                        old.next();
+                    } else if et < ot {
+                        push_first(&mut merged, et, ew, evia);
+                        ea.advance()?;
+                    } else {
+                        // Collision: strictly smaller EA weight replaces the
+                        // existing edge, ties keep it ("update ω with the
+                        // smaller weight").
+                        if ew < ow {
+                            merged.push((et, ew, evia));
+                        } else {
+                            merged.push((ot, ow, ovia));
+                        }
+                        old.next();
+                        // Drain the remaining (worse) EA duplicates of (v, t).
+                        while ea.peek()?.is_some_and(|e| e.0 == v && e.1 == et) {
+                            ea.advance()?;
+                        }
+                    }
+                }
+            }
+        }
+        if !merged.is_empty() {
+            num_vertices += 1;
+            half_edges += merged.len();
+            writer.write(&AdjRecord { vertex: v, edges: merged })?;
+        }
+    }
+    debug_assert!(ea.peek()?.is_none(), "unconsumed EA records");
+    writer.finish()?;
+    storage.delete(&ea_sorted)?;
+
+    DiskGraph::assemble(storage, &next_name, gi.universe, num_vertices, half_edges / 2)
+}
+
+/// Appends `(t, w, via)` unless `t` was already emitted for this vertex (EA
+/// is sorted, so the first record per target carries the minimum).
+fn push_first(merged: &mut Vec<(VertexId, Weight, VertexId)>, t: VertexId, w: Weight, via: VertexId) {
+    if merged.last().map(|&(lt, _, _)| lt) != Some(t) {
+        merged.push((t, w, via));
+    }
+}
+
+/// One-record lookahead over the EA stream.
+struct PeekableEa<R: io::Read> {
+    reader: RecordReader<R>,
+    head: Option<(u32, u32, u32, u32)>,
+    primed: bool,
+}
+
+impl<R: io::Read> PeekableEa<R> {
+    fn new(reader: RecordReader<R>) -> Self {
+        Self { reader, head: None, primed: false }
+    }
+
+    fn peek(&mut self) -> io::Result<Option<&(u32, u32, u32, u32)>> {
+        if !self.primed {
+            self.head = self.reader.next()?;
+            self.primed = true;
+        }
+        Ok(self.head.as_ref())
+    }
+
+    fn advance(&mut self) -> io::Result<()> {
+        self.peek()?;
+        self.head = self.reader.next()?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Residual graph materialization
+// ---------------------------------------------------------------------------
+
+/// Via vertices of residual augmenting edges, keyed by `(min, max)` pair.
+type GkViaMap = FxHashMap<(VertexId, VertexId), VertexId>;
+
+fn materialize_gk(
+    storage: &dyn Storage,
+    gk: &DiskGraph,
+    n: usize,
+    keep_path_info: bool,
+) -> io::Result<(CsrGraph, GkViaMap)> {
+    let mut b = islabel_graph::GraphBuilder::new(n);
+    let mut vias = FxHashMap::default();
+    let mut scan = gk.scan(storage)?;
+    while let Some(rec) = scan.next()? {
+        for &(t, w, via) in &rec.edges {
+            if rec.vertex < t {
+                b.add_edge(rec.vertex, t, w);
+                if keep_path_info && via != NO_VIA {
+                    vias.insert((rec.vertex, t), via);
+                }
+            }
+        }
+    }
+    Ok((b.build(), vias))
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 4 — external top-down labeling (block nested-loop join)
+// ---------------------------------------------------------------------------
+
+/// A vertex's final label on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LabelRecord {
+    vertex: VertexId,
+    /// `(ancestor, d, first_hop)` ascending by ancestor.
+    entries: Vec<(VertexId, Dist, VertexId)>,
+}
+
+impl ExtRecord for LabelRecord {
+    type Key = VertexId;
+
+    fn key(&self) -> Self::Key {
+        self.vertex
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        use bytes::BufMut;
+        out.put_u32_le(self.vertex);
+        out.put_u32_le(self.entries.len() as u32);
+        for &(a, d, h) in &self.entries {
+            out.put_u32_le(a);
+            out.put_u64_le(d);
+            out.put_u32_le(h);
+        }
+    }
+
+    fn decode(mut buf: &[u8]) -> Self {
+        use bytes::Buf;
+        let vertex = buf.get_u32_le();
+        let count = buf.get_u32_le() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            entries.push((buf.get_u32_le(), buf.get_u64_le(), buf.get_u32_le()));
+        }
+        Self { vertex, entries }
+    }
+
+    fn approx_size(&self) -> usize {
+        8 + self.entries.len() * 16 + 24
+    }
+}
+
+/// One in-flight label of the current block.
+struct BlockEntry {
+    vertex: VertexId,
+    /// Min-merged accumulator (`ancestor -> (d, first hop)`).
+    acc: FxHashMap<VertexId, (Dist, VertexId)>,
+}
+
+/// Labels level `k−1` down to `1`, writing the `labels.L{i}` files.
+///
+/// The join works off each vertex's *direct* (peel-adjacency) entries, which
+/// is exactly what Corollary 1 licenses: `label(v)` is the min-merge of
+/// `ω(v, u) + label(u)` over the direct neighbors `u`. Neighbors living in
+/// `G_k` contribute their trivial self-only labels inline, so no label file
+/// is materialized for `G_k`.
+fn label_top_down(
+    storage: &dyn Storage,
+    k: u32,
+    level_of: &[u32],
+    em: &EmConfig,
+) -> io::Result<()> {
+    for i in (1..k).rev() {
+        let mut bl = RecordReader::new(storage.open(&adj_name(i))?);
+        let mut writer = RecordWriter::new(storage.create(&label_name(i))?);
+        loop {
+            // Load one block of BL under the memory budget.
+            let mut block: Vec<BlockEntry> = Vec::new();
+            // Join index: neighbor u -> [(block slot, ω(v, u))].
+            let mut join: FxHashMap<VertexId, Vec<(usize, Weight)>> = FxHashMap::default();
+            let mut block_bytes = 0usize;
+            while block_bytes < em.memory_budget {
+                let Some(rec) = bl.next::<AdjRecord>()? else {
+                    break;
+                };
+                let slot = block.len();
+                let mut acc = FxHashMap::default();
+                acc.insert(rec.vertex, (0 as Dist, rec.vertex));
+                for &(u, w, _) in &rec.edges {
+                    debug_assert!(level_of[u as usize] > i);
+                    // Fold u's self entry inline: this covers G_k neighbors
+                    // (whose labels are trivially {(u, 0)} and never written
+                    // to a file) and peeled neighbors that were isolated at
+                    // peel time (same situation). For everything else the
+                    // BU join below re-derives the same value, a no-op.
+                    relax(&mut acc, u, w as Dist, u);
+                    if level_of[u as usize] != k {
+                        join.entry(u).or_default().push((slot, w));
+                    }
+                }
+                block_bytes += rec.approx_size() * 4 + 64;
+                block.push(BlockEntry { vertex: rec.vertex, acc });
+            }
+            if block.is_empty() {
+                break;
+            }
+
+            // Scan BU — the final labels of all higher peeled levels — once
+            // per block (the paper's block nested loop).
+            for j in (i + 1)..k {
+                let mut bu = RecordReader::new(storage.open(&label_name(j))?);
+                while let Some(lab) = bu.next::<LabelRecord>()? {
+                    let Some(holders) = join.get(&lab.vertex) else {
+                        continue;
+                    };
+                    for &(slot, w) in holders {
+                        let acc = &mut block[slot].acc;
+                        for &(anc, d, _) in &lab.entries {
+                            relax(acc, anc, w as Dist + d, lab.vertex);
+                        }
+                    }
+                }
+            }
+
+            for entry in block {
+                let mut entries: Vec<(VertexId, Dist, VertexId)> =
+                    entry.acc.iter().map(|(&a, &(d, h))| (a, d, h)).collect();
+                entries.sort_unstable_by_key(|&(a, _, _)| a);
+                writer.write(&LabelRecord { vertex: entry.vertex, entries })?;
+            }
+        }
+        writer.finish()?;
+    }
+    Ok(())
+}
+
+/// Min-merge with the deterministic tie-break (equal distance keeps the
+/// smaller first hop) shared with the in-memory Algorithm 4, which realizes
+/// the same rule through its ascending-neighbor iteration.
+fn relax(acc: &mut FxHashMap<VertexId, (Dist, VertexId)>, anc: VertexId, d: Dist, hop: VertexId) {
+    match acc.entry(anc) {
+        std::collections::hash_map::Entry::Vacant(slot) => {
+            slot.insert((d, hop));
+        }
+        std::collections::hash_map::Entry::Occupied(mut slot) => {
+            let (cur_d, cur_h) = *slot.get();
+            if d < cur_d || (d == cur_d && hop < cur_h) {
+                *slot.get_mut() = (d, hop);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islabel_extmem::storage::MemStorage;
+    use islabel_graph::generators::{barabasi_albert, erdos_renyi_gnm, WeightModel};
+
+    fn assert_equivalent(g: &CsrGraph, config: BuildConfig, em: EmConfig, tag: &str) {
+        let storage = MemStorage::new();
+        let em_index = build_external_from_csr(&storage, g, config, em).unwrap();
+        let im_index = IsLabelIndex::build(g, config);
+
+        assert_eq!(em_index.labels(), im_index.labels(), "{tag}: labels diverge");
+        assert_eq!(
+            em_index.hierarchy().levels(),
+            im_index.hierarchy().levels(),
+            "{tag}: level sets diverge"
+        );
+        assert_eq!(em_index.hierarchy().gk(), im_index.hierarchy().gk(), "{tag}: G_k diverges");
+        assert_eq!(em_index.stats().k, im_index.stats().k, "{tag}: k diverges");
+        // All temp files cleaned up.
+        assert!(storage.names().is_empty(), "{tag}: leftover temp files {:?}", storage.names());
+
+        // And the answers agree with ground truth.
+        let n = g.num_vertices();
+        for q in 0..40usize {
+            let s = ((q * 7919) % n) as VertexId;
+            let t = ((q * 104729 + 1) % n) as VertexId;
+            assert_eq!(
+                em_index.distance(s, t),
+                crate::reference::dijkstra_p2p(g, s, t),
+                "{tag}: query ({s}, {t})"
+            );
+        }
+    }
+
+#[test]
+fn equivalence_is_structural_not_just_behavioral() {
+    use islabel_extmem::storage::MemStorage;
+    use islabel_graph::generators::{erdos_renyi_gnm, WeightModel};
+    let g = erdos_renyi_gnm(30, 70, WeightModel::Unit, 11);
+    for config in [BuildConfig::full(), BuildConfig::fixed_k(3), BuildConfig::sigma(0.7)] {
+        let storage = MemStorage::new();
+        let em_index = build_external_from_csr(&storage, &g, config, EmConfig::tiny_for_tests()).unwrap();
+        let im_index = IsLabelIndex::build(&g, config);
+        assert_eq!(em_index.stats().k, im_index.stats().k, "{config:?} k");
+        assert_eq!(em_index.hierarchy().levels(), im_index.hierarchy().levels(), "{config:?} levels");
+        for v in 0..30u32 {
+            assert_eq!(em_index.hierarchy().peel_adj(v), im_index.hierarchy().peel_adj(v), "{config:?} peel_adj({v})");
+        }
+        assert_eq!(em_index.hierarchy().gk(), im_index.hierarchy().gk(), "{config:?} gk");
+        for v in 0..30u32 {
+            let em_l: Vec<_> = em_index.labels().label(v).iter().collect();
+            let im_l: Vec<_> = im_index.labels().label(v).iter().collect();
+            assert_eq!(em_l, im_l, "{config:?} label({v}) dists");
+            assert_eq!(em_index.labels().label(v).first_hops, im_index.labels().label(v).first_hops, "{config:?} label({v}) hops");
+        }
+    }
+}
+
+    #[test]
+    fn equivalent_on_random_graphs_default_config() {
+        for seed in 0..3u64 {
+            let g = erdos_renyi_gnm(150, 400, WeightModel::UniformRange(1, 9), seed);
+            assert_equivalent(&g, BuildConfig::default(), EmConfig::default(), "er");
+        }
+    }
+
+    #[test]
+    fn equivalent_under_tiny_memory_budget() {
+        // Forces multiple sort runs, merge passes, exclusion purges and
+        // label blocks.
+        let g = barabasi_albert(300, 3, WeightModel::UniformRange(1, 5), 7);
+        assert_equivalent(&g, BuildConfig::default(), EmConfig::tiny_for_tests(), "ba-tiny-mem");
+    }
+
+    #[test]
+    fn equivalent_across_k_policies() {
+        let g = erdos_renyi_gnm(120, 300, WeightModel::Unit, 11);
+        for config in [BuildConfig::full(), BuildConfig::fixed_k(3), BuildConfig::sigma(0.7)] {
+            assert_equivalent(&g, config, EmConfig::tiny_for_tests(), "policies");
+        }
+    }
+
+    #[test]
+    fn equivalent_with_isolated_vertices_and_components() {
+        let mut b = islabel_graph::GraphBuilder::new(30);
+        // Two path components; vertices 20..30 stay isolated.
+        for v in 0..9u32 {
+            b.add_edge(v, v + 1, (v % 3) + 1);
+        }
+        for v in 10..18u32 {
+            b.add_edge(v, v + 1, 2);
+        }
+        let g = b.build();
+        assert_equivalent(&g, BuildConfig::default(), EmConfig::tiny_for_tests(), "components");
+    }
+
+    #[test]
+    fn path_queries_work_after_external_build() {
+        let g = barabasi_albert(150, 3, WeightModel::UniformRange(1, 4), 5);
+        let storage = MemStorage::new();
+        let index =
+            build_external_from_csr(&storage, &g, BuildConfig::default(), EmConfig::default())
+                .unwrap();
+        for q in 0..25usize {
+            let s = ((q * 13) % 150) as VertexId;
+            let t = ((q * 41 + 3) % 150) as VertexId;
+            let expect = crate::reference::dijkstra_p2p(&g, s, t);
+            match (index.shortest_path(s, t), expect) {
+                (Some(p), Some(d)) => {
+                    assert_eq!(p.length, d);
+                    p.validate_against(&g).unwrap();
+                }
+                (None, None) => {}
+                (p, d) => panic!("({s}, {t}): {p:?} vs {d:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn io_is_counted_during_build() {
+        let g = erdos_renyi_gnm(200, 600, WeightModel::Unit, 3);
+        let storage = MemStorage::new();
+        let _ = build_external_from_csr(&storage, &g, BuildConfig::default(), EmConfig::default())
+            .unwrap();
+        let snap = storage.stats().snapshot();
+        assert!(snap.bytes_written > 10_000, "writes {}", snap.bytes_written);
+        assert!(snap.bytes_read > 10_000, "reads {}", snap.bytes_read);
+    }
+}

@@ -1,0 +1,606 @@
+//! Vertex-hierarchy construction (paper Section 4.1, 5.1; Algorithms 2, 3).
+//!
+//! The hierarchy `(L, G)` peels an independent set `L_i` off each `G_i`
+//! (greedy minimum-degree, Algorithm 2) and patches `G_{i+1}` with
+//! *augmenting edges* so distances among surviving vertices are preserved
+//! (Algorithm 3): for a peeled vertex `v` and any two neighbors `u, w`, the
+//! 2-hop path `⟨u, v, w⟩` is replaced by an edge `(u, w)` of weight
+//! `ω(u,v) + ω(v,w)` (keeping the minimum if `(u, w)` exists). Independence
+//! is what confines the repair to a self-join on each peeled vertex's
+//! neighborhood — the property the whole I/O-efficient design leans on.
+//!
+//! Construction stops at level `k` (Definition 4): with the σ rule, at the
+//! first level whose graph shrank by less than `1 − σ`; the residual `G_k`
+//! is kept for query-time search.
+
+use crate::config::{BuildConfig, IsStrategy, KSelection};
+use islabel_graph::adjacency::AdjacencyGraph;
+use islabel_graph::{CsrGraph, FxHashMap, VertexId, Weight};
+
+/// One archived adjacency entry of a peeled vertex: the edge `(v, to)` as it
+/// existed in `G_{ℓ(v)}` at peel time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeelEdge {
+    /// The neighbor (always at a strictly higher level than the peeled
+    /// vertex, by independence).
+    pub to: VertexId,
+    /// Edge weight in `G_{ℓ(v)}`.
+    pub weight: Weight,
+    /// Intermediate vertex if the edge was an augmenting edge
+    /// ([`islabel_graph::adjacency::NO_VIA`] otherwise); needed only for
+    /// path reconstruction (Section 8.1).
+    pub via: VertexId,
+}
+
+/// The k-level vertex hierarchy `(H_{<k}, G_k)` of Definition 4.
+#[derive(Debug, Clone)]
+pub struct VertexHierarchy {
+    /// `ℓ(v)` for every vertex (1-based; vertices of `G_k` have level `k`).
+    level_of: Vec<u32>,
+    /// Number of levels `k` (so `k − 1` independent sets were peeled).
+    k: u32,
+    /// `levels[i]` is `L_{i+1}`, ascending by vertex id.
+    levels: Vec<Vec<VertexId>>,
+    /// For each peeled vertex, its adjacency in `G_{ℓ(v)}` at peel time
+    /// (`ADJ(L_i)` of Algorithm 2), sorted by neighbor id. Empty for `G_k`
+    /// vertices.
+    peel_adj: Vec<Box<[PeelEdge]>>,
+    /// The residual graph `G_k` over the full id universe (peeled vertices
+    /// are isolated in it).
+    gk: CsrGraph,
+    /// Via vertices of `G_k`'s augmenting edges, keyed by `(min, max)`
+    /// endpoint pair. Empty when path info is disabled.
+    gk_vias: FxHashMap<(VertexId, VertexId), VertexId>,
+    /// Vertices of `G_k`, ascending.
+    gk_members: Vec<VertexId>,
+}
+
+impl VertexHierarchy {
+    /// Builds the hierarchy for `g` under `config`.
+    pub fn build(g: &CsrGraph, config: &BuildConfig) -> Self {
+        config.validate();
+        let mut work = AdjacencyGraph::from_csr(g);
+        let n = g.num_vertices();
+        let mut level_of = vec![0u32; n];
+        let mut peel_adj: Vec<Box<[PeelEdge]>> = vec![Box::default(); n];
+        let mut levels: Vec<Vec<VertexId>> = Vec::new();
+
+        let mut i: u32 = 1;
+        let k = loop {
+            if work.num_present() == 0 {
+                break i; // G_i is empty: full hierarchy, k = h + 1.
+            }
+            match config.k_selection {
+                KSelection::FixedK(kf) if i == kf => break i,
+                _ if i == config.max_levels => break i,
+                _ => {}
+            }
+
+            let size_before = work.size();
+            let li = select_independent_set(&work, config.is_strategy, i);
+            debug_assert!(!li.is_empty(), "greedy IS cannot be empty on a non-empty graph");
+            peel_level(&mut work, &li, i, &mut level_of, &mut peel_adj);
+            levels.push(li);
+            let size_after = work.size();
+
+            if let KSelection::SigmaThreshold(sigma) = config.k_selection {
+                // Definition 4: k is the first i with |G_i| / |G_{i−1}| > σ.
+                // We just built G_{i+1} from G_i, so compare and stop with
+                // k = i + 1 if the shrink was too small.
+                if size_after as f64 > sigma * size_before as f64 {
+                    break i + 1;
+                }
+            }
+            i += 1;
+        };
+
+        Self::finish(work, k, level_of, peel_adj, levels, config.keep_path_info)
+    }
+
+    /// Builds a hierarchy from caller-supplied level sets (each must be an
+    /// independent set of the graph remaining at its level). Vertices not
+    /// covered by any level form `G_k`. Used by tests to replay the paper's
+    /// worked example, whose level sets differ from what greedy selects.
+    pub fn build_with_forced_levels(g: &CsrGraph, forced: &[Vec<VertexId>]) -> Self {
+        let mut work = AdjacencyGraph::from_csr(g);
+        let n = g.num_vertices();
+        let mut level_of = vec![0u32; n];
+        let mut peel_adj: Vec<Box<[PeelEdge]>> = vec![Box::default(); n];
+        let mut levels: Vec<Vec<VertexId>> = Vec::new();
+        for (idx, li) in forced.iter().enumerate() {
+            let i = idx as u32 + 1;
+            let mut li = li.clone();
+            li.sort_unstable();
+            for pair in li.windows(2) {
+                assert!(pair[0] != pair[1], "duplicate vertex {} in level {i}", pair[0]);
+            }
+            for &v in &li {
+                assert!(work.is_present(v), "vertex {v} already peeled before level {i}");
+            }
+            for &v in &li {
+                for (u, _) in work.neighbors(v) {
+                    assert!(
+                        li.binary_search(&u).is_err(),
+                        "level {i} is not an independent set: edge ({v}, {u})"
+                    );
+                }
+            }
+            peel_level(&mut work, &li, i, &mut level_of, &mut peel_adj);
+            levels.push(li);
+        }
+        let k = forced.len() as u32 + 1;
+        Self::finish(work, k, level_of, peel_adj, levels, true)
+    }
+
+    /// Assembles a hierarchy from externally constructed parts (used by the
+    /// I/O-efficient pipeline in [`crate::embuild`], which must produce the
+    /// exact same structure as the in-memory builder).
+    pub(crate) fn from_parts(
+        level_of: Vec<u32>,
+        k: u32,
+        levels: Vec<Vec<VertexId>>,
+        peel_adj: Vec<Box<[PeelEdge]>>,
+        gk: CsrGraph,
+        gk_vias: FxHashMap<(VertexId, VertexId), VertexId>,
+        gk_members: Vec<VertexId>,
+    ) -> Self {
+        Self { level_of, k, levels, peel_adj, gk, gk_vias, gk_members }
+    }
+
+    fn finish(
+        work: AdjacencyGraph,
+        k: u32,
+        mut level_of: Vec<u32>,
+        peel_adj: Vec<Box<[PeelEdge]>>,
+        levels: Vec<Vec<VertexId>>,
+        keep_path_info: bool,
+    ) -> Self {
+        let gk_members: Vec<VertexId> = work.present_vertices().collect();
+        for &v in &gk_members {
+            level_of[v as usize] = k;
+        }
+        let (gk, via_list) = work.to_csr_with_vias();
+        let mut gk_vias = FxHashMap::default();
+        if keep_path_info {
+            gk_vias.reserve(via_list.len());
+            for (u, v, via) in via_list {
+                gk_vias.insert((u, v), via);
+            }
+        }
+        Self { level_of, k, levels, peel_adj, gk, gk_vias, gk_members }
+    }
+
+    /// Vertex-id universe size.
+    pub fn universe(&self) -> usize {
+        self.level_of.len()
+    }
+
+    /// The number of levels `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Level `ℓ(v)` (1-based; `k` for `G_k` vertices).
+    #[inline]
+    pub fn level_of(&self, v: VertexId) -> u32 {
+        self.level_of[v as usize]
+    }
+
+    /// Whether `v` survived into the residual graph `G_k`.
+    #[inline]
+    pub fn is_in_gk(&self, v: VertexId) -> bool {
+        self.level_of[v as usize] == self.k
+    }
+
+    /// The peeled level sets `L_1 .. L_{k−1}` (each ascending).
+    pub fn levels(&self) -> &[Vec<VertexId>] {
+        &self.levels
+    }
+
+    /// `v`'s archived adjacency in `G_{ℓ(v)}` (empty for `G_k` vertices).
+    /// Entries are sorted by neighbor id, and every neighbor is at a
+    /// strictly higher level — these are exactly the candidate first hops of
+    /// `v`'s ancestor chains.
+    #[inline]
+    pub fn peel_adj(&self, v: VertexId) -> &[PeelEdge] {
+        &self.peel_adj[v as usize]
+    }
+
+    /// The residual graph `G_k` (over the full universe; peeled vertices are
+    /// isolated in it).
+    pub fn gk(&self) -> &CsrGraph {
+        &self.gk
+    }
+
+    /// Vertices of `G_k`, ascending.
+    pub fn gk_members(&self) -> &[VertexId] {
+        &self.gk_members
+    }
+
+    /// Number of vertices in `G_k`.
+    pub fn num_gk_vertices(&self) -> usize {
+        self.gk_members.len()
+    }
+
+    /// Number of edges in `G_k`.
+    pub fn num_gk_edges(&self) -> usize {
+        self.gk.num_edges()
+    }
+
+    /// Via vertex of the `G_k` edge `(u, v)` if it is an augmenting edge.
+    pub fn gk_via(&self, u: VertexId, v: VertexId) -> Option<VertexId> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.gk_vias.get(&key).copied()
+    }
+
+    /// Approximate resident bytes of the hierarchy (used in stats).
+    pub fn memory_bytes(&self) -> usize {
+        let peel: usize =
+            self.peel_adj.iter().map(|a| a.len() * std::mem::size_of::<PeelEdge>()).sum();
+        peel + self.level_of.len() * 4
+            + self.gk.memory_bytes()
+            + self.gk_vias.len() * 12
+            + self.gk_members.len() * 4
+    }
+}
+
+/// Selects one level's independent set from the present vertices of `work`.
+///
+/// This is the in-memory counterpart of Algorithm 2: visit vertices in the
+/// strategy's order (for the paper's greedy: ascending snapshot degree, ties
+/// by id) and take every vertex not yet excluded by a chosen neighbor.
+fn select_independent_set(work: &AdjacencyGraph, strategy: IsStrategy, level: u32) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> = work.present_vertices().collect();
+    match strategy {
+        IsStrategy::MinDegreeGreedy => {
+            order.sort_by_key(|&v| (work.degree(v), v));
+        }
+        IsStrategy::MaxDegreeGreedy => {
+            order.sort_by_key(|&v| (std::cmp::Reverse(work.degree(v)), v));
+        }
+        IsStrategy::Random(seed) => {
+            // Deterministic per (seed, level) Fisher–Yates driven by a
+            // splitmix-style generator; rand is not needed for this.
+            let mut state = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(level as u64 + 1));
+            let mut next = move || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            for j in (1..order.len()).rev() {
+                let r = (next() % (j as u64 + 1)) as usize;
+                order.swap(j, r);
+            }
+        }
+    }
+
+    let mut excluded = vec![false; work.universe()];
+    let mut li = Vec::new();
+    for &u in &order {
+        if excluded[u as usize] {
+            continue;
+        }
+        li.push(u);
+        for (v, _) in work.neighbors(u) {
+            excluded[v as usize] = true;
+        }
+    }
+    li.sort_unstable();
+    li
+}
+
+/// Removes one level and inserts its augmenting edges (Algorithm 3).
+///
+/// Vertices are processed in ascending id order; on equal augmented weight
+/// the earlier edge (or the pre-existing edge) wins, which makes via
+/// annotations deterministic and lets the external-memory pipeline
+/// reproduce them exactly.
+fn peel_level(
+    work: &mut AdjacencyGraph,
+    li: &[VertexId],
+    level: u32,
+    level_of: &mut [u32],
+    peel_adj: &mut [Box<[PeelEdge]>],
+) {
+    for &v in li {
+        let adj = work.remove_vertex(v);
+        level_of[v as usize] = level;
+        // Self-join on the neighborhood: each pair (a, b) of v's neighbors
+        // gets the 2-hop repair edge through v. Augmenting weights are real
+        // path lengths and must stay within the `Weight` type; graphs whose
+        // shortest paths exceed u32::MAX are out of contract (see the
+        // `BuildConfig` docs) and fail loudly here rather than wrapping.
+        for (x, &(a, ea)) in adj.iter().enumerate() {
+            for &(b, eb) in &adj[x + 1..] {
+                let w = ea.weight.checked_add(eb.weight).expect(
+                    "augmenting edge weight overflows u32: input weights are too large \
+                     (shortest-path lengths must fit in u32 during construction)",
+                );
+                work.upsert_edge_min(a, b, w, v);
+            }
+        }
+        peel_adj[v as usize] = adj
+            .into_iter()
+            .map(|(to, e)| PeelEdge { to, weight: e.weight, via: e.via })
+            .collect();
+    }
+}
+
+/// Test/diagnostic helper: checks the vertex-independence property of
+/// Definition 1 directly against the original graph for level 1, and
+/// against the archived peel adjacency for all levels (no `L_i` member may
+/// list another `L_i` member among its peel-time neighbors).
+pub fn check_independence(h: &VertexHierarchy) -> Result<(), String> {
+    for (idx, li) in h.levels().iter().enumerate() {
+        for &v in li {
+            for e in h.peel_adj(v) {
+                if h.level_of(e.to) == idx as u32 + 1 {
+                    return Err(format!(
+                        "independence violated at level {}: edge ({v}, {})",
+                        idx + 1,
+                        e.to
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use islabel_graph::adjacency::NO_VIA;
+    use islabel_graph::generators::{erdos_renyi_gnm, WeightModel};
+    use islabel_graph::GraphBuilder;
+
+    /// The 9-vertex graph of the paper's Figure 1 (a=0 .. i=8); every edge
+    /// has weight 1 except (e, f) with weight 3.
+    pub(crate) fn paper_graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(9);
+        for (u, v, w) in [
+            (0, 1, 1), // a-b
+            (1, 2, 1), // b-c
+            (1, 4, 1), // b-e
+            (0, 4, 1), // a-e
+            (3, 4, 1), // d-e
+            (4, 5, 3), // e-f
+            (4, 8, 1), // e-i
+            (5, 7, 1), // f-h
+            (6, 7, 1), // g-h
+            (3, 6, 1), // d-g
+        ] {
+            b.add_edge(u, v, w);
+        }
+        b.build()
+    }
+
+    /// The paper's level assignment: L1={c,f,i}, L2={b,d,h}, L3={e}, L4={a},
+    /// L5={g}.
+    pub(crate) fn paper_hierarchy() -> VertexHierarchy {
+        VertexHierarchy::build_with_forced_levels(
+            &paper_graph(),
+            &[vec![2, 5, 8], vec![1, 3, 7], vec![4], vec![0], vec![6]],
+        )
+    }
+
+    #[test]
+    fn paper_example_levels_and_augmenting_edges() {
+        let h = paper_hierarchy();
+        assert_eq!(h.k(), 6);
+        // ℓ: c,f,i = 1; b,d,h = 2; e = 3; a = 4; g = 5.
+        assert_eq!(h.level_of(2), 1);
+        assert_eq!(h.level_of(5), 1);
+        assert_eq!(h.level_of(8), 1);
+        assert_eq!(h.level_of(1), 2);
+        assert_eq!(h.level_of(3), 2);
+        assert_eq!(h.level_of(7), 2);
+        assert_eq!(h.level_of(4), 3);
+        assert_eq!(h.level_of(0), 4);
+        assert_eq!(h.level_of(6), 5);
+        assert_eq!(h.num_gk_vertices(), 0); // full hierarchy: G_6 is empty
+
+        // ADJ(L1): f's peel adjacency is e (w=3, original) and h (w=1).
+        let f = h.peel_adj(5);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0], PeelEdge { to: 4, weight: 3, via: NO_VIA });
+        assert_eq!(f[1], PeelEdge { to: 7, weight: 1, via: NO_VIA });
+
+        // In G2, h's adjacency must contain the augmenting edge (h, e) of
+        // weight 4 created by peeling f (paper: "Edge (e, h) is also added").
+        let hh = h.peel_adj(7);
+        assert_eq!(hh.len(), 2);
+        assert_eq!(hh[0], PeelEdge { to: 4, weight: 4, via: 5 }); // e via f
+        assert_eq!(hh[1], PeelEdge { to: 6, weight: 1, via: NO_VIA }); // g
+
+        // In G3, e's adjacency is a (w=1, the original edge survives because
+        // 1 < the 2-hop repair of weight 2) and g (w=2, augmenting via d).
+        let e = h.peel_adj(4);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0], PeelEdge { to: 0, weight: 1, via: NO_VIA });
+        assert_eq!(e[1], PeelEdge { to: 6, weight: 2, via: 3 });
+
+        // G4 is the single edge (a, g) of weight 3 via e.
+        let a = h.peel_adj(0);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0], PeelEdge { to: 6, weight: 3, via: 4 });
+
+        // G5 = {g} with no edges.
+        assert!(h.peel_adj(6).is_empty());
+
+        check_independence(&h).unwrap();
+    }
+
+    #[test]
+    fn greedy_build_on_paper_graph() {
+        // Greedy picks different level sets than the worked example but must
+        // still satisfy every hierarchy invariant.
+        let h = VertexHierarchy::build(&paper_graph(), &BuildConfig::full());
+        check_independence(&h).unwrap();
+        assert_eq!(h.num_gk_vertices(), 0);
+        // Every vertex has a level, and level sets partition the vertices.
+        let total: usize = h.levels().iter().map(|l| l.len()).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn sigma_threshold_keeps_residual_graph() {
+        // Peeling a large clique removes one vertex per level while the
+        // rest stays complete, so the size ratio (n−1+C(n−1,2))/(n+C(n,2))
+        // exceeds 0.95 for n ≥ 41 and σ = 0.95 stops immediately with a
+        // non-trivial G_k.
+        let n = 50u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v, 1);
+            }
+        }
+        let g = b.build();
+        let h = VertexHierarchy::build(&g, &BuildConfig::sigma(0.95));
+        assert_eq!(h.k(), 2);
+        assert_eq!(h.num_gk_vertices(), n as usize - 1);
+        // G_k stays a clique among survivors.
+        let m = h.num_gk_vertices();
+        assert_eq!(h.num_gk_edges(), m * (m - 1) / 2);
+    }
+
+    #[test]
+    fn fixed_k_peels_exactly_k_minus_1_levels() {
+        let g = erdos_renyi_gnm(200, 400, WeightModel::Unit, 3);
+        let h = VertexHierarchy::build(&g, &BuildConfig::fixed_k(4));
+        assert_eq!(h.k(), 4);
+        assert_eq!(h.levels().len(), 3);
+        check_independence(&h).unwrap();
+        // Levels + G_k partition the vertex set.
+        let peeled: usize = h.levels().iter().map(|l| l.len()).sum();
+        assert_eq!(peeled + h.num_gk_vertices(), 200);
+    }
+
+    #[test]
+    fn fixed_k_clamps_when_graph_empties() {
+        // A tiny path graph empties before k = 50.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let h = VertexHierarchy::build(&b.build(), &BuildConfig::fixed_k(50));
+        assert!(h.k() < 50);
+        assert_eq!(h.num_gk_vertices(), 0);
+    }
+
+    #[test]
+    fn full_hierarchy_empties_graph() {
+        let g = erdos_renyi_gnm(300, 900, WeightModel::UniformRange(1, 5), 7);
+        let h = VertexHierarchy::build(&g, &BuildConfig::full());
+        assert_eq!(h.num_gk_vertices(), 0);
+        assert_eq!(h.num_gk_edges(), 0);
+        check_independence(&h).unwrap();
+    }
+
+    #[test]
+    fn peel_adj_neighbors_are_strictly_higher_level() {
+        let g = erdos_renyi_gnm(400, 1200, WeightModel::Unit, 11);
+        let h = VertexHierarchy::build(&g, &BuildConfig::sigma(0.95));
+        for v in g.vertices() {
+            for e in h.peel_adj(v) {
+                assert!(
+                    h.level_of(e.to) > h.level_of(v),
+                    "peel edge ({v}, {}) does not ascend levels",
+                    e.to
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_preservation_level_by_level() {
+        // Lemma 2: reconstruct each G_i and check sampled pairwise distances
+        // against the original graph with plain Dijkstra.
+        let g = erdos_renyi_gnm(60, 150, WeightModel::UniformRange(1, 4), 5);
+        let h = VertexHierarchy::build(&g, &BuildConfig::full());
+
+        // Rebuild each level graph by replaying the peel.
+        let mut work = AdjacencyGraph::from_csr(&g);
+        for li in h.levels() {
+            // Check: distances among present vertices equal those in G.
+            let snapshot = work.to_csr();
+            let present: Vec<VertexId> = work.present_vertices().collect();
+            for (idx, &s) in present.iter().enumerate().step_by(7) {
+                let dist_g = crate::reference::dijkstra_all(&g, s);
+                let dist_i = crate::reference::dijkstra_all(&snapshot, s);
+                for &t in present.iter().skip(idx).step_by(5) {
+                    assert_eq!(
+                        dist_i[t as usize], dist_g[t as usize],
+                        "distance ({s}, {t}) not preserved"
+                    );
+                }
+            }
+            for &v in li {
+                let adj = work.remove_vertex(v);
+                for (x, &(a, ea)) in adj.iter().enumerate() {
+                    for &(b, eb) in &adj[x + 1..] {
+                        work.upsert_edge_min(a, b, ea.weight + eb.weight, v);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_produce_valid_hierarchies() {
+        let g = erdos_renyi_gnm(150, 400, WeightModel::Unit, 9);
+        for strategy in [
+            IsStrategy::MinDegreeGreedy,
+            IsStrategy::MaxDegreeGreedy,
+            IsStrategy::Random(42),
+        ] {
+            let cfg = BuildConfig { is_strategy: strategy, ..BuildConfig::full() };
+            let h = VertexHierarchy::build(&g, &cfg);
+            check_independence(&h).unwrap();
+            let peeled: usize = h.levels().iter().map(|l| l.len()).sum();
+            assert_eq!(peeled, 150, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn random_strategy_is_seed_deterministic() {
+        let g = erdos_renyi_gnm(100, 250, WeightModel::Unit, 2);
+        let cfg = BuildConfig { is_strategy: IsStrategy::Random(7), ..BuildConfig::full() };
+        let a = VertexHierarchy::build(&g, &cfg);
+        let b = VertexHierarchy::build(&g, &cfg);
+        assert_eq!(a.levels(), b.levels());
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let h = VertexHierarchy::build(&CsrGraph::empty(0), &BuildConfig::default());
+        assert_eq!(h.universe(), 0);
+
+        let h = VertexHierarchy::build(&CsrGraph::empty(1), &BuildConfig::default());
+        assert_eq!(h.level_of(0), 1);
+        assert_eq!(h.num_gk_vertices(), 0);
+    }
+
+    #[test]
+    fn min_degree_greedy_prefers_low_degree() {
+        // Star graph: the center has degree n-1; greedy must peel all leaves
+        // at level 1 and leave the center.
+        let mut b = GraphBuilder::new(6);
+        for v in 1..6u32 {
+            b.add_edge(0, v, 1);
+        }
+        let h = VertexHierarchy::build(&b.build(), &BuildConfig::full());
+        assert_eq!(h.levels()[0], vec![1, 2, 3, 4, 5]);
+        assert_eq!(h.level_of(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an independent set")]
+    fn forced_levels_reject_dependent_sets() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        VertexHierarchy::build_with_forced_levels(&b.build(), &[vec![0, 1]]);
+    }
+}

@@ -1,0 +1,568 @@
+//! The public IS-LABEL index for undirected graphs.
+
+use crate::config::BuildConfig;
+use crate::hierarchy::VertexHierarchy;
+use crate::label::LabelSet;
+use crate::query::{
+    intersect_min, label_bi_dijkstra, Meeting, QueryType, SearchParams, SearchResult,
+};
+use crate::stats::IndexStats;
+use crate::updates::Overlay;
+use islabel_graph::{CsrGraph, Dist, VertexId, Weight, INF};
+use std::time::Instant;
+
+/// Outcome of a detailed query (see [`IsLabelIndex::query`]).
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// `dist_G(s, t)`; `None` encodes the paper's `∞` (unreachable).
+    pub distance: Option<Dist>,
+    /// Table 5 classification of the query.
+    pub query_type: QueryType,
+    /// The Equation 1 estimate `µ` before the search ran (`None` when the
+    /// labels do not intersect).
+    pub eq1_estimate: Option<Dist>,
+    /// Vertices settled by the bidirectional search (0 when labels alone
+    /// answered the query).
+    pub settled: usize,
+    /// Whether the final answer improved on (or was found without) the
+    /// label-only estimate via the `G_k` search.
+    pub answered_by_search: bool,
+}
+
+/// The IS-LABEL index (paper Sections 4–6).
+///
+/// Build once with [`IsLabelIndex::build`], then answer point-to-point
+/// distance queries with [`distance`](IsLabelIndex::distance) and
+/// shortest-path queries with
+/// [`shortest_path`](IsLabelIndex::shortest_path). The index also supports
+/// the lazy dynamic updates of Section 8.3 (see the `updates` methods and
+/// their caveats).
+///
+/// # Examples
+///
+/// ```
+/// use islabel_core::{BuildConfig, IsLabelIndex};
+/// use islabel_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(5);
+/// for v in 0..4 {
+///     b.add_edge(v, v + 1, (v + 1));
+/// }
+/// let g = b.build();
+/// let index = IsLabelIndex::build(&g, BuildConfig::default());
+/// assert_eq!(index.distance(0, 4), Some(1 + 2 + 3 + 4));
+/// assert_eq!(index.distance(4, 0), Some(10)); // undirected symmetry
+/// ```
+#[derive(Debug)]
+pub struct IsLabelIndex {
+    pub(crate) graph: CsrGraph,
+    pub(crate) hierarchy: VertexHierarchy,
+    pub(crate) labels: LabelSet,
+    config: BuildConfig,
+    stats: IndexStats,
+    pub(crate) overlay: Overlay,
+}
+
+impl IsLabelIndex {
+    /// Builds the index: vertex hierarchy (Algorithms 2 + 3), then top-down
+    /// labels (Algorithm 4).
+    pub fn build(g: &CsrGraph, config: BuildConfig) -> Self {
+        config.validate();
+        let t0 = Instant::now();
+        let hierarchy = VertexHierarchy::build(g, &config);
+        let t1 = Instant::now();
+        let labels = LabelSet::build(&hierarchy, config.keep_path_info);
+        let t2 = Instant::now();
+
+        let stats = IndexStats {
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            k: hierarchy.k(),
+            gk_vertices: hierarchy.num_gk_vertices(),
+            gk_edges: hierarchy.num_gk_edges(),
+            label_entries: labels.num_entries(),
+            label_bytes: labels.memory_bytes(),
+            avg_label_len: labels.avg_label_len(),
+            max_label_len: labels.max_label_len(),
+            hierarchy_time: t1 - t0,
+            labeling_time: t2 - t1,
+            build_time: t2 - t0,
+        };
+        let overlay = Overlay::new(g.num_vertices());
+        Self { graph: g.clone(), hierarchy, labels, config, stats, overlay }
+    }
+
+    /// Builds from pre-computed parts (used by the external-memory pipeline,
+    /// which produces the identical hierarchy and labels through disk-based
+    /// algorithms).
+    pub(crate) fn from_parts(
+        graph: CsrGraph,
+        hierarchy: VertexHierarchy,
+        labels: LabelSet,
+        config: BuildConfig,
+        stats: IndexStats,
+    ) -> Self {
+        let overlay = Overlay::new(graph.num_vertices());
+        Self { graph, hierarchy, labels, config, stats, overlay }
+    }
+
+    /// Number of vertices the index currently answers for (including
+    /// dynamically inserted ones).
+    pub fn num_vertices(&self) -> usize {
+        self.overlay.universe()
+    }
+
+    /// The base graph the index was built over (without dynamic updates).
+    pub fn base_graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The vertex hierarchy.
+    pub fn hierarchy(&self) -> &VertexHierarchy {
+        &self.hierarchy
+    }
+
+    /// The label set.
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Build configuration used.
+    pub fn config(&self) -> &BuildConfig {
+        &self.config
+    }
+
+    /// Construction statistics (Tables 3/6/7 columns).
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Whether `v` is (effectively) a vertex of the residual graph `G_k`;
+    /// dynamically inserted vertices live in `G_k` by construction
+    /// (Section 8.3).
+    pub fn is_in_gk(&self, v: VertexId) -> bool {
+        self.overlay.effective_in_gk(&self.hierarchy, v)
+    }
+
+    /// Table 5 classification of a query.
+    pub fn query_type(&self, s: VertexId, t: VertexId) -> QueryType {
+        match (self.is_in_gk(s), self.is_in_gk(t)) {
+            (true, true) => QueryType::BothInGk,
+            (false, false) => QueryType::NeitherInGk,
+            _ => QueryType::OneInGk,
+        }
+    }
+
+    /// Point-to-point distance; `None` means unreachable (the paper's `∞`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is not a vertex of the index.
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Option<Dist> {
+        self.query(s, t).distance
+    }
+
+    /// Detailed query with diagnostics.
+    pub fn query(&self, s: VertexId, t: VertexId) -> QueryOutcome {
+        let (outcome, _) = self.query_internal(s, t, false);
+        outcome
+    }
+
+    /// Answers a distance query from externally supplied labels (e.g.
+    /// fetched from a [`crate::disklabel::DiskLabelStore`]): Equation 1 plus
+    /// the `G_k` search, without touching the in-memory label arrays. Only
+    /// valid while the index has no dynamic updates.
+    pub fn distance_from_labels(
+        &self,
+        ls: crate::label::LabelView<'_>,
+        lt: crate::label::LabelView<'_>,
+    ) -> Option<Dist> {
+        assert!(self.overlay.is_pristine(), "disk-label queries require a pristine index");
+        let (mu0, witness) = intersect_min(ls, lt);
+        let fseeds: Vec<(VertexId, Dist)> =
+            ls.iter().filter(|&(a, _)| self.hierarchy.is_in_gk(a)).collect();
+        let rseeds: Vec<(VertexId, Dist)> =
+            lt.iter().filter(|&(a, _)| self.hierarchy.is_in_gk(a)).collect();
+        let result = label_bi_dijkstra(
+            self.hierarchy.gk(),
+            SearchParams { fseeds: &fseeds, rseeds: &rseeds, mu0, mu0_witness: witness, track_paths: false },
+        );
+        (result.dist < INF).then_some(result.dist)
+    }
+
+    /// Shortest path between `s` and `t` (Section 8.1). Returns `None` when
+    /// unreachable, and also when the index was built with
+    /// `keep_path_info: false` or the optimum depends on dynamically patched
+    /// label entries (which carry no path metadata).
+    pub fn shortest_path(&self, s: VertexId, t: VertexId) -> Option<crate::path::Path> {
+        if !self.labels.has_path_info() || !self.overlay.is_pristine() {
+            return None;
+        }
+        if s == t {
+            self.assert_vertex(s);
+            if self.overlay.is_deleted(s) {
+                return None;
+            }
+            return Some(crate::path::Path { vertices: vec![s], length: 0 });
+        }
+        let (outcome, result) = self.query_internal(s, t, true);
+        let dist = outcome.distance?;
+        crate::path::reconstruct(self, s, t, dist, &result)
+    }
+
+    fn assert_vertex(&self, v: VertexId) {
+        assert!(
+            (v as usize) < self.overlay.universe(),
+            "vertex {v} out of range (universe {})",
+            self.overlay.universe()
+        );
+    }
+
+    fn query_internal(&self, s: VertexId, t: VertexId, track_paths: bool) -> (QueryOutcome, SearchResult) {
+        self.assert_vertex(s);
+        self.assert_vertex(t);
+        let query_type = self.query_type(s, t);
+
+        if self.overlay.is_deleted(s) || self.overlay.is_deleted(t) {
+            let result = empty_result();
+            return (
+                QueryOutcome {
+                    distance: None,
+                    query_type,
+                    eq1_estimate: None,
+                    settled: 0,
+                    answered_by_search: false,
+                },
+                result,
+            );
+        }
+        if s == t {
+            let result = empty_result();
+            return (
+                QueryOutcome {
+                    distance: Some(0),
+                    query_type,
+                    eq1_estimate: Some(0),
+                    settled: 0,
+                    answered_by_search: false,
+                },
+                result,
+            );
+        }
+
+        // Stage 1: Equation 1 over the (effective) labels.
+        let ls = self.overlay.effective_label(&self.labels, s);
+        let lt = self.overlay.effective_label(&self.labels, t);
+        let (mu0, witness) = intersect_min(ls.view(), lt.view());
+
+        // Stage 2: label-seeded bidirectional search over G_k.
+        let fseeds = self.overlay.gk_seeds(&self.hierarchy, ls.view());
+        let rseeds = self.overlay.gk_seeds(&self.hierarchy, lt.view());
+        let params = SearchParams {
+            fseeds: &fseeds,
+            rseeds: &rseeds,
+            mu0,
+            mu0_witness: witness,
+            track_paths,
+        };
+        let result = if self.overlay.is_pristine() {
+            label_bi_dijkstra(self.hierarchy.gk(), params)
+        } else {
+            label_bi_dijkstra(&self.overlay.gk_view(self.hierarchy.gk()), params)
+        };
+
+        let outcome = QueryOutcome {
+            distance: (result.dist < INF).then_some(result.dist),
+            query_type,
+            eq1_estimate: (mu0 < INF).then_some(mu0),
+            settled: result.settled,
+            answered_by_search: matches!(result.meeting, Meeting::Search(_)),
+        };
+        (outcome, result)
+    }
+
+    /// Answers a batch of queries on `threads` worker threads. Queries are
+    /// read-only, so the index is shared freely (`&self` + `Sync`); this is
+    /// the natural serving mode for the paper's workload of independent
+    /// point-to-point queries.
+    ///
+    /// Results are returned in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` or any vertex is out of range.
+    pub fn distance_batch_parallel(
+        &self,
+        pairs: &[(VertexId, VertexId)],
+        threads: usize,
+    ) -> Vec<Option<Dist>> {
+        assert!(threads > 0, "need at least one thread");
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.min(pairs.len());
+        let chunk = pairs.len().div_ceil(threads);
+        let mut out = vec![None; pairs.len()];
+        std::thread::scope(|scope| {
+            for (slot, work) in out.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (o, &(s, t)) in slot.iter_mut().zip(work) {
+                        *o = self.distance(s, t);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    // ---------------------------------------------------------------------
+    // Dynamic updates (Section 8.3) — lazy, upper-bound semantics; see the
+    // `updates` module docs for the exact guarantees.
+    // ---------------------------------------------------------------------
+
+    /// Inserts a new vertex with the given adjacency, returning its id. The
+    /// new vertex joins `G_k`; labels of affected descendants are patched
+    /// (paper Section 8.3).
+    pub fn insert_vertex(&mut self, edges: &[(VertexId, Weight)]) -> VertexId {
+        Overlay::insert_vertex(self, edges)
+    }
+
+    /// Inserts an edge between two existing vertices.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        Overlay::insert_edge(self, u, v, w);
+    }
+
+    /// Deletes a vertex. Queries touching it return `None` afterwards.
+    /// Deleting a vertex that was peeled into the hierarchy marks the index
+    /// *stale* (see [`IsLabelIndex::is_stale`]).
+    pub fn delete_vertex(&mut self, v: VertexId) {
+        Overlay::delete_vertex(self, v);
+    }
+
+    /// Whether lazy deletions may have invalidated some distances (answers
+    /// can then under- or over-estimate until [`IsLabelIndex::rebuild`]).
+    pub fn is_stale(&self) -> bool {
+        self.overlay.stale()
+    }
+
+    /// Whether any dynamic update has been applied since the last build.
+    pub fn has_updates(&self) -> bool {
+        !self.overlay.is_pristine()
+    }
+
+    /// Materializes the current graph (base plus all dynamic updates);
+    /// deleted vertices become isolated.
+    pub fn current_graph(&self) -> CsrGraph {
+        self.overlay.materialize(&self.graph)
+    }
+
+    /// Rebuilds the index from the current graph, restoring exactness and
+    /// clearing all overlay state.
+    pub fn rebuild(&mut self) {
+        let g = self.current_graph();
+        *self = Self::build(&g, self.config);
+    }
+}
+
+fn empty_result() -> SearchResult {
+    SearchResult {
+        dist: INF,
+        meeting: Meeting::None,
+        settled: 0,
+        parents_f: Default::default(),
+        parents_r: Default::default(),
+        dist_f: Default::default(),
+        dist_r: Default::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KSelection;
+    use crate::reference::{dijkstra_all, dijkstra_p2p};
+    use islabel_graph::generators::{barabasi_albert, erdos_renyi_gnm, WeightModel};
+    use islabel_graph::GraphBuilder;
+
+    fn paper_index() -> IsLabelIndex {
+        let g = crate::hierarchy::tests::paper_graph();
+        IsLabelIndex::build(&g, BuildConfig::default())
+    }
+
+    #[test]
+    fn paper_example_queries() {
+        // Example 4: dist(h, e) = 3 even though d(h, e) = 4 in label(h);
+        // dist(a, g) = 3.
+        let index = paper_index();
+        assert_eq!(index.distance(7, 4), Some(3));
+        assert_eq!(index.distance(0, 6), Some(3));
+        // Example 6 (k = 2 hierarchy there, but distances are distances):
+        // dist(c, i) = 3.
+        assert_eq!(index.distance(2, 8), Some(3));
+    }
+
+    #[test]
+    fn matches_dijkstra_exhaustively_on_small_graphs() {
+        for seed in 0..6u64 {
+            let g = erdos_renyi_gnm(40, 70, WeightModel::UniformRange(1, 7), seed);
+            let index = IsLabelIndex::build(&g, BuildConfig::default());
+            for s in g.vertices() {
+                let truth = dijkstra_all(&g, s);
+                for t in g.vertices() {
+                    let expect = (truth[t as usize] < INF).then_some(truth[t as usize]);
+                    assert_eq!(index.distance(s, t), expect, "seed {seed} query ({s}, {t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_across_k_selections() {
+        let g = barabasi_albert(200, 3, WeightModel::UniformRange(1, 4), 17);
+        let configs = [
+            BuildConfig::default(),
+            BuildConfig::sigma(0.5),
+            BuildConfig::fixed_k(2),
+            BuildConfig::fixed_k(3),
+            BuildConfig::fixed_k(8),
+            BuildConfig::full(),
+        ];
+        let queries: Vec<(VertexId, VertexId)> =
+            (0..60).map(|i| ((i * 7) % 200, (i * 13 + 5) % 200)).collect();
+        for config in configs {
+            let index = IsLabelIndex::build(&g, config);
+            for &(s, t) in &queries {
+                let expect = dijkstra_p2p(&g, s, t);
+                assert_eq!(
+                    index.distance(s, t),
+                    expect,
+                    "k_selection {:?} query ({s}, {t})",
+                    config.k_selection
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_none() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 4, 1);
+        let g = b.build();
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        assert_eq!(index.distance(0, 2), Some(2));
+        assert_eq!(index.distance(3, 4), Some(1));
+        assert_eq!(index.distance(0, 3), None);
+        assert_eq!(index.distance(2, 5), None);
+        assert_eq!(index.distance(5, 5), Some(0));
+    }
+
+    #[test]
+    fn full_hierarchy_answers_by_labels_alone() {
+        let g = erdos_renyi_gnm(80, 160, WeightModel::UniformRange(1, 3), 2);
+        let index = IsLabelIndex::build(&g, BuildConfig::full());
+        assert_eq!(index.stats().gk_vertices, 0);
+        for (s, t) in [(0u32, 79u32), (1, 50), (10, 60)] {
+            let out = index.query(s, t);
+            assert_eq!(out.settled, 0, "no search may run with empty G_k");
+            assert!(!out.answered_by_search);
+            assert_eq!(out.distance, dijkstra_p2p(&g, s, t));
+        }
+    }
+
+    #[test]
+    fn query_outcome_diagnostics() {
+        let g = barabasi_albert(300, 4, WeightModel::Unit, 3);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        assert!(index.stats().gk_vertices > 0);
+        // Pick one vertex in G_k and one outside for each class.
+        let in_gk = index.hierarchy().gk_members()[0];
+        let in_gk2 = index.hierarchy().gk_members()[1];
+        let out_gk = g.vertices().find(|&v| !index.is_in_gk(v)).unwrap();
+        let out_gk2 = g.vertices().rev().find(|&v| !index.is_in_gk(v) && v != out_gk).unwrap();
+
+        assert_eq!(index.query_type(in_gk, in_gk2), QueryType::BothInGk);
+        assert_eq!(index.query_type(in_gk, out_gk), QueryType::OneInGk);
+        assert_eq!(index.query_type(out_gk, in_gk), QueryType::OneInGk);
+        assert_eq!(index.query_type(out_gk, out_gk2), QueryType::NeitherInGk);
+
+        let out = index.query(in_gk, in_gk2);
+        assert_eq!(out.distance, dijkstra_p2p(&g, in_gk, in_gk2));
+    }
+
+    #[test]
+    fn sigma_thresholds_trade_label_size_for_gk_size() {
+        // Table 7's trend: a smaller σ stops earlier => larger G_k, smaller
+        // labels.
+        let g = barabasi_albert(500, 4, WeightModel::Unit, 21);
+        let strict = IsLabelIndex::build(&g, BuildConfig::sigma(0.95));
+        let loose = IsLabelIndex::build(&g, BuildConfig::sigma(0.60));
+        assert!(loose.stats().k <= strict.stats().k);
+        assert!(loose.stats().gk_vertices >= strict.stats().gk_vertices);
+        assert!(loose.stats().label_bytes <= strict.stats().label_bytes);
+    }
+
+    #[test]
+    fn stats_are_coherent() {
+        let g = erdos_renyi_gnm(120, 360, WeightModel::Unit, 4);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        let s = index.stats();
+        assert_eq!(s.num_vertices, 120);
+        assert_eq!(s.num_edges, 360);
+        assert_eq!(s.k, index.hierarchy().k());
+        assert!(s.label_entries >= 120); // at least the self entries
+        assert!(s.build_time >= s.hierarchy_time);
+        assert!((s.avg_label_len - s.label_entries as f64 / 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_query_panics() {
+        paper_index().distance(0, 100);
+    }
+
+    #[test]
+    fn self_distance_is_zero_for_all_vertices() {
+        let index = paper_index();
+        for v in 0..9 {
+            assert_eq!(index.distance(v, v), Some(0));
+            assert_eq!(index.query(v, v).eq1_estimate, Some(0));
+        }
+    }
+
+    #[test]
+    fn symmetric_queries_agree() {
+        let g = erdos_renyi_gnm(100, 220, WeightModel::UniformRange(1, 9), 31);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        for (s, t) in (0..50u32).map(|i| (i, 99 - i)) {
+            assert_eq!(index.distance(s, t), index.distance(t, s), "({s}, {t})");
+        }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let g = barabasi_albert(300, 3, WeightModel::UniformRange(1, 4), 8);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        let pairs: Vec<(VertexId, VertexId)> =
+            (0..200).map(|i| ((i * 7) % 300, (i * 13 + 5) % 300)).collect();
+        let sequential: Vec<Option<Dist>> =
+            pairs.iter().map(|&(s, t)| index.distance(s, t)).collect();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(index.distance_batch_parallel(&pairs, threads), sequential, "{threads}");
+        }
+        assert!(index.distance_batch_parallel(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn fixed_k_two_means_single_peel() {
+        let g = erdos_renyi_gnm(100, 220, WeightModel::Unit, 31);
+        let index = IsLabelIndex::build(&g, BuildConfig::fixed_k(2));
+        assert_eq!(index.stats().k, 2);
+        assert_eq!(index.hierarchy().levels().len(), 1);
+        match index.config().k_selection {
+            KSelection::FixedK(2) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

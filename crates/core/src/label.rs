@@ -1,0 +1,359 @@
+//! Vertex labels (paper Definitions 2/3) and the top-down labeling
+//! algorithm (Algorithm 4).
+//!
+//! The relaxed label `label(v)` holds one entry per *ancestor* of `v` — a
+//! vertex reachable from `v` by a strictly level-increasing chain whose step
+//! `(w_i, w_{i+1})` is an edge of `G_{ℓ(w_i)}`. The recorded value
+//! `d(v, u)` is the minimum length over such chains: an upper bound on
+//! `dist_G(v, u)` that Lemma 5 proves exact at the max-level vertex of any
+//! shortest path, which is all Equation 1 needs.
+//!
+//! Algorithm 4 computes labels top-down using Corollary 1:
+//! `label(v) = {(v, 0)} ∪ min-merge over peel-neighbors u of
+//! (ω(v, u) + label(u))`, processing levels `k−1 .. 1` so every neighbor's
+//! label (all neighbors sit at strictly higher levels) is already final.
+//!
+//! Storage is struct-of-arrays, each vertex's entries sorted by ancestor id,
+//! which makes Equation 1 a linear merge-join — the "simple sequential
+//! scanning" the paper relies on (Section 6.2).
+
+use crate::hierarchy::VertexHierarchy;
+use islabel_graph::{Dist, FxHashMap, VertexId};
+
+/// Sentinel first hop for labels built without path info.
+pub const NO_HOP: VertexId = VertexId::MAX;
+
+/// All vertex labels, flattened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelSet {
+    offsets: Vec<usize>,
+    ancestors: Vec<VertexId>,
+    dists: Vec<Dist>,
+    /// Parallel to `ancestors` when path info is kept, empty otherwise. The
+    /// first hop of entry `(w, d)` in `label(v)` is the peel-neighbor `u`
+    /// of `v` starting the optimal chain (`u = v` for the self entry).
+    first_hops: Vec<VertexId>,
+}
+
+/// Borrowed view of one vertex's label.
+#[derive(Debug, Clone, Copy)]
+pub struct LabelView<'a> {
+    /// Ancestor ids, ascending.
+    pub ancestors: &'a [VertexId],
+    /// Chain-length upper bounds, parallel to `ancestors`.
+    pub dists: &'a [Dist],
+    /// First hops, parallel to `ancestors` (empty without path info).
+    pub first_hops: &'a [VertexId],
+}
+
+impl<'a> LabelView<'a> {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.ancestors.len()
+    }
+
+    /// Whether the label is empty (only possible for an out-of-universe id).
+    pub fn is_empty(&self) -> bool {
+        self.ancestors.is_empty()
+    }
+
+    /// Iterates `(ancestor, d)` pairs in ascending ancestor order.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, Dist)> + 'a {
+        self.ancestors.iter().copied().zip(self.dists.iter().copied())
+    }
+
+    /// Looks up the entry for `ancestor` (binary search).
+    pub fn get(&self, ancestor: VertexId) -> Option<Dist> {
+        self.ancestors.binary_search(&ancestor).ok().map(|i| self.dists[i])
+    }
+
+    /// Looks up `(d, first_hop)` for `ancestor`; first hop is [`NO_HOP`]
+    /// when path info was disabled.
+    pub fn get_with_hop(&self, ancestor: VertexId) -> Option<(Dist, VertexId)> {
+        self.ancestors.binary_search(&ancestor).ok().map(|i| {
+            let hop = if self.first_hops.is_empty() { NO_HOP } else { self.first_hops[i] };
+            (self.dists[i], hop)
+        })
+    }
+}
+
+impl LabelSet {
+    /// Runs top-down labeling (Algorithm 4) over a hierarchy.
+    pub fn build(h: &VertexHierarchy, keep_path_info: bool) -> Self {
+        let n = h.universe();
+        let k = h.k();
+        // Transient per-vertex labels; flattened at the end. Entries are
+        // (ancestor, dist, first_hop) sorted by ancestor.
+        let mut labels: Vec<Vec<(VertexId, Dist, VertexId)>> = vec![Vec::new(); n];
+
+        // Initialization: G_k vertices have only the self entry.
+        for &v in h.gk_members() {
+            labels[v as usize].push((v, 0, v));
+        }
+
+        // Top-down: level k−1 down to 1. Every peel neighbor of a level-i
+        // vertex is at a level > i, so its label is already final.
+        let mut merge: FxHashMap<VertexId, (Dist, VertexId)> = FxHashMap::default();
+        for i in (1..k).rev() {
+            let li = &h.levels()[(i - 1) as usize];
+            for &v in li {
+                merge.clear();
+                merge.insert(v, (0, v));
+                for e in h.peel_adj(v) {
+                    let u = e.to;
+                    debug_assert!(h.level_of(u) > i);
+                    let w = e.weight as Dist;
+                    for &(anc, d, _) in &labels[u as usize] {
+                        let cand = w + d;
+                        match merge.entry(anc) {
+                            std::collections::hash_map::Entry::Vacant(slot) => {
+                                slot.insert((cand, u));
+                            }
+                            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                                // Strict improvement only: on ties the
+                                // earlier (smaller-id) first hop wins, which
+                                // keeps labels deterministic.
+                                if cand < slot.get().0 {
+                                    *slot.get_mut() = (cand, u);
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut entries: Vec<(VertexId, Dist, VertexId)> =
+                    merge.iter().map(|(&anc, &(d, hop))| (anc, d, hop)).collect();
+                entries.sort_unstable_by_key(|&(anc, _, _)| anc);
+                labels[v as usize] = entries;
+            }
+        }
+
+        Self::from_per_vertex(labels, keep_path_info)
+    }
+
+    /// Flattens per-vertex sorted entry lists into the SoA layout.
+    pub(crate) fn from_per_vertex(
+        labels: Vec<Vec<(VertexId, Dist, VertexId)>>,
+        keep_path_info: bool,
+    ) -> Self {
+        let total: usize = labels.iter().map(|l| l.len()).sum();
+        let mut offsets = Vec::with_capacity(labels.len() + 1);
+        let mut ancestors = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        let mut first_hops = if keep_path_info { Vec::with_capacity(total) } else { Vec::new() };
+        offsets.push(0);
+        for l in &labels {
+            debug_assert!(l.windows(2).all(|w| w[0].0 < w[1].0), "label not sorted");
+            for &(anc, d, hop) in l {
+                ancestors.push(anc);
+                dists.push(d);
+                if keep_path_info {
+                    first_hops.push(hop);
+                }
+            }
+            offsets.push(ancestors.len());
+        }
+        Self { offsets, ancestors, dists, first_hops }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The label of `v`.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> LabelView<'_> {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        LabelView {
+            ancestors: &self.ancestors[lo..hi],
+            dists: &self.dists[lo..hi],
+            first_hops: if self.first_hops.is_empty() {
+                &[]
+            } else {
+                &self.first_hops[lo..hi]
+            },
+        }
+    }
+
+    /// Whether first hops were recorded.
+    pub fn has_path_info(&self) -> bool {
+        !self.first_hops.is_empty()
+    }
+
+    /// Total number of label entries across all vertices.
+    pub fn num_entries(&self) -> usize {
+        self.ancestors.len()
+    }
+
+    /// Resident bytes of the label arrays — the paper's "label size" column
+    /// (Tables 3, 6, 7).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.ancestors.len() * 4
+            + self.dists.len() * 8
+            + self.first_hops.len() * 4
+    }
+
+    /// Largest single label (diagnostics; drives worst-case Time (a)).
+    pub fn max_label_len(&self) -> usize {
+        (0..self.num_vertices() as VertexId).map(|v| self.label(v).len()).max().unwrap_or(0)
+    }
+
+    /// Mean entries per vertex.
+    pub fn avg_label_len(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_entries() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BuildConfig;
+    use crate::hierarchy::tests::{paper_graph, paper_hierarchy};
+    use crate::reference;
+
+    fn label_pairs(ls: &LabelSet, v: VertexId) -> Vec<(VertexId, Dist)> {
+        ls.label(v).iter().collect()
+    }
+
+    #[test]
+    fn paper_example_labels_match_figure_2() {
+        // a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8.
+        let h = paper_hierarchy();
+        let ls = LabelSet::build(&h, true);
+
+        assert_eq!(label_pairs(&ls, 2), vec![(0, 2), (1, 1), (2, 0), (4, 2), (6, 4)]); // c
+        assert_eq!(label_pairs(&ls, 8), vec![(0, 2), (4, 1), (6, 3), (8, 0)]); // i
+        assert_eq!(label_pairs(&ls, 1), vec![(0, 1), (1, 0), (4, 1), (6, 3)]); // b
+        assert_eq!(label_pairs(&ls, 3), vec![(0, 2), (3, 0), (4, 1), (6, 1)]); // d
+        assert_eq!(label_pairs(&ls, 7), vec![(0, 5), (4, 4), (6, 1), (7, 0)]); // h
+        assert_eq!(label_pairs(&ls, 4), vec![(0, 1), (4, 0), (6, 2)]); // e
+        assert_eq!(label_pairs(&ls, 0), vec![(0, 0), (6, 3)]); // a
+        assert_eq!(label_pairs(&ls, 6), vec![(6, 0)]); // g
+
+        // label(f): the paper's Figure 2(b) prints (g, 5), but Definition 3
+        // yields d(f, g) = 2 through the valid level-increasing chain
+        // f → h → g (ℓ(f)=1 < ℓ(h)=2 < ℓ(g)=5, edges in G1 and G2 of weights
+        // 1 and 1); the figure's value appears to be a typo. Both values are
+        // upper bounds of dist_G(f, g) = 2, so query answers are unaffected.
+        assert_eq!(label_pairs(&ls, 5), vec![(0, 4), (4, 3), (5, 0), (6, 2), (7, 1)]); // f
+
+        // The paper highlights d(h, e) = 4 > dist_G(h, e) = 3.
+        assert_eq!(ls.label(7).get(4), Some(4));
+    }
+
+    #[test]
+    fn algorithm4_matches_definition3_procedure() {
+        // The top-down join must compute exactly the labels of the
+        // Definition 3 marking procedure (our reference implementation).
+        for seed in 0..5u64 {
+            let g = islabel_graph::generators::erdos_renyi_gnm(
+                80,
+                200,
+                islabel_graph::generators::WeightModel::UniformRange(1, 6),
+                seed,
+            );
+            let h = VertexHierarchy::build(&g, &BuildConfig::sigma(0.95));
+            let ls = LabelSet::build(&h, false);
+            for v in g.vertices() {
+                let expected = reference::definition3_label(&h, v);
+                assert_eq!(
+                    label_pairs(&ls, v),
+                    expected,
+                    "label({v}) diverges from Definition 3 (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_sets_match_exact_labels() {
+        // Lemma 4: V[label(v)] = V[LABEL(v)].
+        let g = paper_graph();
+        let h = paper_hierarchy();
+        let ls = LabelSet::build(&h, false);
+        for v in g.vertices() {
+            let relaxed: Vec<VertexId> = ls.label(v).ancestors.to_vec();
+            let exact: Vec<VertexId> =
+                reference::exact_label(&g, &h, v).into_iter().map(|(a, _)| a).collect();
+            assert_eq!(relaxed, exact, "ancestor set of {v}");
+        }
+    }
+
+    #[test]
+    fn label_distances_upper_bound_true_distances() {
+        // Each d(v, u) is the length of a real path, so it can never be
+        // below dist_G(v, u).
+        let g = islabel_graph::generators::barabasi_albert(
+            120,
+            3,
+            islabel_graph::generators::WeightModel::UniformRange(1, 4),
+            5,
+        );
+        let h = VertexHierarchy::build(&g, &BuildConfig::sigma(0.95));
+        let ls = LabelSet::build(&h, false);
+        for v in g.vertices().step_by(10) {
+            let exact = crate::reference::dijkstra_all(&g, v);
+            for (anc, d) in ls.label(v).iter() {
+                assert!(
+                    d >= exact[anc as usize],
+                    "d({v}, {anc}) = {d} below true {}",
+                    exact[anc as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gk_vertices_have_singleton_labels() {
+        let g = islabel_graph::generators::erdos_renyi_gnm(
+            100,
+            400,
+            islabel_graph::generators::WeightModel::Unit,
+            1,
+        );
+        let h = VertexHierarchy::build(&g, &BuildConfig::sigma(0.95));
+        let ls = LabelSet::build(&h, true);
+        assert!(h.num_gk_vertices() > 0, "test needs a non-empty G_k");
+        for &v in h.gk_members() {
+            assert_eq!(label_pairs(&ls, v), vec![(v, 0)]);
+        }
+    }
+
+    #[test]
+    fn first_hops_are_valid_peel_neighbors() {
+        let g = paper_graph();
+        let h = paper_hierarchy();
+        let ls = LabelSet::build(&h, true);
+        for v in g.vertices() {
+            let lv = ls.label(v);
+            for (i, (&anc, &hop)) in lv.ancestors.iter().zip(lv.first_hops.iter()).enumerate() {
+                if anc == v {
+                    assert_eq!(hop, v, "self entry of {v}");
+                } else {
+                    assert!(
+                        h.peel_adj(v).iter().any(|e| e.to == hop),
+                        "first hop {hop} of entry {i} of label({v}) is not a peel neighbor"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_is_consistent() {
+        let h = paper_hierarchy();
+        let with_hops = LabelSet::build(&h, true);
+        let without = LabelSet::build(&h, false);
+        assert_eq!(with_hops.num_entries(), without.num_entries());
+        assert!(with_hops.memory_bytes() > without.memory_bytes());
+        assert_eq!(without.num_vertices(), 9);
+        assert!(without.max_label_len() >= 5);
+        assert!(without.avg_label_len() > 1.0);
+    }
+}

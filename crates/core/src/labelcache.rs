@@ -1,0 +1,256 @@
+//! An LRU cache in front of the disk-resident label store.
+//!
+//! The paper's two serving modes are the extremes of a spectrum: labels
+//! fully on disk (one seek per fetch — IS-LABEL) or fully in memory
+//! (IM-ISL, "in which case we will save the factor of Time (a)",
+//! Section 7.2). A bounded cache interpolates: hot labels are served from
+//! memory, cold ones pay the seek. Because real query workloads are
+//! skewed, even a small cache removes most of Time (a).
+//!
+//! The implementation is a classic hash-map + intrusive doubly-linked LRU
+//! list with O(1) fetch/insert/evict, bounded by total cached *bytes*
+//! (labels vary wildly in size, so an entry-count bound would be
+//! meaningless).
+
+use crate::disklabel::{DiskLabelStore, FetchedLabel};
+use islabel_extmem::storage::Storage;
+use islabel_graph::{FxHashMap, VertexId};
+use std::io;
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    vertex: VertexId,
+    label: FetchedLabel,
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// Byte-bounded LRU cache over a [`DiskLabelStore`].
+pub struct LabelCache {
+    store: DiskLabelStore,
+    map: FxHashMap<VertexId, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity_bytes: usize,
+    used_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl LabelCache {
+    /// Wraps `store` with a cache of at most `capacity_bytes` of label data.
+    pub fn new(store: DiskLabelStore, capacity_bytes: usize) -> Self {
+        Self {
+            store,
+            map: FxHashMap::default(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity_bytes,
+            used_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fetches `v`'s label, from cache if resident (no I/O) or from the
+    /// store (one seek) otherwise.
+    pub fn fetch(&mut self, storage: &dyn Storage, v: VertexId) -> io::Result<FetchedLabel> {
+        if let Some(&slot) = self.map.get(&v) {
+            self.hits += 1;
+            self.touch(slot);
+            return Ok(self.nodes[slot].label.clone());
+        }
+        self.misses += 1;
+        let label = self.store.fetch(storage, v)?;
+        let bytes = label.ancestors.len() * 12 + 64;
+        if bytes <= self.capacity_bytes {
+            while self.used_bytes + bytes > self.capacity_bytes {
+                self.evict_lru();
+            }
+            self.insert_front(v, label.clone(), bytes);
+        }
+        Ok(label)
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of cached labels.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The wrapped store.
+    pub fn store(&self) -> &DiskLabelStore {
+        &self.store
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.nodes[slot].prev = NIL;
+        self.nodes[slot].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.detach(slot);
+            self.attach_front(slot);
+        }
+    }
+
+    fn insert_front(&mut self, vertex: VertexId, label: FetchedLabel, bytes: usize) {
+        let node = Node { vertex, label, bytes, prev: NIL, next: NIL };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.nodes[s] = node;
+                s
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.attach_front(slot);
+        self.map.insert(vertex, slot);
+        self.used_bytes += bytes;
+    }
+
+    fn evict_lru(&mut self) {
+        let slot = self.tail;
+        debug_assert_ne!(slot, NIL, "evicting from an empty cache");
+        self.detach(slot);
+        let victim = self.nodes[slot].vertex;
+        self.used_bytes -= self.nodes[slot].bytes;
+        self.map.remove(&victim);
+        self.free.push(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BuildConfig;
+    use crate::index::IsLabelIndex;
+    use islabel_extmem::storage::MemStorage;
+    use islabel_graph::generators::{barabasi_albert, WeightModel};
+
+    fn setup(capacity: usize) -> (IsLabelIndex, MemStorage, LabelCache) {
+        let g = barabasi_albert(150, 3, WeightModel::UniformRange(1, 4), 3);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        let storage = MemStorage::new();
+        let store = DiskLabelStore::write(&storage, "labels", index.labels()).unwrap();
+        (index, storage, LabelCache::new(store, capacity))
+    }
+
+    #[test]
+    fn cached_fetches_skip_io() {
+        let (_, storage, mut cache) = setup(1 << 20);
+        let io = storage.stats();
+        io.reset();
+        let a = cache.fetch(&storage, 7).unwrap();
+        assert_eq!(io.snapshot().seeks, 1);
+        let b = cache.fetch(&storage, 7).unwrap();
+        assert_eq!(io.snapshot().seeks, 1, "second fetch must be cache-served");
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn cache_results_match_store() {
+        let (index, storage, mut cache) = setup(4 << 10);
+        for round in 0..3 {
+            for v in (0..150u32).step_by(7) {
+                let cached = cache.fetch(&storage, v).unwrap();
+                let direct: Vec<(u32, u64)> = index.labels().label(v).iter().collect();
+                let got: Vec<(u32, u64)> = cached.view().iter().collect();
+                assert_eq!(got, direct, "round {round}, label({v})");
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget() {
+        let (_, storage, mut cache) = setup(600);
+        for v in 0..150u32 {
+            cache.fetch(&storage, v).unwrap();
+            assert!(cache.used_bytes() <= 600, "budget exceeded: {}", cache.used_bytes());
+        }
+        assert!(cache.len() < 150, "everything fit; budget not exercised");
+        // LRU: the most recent fetch should be resident.
+        let io = storage.stats();
+        io.reset();
+        cache.fetch(&storage, 149).unwrap();
+        assert_eq!(io.snapshot().seeks, 0);
+    }
+
+    #[test]
+    fn lru_order_evicts_coldest() {
+        let (_, storage, mut cache) = setup(100_000);
+        // Prime 0..10, touch 0 again, then force evictions with big churn.
+        for v in 0..10u32 {
+            cache.fetch(&storage, v).unwrap();
+        }
+        cache.fetch(&storage, 0).unwrap(); // 0 becomes MRU; 1 is now LRU
+        let before = cache.len();
+        assert!(before >= 10);
+        // Churn new entries until at least one eviction happens.
+        let mut next = 11u32;
+        while cache.len() >= before && next < 150 {
+            cache.fetch(&storage, next).unwrap();
+            next += 1;
+        }
+        // Not a strict assertion of which vertex left (byte sizes vary), but
+        // vertex 0 — recently touched — must still be resident.
+        let io = storage.stats();
+        io.reset();
+        cache.fetch(&storage, 0).unwrap();
+        assert_eq!(io.snapshot().seeks, 0, "recently-used entry was evicted");
+    }
+
+    #[test]
+    fn oversized_labels_bypass_cache() {
+        let (_, storage, mut cache) = setup(8); // smaller than any label
+        cache.fetch(&storage, 3).unwrap();
+        assert_eq!(cache.len(), 0);
+        cache.fetch(&storage, 3).unwrap();
+        assert_eq!(cache.stats(), (0, 2));
+    }
+}

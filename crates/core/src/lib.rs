@@ -1,0 +1,74 @@
+//! # islabel-core
+//!
+//! The IS-LABEL index of Fu, Wu, Cheng, Chu and Wong (VLDB 2013): an
+//! independent-set based labeling scheme for point-to-point distance and
+//! shortest-path querying on large graphs.
+//!
+//! ## How it works
+//!
+//! 1. **Vertex hierarchy** ([`hierarchy`]): repeatedly peel an independent
+//!    set `L_i` (greedy minimum-degree) off the graph `G_i`, patching the
+//!    remainder with *augmenting edges* so `G_{i+1}` preserves all pairwise
+//!    distances among surviving vertices (paper Definition 1, Algorithms 2
+//!    and 3). Stop at level `k` when the graph stops shrinking (Definition 4)
+//!    and keep the residual graph `G_k`.
+//! 2. **Labels** ([`label`]): every peeled vertex stores `(ancestor, d)`
+//!    pairs for all its ancestors — vertices reachable by strictly
+//!    level-increasing chains (Definition 3, computed top-down as in
+//!    Algorithm 4). `d` upper-bounds the true distance but is *exact* at the
+//!    max-level vertex of any shortest path (Lemma 5), which is what makes
+//!    querying correct.
+//! 3. **Queries** ([`query`]): intersect the two sorted labels (Equation 1)
+//!    to seed `µ`, then run a label-seeded bidirectional Dijkstra over `G_k`
+//!    (Algorithm 1) that prunes with `min(FQ) + min(RQ) ≥ µ`.
+//!
+//! ## Entry points
+//!
+//! * [`IsLabelIndex`] — build/query interface for undirected graphs,
+//!   including shortest-path reconstruction (Section 8.1) and lazy dynamic
+//!   updates (Section 8.3).
+//! * [`DiIsLabelIndex`] — the directed variant with in/out labels
+//!   (Section 8.2).
+//! * [`disklabel::DiskLabelStore`] — disk-resident labels with counted I/O,
+//!   reproducing the paper's Time (a) accounting.
+//! * [`embuild`] — the I/O-efficient external-memory construction pipeline
+//!   (Section 6), equivalent to the in-memory builder.
+//!
+//! ```
+//! use islabel_core::{BuildConfig, IsLabelIndex};
+//! use islabel_graph::GraphBuilder;
+//!
+//! // The 9-vertex example graph of the paper's Figure 1.
+//! let mut b = GraphBuilder::new(9);
+//! for (u, v, w) in [
+//!     (0, 1, 1), (1, 2, 1), (1, 4, 1), (3, 4, 1), (4, 5, 3),
+//!     (4, 8, 1), (5, 7, 1), (6, 7, 1), (3, 6, 1), (0, 3, 1),
+//! ] {
+//!     b.add_edge(u, v, w);
+//! }
+//! let g = b.build();
+//! let index = IsLabelIndex::build(&g, BuildConfig::default());
+//! assert_eq!(index.distance(7, 4), Some(3)); // dist(h, e) in the paper
+//! ```
+
+pub mod config;
+pub mod directed;
+pub mod disklabel;
+pub mod embuild;
+pub mod hierarchy;
+pub mod index;
+pub mod label;
+pub mod labelcache;
+pub mod path;
+pub mod persist;
+pub mod query;
+pub mod reference;
+pub mod stats;
+pub mod updates;
+
+pub use config::{BuildConfig, IsStrategy, KSelection};
+pub use directed::DiIsLabelIndex;
+pub use index::IsLabelIndex;
+pub use path::Path;
+pub use query::QueryType;
+pub use stats::IndexStats;

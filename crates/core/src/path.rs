@@ -1,0 +1,313 @@
+//! Shortest-*path* reconstruction (paper Section 8.1).
+//!
+//! Distance queries only need label values; path queries additionally need
+//! to unfold two kinds of compressed steps:
+//!
+//! * **Augmenting edges**: an edge `(u, w)` created while peeling `v`
+//!   abbreviates the 2-hop path `⟨u, v, w⟩`; the builder recorded `v` as the
+//!   edge's *via* vertex. Expansion recurses because `(u, v)` and `(v, w)`
+//!   may themselves be augmenting edges of lower levels — both are archived
+//!   in `v`'s peel adjacency, exactly as the paper prescribes ("(u, v) and
+//!   (v, w) are edges in G_{i−1}, which in turn can be augmenting edges").
+//! * **Label entries**: the entry `(w, d)` in `label(v)` stores the *first
+//!   hop* `u` of the optimal level-increasing chain; the remainder of the
+//!   chain is read from `label(u)`, recursively ("we recursively form
+//!   queries until the intermediate vertex in a label entry is φ").
+//!
+//! The reconstructed path is a real path of `G`: every consecutive pair is
+//! an original edge, and the weights sum to the reported distance (asserted
+//! in debug builds and in the test suite).
+
+use crate::hierarchy::VertexHierarchy;
+use crate::index::IsLabelIndex;
+use crate::query::{Meeting, SearchResult, SEED_PARENT};
+use islabel_graph::adjacency::NO_VIA;
+use islabel_graph::{CsrGraph, Dist, FxHashMap, VertexId};
+
+/// A reconstructed shortest path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// The vertices in order, `s` first and `t` last (a single vertex when
+    /// `s == t`).
+    pub vertices: Vec<VertexId>,
+    /// Total length (equals the corresponding distance query).
+    pub length: Dist,
+}
+
+impl Path {
+    /// Number of edges on the path.
+    pub fn num_edges(&self) -> usize {
+        self.vertices.len().saturating_sub(1)
+    }
+
+    /// Iterates consecutive vertex pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Checks the path against a graph: every step must be an edge and the
+    /// weights must sum to `length`. Used pervasively by tests.
+    pub fn validate_against(&self, g: &CsrGraph) -> Result<(), String> {
+        let mut total: Dist = 0;
+        for (u, v) in self.edges() {
+            match g.edge_weight(u, v) {
+                Some(w) => total += w as Dist,
+                None => return Err(format!("({u}, {v}) is not an edge")),
+            }
+        }
+        if total != self.length {
+            return Err(format!("edge weights sum to {total}, path claims {}", self.length));
+        }
+        Ok(())
+    }
+}
+
+/// Reconstructs the path realizing `dist`, using the meeting information of
+/// a path-tracked search.
+pub(crate) fn reconstruct(
+    index: &IsLabelIndex,
+    s: VertexId,
+    t: VertexId,
+    dist: Dist,
+    result: &SearchResult,
+) -> Option<Path> {
+    let h = &index.hierarchy;
+    let mut vertices = match result.meeting {
+        Meeting::None => return None,
+        Meeting::Labels(w) => {
+            // Optimal path goes s → w → t entirely through label chains.
+            let mut out = label_path(index, s, w)?;
+            let back = label_path(index, t, w)?;
+            append_reversed(&mut out, back);
+            out
+        }
+        Meeting::Search(m) => {
+            // s →(label)→ seed_f →(G_k)→ m →(G_k)→ seed_r →(label)→ t.
+            let fchain = walk_to_seed(&result.parents_f, m)?;
+            let rchain = walk_to_seed(&result.parents_r, m)?;
+            let mut out = label_path(index, s, fchain[0])?;
+            for w in fchain.windows(2) {
+                expand_gk_edge(h, w[0], w[1], &mut out);
+            }
+            // rchain runs seed_r .. m; traverse it backwards from m.
+            for w in rchain.windows(2).rev() {
+                expand_gk_edge(h, w[1], w[0], &mut out);
+            }
+            let back = label_path(index, t, rchain[0])?;
+            append_reversed(&mut out, back);
+            out
+        }
+    };
+    dedup_consecutive(&mut vertices);
+    let path = Path { vertices, length: dist };
+    debug_assert_eq!(path.vertices.first(), Some(&s));
+    debug_assert_eq!(path.vertices.last(), Some(&t));
+    debug_assert!(path.validate_against(&index.graph).is_ok());
+    Some(path)
+}
+
+/// Walks parent pointers from `m` back to the seed vertex; returns the chain
+/// `seed .. m`.
+fn walk_to_seed(parents: &FxHashMap<VertexId, VertexId>, m: VertexId) -> Option<Vec<VertexId>> {
+    let mut chain = vec![m];
+    let mut cur = m;
+    loop {
+        let &p = parents.get(&cur)?;
+        if p == SEED_PARENT {
+            break;
+        }
+        chain.push(p);
+        cur = p;
+        debug_assert!(chain.len() <= parents.len() + 1, "parent cycle");
+    }
+    chain.reverse();
+    Some(chain)
+}
+
+/// Follows first hops from `v` to its ancestor `w`, expanding every step;
+/// returns the full vertex sequence `v .. w`.
+fn label_path(index: &IsLabelIndex, v: VertexId, w: VertexId) -> Option<Vec<VertexId>> {
+    let h = &index.hierarchy;
+    let mut out = vec![v];
+    let mut cur = v;
+    while cur != w {
+        let (_, hop) = index.labels.label(cur).get_with_hop(w)?;
+        if hop == crate::label::NO_HOP || hop == cur {
+            return None; // no path metadata (shouldn't happen on pristine indexes)
+        }
+        let edge = h.peel_adj(cur).iter().find(|e| e.to == hop)?;
+        expand_edge(h, cur, hop, edge.via, &mut out);
+        cur = hop;
+    }
+    Some(out)
+}
+
+/// Appends the interior and far endpoint of the `G_k` edge `(a, b)` to
+/// `out` (which must currently end with `a`).
+fn expand_gk_edge(h: &VertexHierarchy, a: VertexId, b: VertexId, out: &mut Vec<VertexId>) {
+    let via = h.gk_via(a, b).unwrap_or(NO_VIA);
+    expand_edge(h, a, b, via, out);
+}
+
+/// Recursively expands the (possibly augmenting) edge `(a, b)`; `out` ends
+/// with `a` on entry and with `b` on exit.
+fn expand_edge(h: &VertexHierarchy, a: VertexId, b: VertexId, via: VertexId, out: &mut Vec<VertexId>) {
+    if via == NO_VIA {
+        out.push(b);
+        return;
+    }
+    // (a, via) and (via, b) live in via's archived peel adjacency; they may
+    // themselves be augmenting edges of strictly lower levels, so the
+    // recursion terminates.
+    let ea = h
+        .peel_adj(via)
+        .iter()
+        .find(|e| e.to == a)
+        .expect("via vertex must list both endpoints");
+    let eb = h
+        .peel_adj(via)
+        .iter()
+        .find(|e| e.to == b)
+        .expect("via vertex must list both endpoints");
+    expand_edge(h, a, via, ea.via, out);
+    expand_edge(h, via, b, eb.via, out);
+}
+
+/// Appends `tail` (a path `x .. w`) to `out` (ending in `w`) in reverse,
+/// skipping the shared junction vertex.
+fn append_reversed(out: &mut Vec<VertexId>, tail: Vec<VertexId>) {
+    debug_assert_eq!(out.last(), tail.last());
+    out.extend(tail.into_iter().rev().skip(1));
+}
+
+/// Removes immediately repeated vertices (junctions can duplicate when a
+/// seed coincides with the meeting vertex).
+fn dedup_consecutive(v: &mut Vec<VertexId>) {
+    v.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BuildConfig;
+    use crate::reference::dijkstra_p2p;
+    use islabel_graph::generators::{barabasi_albert, erdos_renyi_gnm, grid2d, WeightModel};
+
+    fn assert_paths_match_dijkstra(g: &CsrGraph, config: BuildConfig, pairs: &[(VertexId, VertexId)]) {
+        let index = IsLabelIndex::build(g, config);
+        for &(s, t) in pairs {
+            let expect = dijkstra_p2p(g, s, t);
+            let path = index.shortest_path(s, t);
+            match (expect, path) {
+                (None, None) => {}
+                (Some(d), Some(p)) => {
+                    assert_eq!(p.length, d, "({s}, {t}) length");
+                    assert_eq!(p.vertices.first(), Some(&s));
+                    assert_eq!(p.vertices.last(), Some(&t));
+                    p.validate_against(g).unwrap_or_else(|e| panic!("({s}, {t}): {e}"));
+                }
+                (e, p) => panic!("({s}, {t}): expected {e:?}, got {p:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_paths() {
+        let g = crate::hierarchy::tests::paper_graph();
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        // dist(h, e) = 3 along h-g-d-e.
+        let p = index.shortest_path(7, 4).unwrap();
+        assert_eq!(p.length, 3);
+        p.validate_against(&g).unwrap();
+        // dist(a, g) = 3; two optimal routes exist (a-e-d-g and a-b-e-d-g has
+        // length 4, so a-e-d-g or a-e-g? (e,g) is not an original edge...).
+        let p = index.shortest_path(0, 6).unwrap();
+        assert_eq!(p.length, 3);
+        p.validate_against(&g).unwrap();
+    }
+
+    #[test]
+    fn random_graph_paths_various_configs() {
+        let g = erdos_renyi_gnm(80, 200, WeightModel::UniformRange(1, 6), 13);
+        let pairs: Vec<(VertexId, VertexId)> =
+            (0..40).map(|i| ((i * 3) % 80, (i * 17 + 1) % 80)).collect();
+        for config in [BuildConfig::default(), BuildConfig::full(), BuildConfig::fixed_k(3)] {
+            assert_paths_match_dijkstra(&g, config, &pairs);
+        }
+    }
+
+    #[test]
+    fn heavy_tailed_graph_paths() {
+        let g = barabasi_albert(250, 3, WeightModel::UniformRange(1, 4), 29);
+        let pairs: Vec<(VertexId, VertexId)> =
+            (0..50).map(|i| ((i * 7) % 250, (i * 31 + 11) % 250)).collect();
+        assert_paths_match_dijkstra(&g, BuildConfig::default(), &pairs);
+    }
+
+    #[test]
+    fn grid_paths() {
+        // Grids force long paths with many augmenting-edge expansions.
+        let g = grid2d(12, 12, WeightModel::UniformRange(1, 3), 7);
+        let pairs = [(0u32, 143u32), (0, 11), (132, 11), (5, 140)];
+        assert_paths_match_dijkstra(&g, BuildConfig::default(), &pairs);
+    }
+
+    #[test]
+    fn disconnected_pairs_have_no_path() {
+        let mut b = islabel_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1, 3);
+        b.add_edge(2, 3, 4);
+        let g = b.build();
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        assert_eq!(index.shortest_path(0, 2), None);
+        assert_eq!(
+            index.shortest_path(0, 1),
+            Some(Path { vertices: vec![0, 1], length: 3 })
+        );
+    }
+
+    #[test]
+    fn trivial_paths() {
+        let g = erdos_renyi_gnm(20, 40, WeightModel::Unit, 3);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        let p = index.shortest_path(5, 5).unwrap();
+        assert_eq!(p.vertices, vec![5]);
+        assert_eq!(p.length, 0);
+        assert_eq!(p.num_edges(), 0);
+    }
+
+    #[test]
+    fn path_disabled_without_path_info() {
+        let g = erdos_renyi_gnm(30, 60, WeightModel::Unit, 4);
+        let config = BuildConfig { keep_path_info: false, ..BuildConfig::default() };
+        let index = IsLabelIndex::build(&g, config);
+        assert_eq!(index.shortest_path(0, 1), None);
+        // Distances still work.
+        assert_eq!(index.distance(0, 1), dijkstra_p2p(&g, 0, 1));
+    }
+
+    #[test]
+    fn path_disabled_after_updates() {
+        let g = erdos_renyi_gnm(30, 80, WeightModel::Unit, 5);
+        let mut index = IsLabelIndex::build(&g, BuildConfig::default());
+        assert!(index.shortest_path(0, 1).is_some());
+        index.insert_vertex(&[(0, 1)]);
+        assert_eq!(index.shortest_path(0, 1), None, "paths unsupported after updates");
+        index.rebuild();
+        assert!(index.shortest_path(0, 1).is_some());
+    }
+
+    #[test]
+    fn validate_against_catches_corruption() {
+        let mut b = islabel_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 2);
+        let g = b.build();
+        let good = Path { vertices: vec![0, 1, 2], length: 4 };
+        assert!(good.validate_against(&g).is_ok());
+        let bad_edge = Path { vertices: vec![0, 2], length: 4 };
+        assert!(bad_edge.validate_against(&g).unwrap_err().contains("not an edge"));
+        let bad_len = Path { vertices: vec![0, 1], length: 7 };
+        assert!(bad_len.validate_against(&g).unwrap_err().contains("sum"));
+    }
+}

@@ -1,0 +1,202 @@
+//! I/O accounting and the block cost model.
+//!
+//! All storage traffic in this crate flows through an [`IoStats`] instance,
+//! so experiments can report *counted* I/O independent of the machine they
+//! run on. The paper reports query label-retrieval time as essentially one
+//! 10 ms disk seek per label (Section 7.2, "the speed of our hard disk, with
+//! a benchmark of 10ms per disk I/O"); [`IoCostModel`] turns our counters
+//! into that same accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Shared, thread-safe I/O counters (bytes and operations, split by
+/// direction, plus random seeks counted separately from sequential bytes).
+#[derive(Debug, Default)]
+pub struct IoStats {
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    read_ops: AtomicU64,
+    write_ops: AtomicU64,
+    seeks: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Number of read calls.
+    pub read_ops: u64,
+    /// Number of write calls.
+    pub write_ops: u64,
+    /// Number of random-access repositionings (e.g. one per label fetch).
+    pub seeks: u64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sequential read of `bytes`.
+    pub fn record_read(&self, bytes: u64) {
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a sequential write of `bytes`.
+    pub fn record_write(&self, bytes: u64) {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one random repositioning (a disk seek in the cost model).
+    pub fn record_seek(&self) {
+        self.seeks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            read_ops: self.read_ops.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.read_ops.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+        self.seeks.store(0, Ordering::Relaxed);
+    }
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier` (for measuring an interval).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            read_ops: self.read_ops - earlier.read_ops,
+            write_ops: self.write_ops - earlier.write_ops,
+            seeks: self.seeks - earlier.seeks,
+        }
+    }
+
+    /// Total transferred bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+/// Converts counted I/O into the paper's block-level accounting and into
+/// modeled wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoCostModel {
+    /// Disk block size `B` in bytes.
+    pub block_size: u64,
+    /// Latency charged per random seek (the paper's ~10 ms).
+    pub seek_latency: Duration,
+    /// Sequential throughput in bytes/second (7200 RPM SATA ≈ 100 MB/s).
+    pub sequential_bytes_per_sec: u64,
+}
+
+impl Default for IoCostModel {
+    fn default() -> Self {
+        Self {
+            block_size: 64 * 1024,
+            seek_latency: Duration::from_millis(10),
+            sequential_bytes_per_sec: 100 * 1024 * 1024,
+        }
+    }
+}
+
+impl IoCostModel {
+    /// The paper's `scan(N)`: blocks touched by a sequential pass over `N`
+    /// bytes.
+    pub fn scan_blocks(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.block_size)
+    }
+
+    /// Modeled time for a snapshot: seeks at seek latency plus sequential
+    /// transfer at the configured throughput.
+    pub fn modeled_time(&self, snap: &IoSnapshot) -> Duration {
+        let seek = self.seek_latency * snap.seeks as u32;
+        let transfer =
+            Duration::from_secs_f64(snap.total_bytes() as f64 / self.sequential_bytes_per_sec as f64);
+        seek + transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read(100);
+        s.record_read(50);
+        s.record_write(10);
+        s.record_seek();
+        let snap = s.snapshot();
+        assert_eq!(snap.bytes_read, 150);
+        assert_eq!(snap.read_ops, 2);
+        assert_eq!(snap.bytes_written, 10);
+        assert_eq!(snap.write_ops, 1);
+        assert_eq!(snap.seeks, 1);
+        assert_eq!(snap.total_bytes(), 160);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_read(5);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = IoStats::new();
+        s.record_read(5);
+        let a = s.snapshot();
+        s.record_read(7);
+        s.record_seek();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.bytes_read, 7);
+        assert_eq!(d.seeks, 1);
+    }
+
+    #[test]
+    fn cost_model_scan_blocks() {
+        let m = IoCostModel { block_size: 10, ..Default::default() };
+        assert_eq!(m.scan_blocks(0), 0);
+        assert_eq!(m.scan_blocks(1), 1);
+        assert_eq!(m.scan_blocks(10), 1);
+        assert_eq!(m.scan_blocks(11), 2);
+    }
+
+    #[test]
+    fn cost_model_time_includes_seeks_and_transfer() {
+        let m = IoCostModel {
+            block_size: 1024,
+            seek_latency: Duration::from_millis(10),
+            sequential_bytes_per_sec: 1000,
+        };
+        let snap = IoSnapshot { bytes_read: 500, seeks: 2, ..Default::default() };
+        let t = m.modeled_time(&snap);
+        // 2 seeks (20ms) + 500 bytes at 1000 B/s (500ms).
+        assert_eq!(t, Duration::from_millis(520));
+    }
+}

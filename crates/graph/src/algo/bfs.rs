@@ -1,0 +1,52 @@
+//! Breadth-first search utilities (hop distances, reachability).
+
+use crate::csr::CsrGraph;
+use crate::ids::{Dist, VertexId, INF};
+use std::collections::VecDeque;
+
+/// Hop distances (ignoring weights) from `source` to every vertex;
+/// unreachable vertices get [`INF`].
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<Dist> {
+    let mut dist = vec![INF; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == INF {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn path_graph_distances() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 9);
+        b.add_edge(1, 2, 9);
+        b.add_edge(2, 3, 9);
+        let g = b.build();
+        // BFS ignores weights.
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn disconnected_vertices_are_inf() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INF);
+        assert_eq!(d[3], INF);
+    }
+}

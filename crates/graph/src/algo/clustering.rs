@@ -1,0 +1,135 @@
+//! Degree distributions and clustering coefficients.
+//!
+//! Clustering is the structural property that controls how IS-LABEL's
+//! hierarchy construction behaves: peeling a vertex whose neighborhood is
+//! triangle-rich mostly *re-weights* existing edges instead of adding new
+//! ones, so clustered graphs keep shrinking level after level (deep
+//! hierarchies — the paper's Web), while locally tree-like graphs densify
+//! and stop early. These diagnostics back the synthetic dataset design
+//! (see `datasets` and DESIGN.md).
+
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+
+/// Histogram of vertex degrees: `histogram[d]` counts vertices of degree
+/// `d` (trailing zeros trimmed).
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Local clustering coefficient of `v`: the fraction of neighbor pairs
+/// that are themselves adjacent (0 for degree < 2).
+pub fn local_clustering(g: &CsrGraph, v: VertexId) -> f64 {
+    let ns = g.neighbors(v);
+    if ns.len() < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in ns.iter().enumerate() {
+        // Count edges (a, b) with b a later neighbor of v; adjacency lists
+        // are sorted, so one merge pass per neighbor suffices.
+        let later = &ns[i + 1..];
+        let a_ns = g.neighbors(a);
+        let (mut x, mut y) = (0usize, 0usize);
+        while x < a_ns.len() && y < later.len() {
+            match a_ns[x].cmp(&later[y]) {
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+                std::cmp::Ordering::Equal => {
+                    closed += 1;
+                    x += 1;
+                    y += 1;
+                }
+            }
+        }
+    }
+    let pairs = ns.len() * (ns.len() - 1) / 2;
+    closed as f64 / pairs as f64
+}
+
+/// Average local clustering coefficient over all vertices of degree ≥ 2
+/// (Watts–Strogatz definition restricted to meaningful vertices). For
+/// large graphs, `sample_stride > 1` evaluates every `stride`-th vertex.
+pub fn avg_clustering(g: &CsrGraph, sample_stride: usize) -> f64 {
+    assert!(sample_stride >= 1);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for v in g.vertices().step_by(sample_stride) {
+        if g.degree(v) >= 2 {
+            total += local_clustering(g, v);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{barabasi_albert, clustered_communities, WeightModel};
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(0, 2, 1);
+        let g = b.build();
+        for v in 0..3 {
+            assert_eq!(local_clustering(&g, v), 1.0);
+        }
+        assert_eq!(avg_clustering(&g, 1), 1.0);
+    }
+
+    #[test]
+    fn star_has_zero_clustering() {
+        let mut b = GraphBuilder::new(5);
+        for v in 1..5u32 {
+            b.add_edge(0, v, 1);
+        }
+        let g = b.build();
+        assert_eq!(local_clustering(&g, 0), 0.0);
+        assert_eq!(local_clustering(&g, 1), 0.0); // degree 1
+        assert_eq!(avg_clustering(&g, 1), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 1);
+        b.add_edge(0, 3, 1);
+        let g = b.build();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 3, 0, 1]); // three leaves, one hub of degree 3
+        assert_eq!(h.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn community_graphs_are_far_more_clustered_than_ba() {
+        // The property the Web-like dataset depends on.
+        let comm = clustered_communities(2000, 10, 16, 0.1, WeightModel::Unit, 1);
+        let ba = barabasi_albert(2000, 7, WeightModel::Unit, 1);
+        let cc = avg_clustering(&comm, 1);
+        let cb = avg_clustering(&ba, 1);
+        assert!(cc > 0.6, "community clustering {cc}");
+        assert!(cb < 0.2, "BA clustering {cb}");
+    }
+
+    #[test]
+    fn sampling_approximates_full_average() {
+        let g = clustered_communities(3000, 8, 14, 0.1, WeightModel::Unit, 5);
+        let full = avg_clustering(&g, 1);
+        let sampled = avg_clustering(&g, 7);
+        assert!((full - sampled).abs() < 0.1, "full {full} vs sampled {sampled}");
+    }
+}

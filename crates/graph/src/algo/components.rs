@@ -1,0 +1,150 @@
+//! Connected components and largest-component extraction.
+//!
+//! The paper extracts the largest connected component of its Web dataset
+//! before indexing ("there are many connected components in G, we extract
+//! the largest connected component for our experiments", Section 7);
+//! [`largest_component`] reproduces that preparation step, relabeling
+//! vertices densely.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+
+/// Result of a components computation.
+#[derive(Debug, Clone)]
+pub struct ComponentInfo {
+    /// Component id of each vertex, in `0..num_components`.
+    pub component_of: Vec<u32>,
+    /// Number of components.
+    pub num_components: usize,
+    /// Vertex count of each component.
+    pub sizes: Vec<usize>,
+}
+
+/// Labels connected components with an iterative DFS (no recursion, safe for
+/// deep/large graphs).
+pub fn connected_components(g: &CsrGraph) -> ComponentInfo {
+    let n = g.num_vertices();
+    const UNSEEN: u32 = u32::MAX;
+    let mut component_of = vec![UNSEEN; n];
+    let mut sizes = Vec::new();
+    let mut stack = Vec::new();
+    for start in g.vertices() {
+        if component_of[start as usize] != UNSEEN {
+            continue;
+        }
+        let cid = sizes.len() as u32;
+        let mut size = 0usize;
+        component_of[start as usize] = cid;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            size += 1;
+            for &u in g.neighbors(v) {
+                if component_of[u as usize] == UNSEEN {
+                    component_of[u as usize] = cid;
+                    stack.push(u);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    ComponentInfo { component_of, num_components: sizes.len(), sizes }
+}
+
+/// Extracts the largest connected component as a new graph with dense vertex
+/// ids, returning the graph and the mapping `new id -> old id`.
+///
+/// Ties between equal-size components break toward the one containing the
+/// smallest original vertex id, keeping the operation deterministic.
+pub fn largest_component(g: &CsrGraph) -> (CsrGraph, Vec<VertexId>) {
+    let info = connected_components(g);
+    if info.num_components <= 1 {
+        return (g.clone(), g.vertices().collect());
+    }
+    let best = info
+        .sizes
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i as u32)
+        .unwrap();
+
+    // Dense relabeling in ascending old-id order.
+    let mut new_of_old = vec![VertexId::MAX; g.num_vertices()];
+    let mut old_of_new = Vec::with_capacity(info.sizes[best as usize]);
+    for v in g.vertices() {
+        if info.component_of[v as usize] == best {
+            new_of_old[v as usize] = old_of_new.len() as VertexId;
+            old_of_new.push(v);
+        }
+    }
+
+    let mut b = GraphBuilder::new(old_of_new.len());
+    for (u, v, w) in g.edge_list() {
+        if info.component_of[u as usize] == best {
+            b.add_edge(new_of_old[u as usize], new_of_old[v as usize], w);
+        }
+    }
+    (b.build(), old_of_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_components() -> CsrGraph {
+        // Component A: 0-1-2 (3 vertices), component B: 3-4 (2 vertices),
+        // vertex 5 isolated.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 4, 7);
+        b.build()
+    }
+
+    #[test]
+    fn counts_components() {
+        let info = connected_components(&two_components());
+        assert_eq!(info.num_components, 3);
+        let mut sizes = info.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_component_same_label() {
+        let info = connected_components(&two_components());
+        assert_eq!(info.component_of[0], info.component_of[1]);
+        assert_eq!(info.component_of[1], info.component_of[2]);
+        assert_ne!(info.component_of[0], info.component_of[3]);
+        assert_ne!(info.component_of[3], info.component_of[5]);
+    }
+
+    #[test]
+    fn largest_component_extracts_and_relabels() {
+        let (lcc, old_ids) = largest_component(&two_components());
+        assert_eq!(lcc.num_vertices(), 3);
+        assert_eq!(lcc.num_edges(), 2);
+        assert_eq!(old_ids, vec![0, 1, 2]);
+        assert!(lcc.has_edge(0, 1));
+        assert!(lcc.has_edge(1, 2));
+    }
+
+    #[test]
+    fn connected_graph_is_identity() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let g = b.build();
+        let (lcc, old_ids) = largest_component(&g);
+        assert_eq!(lcc, g);
+        assert_eq!(old_ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        let info = connected_components(&g);
+        assert_eq!(info.num_components, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Graph statistics in the shape of the paper's Table 2
+//! (|V|, |E|, average degree, maximum degree, storage size).
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Average degree `2|E| / |V|`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Approximate resident size in bytes of the CSR representation.
+    pub memory_bytes: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics in one pass.
+    pub fn of(g: &CsrGraph) -> Self {
+        Self {
+            num_vertices: g.num_vertices(),
+            num_edges: g.num_edges(),
+            avg_degree: g.avg_degree(),
+            max_degree: g.max_degree(),
+            memory_bytes: g.memory_bytes(),
+        }
+    }
+}
+
+/// Renders byte counts the way the paper's tables do ("5.6 GB", "200 MB").
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Renders large counts the way the paper does ("164.7M", "86K").
+pub fn human_count(count: usize) -> String {
+    if count >= 1_000_000 {
+        format!("{:.1}M", count as f64 / 1_000_000.0)
+    } else if count >= 1_000 {
+        format!("{:.1}K", count as f64 / 1_000.0)
+    } else {
+        count.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 1);
+        b.add_edge(0, 3, 1);
+        let s = GraphStats::of(&b.build());
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.avg_degree - 1.5).abs() < 1e-9);
+        assert!(s.memory_bytes > 0);
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KB");
+        assert_eq!(human_bytes(5 * 1024 * 1024), "5.0 MB");
+        assert_eq!(human_bytes(3 * 1024 * 1024 * 1024), "3.0 GB");
+    }
+
+    #[test]
+    fn human_count_formatting() {
+        assert_eq!(human_count(42), "42");
+        assert_eq!(human_count(86_000), "86.0K");
+        assert_eq!(human_count(164_700_000), "164.7M");
+    }
+}

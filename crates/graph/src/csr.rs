@@ -1,0 +1,223 @@
+//! Immutable undirected graph in compressed sparse row (CSR) form.
+//!
+//! This is the canonical at-rest representation: adjacency lists are stored
+//! in two flat arrays (`neighbors`, `weights`) indexed by a per-vertex offset
+//! table, with each list sorted by neighbor id. It matches the paper's
+//! assumption that "a graph is stored in its adjacency list representation
+//! ... vertices are ordered in ascending order of their vertex IDs"
+//! (Section 2) and gives cache-friendly sequential scans.
+
+use crate::ids::{VertexId, Weight};
+
+/// A weighted, undirected simple graph in CSR layout.
+///
+/// Every undirected edge `(u, v)` appears twice: once in `u`'s list and once
+/// in `v`'s. Self-loops and parallel edges are rejected by the builders.
+///
+/// # Examples
+///
+/// ```
+/// use islabel_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 5);
+/// b.add_edge(1, 2, 7);
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.edge_weight(1, 2), Some(7));
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `v`'s adjacency in the flat arrays.
+    offsets: Vec<usize>,
+    /// Neighbor ids, sorted ascending within each vertex's slice.
+    neighbors: Vec<VertexId>,
+    /// Parallel to `neighbors`.
+    weights: Vec<Weight>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph directly from pre-validated parts.
+    ///
+    /// Used by [`crate::builder::GraphBuilder`] and the binary reader; panics
+    /// (in debug builds) if the parts are structurally inconsistent.
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        debug_assert_eq!(neighbors.len(), weights.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self { offsets, neighbors, weights }
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Self { offsets: vec![0; n + 1], neighbors: Vec::new(), weights: Vec::new() }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `|E|` (each stored twice internally).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// The paper's `|G| = |V| + |E|`, used by the k-selection criterion.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.num_vertices() + self.num_edges()
+    }
+
+    /// Degree of `v` (`deg_G(v) = |adj_G(v)|`).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbor ids of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Weights parallel to [`Self::neighbors`].
+    #[inline]
+    pub fn weights(&self, v: VertexId) -> &[Weight] {
+        &self.weights[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of `v` in ascending neighbor order.
+    #[inline]
+    pub fn edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.neighbors(v).iter().copied().zip(self.weights(v).iter().copied())
+    }
+
+    /// Iterates every vertex id `0..n`.
+    #[inline]
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterates every undirected edge exactly once as `(u, v, w)` with `u < v`.
+    pub fn edge_list(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.edges(u).map(move |(v, w)| (u, v, w)))
+            .filter(|&(u, v, _)| u < v)
+    }
+
+    /// Whether the edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Weight of the edge `(u, v)`, if present. Binary search over `u`'s
+    /// sorted adjacency, so `O(log deg(u))`.
+    #[inline]
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        let ns = self.neighbors(u);
+        ns.binary_search(&v).ok().map(|i| self.weights(u)[i])
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2|E| / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Approximate resident size in bytes (offset, neighbor and weight
+    /// arrays); reported in the Table 2 reproduction.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+
+    /// Raw CSR parts `(offsets, neighbors, weights)`, for serialization.
+    pub fn parts(&self) -> (&[usize], &[VertexId], &[Weight]) {
+        (&self.offsets, &self.neighbors, &self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> crate::CsrGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 2);
+        b.add_edge(0, 2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.size(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.weights(0), &[1, 3]);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_weight_lookup_is_symmetric() {
+        let g = triangle();
+        for (u, v, w) in [(0, 1, 1), (1, 2, 2), (0, 2, 3)] {
+            assert_eq!(g.edge_weight(u, v), Some(w));
+            assert_eq!(g.edge_weight(v, u), Some(w));
+        }
+        assert_eq!(g.edge_weight(0, 0), None);
+    }
+
+    #[test]
+    fn edge_list_yields_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edge_list().collect();
+        assert_eq!(edges, vec![(0, 1, 1), (0, 2, 3), (1, 2, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::CsrGraph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn isolated_vertices_coexist_with_edges() {
+        let mut b = GraphBuilder::new(10);
+        b.add_edge(2, 7, 4);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 0);
+        assert_eq!(g.degree(2), 1);
+        assert_eq!(g.neighbors(7), &[2]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Synthetic stand-ins for the paper's five evaluation datasets.
+//!
+//! The paper evaluates on real graphs we cannot redistribute (Table 2):
+//!
+//! | dataset   |   |V|    |   |E|    | avg deg | max deg | character |
+//! |-----------|--------|--------|---------|---------|-----------|
+//! | BTC       | 164.7M | 361.1M | 2.19    | 105,618 | RDF, ultra-sparse, extreme hubs |
+//! | Web       | 6.9M   | 113.0M | 16.40   | 31,734  | web crawl LCC, weights {1,2} |
+//! | as-Skitter| 1.7M   | 22.2M  | 13.08   | 35,455  | internet topology |
+//! | wiki-Talk | 2.4M   | 9.3M   | 3.89    | 100,029 | talk-page graph, star-heavy |
+//! | Google    | 0.9M   | 8.6M   | 9.87    | 6,332   | web pages |
+//!
+//! Each stand-in is generated to match the *structural statistics that drive
+//! IS-LABEL's behaviour* — average degree, degree skew (hub magnitude
+//! relative to `n`), and weight model — at a laptop scale chosen by
+//! [`Scale`]. The largest connected component is extracted exactly as the
+//! paper does for Web. Generation is fully deterministic (fixed seeds).
+
+use crate::algo::components::largest_component;
+use crate::csr::CsrGraph;
+use crate::generators::{barabasi_albert, erdos_renyi_gnm, WeightModel};
+use crate::ids::VertexId;
+
+/// The five evaluation datasets of the paper, plus their relative sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// Billion Triple Challenge RDF graph stand-in: ultra-sparse (avg degree
+    /// ~2.2) with extreme hubs. The paper's largest graph.
+    BtcLike,
+    /// UK web-crawl stand-in: dense for this suite (avg degree ~16), weights
+    /// in {1, 2} as produced by the paper's hop-based conversion.
+    WebLike,
+    /// Internet-topology stand-in: avg degree ~13 with heavy tail.
+    SkitterLike,
+    /// Wikipedia talk-page stand-in: sparse (avg degree ~3.9) with the most
+    /// extreme hub skew of the suite.
+    WikiTalkLike,
+    /// Google web-graph stand-in: avg degree ~10, moderate skew.
+    GoogleLike,
+}
+
+impl Dataset {
+    /// All datasets in the paper's table order.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::BtcLike,
+        Dataset::WebLike,
+        Dataset::SkitterLike,
+        Dataset::WikiTalkLike,
+        Dataset::GoogleLike,
+    ];
+
+    /// Short name used in table output (matches the paper's rows).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::BtcLike => "BTC-like",
+            Dataset::WebLike => "Web-like",
+            Dataset::SkitterLike => "as-Skitter-like",
+            Dataset::WikiTalkLike => "wiki-Talk-like",
+            Dataset::GoogleLike => "Google-like",
+        }
+    }
+
+    /// Target vertex count before LCC extraction at a given scale. Relative
+    /// sizes mirror the paper (BTC largest, Google smallest).
+    fn target_n(&self, scale: Scale) -> usize {
+        let base = match self {
+            Dataset::BtcLike => 24_000,
+            Dataset::WebLike => 8_000,
+            Dataset::SkitterLike => 5_000,
+            Dataset::WikiTalkLike => 6_500,
+            Dataset::GoogleLike => 4_000,
+        };
+        (base as f64 * scale.factor()) as usize
+    }
+
+    /// Generates the dataset at `scale`, returning the largest connected
+    /// component with densely relabeled vertices.
+    pub fn generate(&self, scale: Scale) -> CsrGraph {
+        let n = self.target_n(scale);
+        let raw = match self {
+            // BTC: avg deg 2.19 => BA tree-like backbone (m=1, avg deg ~2)
+            // plus ~10% extra random edges; BA supplies the RDF-style hubs.
+            Dataset::BtcLike => {
+                let backbone = barabasi_albert(n, 1, WeightModel::Unit, 0xB7C0);
+                let extra = erdos_renyi_gnm(n, n / 10, WeightModel::Unit, 0xB7C1);
+                union(&backbone, &extra)
+            }
+            // Web: avg deg 16.4, weights {1,2} (the paper's hop-based
+            // conversion), moderate hubs (max degree ~0.5% of n), and —
+            // decisively — the clustered community structure that made Web
+            // the paper's deepest hierarchy (k = 19 at σ = 0.95) while a
+            // σ = 0.90 threshold truncates it drastically (Table 7).
+            // Clique communities + hub backbone + dangling leaves reproduce
+            // all three facts; see `generators::clustered_communities`.
+            Dataset::WebLike => crate::generators::clustered_communities(
+                n,
+                12,
+                28,
+                0.25,
+                WeightModel::UniformRange(1, 2),
+                0x3EB0,
+            ),
+            // as-Skitter: avg deg 13.1, unweighted. Internet topology is
+            // clustered (routers in PoPs) with random long-haul cross
+            // links; clique communities plus an ER sprinkle land on the
+            // paper's degree profile and its shallow hierarchy (k = 6).
+            Dataset::SkitterLike => {
+                let communities = crate::generators::clustered_communities(
+                    n, 12, 16, 0.10, WeightModel::Unit, 0x5C17,
+                );
+                let cross = erdos_renyi_gnm(n, n / 2, WeightModel::Unit, 0x5C18);
+                union(&communities, &cross)
+            }
+            // wiki-Talk: avg deg 3.9 with hubs around 4% of n — matching
+            // BA(m=2), whose preferential hubs reach that relative magnitude
+            // at this scale.
+            Dataset::WikiTalkLike => barabasi_albert(n, 2, WeightModel::Unit, 0x317A),
+            // Google: avg deg 9.9 with moderate hubs (max degree ~0.7% of
+            // n) and web-style clustering; smaller communities with a light
+            // ER sprinkle match both the degree profile and the paper's
+            // k = 7 hierarchy depth.
+            Dataset::GoogleLike => {
+                let communities = crate::generators::clustered_communities(
+                    n, 8, 12, 0.10, WeightModel::Unit, 0x6006,
+                );
+                let cross = erdos_renyi_gnm(n, n / 4, WeightModel::Unit, 0x6007);
+                union(&communities, &cross)
+            }
+        };
+        largest_component(&raw).0
+    }
+}
+
+/// Dataset scale. The paper runs at millions-to-hundreds-of-millions of
+/// vertices on disk; we default to tens of thousands in memory, which
+/// preserves every trend the evaluation reports (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ~1/10 of [`Scale::Small`]; for unit tests.
+    Tiny,
+    /// Base laptop scale (default for the quick experiment runs).
+    Small,
+    /// 4× small; default for reported experiment tables.
+    Medium,
+    /// 16× small; for the scalability runs.
+    Large,
+    /// Explicit multiplier over the per-dataset base size.
+    Custom(u32),
+}
+
+impl Scale {
+    fn factor(&self) -> f64 {
+        match self {
+            Scale::Tiny => 0.1,
+            Scale::Small => 1.0,
+            Scale::Medium => 4.0,
+            Scale::Large => 16.0,
+            Scale::Custom(f) => *f as f64,
+        }
+    }
+}
+
+/// Union of two graphs over the same vertex universe (min weight on
+/// collisions).
+fn union(a: &CsrGraph, b: &CsrGraph) -> CsrGraph {
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    let mut builder = crate::builder::GraphBuilder::new(a.num_vertices());
+    builder.reserve(a.num_edges() + b.num_edges());
+    for (u, v, w) in a.edge_list().chain(b.edge_list()) {
+        builder.add_edge(u, v, w);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::components::connected_components;
+
+    #[test]
+    fn all_datasets_generate_and_are_connected() {
+        for ds in Dataset::ALL {
+            let g = ds.generate(Scale::Tiny);
+            assert!(g.num_vertices() > 100, "{} too small", ds.name());
+            assert_eq!(connected_components(&g).num_components, 1, "{} LCC", ds.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::GoogleLike.generate(Scale::Tiny);
+        let b = Dataset::GoogleLike.generate(Scale::Tiny);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degree_profiles_match_paper_shape() {
+        // avg degree ordering from Table 2:
+        // Web (16.4) > Skitter (13.1) > Google (9.9) > wiki-Talk (3.9) > BTC (2.19)
+        let avg = |ds: Dataset| ds.generate(Scale::Small).avg_degree();
+        let web = avg(Dataset::WebLike);
+        let skitter = avg(Dataset::SkitterLike);
+        let google = avg(Dataset::GoogleLike);
+        let wiki = avg(Dataset::WikiTalkLike);
+        let btc = avg(Dataset::BtcLike);
+        assert!(web > skitter, "web {web} vs skitter {skitter}");
+        assert!(skitter > google, "skitter {skitter} vs google {google}");
+        assert!(google > wiki, "google {google} vs wiki {wiki}");
+        assert!(wiki > btc, "wiki {wiki} vs btc {btc}");
+        assert!(btc > 2.0 && btc < 3.5, "btc avg degree {btc}");
+    }
+
+    #[test]
+    fn web_like_has_weights_in_1_2() {
+        let g = Dataset::WebLike.generate(Scale::Tiny);
+        for (_, _, w) in g.edge_list() {
+            assert!(w == 1 || w == 2);
+        }
+    }
+
+    #[test]
+    fn wiki_talk_like_is_hubbiest() {
+        let hubbiness = |ds: Dataset| {
+            let g = ds.generate(Scale::Small);
+            g.max_degree() as f64 / g.num_vertices() as f64
+        };
+        let wiki = hubbiness(Dataset::WikiTalkLike);
+        let google = hubbiness(Dataset::GoogleLike);
+        assert!(wiki > google, "wiki {wiki} vs google {google}");
+    }
+
+    #[test]
+    fn scales_are_monotone() {
+        let tiny = Dataset::BtcLike.generate(Scale::Tiny).num_vertices();
+        let small = Dataset::BtcLike.generate(Scale::Small).num_vertices();
+        assert!(small > tiny * 5);
+    }
+
+    #[test]
+    fn relabeled_ids_are_dense() {
+        let g = Dataset::WebLike.generate(Scale::Tiny);
+        let max_id = g.vertices().max().unwrap() as usize;
+        assert_eq!(max_id + 1, g.num_vertices());
+    }
+
+    #[test]
+    fn union_merges_min_weight() {
+        let mut a = crate::builder::GraphBuilder::new(3);
+        a.add_edge(0, 1, 5);
+        let mut b = crate::builder::GraphBuilder::new(3);
+        b.add_edge(0, 1, 3);
+        b.add_edge(1, 2, 1);
+        let u = union(&a.build(), &b.build());
+        assert_eq!(u.edge_weight(0, 1), Some(3));
+        assert_eq!(u.num_edges(), 2);
+    }
+
+    const _: () = {
+        // Compile-time exhaustiveness: ALL must cover every variant.
+        assert!(Dataset::ALL.len() == 5);
+    };
+}
+
+/// Remaps a vertex set expressed in old ids through a relabeling table.
+/// Convenience for callers who keep both the LCC graph and original ids.
+pub fn remap_vertices(old_ids: &[VertexId], table: &[VertexId]) -> Vec<VertexId> {
+    old_ids.iter().map(|&v| table[v as usize]).collect()
+}

@@ -1,0 +1,220 @@
+//! Immutable directed graph with both out- and in-adjacency in CSR form.
+//!
+//! Section 8.2 of the paper extends IS-LABEL to directed graphs; the directed
+//! index needs forward adjacency for out-labels and reverse adjacency for
+//! in-labels (and for the backward half of the bidirectional search), so both
+//! orientations are materialized.
+
+use crate::csr::CsrGraph;
+use crate::ids::{VertexId, Weight};
+
+/// A weighted directed simple graph in dual-CSR layout (forward + reverse).
+///
+/// # Examples
+///
+/// ```
+/// use islabel_graph::DigraphBuilder;
+///
+/// let mut b = DigraphBuilder::new(3);
+/// b.add_arc(0, 1, 2);
+/// b.add_arc(1, 2, 3);
+/// let g = b.build();
+/// assert_eq!(g.out_neighbors(1), &[2]);
+/// assert_eq!(g.in_neighbors(1), &[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrDigraph {
+    out_offsets: Vec<usize>,
+    out_neighbors: Vec<VertexId>,
+    out_weights: Vec<Weight>,
+    in_offsets: Vec<usize>,
+    in_neighbors: Vec<VertexId>,
+    in_weights: Vec<Weight>,
+    num_arcs: usize,
+}
+
+impl CsrDigraph {
+    /// Builds from arcs already sorted lexicographically and deduplicated.
+    pub(crate) fn from_arcs_sorted(n: usize, arcs: &[(VertexId, VertexId, Weight)]) -> Self {
+        let mut out_offsets = vec![0usize; n + 1];
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(u, v, _) in arcs {
+            out_offsets[u as usize + 1] += 1;
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            out_offsets[i] += out_offsets[i - 1];
+            in_offsets[i] += in_offsets[i - 1];
+        }
+
+        let mut out_neighbors = vec![0 as VertexId; arcs.len()];
+        let mut out_weights = vec![0 as Weight; arcs.len()];
+        let mut out_cursor = out_offsets.clone();
+        let mut in_neighbors = vec![0 as VertexId; arcs.len()];
+        let mut in_weights = vec![0 as Weight; arcs.len()];
+        let mut in_cursor = in_offsets.clone();
+        // Arcs are (u, v)-sorted, so out slices fill in ascending target
+        // order, and for fixed v the sources u also arrive ascending.
+        for &(u, v, w) in arcs {
+            let cu = &mut out_cursor[u as usize];
+            out_neighbors[*cu] = v;
+            out_weights[*cu] = w;
+            *cu += 1;
+            let cv = &mut in_cursor[v as usize];
+            in_neighbors[*cv] = u;
+            in_weights[*cv] = w;
+            *cv += 1;
+        }
+
+        Self {
+            out_offsets,
+            out_neighbors,
+            out_weights,
+            in_offsets,
+            in_neighbors,
+            in_weights,
+            num_arcs: arcs.len(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Iterates every vertex id.
+    #[inline]
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Out-neighbors of `v`, ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.out_neighbors[self.out_offsets[v as usize]..self.out_offsets[v as usize + 1]]
+    }
+
+    /// Weights parallel to [`Self::out_neighbors`].
+    #[inline]
+    pub fn out_weights(&self, v: VertexId) -> &[Weight] {
+        &self.out_weights[self.out_offsets[v as usize]..self.out_offsets[v as usize + 1]]
+    }
+
+    /// In-neighbors of `v`, ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.in_neighbors[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+    }
+
+    /// Weights parallel to [`Self::in_neighbors`].
+    #[inline]
+    pub fn in_weights(&self, v: VertexId) -> &[Weight] {
+        &self.in_weights[self.in_offsets[v as usize]..self.in_offsets[v as usize + 1]]
+    }
+
+    /// Iterates outgoing `(target, weight)` arcs of `v`.
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.out_neighbors(v).iter().copied().zip(self.out_weights(v).iter().copied())
+    }
+
+    /// Iterates incoming `(source, weight)` arcs of `v`.
+    #[inline]
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.in_neighbors(v).iter().copied().zip(self.in_weights(v).iter().copied())
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// Weight of the arc `u -> v`, if present.
+    #[inline]
+    pub fn arc_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        self.out_neighbors(u).binary_search(&v).ok().map(|i| self.out_weights(u)[i])
+    }
+
+    /// Iterates every arc as `(u, v, w)`.
+    pub fn arc_list(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.vertices().flat_map(move |u| self.out_edges(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// The underlying undirected skeleton: an undirected edge for every arc
+    /// (minimum weight when both directions exist). Used by the directed
+    /// index's independent-set selection, which "can be applied in the same
+    /// way by simply ignoring the direction of the edges" (Section 8.2).
+    pub fn undirected_skeleton(&self) -> CsrGraph {
+        let mut b = crate::builder::GraphBuilder::new(self.num_vertices());
+        b.reserve(self.num_arcs());
+        for (u, v, w) in self.arc_list() {
+            b.add_edge(u, v, w);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::DigraphBuilder;
+
+    fn sample() -> crate::CsrDigraph {
+        // 0 -> 1 -> 2, 2 -> 0, 0 -> 2
+        let mut b = DigraphBuilder::new(3);
+        b.add_arc(0, 1, 1);
+        b.add_arc(1, 2, 2);
+        b.add_arc(2, 0, 3);
+        b.add_arc(0, 2, 4);
+        b.build()
+    }
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let g = sample();
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(2), &[0, 1]);
+        assert_eq!(g.in_weights(2), &[4, 2]);
+    }
+
+    #[test]
+    fn arc_list_roundtrip() {
+        let g = sample();
+        let arcs: Vec<_> = g.arc_list().collect();
+        assert_eq!(arcs, vec![(0, 1, 1), (0, 2, 4), (1, 2, 2), (2, 0, 3)]);
+    }
+
+    #[test]
+    fn skeleton_merges_antiparallel_arcs() {
+        let g = sample();
+        let u = g.undirected_skeleton();
+        assert_eq!(u.num_edges(), 3);
+        // 2->0 (3) and 0->2 (4) merge to weight 3.
+        assert_eq!(u.edge_weight(0, 2), Some(3));
+    }
+
+    #[test]
+    fn in_out_arc_counts_agree() {
+        let g = sample();
+        let out_total: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_total: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        assert_eq!(out_total, in_total);
+        assert_eq!(out_total, g.num_arcs());
+    }
+}

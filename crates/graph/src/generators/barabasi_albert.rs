@@ -1,0 +1,97 @@
+//! Barabási–Albert preferential attachment graphs.
+//!
+//! Produces the heavy-tailed degree distributions typical of the social and
+//! collaboration networks in the paper's evaluation (as-Skitter, wiki-Talk):
+//! a few high-degree hubs and a long tail of low-degree vertices — precisely
+//! the regime where greedy min-degree independent sets peel many vertices
+//! per level.
+
+use super::WeightModel;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Barabási–Albert graph: starts from a small clique of `m + 1` vertices and
+/// attaches each new vertex to `m` existing vertices chosen with probability
+/// proportional to their degree (implemented with the repeated-endpoints
+/// urn). The result is connected and has roughly `m · n` edges.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, weights: WeightModel, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    assert!(n > m, "need more vertices than the attachment count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    b.reserve(n * m);
+
+    // The urn holds one entry per edge endpoint, so sampling an entry is
+    // degree-proportional sampling.
+    let mut urn: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique on vertices 0..=m keeps the graph connected from the start.
+    for u in 0..=(m as VertexId) {
+        for v in (u + 1)..=(m as VertexId) {
+            b.add_edge(u, v, weights.sample(&mut rng));
+            urn.push(u);
+            urn.push(v);
+        }
+    }
+
+    let mut targets = crate::hash::FxHashSet::default();
+    for v in (m + 1)..n {
+        let v = v as VertexId;
+        targets.clear();
+        // Rejection-sample m distinct targets.
+        while targets.len() < m {
+            let t = urn[rng.gen_range(0..urn.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v, t, weights.sample(&mut rng));
+            urn.push(v);
+            urn.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::components::connected_components;
+
+    #[test]
+    fn edge_count_and_connectivity() {
+        let n = 1000;
+        let m = 3;
+        let g = barabasi_albert(n, m, WeightModel::Unit, 123);
+        // Clique edges + m per subsequent vertex.
+        let expected = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(g.num_edges(), expected);
+        assert_eq!(connected_components(&g).num_components, 1);
+    }
+
+    #[test]
+    fn has_heavy_tail() {
+        let g = barabasi_albert(5000, 2, WeightModel::Unit, 77);
+        let max = g.max_degree() as f64;
+        let avg = g.avg_degree();
+        // Preferential attachment should produce hubs far above the mean.
+        assert!(max > avg * 8.0, "max {max} vs avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be >= 1")]
+    fn zero_m_panics() {
+        barabasi_albert(10, 0, WeightModel::Unit, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn tiny_n_panics() {
+        barabasi_albert(3, 3, WeightModel::Unit, 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! 2-D grid graphs (a road-network-like regime).
+//!
+//! Section 3 of the paper contrasts road networks (low highway dimension,
+//! planar-ish) with general sparse graphs. Grids give us that contrasting
+//! regime for tests and ablations without shipping real road data.
+
+use super::WeightModel;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// `rows × cols` 4-connected grid. Vertex `(r, c)` has id `r * cols + c`.
+pub fn grid2d(rows: usize, cols: usize, weights: WeightModel, seed: u64) -> CsrGraph {
+    let n = rows * cols;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    b.reserve(2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), weights.sample(&mut rng));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), weights.sample(&mut rng));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_structure() {
+        let g = grid2d(3, 4, WeightModel::Unit, 0);
+        assert_eq!(g.num_vertices(), 12);
+        // Horizontal: 3 rows × 3; vertical: 2 rows × 4.
+        assert_eq!(g.num_edges(), 9 + 8);
+        // Corner has degree 2, inner vertex degree 4.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let line = grid2d(1, 5, WeightModel::Unit, 0);
+        assert_eq!(line.num_edges(), 4);
+        let dot = grid2d(1, 1, WeightModel::Unit, 0);
+        assert_eq!(dot.num_vertices(), 1);
+        assert_eq!(dot.num_edges(), 0);
+    }
+}

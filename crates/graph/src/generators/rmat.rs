@@ -1,0 +1,115 @@
+//! R-MAT (recursive matrix) graphs.
+//!
+//! R-MAT recursively subdivides the adjacency matrix with probabilities
+//! `(a, b, c, d)`; skewed parameters yield the power-law, community-clustered
+//! structure of web graphs and RDF graphs (the paper's Web, Google and BTC
+//! datasets). Higher `a` concentrates edges among low-id vertices, producing
+//! extreme hub degrees like wiki-Talk's max degree of 100K on 2.4M vertices.
+
+use super::WeightModel;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Quadrant probabilities of the recursive matrix subdivision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left (both endpoints in the low half).
+    pub a: f64,
+    /// Top-right.
+    pub b: f64,
+    /// Bottom-left.
+    pub c: f64,
+    /// Bottom-right.
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    /// The classic Graph500-style parameters.
+    fn default() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+    }
+}
+
+impl RmatParams {
+    /// A heavily skewed parameterization producing extreme hubs.
+    pub fn skewed() -> Self {
+        Self { a: 0.7, b: 0.15, c: 0.1, d: 0.05 }
+    }
+
+    fn validate(&self) {
+        let sum = self.a + self.b + self.c + self.d;
+        assert!((sum - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1, got {sum}");
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "R-MAT probabilities must be non-negative"
+        );
+    }
+}
+
+/// Generates an undirected R-MAT graph with `2^scale` vertices and
+/// `edge_factor · 2^scale` sampled edges (fewer after dedup/self-loop
+/// removal, as usual for R-MAT).
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, weights: WeightModel, seed: u64) -> CsrGraph {
+    params.validate();
+    assert!((1..=31).contains(&scale), "scale out of range");
+    let n = 1usize << scale;
+    let m = edge_factor * n;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    b.reserve(m);
+    for _ in 0..m {
+        let (u, v) = sample_cell(scale, params, &mut rng);
+        if u != v {
+            b.add_edge(u, v, weights.sample(&mut rng));
+        }
+    }
+    b.build()
+}
+
+fn sample_cell<R: Rng>(scale: u32, p: RmatParams, rng: &mut R) -> (VertexId, VertexId) {
+    let mut u: VertexId = 0;
+    let mut v: VertexId = 0;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < p.a {
+            // top-left: no bits set
+        } else if r < p.a + p.b {
+            v |= 1;
+        } else if r < p.a + p.b + p.c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = rmat(10, 4, RmatParams::default(), WeightModel::Unit, 3);
+        assert_eq!(g.num_vertices(), 1024);
+        // Dedup and self-loop removal lose some of the 4096 samples.
+        assert!(g.num_edges() > 2000 && g.num_edges() <= 4096);
+    }
+
+    #[test]
+    fn skew_produces_hubs() {
+        let g = rmat(12, 4, RmatParams::skewed(), WeightModel::Unit, 9);
+        assert!(g.max_degree() as f64 > g.avg_degree() * 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_params_panic() {
+        rmat(4, 2, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, WeightModel::Unit, 0);
+    }
+}

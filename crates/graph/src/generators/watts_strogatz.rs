@@ -1,0 +1,78 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! A ring lattice with random rewiring: high clustering and small diameter.
+//! Used in tests and ablations as a structurally different regime from the
+//! heavy-tailed generators (its near-uniform degrees make independent-set
+//! peeling behave very differently).
+
+use super::WeightModel;
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::ids::VertexId;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Watts–Strogatz graph: `n` vertices on a ring, each joined to its `k`
+/// nearest neighbors (`k` even), then each lattice edge rewired with
+/// probability `beta` to a uniform random target.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k >= n`, or `beta` is not a probability.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, weights: WeightModel, seed: u64) -> CsrGraph {
+    assert!(k.is_multiple_of(2), "k must be even");
+    assert!(k < n, "k must be smaller than n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    b.reserve(n * k / 2);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let v = (u + j) % n;
+            let (mut s, mut t) = (u as VertexId, v as VertexId);
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint to a random vertex (retrying on
+                // self-loops; parallel edges collapse in the builder).
+                loop {
+                    let cand = rng.gen_range(0..n as VertexId);
+                    if cand != s {
+                        t = cand;
+                        break;
+                    }
+                }
+            }
+            if s > t {
+                std::mem::swap(&mut s, &mut t);
+            }
+            b.add_edge(s, t, weights.sample(&mut rng));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrewired_is_ring_lattice() {
+        let g = watts_strogatz(10, 4, 0.0, WeightModel::Unit, 0);
+        assert_eq!(g.num_edges(), 20);
+        // Every vertex connects to ±1, ±2 on the ring.
+        assert_eq!(g.neighbors(0), &[1, 2, 8, 9]);
+        assert_eq!(g.degree(5), 4);
+    }
+
+    #[test]
+    fn rewiring_changes_structure_but_keeps_sparsity() {
+        let g = watts_strogatz(500, 6, 0.3, WeightModel::Unit, 4);
+        // Rewiring can only merge parallel edges, never add.
+        assert!(g.num_edges() <= 1500);
+        assert!(g.num_edges() > 1400);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_panics() {
+        watts_strogatz(10, 3, 0.1, WeightModel::Unit, 0);
+    }
+}

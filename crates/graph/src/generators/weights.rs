@@ -1,0 +1,64 @@
+//! Edge-weight assignment models.
+
+use crate::ids::Weight;
+use rand::Rng;
+
+/// How edge weights are drawn. The paper's graphs are mostly unweighted
+/// (unit weights); its Web graph carries weights in `{1, 2}` from the
+/// "reachable within w hops" conversion described in Section 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightModel {
+    /// Every edge has weight 1 (an unweighted graph).
+    Unit,
+    /// Weights drawn uniformly from `lo..=hi` (both `>= 1`).
+    UniformRange(Weight, Weight),
+}
+
+impl WeightModel {
+    /// Draws one weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or contains 0.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Weight {
+        match *self {
+            WeightModel::Unit => 1,
+            WeightModel::UniformRange(lo, hi) => {
+                assert!(lo >= 1 && lo <= hi, "invalid weight range [{lo}, {hi}]");
+                rng.gen_range(lo..=hi)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn unit_is_always_one() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(WeightModel::Unit.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            let w = WeightModel::UniformRange(1, 4).sample(&mut rng);
+            seen[(w - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight range")]
+    fn zero_weight_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        WeightModel::UniformRange(0, 3).sample(&mut rng);
+    }
+}

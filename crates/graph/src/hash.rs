@@ -1,0 +1,118 @@
+//! A fast, non-cryptographic hasher for integer keys.
+//!
+//! The standard library's SipHash is robust against HashDoS but slow for the
+//! `u32`-keyed maps that dominate hierarchy construction. This is the FxHash
+//! algorithm used by rustc (multiply by a large odd constant after rotating
+//! and xoring), reimplemented here because `rustc-hash` is not part of the
+//! approved offline dependency set. Hash quality is sufficient for our keys:
+//! dense vertex identifiers with no adversarial input.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hash function: `state = (state.rotate_left(5) ^ word) * SEED`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Chunked 8-byte mixing; the tail is zero-padded. Our keys are almost
+        // always u32/u64 so the fixed-width paths below are the hot ones.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_one<T: std::hash::Hash>(value: T) -> u64 {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_eq!(hash_one((1u32, 2u32)), hash_one((1u32, 2u32)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        // Fx is weak but must at least separate sequential ids.
+        let hashes: Vec<u64> = (0u32..1000).map(hash_one).collect();
+        let distinct: FxHashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..10_000u32 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..10_000u32 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        assert_eq!(hash_one(b"hello world".as_slice()), hash_one(b"hello world".as_slice()));
+        assert_ne!(hash_one(b"hello world".as_slice()), hash_one(b"hello worle".as_slice()));
+    }
+}

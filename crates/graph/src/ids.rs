@@ -1,0 +1,60 @@
+//! Fundamental scalar types shared by the whole workspace.
+//!
+//! The paper (Section 2) works with weighted undirected simple graphs whose
+//! edge weights are positive integers. We use `u32` vertex identifiers (the
+//! paper's largest graph has 164.7M vertices, well inside `u32`) and `u32`
+//! weights; distances are accumulated in `u64` so that summing up to `2^32`
+//! unit-weight edges cannot overflow.
+
+/// Identifier of a vertex. Vertices of a graph with `n` vertices are always
+/// the dense range `0..n`.
+pub type VertexId = u32;
+
+/// Weight of an edge; the paper requires `ω : E → N+`, i.e. weights `>= 1`.
+pub type Weight = u32;
+
+/// A path length / distance. `u64` cannot overflow for any graph expressible
+/// with `u32` vertex ids and `u32` weights.
+pub type Dist = u64;
+
+/// The paper's `∞`: the distance reported for disconnected vertex pairs.
+pub const INF: Dist = u64::MAX;
+
+/// Saturating distance addition that treats [`INF`] as absorbing.
+///
+/// `add_dist(INF, x) == INF` for every `x`, mirroring arithmetic over the
+/// extended naturals used implicitly by Equation 1 of the paper.
+#[inline]
+pub fn add_dist(a: Dist, b: Dist) -> Dist {
+    a.saturating_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_is_absorbing() {
+        assert_eq!(add_dist(INF, 0), INF);
+        assert_eq!(add_dist(INF, 12345), INF);
+        assert_eq!(add_dist(3, INF), INF);
+    }
+
+    #[test]
+    fn finite_addition_is_exact() {
+        assert_eq!(add_dist(2, 3), 5);
+        assert_eq!(add_dist(0, 0), 0);
+    }
+
+    #[test]
+    fn max_weight_paths_do_not_overflow() {
+        // A path of u32::MAX edges each of weight u32::MAX fits in u64; going
+        // beyond that saturates to INF (treated as unreachable) instead of
+        // wrapping to a bogus small distance.
+        let huge = u32::MAX as Dist * u32::MAX as Dist;
+        assert!(huge < INF);
+        assert_eq!(add_dist(huge, 1), huge + 1);
+        assert_eq!(add_dist(huge, huge), INF);
+        assert_eq!(add_dist(INF - 1, INF - 1), INF);
+    }
+}

@@ -1,0 +1,180 @@
+//! Compact binary CSR snapshot.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   "ISGB"           4 bytes
+//! version u32              currently 1
+//! n       u64              vertex count
+//! m2      u64              directed half-edge count (= 2|E|)
+//! offsets (n + 1) × u64
+//! neighbors m2 × u32
+//! weights   m2 × u32
+//! ```
+//!
+//! Loading performs full structural validation so that a corrupt or
+//! truncated file can never produce an out-of-bounds CSR.
+
+use crate::csr::CsrGraph;
+use crate::ids::{VertexId, Weight};
+use bytes::{Buf, BufMut};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"ISGB";
+const VERSION: u32 = 1;
+
+/// Serializes `g` to `writer`.
+pub fn write_csr_binary<W: Write>(g: &CsrGraph, writer: &mut W) -> io::Result<()> {
+    let (offsets, neighbors, weights) = g.parts();
+    let mut header = Vec::with_capacity(24);
+    header.put_slice(MAGIC);
+    header.put_u32_le(VERSION);
+    header.put_u64_le(g.num_vertices() as u64);
+    header.put_u64_le(neighbors.len() as u64);
+    writer.write_all(&header)?;
+
+    // Stream the arrays in chunks to avoid one giant intermediate buffer.
+    let mut buf = Vec::with_capacity(64 * 1024);
+    for chunk in offsets.chunks(8 * 1024) {
+        buf.clear();
+        for &o in chunk {
+            buf.put_u64_le(o as u64);
+        }
+        writer.write_all(&buf)?;
+    }
+    for chunk in neighbors.chunks(16 * 1024) {
+        buf.clear();
+        for &v in chunk {
+            buf.put_u32_le(v);
+        }
+        writer.write_all(&buf)?;
+    }
+    for chunk in weights.chunks(16 * 1024) {
+        buf.clear();
+        for &w in chunk {
+            buf.put_u32_le(w);
+        }
+        writer.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Deserializes a graph previously written by [`write_csr_binary`].
+pub fn read_csr_binary<R: Read>(reader: &mut R) -> io::Result<CsrGraph> {
+    let mut header = [0u8; 24];
+    reader.read_exact(&mut header)?;
+    let mut h = &header[..];
+    let mut magic = [0u8; 4];
+    h.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad_data("bad magic (not an ISGB file)"));
+    }
+    let version = h.get_u32_le();
+    if version != VERSION {
+        return Err(bad_data(&format!("unsupported version {version}")));
+    }
+    let n = h.get_u64_le() as usize;
+    let m2 = h.get_u64_le() as usize;
+
+    let mut body = Vec::new();
+    reader.read_to_end(&mut body)?;
+    let expected = (n + 1) * 8 + m2 * 4 + m2 * 4;
+    if body.len() != expected {
+        return Err(bad_data(&format!("expected {expected} body bytes, found {}", body.len())));
+    }
+    let mut b = &body[..];
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(b.get_u64_le() as usize);
+    }
+    let mut neighbors: Vec<VertexId> = Vec::with_capacity(m2);
+    for _ in 0..m2 {
+        neighbors.push(b.get_u32_le());
+    }
+    let mut weights: Vec<Weight> = Vec::with_capacity(m2);
+    for _ in 0..m2 {
+        weights.push(b.get_u32_le());
+    }
+
+    // Structural validation.
+    if offsets.first() != Some(&0) || offsets.last() != Some(&m2) {
+        return Err(bad_data("offset bounds corrupt"));
+    }
+    if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(bad_data("offsets not monotone"));
+    }
+    if neighbors.iter().any(|&v| v as usize >= n) {
+        return Err(bad_data("neighbor id out of range"));
+    }
+    if weights.contains(&0) {
+        return Err(bad_data("zero edge weight"));
+    }
+    Ok(CsrGraph::from_parts(offsets, neighbors, weights))
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::generators::{erdos_renyi_gnm, WeightModel};
+
+    #[test]
+    fn roundtrip_small() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 3);
+        b.add_edge(2, 3, 9);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        let g2 = read_csr_binary(&mut &buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let g = erdos_renyi_gnm(500, 2000, WeightModel::UniformRange(1, 100), 17);
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_csr_binary(&mut &buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_csr_binary(&mut &b"XXXX0000000000000000000000"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let g = erdos_renyi_gnm(50, 100, WeightModel::Unit, 1);
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_csr_binary(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupt_neighbor() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        // Clobber a neighbor id with an out-of-range value.
+        let neighbors_start = 24 + 3 * 8;
+        buf[neighbors_start..neighbors_start + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(read_csr_binary(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = CsrGraph::empty(7);
+        let mut buf = Vec::new();
+        write_csr_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_csr_binary(&mut &buf[..]).unwrap(), g);
+    }
+}

@@ -1,0 +1,186 @@
+//! Whitespace-separated edge-list format.
+//!
+//! ```text
+//! # comment lines start with '#' or '%'
+//! <num_vertices>
+//! <u> <v> [w]      # one edge per line; weight defaults to 1
+//! ```
+//!
+//! This is the lingua franca of graph repositories (SNAP, DIMACS-ish), so
+//! downstream users can feed their own data in directly.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::ids::{VertexId, Weight};
+use std::fmt;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors raised while parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse { line: usize, message: String },
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "I/O error: {e}"),
+            EdgeListError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Reads an edge list from any reader (buffered internally).
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, EdgeListError> {
+    let mut reader = BufReader::new(reader);
+    // Reuse one line buffer to avoid per-line allocation (perf guide idiom).
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    let mut builder: Option<GraphBuilder> = None;
+
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        match &mut builder {
+            None => {
+                let n: usize = parse_field(fields.next(), lineno, "vertex count")?;
+                if fields.next().is_some() {
+                    return Err(EdgeListError::Parse {
+                        line: lineno,
+                        message: "header must contain only the vertex count".into(),
+                    });
+                }
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some(b) => {
+                let u: VertexId = parse_field(fields.next(), lineno, "source vertex")?;
+                let v: VertexId = parse_field(fields.next(), lineno, "target vertex")?;
+                let w: Weight = match fields.next() {
+                    Some(f) => f.parse().map_err(|_| EdgeListError::Parse {
+                        line: lineno,
+                        message: format!("invalid weight '{f}'"),
+                    })?,
+                    None => 1,
+                };
+                if fields.next().is_some() {
+                    return Err(EdgeListError::Parse {
+                        line: lineno,
+                        message: "too many fields".into(),
+                    });
+                }
+                if (u as usize) >= b.num_vertices() || (v as usize) >= b.num_vertices() {
+                    return Err(EdgeListError::Parse {
+                        line: lineno,
+                        message: format!("edge ({u}, {v}) out of range"),
+                    });
+                }
+                if w == 0 {
+                    return Err(EdgeListError::Parse {
+                        line: lineno,
+                        message: "weights must be positive".into(),
+                    });
+                }
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+        }
+    }
+    Ok(builder.unwrap_or_else(|| GraphBuilder::new(0)).build())
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, EdgeListError> {
+    let f = field.ok_or_else(|| EdgeListError::Parse { line, message: format!("missing {what}") })?;
+    f.parse().map_err(|_| EdgeListError::Parse { line, message: format!("invalid {what} '{f}'") })
+}
+
+/// Parses an edge list from an in-memory string.
+pub fn parse_edge_list(text: &str) -> Result<CsrGraph, EdgeListError> {
+    read_edge_list(text.as_bytes())
+}
+
+/// Writes `g` in the edge-list format (with a header comment).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# islabel edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(w, "{}", g.num_vertices())?;
+    for (u, v, weight) in g.edge_list() {
+        writeln!(w, "{u} {v} {weight}")?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 3);
+        b.add_edge(1, 4, 7);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn comments_and_default_weights() {
+        let g = parse_edge_list("# hi\n% there\n3\n0 1\n1 2 5\n").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+        assert_eq!(g.edge_weight(1, 2), Some(5));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = parse_edge_list("2\n0 5 1\n").unwrap_err();
+        assert!(matches!(err, EdgeListError::Parse { line: 2, .. }), "{err}");
+        let err = parse_edge_list("2\n0 x\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn zero_weight_rejected() {
+        let err = parse_edge_list("2\n0 1 0\n").unwrap_err();
+        assert!(err.to_string().contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn self_loops_skipped() {
+        let g = parse_edge_list("2\n0 0 3\n0 1 2\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # islabel — facade crate
+//!
+//! Re-exports the whole IS-LABEL workspace behind one dependency:
+//!
+//! * [`graph`] — graph substrate (CSR graphs, builders, generators, I/O).
+//! * [`extmem`] — external-memory substrate (block devices, external sort,
+//!   I/O accounting).
+//! * [`core`] — the IS-LABEL index itself (hierarchy, labels, queries).
+//! * [`baselines`] — comparison methods (Dijkstra, bi-Dijkstra, VC-Index,
+//!   Pruned Landmark Labeling).
+//!
+//! The most common entry points are re-exported at the top level:
+//!
+//! ```
+//! use islabel::{GraphBuilder, IsLabelIndex, BuildConfig};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1, 1);
+//! b.add_edge(1, 2, 2);
+//! b.add_edge(2, 3, 1);
+//! let g = b.build();
+//!
+//! let index = IsLabelIndex::build(&g, BuildConfig::default());
+//! assert_eq!(index.distance(0, 3), Some(4));
+//! assert_eq!(index.distance(3, 3), Some(0));
+//! ```
+
+pub use islabel_baselines as baselines;
+pub use islabel_core as core;
+pub use islabel_extmem as extmem;
+pub use islabel_graph as graph;
+
+pub use islabel_core::{BuildConfig, DiIsLabelIndex, IsLabelIndex};
+pub use islabel_graph::{
+    CsrDigraph, CsrGraph, Dataset, DigraphBuilder, Dist, GraphBuilder, Scale, VertexId, Weight,
+    INF,
+};

@@ -1,0 +1,127 @@
+//! Broad randomized correctness: IS-LABEL answers must equal Dijkstra
+//! answers on every dataset family, weight model, and k-selection policy
+//! (Theorems 2–4).
+
+use islabel::baselines::{BiDijkstra, PllIndex, VcConfig, VcIndex};
+use islabel::core::reference::dijkstra_p2p;
+use islabel::core::{BuildConfig, IsLabelIndex};
+use islabel::graph::generators::{
+    barabasi_albert, erdos_renyi_gnm, grid2d, rmat, watts_strogatz, RmatParams, WeightModel,
+};
+use islabel::{CsrGraph, Dataset, Scale, VertexId};
+
+fn check(g: &CsrGraph, config: BuildConfig, queries: usize, tag: &str) {
+    let index = IsLabelIndex::build(g, config);
+    let n = g.num_vertices();
+    for i in 0..queries {
+        let s = ((i * 2654435761) % n) as VertexId;
+        let t = ((i * 40503 + n / 3) % n) as VertexId;
+        assert_eq!(index.distance(s, t), dijkstra_p2p(g, s, t), "{tag} ({s}, {t})");
+    }
+}
+
+#[test]
+fn every_generator_family() {
+    let cases: Vec<(&str, CsrGraph)> = vec![
+        ("er-unit", erdos_renyi_gnm(300, 700, WeightModel::Unit, 1)),
+        ("er-weighted", erdos_renyi_gnm(300, 700, WeightModel::UniformRange(1, 50), 2)),
+        ("ba", barabasi_albert(300, 3, WeightModel::UniformRange(1, 5), 3)),
+        ("ws", watts_strogatz(300, 6, 0.2, WeightModel::UniformRange(1, 9), 4)),
+        ("grid", grid2d(17, 18, WeightModel::UniformRange(1, 4), 5)),
+        ("rmat", rmat(8, 5, RmatParams::default(), WeightModel::Unit, 6)),
+    ];
+    for (tag, g) in &cases {
+        check(g, BuildConfig::default(), 80, tag);
+    }
+}
+
+#[test]
+fn every_k_selection_policy() {
+    let g = barabasi_albert(400, 3, WeightModel::UniformRange(1, 7), 9);
+    for (tag, config) in [
+        ("sigma95", BuildConfig::sigma(0.95)),
+        ("sigma70", BuildConfig::sigma(0.70)),
+        ("k2", BuildConfig::fixed_k(2)),
+        ("k5", BuildConfig::fixed_k(5)),
+        ("full", BuildConfig::full()),
+    ] {
+        check(&g, config, 120, tag);
+    }
+}
+
+#[test]
+fn all_paper_datasets_at_tiny_scale() {
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Tiny);
+        check(&g, BuildConfig::default(), 60, ds.name());
+    }
+}
+
+#[test]
+fn disconnected_forests() {
+    // A forest of disjoint stars: most pairs are unreachable.
+    let mut b = islabel::GraphBuilder::new(120);
+    for c in 0..10u32 {
+        let center = c * 12;
+        for leaf in 1..12u32 {
+            b.add_edge(center, center + leaf, leaf);
+        }
+    }
+    let g = b.build();
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    for s in (0..120u32).step_by(7) {
+        for t in (0..120u32).step_by(11) {
+            assert_eq!(index.distance(s, t), dijkstra_p2p(&g, s, t), "({s}, {t})");
+        }
+    }
+}
+
+#[test]
+fn all_methods_agree_on_shared_workload() {
+    // IS-LABEL, VC-Index(P2P), PLL and bidirectional Dijkstra must return
+    // identical answers — the cross-validation behind Table 8.
+    let g = Dataset::SkitterLike.generate(Scale::Tiny);
+    let n = g.num_vertices();
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let vc = VcIndex::build(&g, VcConfig::default());
+    let pll = PllIndex::build(&g);
+    let mut bidij = BiDijkstra::new(n);
+    for i in 0..150usize {
+        let s = ((i * 48271) % n) as VertexId;
+        let t = ((i * 16807 + 11) % n) as VertexId;
+        let a = index.distance(s, t);
+        let b = vc.distance(s, t);
+        let c = pll.distance(s, t);
+        let d = bidij.distance(&g, s, t);
+        assert!(a == b && b == c && c == d, "({s}, {t}): {a:?} {b:?} {c:?} {d:?}");
+    }
+}
+
+#[test]
+fn heavyweight_weights_work_within_contract() {
+    // Large weights whose shortest-path sums still fit in u32 (the
+    // documented construction contract); query distances accumulate in u64.
+    let w = u32::MAX / 64;
+    let mut b = islabel::GraphBuilder::new(40);
+    for v in 0..39u32 {
+        b.add_edge(v, v + 1, w);
+    }
+    let g = b.build();
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    assert_eq!(index.distance(0, 39), Some(39 * w as u64));
+}
+
+#[test]
+#[should_panic(expected = "augmenting edge weight overflows")]
+fn overflowing_weights_fail_loudly_not_silently() {
+    // Out-of-contract weights (2-hop repairs exceed u32) must panic with a
+    // clear message instead of wrapping into wrong distances. A 5-path
+    // forces the greedy IS to peel the middle vertex, whose repair edge
+    // would weigh 2 · u32::MAX.
+    let mut b = islabel::GraphBuilder::new(5);
+    for v in 0..4u32 {
+        b.add_edge(v, v + 1, u32::MAX);
+    }
+    let g = b.build();
+    let _ = IsLabelIndex::build(&g, BuildConfig::default());
+}

@@ -1,0 +1,80 @@
+//! Shortest-path reconstruction (Section 8.1) at integration scale: every
+//! returned path must be edge-valid in the original graph and exactly as
+//! long as the distance answer.
+
+use islabel::core::reference::dijkstra_p2p;
+use islabel::core::{BuildConfig, IsLabelIndex};
+use islabel::graph::generators::{barabasi_albert, grid2d, WeightModel};
+use islabel::{CsrGraph, Dataset, Scale, VertexId};
+
+fn check_paths(g: &CsrGraph, config: BuildConfig, queries: usize, tag: &str) {
+    let index = IsLabelIndex::build(g, config);
+    let n = g.num_vertices();
+    for i in 0..queries {
+        let s = ((i * 2654435761) % n) as VertexId;
+        let t = ((i * 97 + 13) % n) as VertexId;
+        let expect = dijkstra_p2p(g, s, t);
+        match (index.shortest_path(s, t), expect) {
+            (Some(p), Some(d)) => {
+                assert_eq!(p.length, d, "{tag} ({s}, {t}) length");
+                assert_eq!(*p.vertices.first().unwrap(), s);
+                assert_eq!(*p.vertices.last().unwrap(), t);
+                p.validate_against(g).unwrap_or_else(|e| panic!("{tag} ({s}, {t}): {e}"));
+            }
+            (None, None) => {}
+            (p, d) => panic!("{tag} ({s}, {t}): path {p:?} vs dist {d:?}"),
+        }
+    }
+}
+
+#[test]
+fn paths_on_all_datasets() {
+    for ds in Dataset::ALL {
+        let g = ds.generate(Scale::Tiny);
+        check_paths(&g, BuildConfig::default(), 50, ds.name());
+    }
+}
+
+#[test]
+fn paths_on_long_thin_graphs() {
+    // Grids produce deep hierarchies and heavily nested augmenting edges —
+    // the stress case for recursive expansion.
+    let g = grid2d(40, 5, WeightModel::UniformRange(1, 6), 3);
+    check_paths(&g, BuildConfig::default(), 80, "grid40x5");
+    check_paths(&g, BuildConfig::full(), 80, "grid40x5-full");
+}
+
+#[test]
+fn paths_with_every_k_policy() {
+    let g = barabasi_albert(250, 3, WeightModel::UniformRange(1, 4), 8);
+    for (tag, config) in [
+        ("default", BuildConfig::default()),
+        ("full", BuildConfig::full()),
+        ("k3", BuildConfig::fixed_k(3)),
+    ] {
+        check_paths(&g, config, 70, tag);
+    }
+}
+
+#[test]
+fn path_endpoints_and_self_paths() {
+    let g = barabasi_albert(100, 2, WeightModel::Unit, 5);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    for v in (0..100u32).step_by(13) {
+        let p = index.shortest_path(v, v).unwrap();
+        assert_eq!(p.vertices, vec![v]);
+        assert_eq!(p.length, 0);
+    }
+}
+
+#[test]
+fn path_hop_counts_match_bfs_on_unweighted_graphs() {
+    // On a unit-weight graph, path length == hop count == BFS distance.
+    let g = barabasi_albert(300, 3, WeightModel::Unit, 21);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let bfs = islabel::graph::algo::bfs_distances(&g, 17);
+    for t in (0..300u32).step_by(29) {
+        let p = index.shortest_path(17, t).unwrap();
+        assert_eq!(p.num_edges() as u64, bfs[t as usize], "target {t}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Persistence integration: graph text/binary formats, disk-resident
+//! labels on real files, and the modeled I/O accounting.
+
+use islabel::core::disklabel::DiskLabelStore;
+use islabel::core::{BuildConfig, IsLabelIndex};
+use islabel::extmem::storage::Storage;
+use islabel::extmem::{DirStorage, IoCostModel, MemStorage};
+use islabel::graph::io::{parse_edge_list, read_csr_binary, write_csr_binary, write_edge_list};
+use islabel::{Dataset, Scale};
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("islabel-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn graph_survives_both_serialization_formats() {
+    let g = Dataset::GoogleLike.generate(Scale::Tiny);
+
+    // Text roundtrip.
+    let mut text = Vec::new();
+    write_edge_list(&g, &mut text).unwrap();
+    let parsed = parse_edge_list(std::str::from_utf8(&text).unwrap()).unwrap();
+    assert_eq!(parsed, g);
+
+    // Binary roundtrip.
+    let mut bin = Vec::new();
+    write_csr_binary(&g, &mut bin).unwrap();
+    let decoded = read_csr_binary(&mut &bin[..]).unwrap();
+    assert_eq!(decoded, g);
+}
+
+#[test]
+fn index_built_from_reloaded_graph_is_identical() {
+    let g = Dataset::WikiTalkLike.generate(Scale::Tiny);
+    let mut bin = Vec::new();
+    write_csr_binary(&g, &mut bin).unwrap();
+    let g2 = read_csr_binary(&mut &bin[..]).unwrap();
+
+    let a = IsLabelIndex::build(&g, BuildConfig::default());
+    let b = IsLabelIndex::build(&g2, BuildConfig::default());
+    assert_eq!(a.labels(), b.labels(), "deterministic build from equal graphs");
+    for i in 0..50u32 {
+        let (s, t) = ((i * 13) % g.num_vertices() as u32, (i * 7 + 1) % g.num_vertices() as u32);
+        assert_eq!(a.distance(s, t), b.distance(s, t));
+    }
+}
+
+#[test]
+fn disk_labels_on_real_files() {
+    let dir = tempdir("labels");
+    let g = Dataset::BtcLike.generate(Scale::Tiny);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+
+    let storage = DirStorage::new(&dir).unwrap();
+    let store = DiskLabelStore::write(&storage, "labels", index.labels()).unwrap();
+
+    // Reopen from disk (fresh offset table) and compare every label.
+    let reopened = DiskLabelStore::open(&storage, "labels").unwrap();
+    for v in (0..g.num_vertices() as u32).step_by(37) {
+        let disk: Vec<(u32, u64)> = reopened.fetch(&storage, v).unwrap().view().iter().collect();
+        let mem: Vec<(u32, u64)> = index.labels().label(v).iter().collect();
+        assert_eq!(disk, mem, "label({v})");
+    }
+
+    // Queries straight off disk match in-memory answers.
+    for (s, t) in [(0u32, 100u32), (5, 77), (50, 51)] {
+        let ls = store.fetch(&storage, s).unwrap();
+        let lt = store.fetch(&storage, t).unwrap();
+        assert_eq!(
+            index.distance_from_labels(ls.view(), lt.view()),
+            index.distance(s, t),
+            "({s}, {t})"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn io_accounting_feeds_cost_model() {
+    let g = Dataset::GoogleLike.generate(Scale::Tiny);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let storage = MemStorage::new();
+    let store = DiskLabelStore::write(&storage, "labels", index.labels()).unwrap();
+
+    let io = storage.stats();
+    io.reset();
+    store.fetch(&storage, 3).unwrap();
+    store.fetch(&storage, 4).unwrap();
+    let snap = io.snapshot();
+    assert_eq!(snap.seeks, 2);
+
+    // Two seeks at 10 ms each dominate the modeled time for small labels.
+    let model = IoCostModel::default();
+    let t = model.modeled_time(&snap);
+    assert!(t >= std::time::Duration::from_millis(20), "{t:?}");
+    assert!(t < std::time::Duration::from_millis(40), "{t:?}");
+}
+
+#[test]
+fn mem_and_dir_storage_hold_identical_bytes() {
+    let g = Dataset::SkitterLike.generate(Scale::Tiny);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+
+    let mem = MemStorage::new();
+    DiskLabelStore::write(&mem, "l", index.labels()).unwrap();
+
+    let dir = tempdir("parity");
+    let disk = DirStorage::new(&dir).unwrap();
+    DiskLabelStore::write(&disk, "l", index.labels()).unwrap();
+
+    for name in ["l", "l.idx"] {
+        let mut a = Vec::new();
+        mem.open(name).unwrap().read_to_end(&mut a).unwrap();
+        let mut b = Vec::new();
+        disk.open(name).unwrap().read_to_end(&mut b).unwrap();
+        assert_eq!(a, b, "object {name}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+use std::io::Read;
