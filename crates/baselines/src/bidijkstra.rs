@@ -78,9 +78,19 @@ impl BiDijkstra {
             }
             let forward = min_f <= min_r;
             let (q, dist_x, settled_x, dist_y) = if forward {
-                (&mut self.fq, &mut self.dist_f, &mut self.settled_f, &self.dist_r)
+                (
+                    &mut self.fq,
+                    &mut self.dist_f,
+                    &mut self.settled_f,
+                    &self.dist_r,
+                )
             } else {
-                (&mut self.rq, &mut self.dist_r, &mut self.settled_r, &self.dist_f)
+                (
+                    &mut self.rq,
+                    &mut self.dist_r,
+                    &mut self.settled_r,
+                    &self.dist_f,
+                )
             };
             let Reverse((d, v)) = q.pop().expect("live entry");
             settled_x[v as usize] = true;
@@ -178,8 +188,9 @@ mod tests {
     fn reuse_across_queries_is_clean() {
         let g = erdos_renyi_gnm(60, 150, WeightModel::Unit, 2);
         let mut bi = BiDijkstra::new(60);
-        let expect: Vec<Option<Dist>> =
-            (0..30u32).map(|i| islabel_core::reference::dijkstra_p2p(&g, i, 59 - i)).collect();
+        let expect: Vec<Option<Dist>> = (0..30u32)
+            .map(|i| islabel_core::reference::dijkstra_p2p(&g, i, 59 - i))
+            .collect();
         for round in 0..3 {
             for (i, e) in expect.iter().enumerate() {
                 let i = i as u32;

@@ -19,7 +19,11 @@ pub struct Dijkstra {
 impl Dijkstra {
     /// Allocates buffers for graphs of `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { dist: vec![INF; n], touched: Vec::new(), heap: BinaryHeap::new() }
+        Self {
+            dist: vec![INF; n],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
     }
 
     fn reset(&mut self) {

@@ -99,7 +99,10 @@ impl PllIndex {
         // Labels are produced in ascending rank order already (each landmark
         // appends its own rank once); assert in debug builds.
         debug_assert!(labels.iter().all(|l| l.windows(2).all(|w| w[0].0 < w[1].0)));
-        Self { labels, build_time: t0.elapsed() }
+        Self {
+            labels,
+            build_time: t0.elapsed(),
+        }
     }
 
     /// Construction wall-clock time.

@@ -179,7 +179,11 @@ mod tests {
             let vc = VcIndex::build(&g, VcConfig::default());
             for i in 0..50u32 {
                 let (s, t) = ((i * 3) % 100, (i * 7 + 2) % 100);
-                assert_eq!(vc.distance(s, t), dijkstra_p2p(&g, s, t), "seed {seed} ({s}, {t})");
+                assert_eq!(
+                    vc.distance(s, t),
+                    dijkstra_p2p(&g, s, t),
+                    "seed {seed} ({s}, {t})"
+                );
             }
         }
     }
@@ -209,7 +213,10 @@ mod tests {
         // was isolated in the input.
         for v in g.vertices() {
             if g.degree(v) > 0 {
-                assert!(vc.search_graph.degree(v) > 0, "vertex {v} lost its adjacency");
+                assert!(
+                    vc.search_graph.degree(v) > 0,
+                    "vertex {v} lost its adjacency"
+                );
             }
         }
     }

@@ -16,7 +16,10 @@ fn strategy_benches(c: &mut Criterion) {
         ("random", IsStrategy::Random(7)),
         ("max-degree", IsStrategy::MaxDegreeGreedy),
     ] {
-        let config = BuildConfig { is_strategy: strategy, ..BuildConfig::default() };
+        let config = BuildConfig {
+            is_strategy: strategy,
+            ..BuildConfig::default()
+        };
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| black_box(IsLabelIndex::build(&g, config)))
         });

@@ -17,7 +17,10 @@ fn construction_benches(c: &mut Criterion) {
             b.iter(|| black_box(IsLabelIndex::build(&g, BuildConfig::default())))
         });
         group.bench_function(BenchmarkId::new("is-label-no-paths", ds.name()), |b| {
-            let config = BuildConfig { keep_path_info: false, ..BuildConfig::default() };
+            let config = BuildConfig {
+                keep_path_info: false,
+                ..BuildConfig::default()
+            };
             b.iter(|| black_box(IsLabelIndex::build(&g, config)))
         });
         group.bench_function(BenchmarkId::new("is-label-external", ds.name()), |b| {

@@ -10,8 +10,9 @@ use islabel_core::query::intersect_min;
 fn make_labels(len: usize) -> (Vec<u32>, Vec<u64>, Vec<u32>, Vec<u64>) {
     let a_anc: Vec<u32> = (0..len as u32).map(|i| i * 2).collect();
     let a_d: Vec<u64> = (0..len as u64).map(|i| (i * 7) % 100 + 1).collect();
-    let b_anc: Vec<u32> =
-        (0..len as u32).map(|i| if i % 2 == 0 { i * 2 } else { i * 2 + 1 }).collect();
+    let b_anc: Vec<u32> = (0..len as u32)
+        .map(|i| if i % 2 == 0 { i * 2 } else { i * 2 + 1 })
+        .collect();
     let b_d: Vec<u64> = (0..len as u64).map(|i| (i * 13) % 100 + 1).collect();
     (a_anc, a_d, b_anc, b_d)
 }
@@ -22,8 +23,16 @@ fn label_ops(c: &mut Criterion) {
         let (a_anc, a_d, b_anc, b_d) = make_labels(len);
         group.throughput(Throughput::Elements(2 * len as u64));
         group.bench_function(BenchmarkId::from_parameter(len), |bch| {
-            let a = LabelView { ancestors: &a_anc, dists: &a_d, first_hops: &[] };
-            let b = LabelView { ancestors: &b_anc, dists: &b_d, first_hops: &[] };
+            let a = LabelView {
+                ancestors: &a_anc,
+                dists: &a_d,
+                first_hops: &[],
+            };
+            let b = LabelView {
+                ancestors: &b_anc,
+                dists: &b_d,
+                first_hops: &[],
+            };
             bch.iter(|| black_box(intersect_min(a, b)))
         });
     }

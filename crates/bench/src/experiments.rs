@@ -61,7 +61,10 @@ pub fn run_disk_queries(
     cost: &IoCostModel,
     workload: &QueryWorkload,
 ) -> DiskQueryStats {
-    let mut stats = DiskQueryStats { queries: workload.len(), ..Default::default() };
+    let mut stats = DiskQueryStats {
+        queries: workload.len(),
+        ..Default::default()
+    };
     let io = storage.stats();
     for &(s, t) in &workload.pairs {
         let before = io.snapshot();
@@ -85,7 +88,10 @@ fn fetch_or_self(
 ) -> FetchedLabel {
     if index.is_in_gk(v) {
         // label(v) = {(v, 0)} for residual vertices — no disk access.
-        FetchedLabel { ancestors: vec![v], dists: vec![0] }
+        FetchedLabel {
+            ancestors: vec![v],
+            dists: vec![0],
+        }
     } else {
         store.fetch(storage, v).expect("label fetch")
     }
@@ -133,9 +139,24 @@ pub fn table2() -> Table {
 /// Table 3 (σ = 0.95) / Table 7 (σ = 0.90): construction results.
 pub fn construction_table(sigma: f64, with_query_time: bool) -> Table {
     let headers: Vec<&str> = if with_query_time {
-        vec!["dataset", "k", "|V_Gk|", "|E_Gk|", "Label size", "Indexing time", "Query time"]
+        vec![
+            "dataset",
+            "k",
+            "|V_Gk|",
+            "|E_Gk|",
+            "Label size",
+            "Indexing time",
+            "Query time",
+        ]
     } else {
-        vec!["dataset", "k", "|V_Gk|", "|E_Gk|", "Label size", "Indexing time"]
+        vec![
+            "dataset",
+            "k",
+            "|V_Gk|",
+            "|E_Gk|",
+            "Label size",
+            "Indexing time",
+        ]
     };
     let mut t = Table::new(
         format!("Index construction with threshold {sigma}"),
@@ -219,7 +240,11 @@ pub fn table5() -> Table {
     for ds in [Dataset::BtcLike, Dataset::WebLike] {
         let g = ds.generate(scale);
         let (index, storage, store) = build_disk_backed(&g, BuildConfig::default());
-        for qtype in [QueryType::BothInGk, QueryType::OneInGk, QueryType::NeitherInGk] {
+        for qtype in [
+            QueryType::BothInGk,
+            QueryType::OneInGk,
+            QueryType::NeitherInGk,
+        ] {
             let Some(workload) = QueryWorkload::of_type(&index, qtype, nq, 0x55) else {
                 t.row(vec![
                     ds.name().into(),
@@ -254,7 +279,15 @@ pub fn table5() -> Table {
 pub fn table6() -> Table {
     let mut t = Table::new(
         "Table 6 — index construction time, label size, G_k size and query time vs k",
-        &["dataset", "k", "|V_Gk|", "|E_Gk|", "Label size", "Indexing time", "Query time"],
+        &[
+            "dataset",
+            "k",
+            "|V_Gk|",
+            "|E_Gk|",
+            "Label size",
+            "Indexing time",
+            "Query time",
+        ],
     );
     let nq = env_num_queries();
     let scale = crate::workload::env_scale();
@@ -342,7 +375,10 @@ pub fn table8() -> Table {
             let a = index.distance(s, t);
             let b = vc.distance(s, t);
             let c = bidij.distance(&g, s, t);
-            assert!(a == b && b == c, "method divergence on ({s}, {t}): {a:?} {b:?} {c:?}");
+            assert!(
+                a == b && b == c,
+                "method divergence on ({s}, {t}): {a:?} {b:?} {c:?}"
+            );
         }
 
         t.row(vec![
@@ -383,7 +419,14 @@ pub fn table9() -> Table {
 pub fn ablation_strategy() -> Table {
     let mut t = Table::new(
         "Ablation A — independent-set strategy (BTC-like)",
-        &["strategy", "k", "|V_Gk|", "Label size", "Indexing time", "Query time"],
+        &[
+            "strategy",
+            "k",
+            "|V_Gk|",
+            "Label size",
+            "Indexing time",
+            "Query time",
+        ],
     );
     let g = Dataset::BtcLike.generate(crate::workload::env_scale());
     let nq = env_num_queries().min(200);
@@ -393,7 +436,10 @@ pub fn ablation_strategy() -> Table {
         ("random order", IsStrategy::Random(7)),
         ("max-degree greedy", IsStrategy::MaxDegreeGreedy),
     ] {
-        let config = BuildConfig { is_strategy: strategy, ..BuildConfig::default() };
+        let config = BuildConfig {
+            is_strategy: strategy,
+            ..BuildConfig::default()
+        };
         let index = IsLabelIndex::build(&g, config);
         let s = index.stats();
         let (_, qt) = time(|| {
@@ -420,7 +466,15 @@ pub fn ablation_strategy() -> Table {
 pub fn ablation_sigma() -> Table {
     let mut t = Table::new(
         "Ablation B — σ sweep (Web-like)",
-        &["sigma", "k", "|V_Gk|", "|E_Gk|", "Label size", "Indexing time", "Query time"],
+        &[
+            "sigma",
+            "k",
+            "|V_Gk|",
+            "|E_Gk|",
+            "Label size",
+            "Indexing time",
+            "Query time",
+        ],
     );
     let g = Dataset::WebLike.generate(crate::workload::env_scale());
     let nq = env_num_queries().min(200);
@@ -482,7 +536,13 @@ pub fn ablation_parallel() -> Table {
 pub fn ablation_twohop() -> Table {
     let mut t = Table::new(
         "Ablation C — 2-hop (PLL) vs IS-LABEL construction across graph sizes (BA, m = 5)",
-        &["n", "PLL build", "PLL size", "IS-LABEL build", "IS-LABEL labels"],
+        &[
+            "n",
+            "PLL build",
+            "PLL size",
+            "IS-LABEL build",
+            "IS-LABEL labels",
+        ],
     );
     for n in [2_000usize, 4_000, 8_000, 16_000] {
         let g = islabel_graph::generators::barabasi_albert(
@@ -528,7 +588,15 @@ mod tests {
     #[test]
     fn table2_through_table9_render() {
         with_tiny_env(|| {
-            for t in [table2(), table3(), table4(), table5(), table6(), table8(), table9()] {
+            for t in [
+                table2(),
+                table3(),
+                table4(),
+                table5(),
+                table6(),
+                table8(),
+                table9(),
+            ] {
                 let s = t.to_string();
                 assert!(!s.is_empty());
             }

@@ -42,7 +42,10 @@ mod tests {
 
     #[test]
     fn per_query_division() {
-        assert_eq!(per_query(Duration::from_millis(100), 10), Duration::from_millis(10));
+        assert_eq!(
+            per_query(Duration::from_millis(100), 10),
+            Duration::from_millis(10)
+        );
         assert_eq!(per_query(Duration::from_millis(100), 0), Duration::ZERO);
     }
 

@@ -44,8 +44,7 @@ impl QueryWorkload {
     ) -> Option<Self> {
         let n = index.num_vertices();
         let gk: Vec<VertexId> = index.hierarchy().gk_members().to_vec();
-        let non_gk: Vec<VertexId> =
-            (0..n as VertexId).filter(|&v| !index.is_in_gk(v)).collect();
+        let non_gk: Vec<VertexId> = (0..n as VertexId).filter(|&v| !index.is_in_gk(v)).collect();
         let feasible = match qtype {
             QueryType::BothInGk => gk.len() >= 2,
             QueryType::OneInGk => !gk.is_empty() && !non_gk.is_empty(),
@@ -84,7 +83,11 @@ impl QueryWorkload {
 
 /// Dataset scale from `ISLABEL_SCALE` (default `small`).
 pub fn env_scale() -> Scale {
-    match std::env::var("ISLABEL_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("ISLABEL_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => Scale::Tiny,
         "medium" => Scale::Medium,
         "large" => Scale::Large,
@@ -95,13 +98,19 @@ pub fn env_scale() -> Scale {
 
 /// Query count from `ISLABEL_QUERIES` (default 1000, the paper's count).
 pub fn env_num_queries() -> usize {
-    std::env::var("ISLABEL_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(1000)
+    std::env::var("ISLABEL_QUERIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000)
 }
 
 /// All five paper datasets at the environment scale.
 pub fn env_datasets() -> Vec<(Dataset, islabel_graph::CsrGraph)> {
     let scale = env_scale();
-    Dataset::ALL.iter().map(|&ds| (ds, ds.generate(scale))).collect()
+    Dataset::ALL
+        .iter()
+        .map(|&ds| (ds, ds.generate(scale)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -126,7 +135,11 @@ mod tests {
         let g = barabasi_albert(300, 4, WeightModel::Unit, 3);
         let index = IsLabelIndex::build(&g, BuildConfig::default());
         assert!(index.stats().gk_vertices >= 2, "need a residual graph");
-        for qtype in [QueryType::BothInGk, QueryType::OneInGk, QueryType::NeitherInGk] {
+        for qtype in [
+            QueryType::BothInGk,
+            QueryType::OneInGk,
+            QueryType::NeitherInGk,
+        ] {
             let w = QueryWorkload::of_type(&index, qtype, 30, 1).unwrap();
             for &(s, t) in &w.pairs {
                 assert_eq!(index.query_type(s, t), qtype, "({s}, {t})");

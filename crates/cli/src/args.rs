@@ -18,7 +18,10 @@ impl Args {
     /// value (either `--name value` or `--name=value`); other `--name`
     /// occurrences are boolean flags.
     pub fn parse(argv: &[String], value_options: &'static [&'static str]) -> Result<Self, String> {
-        let mut out = Args { value_options, ..Default::default() };
+        let mut out = Args {
+            value_options,
+            ..Default::default()
+        };
         let mut it = argv.iter().peekable();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
@@ -35,8 +38,7 @@ impl Args {
             } else if let Some(name) = arg.strip_prefix("-") {
                 // Short alias: only -o for --out.
                 if name == "o" {
-                    let value =
-                        it.next().ok_or_else(|| "-o requires a value".to_string())?;
+                    let value = it.next().ok_or_else(|| "-o requires a value".to_string())?;
                     out.options.insert("out".to_string(), value.clone());
                 } else {
                     return Err(format!("unknown option -{name}"));
@@ -50,12 +52,18 @@ impl Args {
 
     /// The `i`-th positional argument.
     pub fn pos(&self, i: usize, what: &str) -> Result<&str, String> {
-        self.positional.get(i).map(|s| s.as_str()).ok_or_else(|| format!("missing {what}"))
+        self.positional
+            .get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("missing {what}"))
     }
 
     /// Optional `--name value`.
     pub fn opt(&self, name: &str) -> Option<&str> {
-        debug_assert!(self.value_options.contains(&name), "undeclared option {name}");
+        debug_assert!(
+            self.value_options.contains(&name),
+            "undeclared option {name}"
+        );
         self.options.get(name).map(|s| s.as_str())
     }
 
@@ -101,8 +109,11 @@ mod tests {
 
     #[test]
     fn positional_and_options() {
-        let a = Args::parse(&argv(&["graph.txt", "--sigma", "0.9", "--path", "-o", "x.islx"]),
-            &["sigma", "out"]).unwrap();
+        let a = Args::parse(
+            &argv(&["graph.txt", "--sigma", "0.9", "--path", "-o", "x.islx"]),
+            &["sigma", "out"],
+        )
+        .unwrap();
         assert_eq!(a.pos(0, "graph").unwrap(), "graph.txt");
         assert_eq!(a.opt("sigma"), Some("0.9"));
         assert_eq!(a.opt("out"), Some("x.islx"));

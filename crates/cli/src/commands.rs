@@ -3,9 +3,9 @@
 use crate::args::Args;
 use islabel_core::persist::{load_index_from_path, save_index_to_path};
 use islabel_core::{BuildConfig, IsLabelIndex, KSelection};
+use islabel_extmem::storage::Storage as _;
 use islabel_graph::algo::stats::{human_bytes, human_count};
 use islabel_graph::io::{read_csr_binary, read_edge_list, write_csr_binary, write_edge_list};
-use islabel_extmem::storage::Storage as _;
 use islabel_graph::{CsrGraph, Dataset, Scale, VertexId};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::path::Path;
@@ -54,7 +54,11 @@ fn parse_dataset(name: &str) -> Result<Dataset, String> {
         "skitter" => Dataset::SkitterLike,
         "wikitalk" => Dataset::WikiTalkLike,
         "google" => Dataset::GoogleLike,
-        other => return Err(format!("unknown dataset '{other}' (btc|web|skitter|wikitalk|google)")),
+        other => {
+            return Err(format!(
+                "unknown dataset '{other}' (btc|web|skitter|wikitalk|google)"
+            ))
+        }
     })
 }
 
@@ -94,9 +98,10 @@ fn gen(argv: &[String]) -> Result<(), String> {
     args.reject_unknown_flags(&[])?;
     let dataset = parse_dataset(args.pos(0, "dataset name")?)?;
     let scale = parse_scale(args.opt("scale").unwrap_or("small"))?;
-    let out = args.opt("out").map(str::to_string).unwrap_or_else(|| {
-        format!("{}.isgb", args.pos(0, "dataset").unwrap())
-    });
+    let out = args
+        .opt("out")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{}.isgb", args.pos(0, "dataset").unwrap()));
     let t0 = Instant::now();
     let g = dataset.generate(scale);
     save_graph(&g, &out)?;
@@ -119,7 +124,11 @@ fn convert(argv: &[String]) -> Result<(), String> {
     let output = args.pos(1, "output path")?;
     let g = load_graph(input)?;
     save_graph(&g, output)?;
-    println!("{input} -> {output} ({} vertices, {} edges)", g.num_vertices(), g.num_edges());
+    println!(
+        "{input} -> {output} ({} vertices, {} edges)",
+        g.num_vertices(),
+        g.num_edges()
+    );
     Ok(())
 }
 
@@ -127,10 +136,17 @@ fn build(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &["sigma", "k", "out", "workdir"])?;
     args.reject_unknown_flags(&["full", "no-paths", "external"])?;
     let graph_path = args.pos(0, "graph path")?;
-    let out = args.opt("out").ok_or("missing -o <index.islx>")?.to_string();
+    let out = args
+        .opt("out")
+        .ok_or("missing -o <index.islx>")?
+        .to_string();
 
     let mut config = BuildConfig::default();
-    match (args.opt_parse::<f64>("sigma")?, args.opt_parse::<u32>("k")?, args.flag("full")) {
+    match (
+        args.opt_parse::<f64>("sigma")?,
+        args.opt_parse::<u32>("k")?,
+        args.flag("full"),
+    ) {
         (Some(_), Some(_), _) | (Some(_), _, true) | (_, Some(_), true) => {
             return Err("--sigma, --k and --full are mutually exclusive".into())
         }
@@ -152,7 +168,10 @@ fn build(argv: &[String]) -> Result<(), String> {
     );
     let index = if args.flag("external") {
         let workdir = args.opt("workdir").map(str::to_string).unwrap_or_else(|| {
-            std::env::temp_dir().join("islabel-build").to_string_lossy().into_owned()
+            std::env::temp_dir()
+                .join("islabel-build")
+                .to_string_lossy()
+                .into_owned()
         });
         let storage = islabel_extmem::DirStorage::new(&workdir)
             .map_err(|e| format!("workdir {workdir}: {e}"))?;
@@ -184,13 +203,20 @@ fn query(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
     args.reject_unknown_flags(&["path"])?;
     let index_path = args.pos(0, "index path")?;
-    let s: VertexId =
-        args.pos(1, "source vertex")?.parse().map_err(|_| "invalid source vertex id")?;
-    let t: VertexId =
-        args.pos(2, "target vertex")?.parse().map_err(|_| "invalid target vertex id")?;
+    let s: VertexId = args
+        .pos(1, "source vertex")?
+        .parse()
+        .map_err(|_| "invalid source vertex id")?;
+    let t: VertexId = args
+        .pos(2, "target vertex")?
+        .parse()
+        .map_err(|_| "invalid target vertex id")?;
     let index = load_index_from_path(index_path).map_err(|e| format!("load {index_path}: {e}"))?;
     if (s as usize) >= index.num_vertices() || (t as usize) >= index.num_vertices() {
-        return Err(format!("vertex out of range (index has {} vertices)", index.num_vertices()));
+        return Err(format!(
+            "vertex out of range (index has {} vertices)",
+            index.num_vertices()
+        ));
     }
     let t0 = Instant::now();
     let d = index.distance(s, t);
@@ -227,7 +253,12 @@ fn bench(argv: &[String]) -> Result<(), String> {
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let pairs: Vec<(VertexId, VertexId)> = (0..queries)
-        .map(|_| (rng.gen_range(0..n as VertexId), rng.gen_range(0..n as VertexId)))
+        .map(|_| {
+            (
+                rng.gen_range(0..n as VertexId),
+                rng.gen_range(0..n as VertexId),
+            )
+        })
         .collect();
     let t0 = Instant::now();
     let mut reachable = 0usize;
@@ -257,9 +288,18 @@ fn stats(argv: &[String]) -> Result<(), String> {
         println!("  vertices:      {}", human_count(s.num_vertices));
         println!("  edges:         {}", human_count(s.num_edges));
         println!("  k:             {}", s.k);
-        println!("  |V_Gk|:        {} ({:.1}%)", human_count(s.gk_vertices), 100.0 * s.gk_vertex_fraction());
+        println!(
+            "  |V_Gk|:        {} ({:.1}%)",
+            human_count(s.gk_vertices),
+            100.0 * s.gk_vertex_fraction()
+        );
         println!("  |E_Gk|:        {}", human_count(s.gk_edges));
-        println!("  label entries: {} (avg {:.1}, max {})", human_count(s.label_entries), s.avg_label_len, s.max_label_len);
+        println!(
+            "  label entries: {} (avg {:.1}, max {})",
+            human_count(s.label_entries),
+            s.avg_label_len,
+            s.max_label_len
+        );
         println!("  label bytes:   {}", human_bytes(s.label_bytes));
         println!("  path info:     {}", index.labels().has_path_info());
     } else {
@@ -309,8 +349,18 @@ mod tests {
         let index = tmp("ie.islx");
         let workdir = tmp("wd");
         run(&["gen", "wikitalk", "--scale", "tiny", "-o", &graph]).unwrap();
-        run(&["build", &graph, "-o", &index, "--external", "--workdir", &workdir, "--sigma", "0.9"])
-            .unwrap();
+        run(&[
+            "build",
+            &graph,
+            "-o",
+            &index,
+            "--external",
+            "--workdir",
+            &workdir,
+            "--sigma",
+            "0.9",
+        ])
+        .unwrap();
         run(&["query", &index, "1", "2"]).unwrap();
         std::fs::remove_file(&graph).ok();
         std::fs::remove_file(&index).ok();
@@ -335,7 +385,10 @@ mod tests {
 
     #[test]
     fn conflicting_k_selection_rejected() {
-        let err = run(&["build", "x.isgb", "-o", "y.islx", "--sigma", "0.9", "--full"]).unwrap_err();
+        let err = run(&[
+            "build", "x.isgb", "-o", "y.islx", "--sigma", "0.9", "--full",
+        ])
+        .unwrap_err();
         assert!(err.contains("mutually exclusive"), "{err}");
     }
 

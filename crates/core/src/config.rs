@@ -76,18 +76,27 @@ impl BuildConfig {
             threshold > 0.0 && threshold <= 1.0,
             "σ must be in (0, 1], got {threshold}"
         );
-        Self { k_selection: KSelection::SigmaThreshold(threshold), ..Default::default() }
+        Self {
+            k_selection: KSelection::SigmaThreshold(threshold),
+            ..Default::default()
+        }
     }
 
     /// Exactly `k` levels.
     pub fn fixed_k(k: u32) -> Self {
         assert!(k >= 2, "k must be at least 2 (k = 1 would peel nothing)");
-        Self { k_selection: KSelection::FixedK(k), ..Default::default() }
+        Self {
+            k_selection: KSelection::FixedK(k),
+            ..Default::default()
+        }
     }
 
     /// Full hierarchy (`G_k` empty; label-only queries).
     pub fn full() -> Self {
-        Self { k_selection: KSelection::Full, ..Default::default() }
+        Self {
+            k_selection: KSelection::Full,
+            ..Default::default()
+        }
     }
 
     /// Validates the configuration, panicking on nonsense values.
@@ -99,7 +108,10 @@ impl BuildConfig {
             KSelection::FixedK(k) => assert!(k >= 2, "k must be at least 2, got {k}"),
             KSelection::Full => {}
         }
-        assert!(self.max_levels >= 2, "max_levels must allow at least one peel");
+        assert!(
+            self.max_levels >= 2,
+            "max_levels must allow at least one peel"
+        );
     }
 }
 
@@ -118,7 +130,10 @@ mod tests {
 
     #[test]
     fn constructors() {
-        assert_eq!(BuildConfig::sigma(0.9).k_selection, KSelection::SigmaThreshold(0.9));
+        assert_eq!(
+            BuildConfig::sigma(0.9).k_selection,
+            KSelection::SigmaThreshold(0.9)
+        );
         assert_eq!(BuildConfig::fixed_k(5).k_selection, KSelection::FixedK(5));
         assert_eq!(BuildConfig::full().k_selection, KSelection::Full);
     }

@@ -55,7 +55,13 @@ impl DiAdjacency {
                 inn[u as usize].insert(v, w);
             }
         }
-        Self { out, inn, present: vec![true; n], num_present: n, num_arcs: g.num_arcs() }
+        Self {
+            out,
+            inn,
+            present: vec![true; n],
+            num_present: n,
+            num_arcs: g.num_arcs(),
+        }
     }
 
     fn size(&self) -> usize {
@@ -70,7 +76,10 @@ impl DiAdjacency {
 
     /// All vertices adjacent to `v` in either direction.
     fn undirected_neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
-        self.out[v as usize].keys().copied().chain(self.inn[v as usize].keys().copied())
+        self.out[v as usize]
+            .keys()
+            .copied()
+            .chain(self.inn[v as usize].keys().copied())
     }
 
     fn upsert_arc_min(&mut self, u: VertexId, w: VertexId, weight: Weight) {
@@ -201,8 +210,9 @@ impl DiIsLabelIndex {
             i += 1;
         };
 
-        let gk_members: Vec<VertexId> =
-            (0..n as VertexId).filter(|&v| work.present[v as usize]).collect();
+        let gk_members: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| work.present[v as usize])
+            .collect();
         for &v in &gk_members {
             level_of[v as usize] = k;
         }
@@ -231,7 +241,11 @@ impl DiIsLabelIndex {
             gk_edges: gk.num_arcs(),
             label_entries,
             label_bytes,
-            avg_label_len: if n == 0 { 0.0 } else { label_entries as f64 / (2.0 * n as f64) },
+            avg_label_len: if n == 0 {
+                0.0
+            } else {
+                label_entries as f64 / (2.0 * n as f64)
+            },
             max_label_len: out_labels.max_label_len().max(in_labels.max_label_len()),
             hierarchy_time: t1 - t0,
             labeling_time: t2 - t1,
@@ -308,8 +322,14 @@ impl DiIsLabelIndex {
     ///
     /// Panics if `s` or `t` is out of range.
     pub fn distance(&self, s: VertexId, t: VertexId) -> Option<Dist> {
-        assert!((s as usize) < self.num_vertices(), "vertex {s} out of range");
-        assert!((t as usize) < self.num_vertices(), "vertex {t} out of range");
+        assert!(
+            (s as usize) < self.num_vertices(),
+            "vertex {s} out of range"
+        );
+        assert!(
+            (t as usize) < self.num_vertices(),
+            "vertex {t} out of range"
+        );
         if s == t {
             return Some(0);
         }
@@ -345,8 +365,9 @@ impl DiIsLabelIndex {
 
 /// Greedy IS over the undirected skeleton of the remaining digraph.
 fn select_is(work: &DiAdjacency, strategy: IsStrategy) -> Vec<VertexId> {
-    let mut order: Vec<VertexId> =
-        (0..work.present.len() as VertexId).filter(|&v| work.present[v as usize]).collect();
+    let mut order: Vec<VertexId> = (0..work.present.len() as VertexId)
+        .filter(|&v| work.present[v as usize])
+        .collect();
     match strategy {
         IsStrategy::MinDegreeGreedy => order.sort_by_key(|&v| (work.degree(v), v)),
         IsStrategy::MaxDegreeGreedy => {
@@ -410,8 +431,10 @@ fn build_directional_labels(
                     }
                 }
             }
-            let mut entries: Vec<(VertexId, Dist, VertexId)> =
-                merge.iter().map(|(&anc, &d)| (anc, d, crate::label::NO_HOP)).collect();
+            let mut entries: Vec<(VertexId, Dist, VertexId)> = merge
+                .iter()
+                .map(|(&anc, &d)| (anc, d, crate::label::NO_HOP))
+                .collect();
             entries.sort_unstable_by_key(|&(anc, _, _)| anc);
             labels[v as usize] = entries;
         }
@@ -505,7 +528,11 @@ mod tests {
     #[test]
     fn matches_directed_dijkstra_across_configs() {
         let g = random_digraph(150, 600, 9, 42);
-        for config in [BuildConfig::default(), BuildConfig::full(), BuildConfig::fixed_k(3)] {
+        for config in [
+            BuildConfig::default(),
+            BuildConfig::full(),
+            BuildConfig::fixed_k(3),
+        ] {
             let index = DiIsLabelIndex::build(&g, config);
             for i in 0..80u32 {
                 let (s, t) = ((i * 7) % 150, (i * 13 + 2) % 150);

@@ -14,8 +14,8 @@
 
 use crate::label::{LabelSet, LabelView};
 use bytes::{Buf, BufMut};
-use islabel_graph::{Dist, VertexId};
 use islabel_extmem::storage::Storage;
+use islabel_graph::{Dist, VertexId};
 use std::io::{self, Read, Write};
 
 /// A label fetched from disk, owning its arrays.
@@ -31,7 +31,11 @@ impl FetchedLabel {
     /// Borrows as the common label view (no path info on disk labels —
     /// distance querying only, as in the paper).
     pub fn view(&self) -> LabelView<'_> {
-        LabelView { ancestors: &self.ancestors, dists: &self.dists, first_hops: &[] }
+        LabelView {
+            ancestors: &self.ancestors,
+            dists: &self.dists,
+            first_hops: &[],
+        }
     }
 }
 
@@ -74,7 +78,10 @@ impl DiskLabelStore {
         }
         iw.write_all(&ibuf)?;
         iw.flush()?;
-        Ok(Self { name: name.to_string(), offsets })
+        Ok(Self {
+            name: name.to_string(),
+            offsets,
+        })
     }
 
     /// Opens a previously written store by loading the offset table.
@@ -91,9 +98,15 @@ impl DiskLabelStore {
             offsets.push(b.get_u64_le());
         }
         if !offsets.windows(2).all(|w| w[0] <= w[1]) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "offsets not monotone"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "offsets not monotone",
+            ));
         }
-        Ok(Self { name: name.to_string(), offsets })
+        Ok(Self {
+            name: name.to_string(),
+            offsets,
+        })
     }
 
     /// Number of vertices stored.

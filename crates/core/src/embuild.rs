@@ -57,7 +57,11 @@ pub struct EmConfig {
 
 impl Default for EmConfig {
     fn default() -> Self {
-        Self { memory_budget: 64 * 1024 * 1024, sort_fan_in: 16, exclusion_capacity: 1 << 22 }
+        Self {
+            memory_budget: 64 * 1024 * 1024,
+            sort_fan_in: 16,
+            exclusion_capacity: 1 << 22,
+        }
     }
 }
 
@@ -66,7 +70,11 @@ impl EmConfig {
     /// passes, exclusion purges and label blocks — used by tests to exercise
     /// every external code path on small graphs.
     pub fn tiny_for_tests() -> Self {
-        Self { memory_budget: 4 * 1024, sort_fan_in: 2, exclusion_capacity: 16 }
+        Self {
+            memory_budget: 4 * 1024,
+            sort_fan_in: 2,
+            exclusion_capacity: 16,
+        }
     }
 }
 
@@ -125,12 +133,18 @@ pub fn build_external(
 ) -> io::Result<IsLabelIndex> {
     config.validate();
     assert!(
-        matches!(config.is_strategy, crate::config::IsStrategy::MinDegreeGreedy),
+        matches!(
+            config.is_strategy,
+            crate::config::IsStrategy::MinDegreeGreedy
+        ),
         "external construction implements the paper's min-degree greedy selection"
     );
     let t0 = Instant::now();
     let n = input.universe;
-    let sort_config = SortConfig { memory_budget: em.memory_budget, fan_in: em.sort_fan_in };
+    let sort_config = SortConfig {
+        memory_budget: em.memory_budget,
+        fan_in: em.sort_fan_in,
+    };
 
     // Semi-external bookkeeping: ℓ(v), 0 = still present.
     let mut level_of = vec![0u32; n];
@@ -174,8 +188,9 @@ pub fn build_external(
     };
 
     // Residual graph G_k.
-    let gk_members: Vec<VertexId> =
-        (0..n as VertexId).filter(|&v| level_of[v as usize] == 0).collect();
+    let gk_members: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| level_of[v as usize] == 0)
+        .collect();
     for &v in &gk_members {
         level_of[v as usize] = k;
     }
@@ -244,7 +259,9 @@ pub fn build_external(
         labeling_time: t2 - t1,
         build_time: t2 - t0,
     };
-    Ok(IsLabelIndex::from_parts(graph, hierarchy, labels, config, stats))
+    Ok(IsLabelIndex::from_parts(
+        graph, hierarchy, labels, config, stats,
+    ))
 }
 
 /// Convenience: stage a CSR graph into storage and build externally.
@@ -398,15 +415,21 @@ fn build_next_graph(
         let v = rec.vertex;
         // Every EA endpoint had an edge to its peeled via vertex in G_i, so
         // it owns a G_i record; the stream stays aligned.
-        debug_assert!(ea.peek()?.is_none_or(|e| e.0 >= v), "EA endpoint without G_i record");
+        debug_assert!(
+            ea.peek()?.is_none_or(|e| e.0 >= v),
+            "EA endpoint without G_i record"
+        );
         if level_of[v as usize] == level {
             continue; // peeled: the record is already archived in ADJ(L_i)
         }
         // Merge-join v's surviving edges with v's EA entries (both ascending
         // by target id).
         let mut merged: Vec<(VertexId, Weight, VertexId)> = Vec::new();
-        let mut old =
-            rec.edges.iter().filter(|&&(t, _, _)| level_of[t as usize] != level).peekable();
+        let mut old = rec
+            .edges
+            .iter()
+            .filter(|&&(t, _, _)| level_of[t as usize] != level)
+            .peekable();
         loop {
             let ea_here = match ea.peek()? {
                 Some(e) if e.0 == v => Some(*e),
@@ -450,19 +473,33 @@ fn build_next_graph(
         if !merged.is_empty() {
             num_vertices += 1;
             half_edges += merged.len();
-            writer.write(&AdjRecord { vertex: v, edges: merged })?;
+            writer.write(&AdjRecord {
+                vertex: v,
+                edges: merged,
+            })?;
         }
     }
     debug_assert!(ea.peek()?.is_none(), "unconsumed EA records");
     writer.finish()?;
     storage.delete(&ea_sorted)?;
 
-    DiskGraph::assemble(storage, &next_name, gi.universe, num_vertices, half_edges / 2)
+    DiskGraph::assemble(
+        storage,
+        &next_name,
+        gi.universe,
+        num_vertices,
+        half_edges / 2,
+    )
 }
 
 /// Appends `(t, w, via)` unless `t` was already emitted for this vertex (EA
 /// is sorted, so the first record per target carries the minimum).
-fn push_first(merged: &mut Vec<(VertexId, Weight, VertexId)>, t: VertexId, w: Weight, via: VertexId) {
+fn push_first(
+    merged: &mut Vec<(VertexId, Weight, VertexId)>,
+    t: VertexId,
+    w: Weight,
+    via: VertexId,
+) {
     if merged.last().map(|&(lt, _, _)| lt) != Some(t) {
         merged.push((t, w, via));
     }
@@ -477,7 +514,11 @@ struct PeekableEa<R: io::Read> {
 
 impl<R: io::Read> PeekableEa<R> {
     fn new(reader: RecordReader<R>) -> Self {
-        Self { reader, head: None, primed: false }
+        Self {
+            reader,
+            head: None,
+            primed: false,
+        }
     }
 
     fn peek(&mut self) -> io::Result<Option<&(u32, u32, u32, u32)>> {
@@ -619,7 +660,10 @@ fn label_top_down(
                     }
                 }
                 block_bytes += rec.approx_size() * 4 + 64;
-                block.push(BlockEntry { vertex: rec.vertex, acc });
+                block.push(BlockEntry {
+                    vertex: rec.vertex,
+                    acc,
+                });
             }
             if block.is_empty() {
                 break;
@@ -646,7 +690,10 @@ fn label_top_down(
                 let mut entries: Vec<(VertexId, Dist, VertexId)> =
                     entry.acc.iter().map(|(&a, &(d, h))| (a, d, h)).collect();
                 entries.sort_unstable_by_key(|&(a, _, _)| a);
-                writer.write(&LabelRecord { vertex: entry.vertex, entries })?;
+                writer.write(&LabelRecord {
+                    vertex: entry.vertex,
+                    entries,
+                })?;
             }
         }
         writer.finish()?;
@@ -682,16 +729,28 @@ mod tests {
         let em_index = build_external_from_csr(&storage, g, config, em).unwrap();
         let im_index = IsLabelIndex::build(g, config);
 
-        assert_eq!(em_index.labels(), im_index.labels(), "{tag}: labels diverge");
+        assert_eq!(
+            em_index.labels(),
+            im_index.labels(),
+            "{tag}: labels diverge"
+        );
         assert_eq!(
             em_index.hierarchy().levels(),
             im_index.hierarchy().levels(),
             "{tag}: level sets diverge"
         );
-        assert_eq!(em_index.hierarchy().gk(), im_index.hierarchy().gk(), "{tag}: G_k diverges");
+        assert_eq!(
+            em_index.hierarchy().gk(),
+            im_index.hierarchy().gk(),
+            "{tag}: G_k diverges"
+        );
         assert_eq!(em_index.stats().k, im_index.stats().k, "{tag}: k diverges");
         // All temp files cleaned up.
-        assert!(storage.names().is_empty(), "{tag}: leftover temp files {:?}", storage.names());
+        assert!(
+            storage.names().is_empty(),
+            "{tag}: leftover temp files {:?}",
+            storage.names()
+        );
 
         // And the answers agree with ground truth.
         let n = g.num_vertices();
@@ -706,29 +765,50 @@ mod tests {
         }
     }
 
-#[test]
-fn equivalence_is_structural_not_just_behavioral() {
-    use islabel_extmem::storage::MemStorage;
-    use islabel_graph::generators::{erdos_renyi_gnm, WeightModel};
-    let g = erdos_renyi_gnm(30, 70, WeightModel::Unit, 11);
-    for config in [BuildConfig::full(), BuildConfig::fixed_k(3), BuildConfig::sigma(0.7)] {
-        let storage = MemStorage::new();
-        let em_index = build_external_from_csr(&storage, &g, config, EmConfig::tiny_for_tests()).unwrap();
-        let im_index = IsLabelIndex::build(&g, config);
-        assert_eq!(em_index.stats().k, im_index.stats().k, "{config:?} k");
-        assert_eq!(em_index.hierarchy().levels(), im_index.hierarchy().levels(), "{config:?} levels");
-        for v in 0..30u32 {
-            assert_eq!(em_index.hierarchy().peel_adj(v), im_index.hierarchy().peel_adj(v), "{config:?} peel_adj({v})");
-        }
-        assert_eq!(em_index.hierarchy().gk(), im_index.hierarchy().gk(), "{config:?} gk");
-        for v in 0..30u32 {
-            let em_l: Vec<_> = em_index.labels().label(v).iter().collect();
-            let im_l: Vec<_> = im_index.labels().label(v).iter().collect();
-            assert_eq!(em_l, im_l, "{config:?} label({v}) dists");
-            assert_eq!(em_index.labels().label(v).first_hops, im_index.labels().label(v).first_hops, "{config:?} label({v}) hops");
+    #[test]
+    fn equivalence_is_structural_not_just_behavioral() {
+        use islabel_extmem::storage::MemStorage;
+        use islabel_graph::generators::{erdos_renyi_gnm, WeightModel};
+        let g = erdos_renyi_gnm(30, 70, WeightModel::Unit, 11);
+        for config in [
+            BuildConfig::full(),
+            BuildConfig::fixed_k(3),
+            BuildConfig::sigma(0.7),
+        ] {
+            let storage = MemStorage::new();
+            let em_index =
+                build_external_from_csr(&storage, &g, config, EmConfig::tiny_for_tests()).unwrap();
+            let im_index = IsLabelIndex::build(&g, config);
+            assert_eq!(em_index.stats().k, im_index.stats().k, "{config:?} k");
+            assert_eq!(
+                em_index.hierarchy().levels(),
+                im_index.hierarchy().levels(),
+                "{config:?} levels"
+            );
+            for v in 0..30u32 {
+                assert_eq!(
+                    em_index.hierarchy().peel_adj(v),
+                    im_index.hierarchy().peel_adj(v),
+                    "{config:?} peel_adj({v})"
+                );
+            }
+            assert_eq!(
+                em_index.hierarchy().gk(),
+                im_index.hierarchy().gk(),
+                "{config:?} gk"
+            );
+            for v in 0..30u32 {
+                let em_l: Vec<_> = em_index.labels().label(v).iter().collect();
+                let im_l: Vec<_> = im_index.labels().label(v).iter().collect();
+                assert_eq!(em_l, im_l, "{config:?} label({v}) dists");
+                assert_eq!(
+                    em_index.labels().label(v).first_hops,
+                    im_index.labels().label(v).first_hops,
+                    "{config:?} label({v}) hops"
+                );
+            }
         }
     }
-}
 
     #[test]
     fn equivalent_on_random_graphs_default_config() {
@@ -743,13 +823,22 @@ fn equivalence_is_structural_not_just_behavioral() {
         // Forces multiple sort runs, merge passes, exclusion purges and
         // label blocks.
         let g = barabasi_albert(300, 3, WeightModel::UniformRange(1, 5), 7);
-        assert_equivalent(&g, BuildConfig::default(), EmConfig::tiny_for_tests(), "ba-tiny-mem");
+        assert_equivalent(
+            &g,
+            BuildConfig::default(),
+            EmConfig::tiny_for_tests(),
+            "ba-tiny-mem",
+        );
     }
 
     #[test]
     fn equivalent_across_k_policies() {
         let g = erdos_renyi_gnm(120, 300, WeightModel::Unit, 11);
-        for config in [BuildConfig::full(), BuildConfig::fixed_k(3), BuildConfig::sigma(0.7)] {
+        for config in [
+            BuildConfig::full(),
+            BuildConfig::fixed_k(3),
+            BuildConfig::sigma(0.7),
+        ] {
             assert_equivalent(&g, config, EmConfig::tiny_for_tests(), "policies");
         }
     }
@@ -765,7 +854,12 @@ fn equivalence_is_structural_not_just_behavioral() {
             b.add_edge(v, v + 1, 2);
         }
         let g = b.build();
-        assert_equivalent(&g, BuildConfig::default(), EmConfig::tiny_for_tests(), "components");
+        assert_equivalent(
+            &g,
+            BuildConfig::default(),
+            EmConfig::tiny_for_tests(),
+            "components",
+        );
     }
 
     #[test]

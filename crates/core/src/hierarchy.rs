@@ -78,7 +78,10 @@ impl VertexHierarchy {
 
             let size_before = work.size();
             let li = select_independent_set(&work, config.is_strategy, i);
-            debug_assert!(!li.is_empty(), "greedy IS cannot be empty on a non-empty graph");
+            debug_assert!(
+                !li.is_empty(),
+                "greedy IS cannot be empty on a non-empty graph"
+            );
             peel_level(&mut work, &li, i, &mut level_of, &mut peel_adj);
             levels.push(li);
             let size_after = work.size();
@@ -112,10 +115,17 @@ impl VertexHierarchy {
             let mut li = li.clone();
             li.sort_unstable();
             for pair in li.windows(2) {
-                assert!(pair[0] != pair[1], "duplicate vertex {} in level {i}", pair[0]);
+                assert!(
+                    pair[0] != pair[1],
+                    "duplicate vertex {} in level {i}",
+                    pair[0]
+                );
             }
             for &v in &li {
-                assert!(work.is_present(v), "vertex {v} already peeled before level {i}");
+                assert!(
+                    work.is_present(v),
+                    "vertex {v} already peeled before level {i}"
+                );
             }
             for &v in &li {
                 for (u, _) in work.neighbors(v) {
@@ -144,7 +154,15 @@ impl VertexHierarchy {
         gk_vias: FxHashMap<(VertexId, VertexId), VertexId>,
         gk_members: Vec<VertexId>,
     ) -> Self {
-        Self { level_of, k, levels, peel_adj, gk, gk_vias, gk_members }
+        Self {
+            level_of,
+            k,
+            levels,
+            peel_adj,
+            gk,
+            gk_vias,
+            gk_members,
+        }
     }
 
     fn finish(
@@ -167,7 +185,15 @@ impl VertexHierarchy {
                 gk_vias.insert((u, v), via);
             }
         }
-        Self { level_of, k, levels, peel_adj, gk, gk_vias, gk_members }
+        Self {
+            level_of,
+            k,
+            levels,
+            peel_adj,
+            gk,
+            gk_vias,
+            gk_members,
+        }
     }
 
     /// Vertex-id universe size.
@@ -235,8 +261,11 @@ impl VertexHierarchy {
 
     /// Approximate resident bytes of the hierarchy (used in stats).
     pub fn memory_bytes(&self) -> usize {
-        let peel: usize =
-            self.peel_adj.iter().map(|a| a.len() * std::mem::size_of::<PeelEdge>()).sum();
+        let peel: usize = self
+            .peel_adj
+            .iter()
+            .map(|a| a.len() * std::mem::size_of::<PeelEdge>())
+            .sum();
         peel + self.level_of.len() * 4
             + self.gk.memory_bytes()
             + self.gk_vias.len() * 12
@@ -249,7 +278,11 @@ impl VertexHierarchy {
 /// This is the in-memory counterpart of Algorithm 2: visit vertices in the
 /// strategy's order (for the paper's greedy: ascending snapshot degree, ties
 /// by id) and take every vertex not yet excluded by a chosen neighbor.
-fn select_independent_set(work: &AdjacencyGraph, strategy: IsStrategy, level: u32) -> Vec<VertexId> {
+fn select_independent_set(
+    work: &AdjacencyGraph,
+    strategy: IsStrategy,
+    level: u32,
+) -> Vec<VertexId> {
     let mut order: Vec<VertexId> = work.present_vertices().collect();
     match strategy {
         IsStrategy::MinDegreeGreedy => {
@@ -323,7 +356,11 @@ fn peel_level(
         }
         peel_adj[v as usize] = adj
             .into_iter()
-            .map(|(to, e)| PeelEdge { to, weight: e.weight, via: e.via })
+            .map(|(to, e)| PeelEdge {
+                to,
+                weight: e.weight,
+                via: e.via,
+            })
             .collect();
     }
 }
@@ -405,27 +442,76 @@ pub(crate) mod tests {
         // ADJ(L1): f's peel adjacency is e (w=3, original) and h (w=1).
         let f = h.peel_adj(5);
         assert_eq!(f.len(), 2);
-        assert_eq!(f[0], PeelEdge { to: 4, weight: 3, via: NO_VIA });
-        assert_eq!(f[1], PeelEdge { to: 7, weight: 1, via: NO_VIA });
+        assert_eq!(
+            f[0],
+            PeelEdge {
+                to: 4,
+                weight: 3,
+                via: NO_VIA
+            }
+        );
+        assert_eq!(
+            f[1],
+            PeelEdge {
+                to: 7,
+                weight: 1,
+                via: NO_VIA
+            }
+        );
 
         // In G2, h's adjacency must contain the augmenting edge (h, e) of
         // weight 4 created by peeling f (paper: "Edge (e, h) is also added").
         let hh = h.peel_adj(7);
         assert_eq!(hh.len(), 2);
-        assert_eq!(hh[0], PeelEdge { to: 4, weight: 4, via: 5 }); // e via f
-        assert_eq!(hh[1], PeelEdge { to: 6, weight: 1, via: NO_VIA }); // g
+        assert_eq!(
+            hh[0],
+            PeelEdge {
+                to: 4,
+                weight: 4,
+                via: 5
+            }
+        ); // e via f
+        assert_eq!(
+            hh[1],
+            PeelEdge {
+                to: 6,
+                weight: 1,
+                via: NO_VIA
+            }
+        ); // g
 
         // In G3, e's adjacency is a (w=1, the original edge survives because
         // 1 < the 2-hop repair of weight 2) and g (w=2, augmenting via d).
         let e = h.peel_adj(4);
         assert_eq!(e.len(), 2);
-        assert_eq!(e[0], PeelEdge { to: 0, weight: 1, via: NO_VIA });
-        assert_eq!(e[1], PeelEdge { to: 6, weight: 2, via: 3 });
+        assert_eq!(
+            e[0],
+            PeelEdge {
+                to: 0,
+                weight: 1,
+                via: NO_VIA
+            }
+        );
+        assert_eq!(
+            e[1],
+            PeelEdge {
+                to: 6,
+                weight: 2,
+                via: 3
+            }
+        );
 
         // G4 is the single edge (a, g) of weight 3 via e.
         let a = h.peel_adj(0);
         assert_eq!(a.len(), 1);
-        assert_eq!(a[0], PeelEdge { to: 6, weight: 3, via: 4 });
+        assert_eq!(
+            a[0],
+            PeelEdge {
+                to: 6,
+                weight: 3,
+                via: 4
+            }
+        );
 
         // G5 = {g} with no edges.
         assert!(h.peel_adj(6).is_empty());
@@ -556,7 +642,10 @@ pub(crate) mod tests {
             IsStrategy::MaxDegreeGreedy,
             IsStrategy::Random(42),
         ] {
-            let cfg = BuildConfig { is_strategy: strategy, ..BuildConfig::full() };
+            let cfg = BuildConfig {
+                is_strategy: strategy,
+                ..BuildConfig::full()
+            };
             let h = VertexHierarchy::build(&g, &cfg);
             check_independence(&h).unwrap();
             let peeled: usize = h.levels().iter().map(|l| l.len()).sum();
@@ -567,7 +656,10 @@ pub(crate) mod tests {
     #[test]
     fn random_strategy_is_seed_deterministic() {
         let g = erdos_renyi_gnm(100, 250, WeightModel::Unit, 2);
-        let cfg = BuildConfig { is_strategy: IsStrategy::Random(7), ..BuildConfig::full() };
+        let cfg = BuildConfig {
+            is_strategy: IsStrategy::Random(7),
+            ..BuildConfig::full()
+        };
         let a = VertexHierarchy::build(&g, &cfg);
         let b = VertexHierarchy::build(&g, &cfg);
         assert_eq!(a.levels(), b.levels());

@@ -89,7 +89,14 @@ impl IsLabelIndex {
             build_time: t2 - t0,
         };
         let overlay = Overlay::new(g.num_vertices());
-        Self { graph: g.clone(), hierarchy, labels, config, stats, overlay }
+        Self {
+            graph: g.clone(),
+            hierarchy,
+            labels,
+            config,
+            stats,
+            overlay,
+        }
     }
 
     /// Builds from pre-computed parts (used by the external-memory pipeline,
@@ -103,7 +110,14 @@ impl IsLabelIndex {
         stats: IndexStats,
     ) -> Self {
         let overlay = Overlay::new(graph.num_vertices());
-        Self { graph, hierarchy, labels, config, stats, overlay }
+        Self {
+            graph,
+            hierarchy,
+            labels,
+            config,
+            stats,
+            overlay,
+        }
     }
 
     /// Number of vertices the index currently answers for (including
@@ -177,15 +191,28 @@ impl IsLabelIndex {
         ls: crate::label::LabelView<'_>,
         lt: crate::label::LabelView<'_>,
     ) -> Option<Dist> {
-        assert!(self.overlay.is_pristine(), "disk-label queries require a pristine index");
+        assert!(
+            self.overlay.is_pristine(),
+            "disk-label queries require a pristine index"
+        );
         let (mu0, witness) = intersect_min(ls, lt);
-        let fseeds: Vec<(VertexId, Dist)> =
-            ls.iter().filter(|&(a, _)| self.hierarchy.is_in_gk(a)).collect();
-        let rseeds: Vec<(VertexId, Dist)> =
-            lt.iter().filter(|&(a, _)| self.hierarchy.is_in_gk(a)).collect();
+        let fseeds: Vec<(VertexId, Dist)> = ls
+            .iter()
+            .filter(|&(a, _)| self.hierarchy.is_in_gk(a))
+            .collect();
+        let rseeds: Vec<(VertexId, Dist)> = lt
+            .iter()
+            .filter(|&(a, _)| self.hierarchy.is_in_gk(a))
+            .collect();
         let result = label_bi_dijkstra(
             self.hierarchy.gk(),
-            SearchParams { fseeds: &fseeds, rseeds: &rseeds, mu0, mu0_witness: witness, track_paths: false },
+            SearchParams {
+                fseeds: &fseeds,
+                rseeds: &rseeds,
+                mu0,
+                mu0_witness: witness,
+                track_paths: false,
+            },
         );
         (result.dist < INF).then_some(result.dist)
     }
@@ -203,7 +230,10 @@ impl IsLabelIndex {
             if self.overlay.is_deleted(s) {
                 return None;
             }
-            return Some(crate::path::Path { vertices: vec![s], length: 0 });
+            return Some(crate::path::Path {
+                vertices: vec![s],
+                length: 0,
+            });
         }
         let (outcome, result) = self.query_internal(s, t, true);
         let dist = outcome.distance?;
@@ -218,7 +248,12 @@ impl IsLabelIndex {
         );
     }
 
-    fn query_internal(&self, s: VertexId, t: VertexId, track_paths: bool) -> (QueryOutcome, SearchResult) {
+    fn query_internal(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        track_paths: bool,
+    ) -> (QueryOutcome, SearchResult) {
         self.assert_vertex(s);
         self.assert_vertex(t);
         let query_type = self.query_type(s, t);
@@ -427,8 +462,9 @@ mod tests {
             BuildConfig::fixed_k(8),
             BuildConfig::full(),
         ];
-        let queries: Vec<(VertexId, VertexId)> =
-            (0..60).map(|i| ((i * 7) % 200, (i * 13 + 5) % 200)).collect();
+        let queries: Vec<(VertexId, VertexId)> = (0..60)
+            .map(|i| ((i * 7) % 200, (i * 13 + 5) % 200))
+            .collect();
         for config in configs {
             let index = IsLabelIndex::build(&g, config);
             for &(s, t) in &queries {
@@ -480,7 +516,11 @@ mod tests {
         let in_gk = index.hierarchy().gk_members()[0];
         let in_gk2 = index.hierarchy().gk_members()[1];
         let out_gk = g.vertices().find(|&v| !index.is_in_gk(v)).unwrap();
-        let out_gk2 = g.vertices().rev().find(|&v| !index.is_in_gk(v) && v != out_gk).unwrap();
+        let out_gk2 = g
+            .vertices()
+            .rev()
+            .find(|&v| !index.is_in_gk(v) && v != out_gk)
+            .unwrap();
 
         assert_eq!(index.query_type(in_gk, in_gk2), QueryType::BothInGk);
         assert_eq!(index.query_type(in_gk, out_gk), QueryType::OneInGk);
@@ -544,12 +584,17 @@ mod tests {
     fn parallel_batch_matches_sequential() {
         let g = barabasi_albert(300, 3, WeightModel::UniformRange(1, 4), 8);
         let index = IsLabelIndex::build(&g, BuildConfig::default());
-        let pairs: Vec<(VertexId, VertexId)> =
-            (0..200).map(|i| ((i * 7) % 300, (i * 13 + 5) % 300)).collect();
+        let pairs: Vec<(VertexId, VertexId)> = (0..200)
+            .map(|i| ((i * 7) % 300, (i * 13 + 5) % 300))
+            .collect();
         let sequential: Vec<Option<Dist>> =
             pairs.iter().map(|&(s, t)| index.distance(s, t)).collect();
         for threads in [1, 2, 4, 7] {
-            assert_eq!(index.distance_batch_parallel(&pairs, threads), sequential, "{threads}");
+            assert_eq!(
+                index.distance_batch_parallel(&pairs, threads),
+                sequential,
+                "{threads}"
+            );
         }
         assert!(index.distance_batch_parallel(&[], 4).is_empty());
     }

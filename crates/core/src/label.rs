@@ -59,19 +59,29 @@ impl<'a> LabelView<'a> {
 
     /// Iterates `(ancestor, d)` pairs in ascending ancestor order.
     pub fn iter(&self) -> impl Iterator<Item = (VertexId, Dist)> + 'a {
-        self.ancestors.iter().copied().zip(self.dists.iter().copied())
+        self.ancestors
+            .iter()
+            .copied()
+            .zip(self.dists.iter().copied())
     }
 
     /// Looks up the entry for `ancestor` (binary search).
     pub fn get(&self, ancestor: VertexId) -> Option<Dist> {
-        self.ancestors.binary_search(&ancestor).ok().map(|i| self.dists[i])
+        self.ancestors
+            .binary_search(&ancestor)
+            .ok()
+            .map(|i| self.dists[i])
     }
 
     /// Looks up `(d, first_hop)` for `ancestor`; first hop is [`NO_HOP`]
     /// when path info was disabled.
     pub fn get_with_hop(&self, ancestor: VertexId) -> Option<(Dist, VertexId)> {
         self.ancestors.binary_search(&ancestor).ok().map(|i| {
-            let hop = if self.first_hops.is_empty() { NO_HOP } else { self.first_hops[i] };
+            let hop = if self.first_hops.is_empty() {
+                NO_HOP
+            } else {
+                self.first_hops[i]
+            };
             (self.dists[i], hop)
         })
     }
@@ -120,8 +130,10 @@ impl LabelSet {
                         }
                     }
                 }
-                let mut entries: Vec<(VertexId, Dist, VertexId)> =
-                    merge.iter().map(|(&anc, &(d, hop))| (anc, d, hop)).collect();
+                let mut entries: Vec<(VertexId, Dist, VertexId)> = merge
+                    .iter()
+                    .map(|(&anc, &(d, hop))| (anc, d, hop))
+                    .collect();
                 entries.sort_unstable_by_key(|&(anc, _, _)| anc);
                 labels[v as usize] = entries;
             }
@@ -139,7 +151,11 @@ impl LabelSet {
         let mut offsets = Vec::with_capacity(labels.len() + 1);
         let mut ancestors = Vec::with_capacity(total);
         let mut dists = Vec::with_capacity(total);
-        let mut first_hops = if keep_path_info { Vec::with_capacity(total) } else { Vec::new() };
+        let mut first_hops = if keep_path_info {
+            Vec::with_capacity(total)
+        } else {
+            Vec::new()
+        };
         offsets.push(0);
         for l in &labels {
             debug_assert!(l.windows(2).all(|w| w[0].0 < w[1].0), "label not sorted");
@@ -152,7 +168,12 @@ impl LabelSet {
             }
             offsets.push(ancestors.len());
         }
-        Self { offsets, ancestors, dists, first_hops }
+        Self {
+            offsets,
+            ancestors,
+            dists,
+            first_hops,
+        }
     }
 
     /// Number of vertices covered.
@@ -197,7 +218,10 @@ impl LabelSet {
 
     /// Largest single label (diagnostics; drives worst-case Time (a)).
     pub fn max_label_len(&self) -> usize {
-        (0..self.num_vertices() as VertexId).map(|v| self.label(v).len()).max().unwrap_or(0)
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.label(v).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean entries per vertex.
@@ -227,7 +251,10 @@ mod tests {
         let h = paper_hierarchy();
         let ls = LabelSet::build(&h, true);
 
-        assert_eq!(label_pairs(&ls, 2), vec![(0, 2), (1, 1), (2, 0), (4, 2), (6, 4)]); // c
+        assert_eq!(
+            label_pairs(&ls, 2),
+            vec![(0, 2), (1, 1), (2, 0), (4, 2), (6, 4)]
+        ); // c
         assert_eq!(label_pairs(&ls, 8), vec![(0, 2), (4, 1), (6, 3), (8, 0)]); // i
         assert_eq!(label_pairs(&ls, 1), vec![(0, 1), (1, 0), (4, 1), (6, 3)]); // b
         assert_eq!(label_pairs(&ls, 3), vec![(0, 2), (3, 0), (4, 1), (6, 1)]); // d
@@ -241,7 +268,10 @@ mod tests {
         // f → h → g (ℓ(f)=1 < ℓ(h)=2 < ℓ(g)=5, edges in G1 and G2 of weights
         // 1 and 1); the figure's value appears to be a typo. Both values are
         // upper bounds of dist_G(f, g) = 2, so query answers are unaffected.
-        assert_eq!(label_pairs(&ls, 5), vec![(0, 4), (4, 3), (5, 0), (6, 2), (7, 1)]); // f
+        assert_eq!(
+            label_pairs(&ls, 5),
+            vec![(0, 4), (4, 3), (5, 0), (6, 2), (7, 1)]
+        ); // f
 
         // The paper highlights d(h, e) = 4 > dist_G(h, e) = 3.
         assert_eq!(ls.label(7).get(4), Some(4));
@@ -279,8 +309,10 @@ mod tests {
         let ls = LabelSet::build(&h, false);
         for v in g.vertices() {
             let relaxed: Vec<VertexId> = ls.label(v).ancestors.to_vec();
-            let exact: Vec<VertexId> =
-                reference::exact_label(&g, &h, v).into_iter().map(|(a, _)| a).collect();
+            let exact: Vec<VertexId> = reference::exact_label(&g, &h, v)
+                .into_iter()
+                .map(|(a, _)| a)
+                .collect();
             assert_eq!(relaxed, exact, "ancestor set of {v}");
         }
     }

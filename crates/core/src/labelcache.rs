@@ -137,7 +137,13 @@ impl LabelCache {
     }
 
     fn insert_front(&mut self, vertex: VertexId, label: FetchedLabel, bytes: usize) {
-        let node = Node { vertex, label, bytes, prev: NIL, next: NIL };
+        let node = Node {
+            vertex,
+            label,
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
         let slot = match self.free.pop() {
             Some(s) => {
                 self.nodes[s] = node;
@@ -211,7 +217,11 @@ mod tests {
         let (_, storage, mut cache) = setup(600);
         for v in 0..150u32 {
             cache.fetch(&storage, v).unwrap();
-            assert!(cache.used_bytes() <= 600, "budget exceeded: {}", cache.used_bytes());
+            assert!(
+                cache.used_bytes() <= 600,
+                "budget exceeded: {}",
+                cache.used_bytes()
+            );
         }
         assert!(cache.len() < 150, "everything fit; budget not exercised");
         // LRU: the most recent fetch should be resident.

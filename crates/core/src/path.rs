@@ -56,7 +56,10 @@ impl Path {
             }
         }
         if total != self.length {
-            return Err(format!("edge weights sum to {total}, path claims {}", self.length));
+            return Err(format!(
+                "edge weights sum to {total}, path claims {}",
+                self.length
+            ));
         }
         Ok(())
     }
@@ -99,7 +102,10 @@ pub(crate) fn reconstruct(
         }
     };
     dedup_consecutive(&mut vertices);
-    let path = Path { vertices, length: dist };
+    let path = Path {
+        vertices,
+        length: dist,
+    };
     debug_assert_eq!(path.vertices.first(), Some(&s));
     debug_assert_eq!(path.vertices.last(), Some(&t));
     debug_assert!(path.validate_against(&index.graph).is_ok());
@@ -151,7 +157,13 @@ fn expand_gk_edge(h: &VertexHierarchy, a: VertexId, b: VertexId, out: &mut Vec<V
 
 /// Recursively expands the (possibly augmenting) edge `(a, b)`; `out` ends
 /// with `a` on entry and with `b` on exit.
-fn expand_edge(h: &VertexHierarchy, a: VertexId, b: VertexId, via: VertexId, out: &mut Vec<VertexId>) {
+fn expand_edge(
+    h: &VertexHierarchy,
+    a: VertexId,
+    b: VertexId,
+    via: VertexId,
+    out: &mut Vec<VertexId>,
+) {
     if via == NO_VIA {
         out.push(b);
         return;
@@ -193,7 +205,11 @@ mod tests {
     use crate::reference::dijkstra_p2p;
     use islabel_graph::generators::{barabasi_albert, erdos_renyi_gnm, grid2d, WeightModel};
 
-    fn assert_paths_match_dijkstra(g: &CsrGraph, config: BuildConfig, pairs: &[(VertexId, VertexId)]) {
+    fn assert_paths_match_dijkstra(
+        g: &CsrGraph,
+        config: BuildConfig,
+        pairs: &[(VertexId, VertexId)],
+    ) {
         let index = IsLabelIndex::build(g, config);
         for &(s, t) in pairs {
             let expect = dijkstra_p2p(g, s, t);
@@ -204,7 +220,8 @@ mod tests {
                     assert_eq!(p.length, d, "({s}, {t}) length");
                     assert_eq!(p.vertices.first(), Some(&s));
                     assert_eq!(p.vertices.last(), Some(&t));
-                    p.validate_against(g).unwrap_or_else(|e| panic!("({s}, {t}): {e}"));
+                    p.validate_against(g)
+                        .unwrap_or_else(|e| panic!("({s}, {t}): {e}"));
                 }
                 (e, p) => panic!("({s}, {t}): expected {e:?}, got {p:?}"),
             }
@@ -231,7 +248,11 @@ mod tests {
         let g = erdos_renyi_gnm(80, 200, WeightModel::UniformRange(1, 6), 13);
         let pairs: Vec<(VertexId, VertexId)> =
             (0..40).map(|i| ((i * 3) % 80, (i * 17 + 1) % 80)).collect();
-        for config in [BuildConfig::default(), BuildConfig::full(), BuildConfig::fixed_k(3)] {
+        for config in [
+            BuildConfig::default(),
+            BuildConfig::full(),
+            BuildConfig::fixed_k(3),
+        ] {
             assert_paths_match_dijkstra(&g, config, &pairs);
         }
     }
@@ -239,8 +260,9 @@ mod tests {
     #[test]
     fn heavy_tailed_graph_paths() {
         let g = barabasi_albert(250, 3, WeightModel::UniformRange(1, 4), 29);
-        let pairs: Vec<(VertexId, VertexId)> =
-            (0..50).map(|i| ((i * 7) % 250, (i * 31 + 11) % 250)).collect();
+        let pairs: Vec<(VertexId, VertexId)> = (0..50)
+            .map(|i| ((i * 7) % 250, (i * 31 + 11) % 250))
+            .collect();
         assert_paths_match_dijkstra(&g, BuildConfig::default(), &pairs);
     }
 
@@ -262,7 +284,10 @@ mod tests {
         assert_eq!(index.shortest_path(0, 2), None);
         assert_eq!(
             index.shortest_path(0, 1),
-            Some(Path { vertices: vec![0, 1], length: 3 })
+            Some(Path {
+                vertices: vec![0, 1],
+                length: 3
+            })
         );
     }
 
@@ -279,7 +304,10 @@ mod tests {
     #[test]
     fn path_disabled_without_path_info() {
         let g = erdos_renyi_gnm(30, 60, WeightModel::Unit, 4);
-        let config = BuildConfig { keep_path_info: false, ..BuildConfig::default() };
+        let config = BuildConfig {
+            keep_path_info: false,
+            ..BuildConfig::default()
+        };
         let index = IsLabelIndex::build(&g, config);
         assert_eq!(index.shortest_path(0, 1), None);
         // Distances still work.
@@ -292,7 +320,11 @@ mod tests {
         let mut index = IsLabelIndex::build(&g, BuildConfig::default());
         assert!(index.shortest_path(0, 1).is_some());
         index.insert_vertex(&[(0, 1)]);
-        assert_eq!(index.shortest_path(0, 1), None, "paths unsupported after updates");
+        assert_eq!(
+            index.shortest_path(0, 1),
+            None,
+            "paths unsupported after updates"
+        );
         index.rebuild();
         assert!(index.shortest_path(0, 1).is_some());
     }
@@ -303,11 +335,23 @@ mod tests {
         b.add_edge(0, 1, 2);
         b.add_edge(1, 2, 2);
         let g = b.build();
-        let good = Path { vertices: vec![0, 1, 2], length: 4 };
+        let good = Path {
+            vertices: vec![0, 1, 2],
+            length: 4,
+        };
         assert!(good.validate_against(&g).is_ok());
-        let bad_edge = Path { vertices: vec![0, 2], length: 4 };
-        assert!(bad_edge.validate_against(&g).unwrap_err().contains("not an edge"));
-        let bad_len = Path { vertices: vec![0, 1], length: 7 };
+        let bad_edge = Path {
+            vertices: vec![0, 2],
+            length: 4,
+        };
+        assert!(bad_edge
+            .validate_against(&g)
+            .unwrap_err()
+            .contains("not an edge"));
+        let bad_len = Path {
+            vertices: vec![0, 1],
+            length: 7,
+        };
         assert!(bad_len.validate_against(&g).unwrap_err().contains("sum"));
     }
 }

@@ -196,7 +196,11 @@ pub fn load_index<R: Read>(reader: &mut R) -> io::Result<IsLabelIndex> {
         2 => KSelection::Full,
         t => return Err(bad(&format!("unknown k-selection tag {t}"))),
     };
-    let config = BuildConfig { k_selection, keep_path_info, ..BuildConfig::default() };
+    let config = BuildConfig {
+        k_selection,
+        keep_path_info,
+        ..BuildConfig::default()
+    };
 
     // Base graph. `read_csr_binary` consumes to stream end, so the graph
     // blocks are length-prefixed here by re-framing: read the CSR block via
@@ -231,7 +235,11 @@ pub fn load_index<R: Read>(reader: &mut R) -> io::Result<IsLabelIndex> {
         let mut bb = &body[..];
         let mut adj = Vec::with_capacity(count);
         for _ in 0..count {
-            let e = PeelEdge { to: bb.get_u32_le(), weight: bb.get_u32_le(), via: bb.get_u32_le() };
+            let e = PeelEdge {
+                to: bb.get_u32_le(),
+                weight: bb.get_u32_le(),
+                via: bb.get_u32_le(),
+            };
             if e.to as usize >= n
                 || (e.via != islabel_graph::adjacency::NO_VIA && e.via as usize >= n)
                 || e.weight == 0
@@ -311,7 +319,11 @@ pub fn load_index<R: Read>(reader: &mut R) -> io::Result<IsLabelIndex> {
         let hi = offsets[v + 1] as usize;
         let mut entries = Vec::with_capacity(hi - lo);
         for e in lo..hi {
-            let hop = if has_hops { hops[e] } else { crate::label::NO_HOP };
+            let hop = if has_hops {
+                hops[e]
+            } else {
+                crate::label::NO_HOP
+            };
             entries.push((ancestors[e], dists[e], hop));
         }
         if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
@@ -337,11 +349,16 @@ pub fn load_index<R: Read>(reader: &mut R) -> io::Result<IsLabelIndex> {
         labeling_time: Duration::ZERO,
         build_time: Duration::ZERO,
     };
-    Ok(IsLabelIndex::from_parts(graph, hierarchy, labels, config, stats))
+    Ok(IsLabelIndex::from_parts(
+        graph, hierarchy, labels, config, stats,
+    ))
 }
 
 /// Saves to a file path.
-pub fn save_index_to_path(index: &IsLabelIndex, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+pub fn save_index_to_path(
+    index: &IsLabelIndex,
+    path: impl AsRef<std::path::Path>,
+) -> io::Result<()> {
     let mut f = io::BufWriter::new(std::fs::File::create(path)?);
     save_index(index, &mut f)
 }
@@ -412,13 +429,20 @@ mod tests {
         for i in 0..60u32 {
             let (s, t) = ((i * 7) % 200, (i * 11 + 3) % 200);
             assert_eq!(loaded.distance(s, t), index.distance(s, t), "({s}, {t})");
-            assert_eq!(loaded.shortest_path(s, t), index.shortest_path(s, t), "path ({s}, {t})");
+            assert_eq!(
+                loaded.shortest_path(s, t),
+                index.shortest_path(s, t),
+                "path ({s}, {t})"
+            );
         }
     }
 
     #[test]
     fn roundtrip_without_path_info() {
-        let config = BuildConfig { keep_path_info: false, ..BuildConfig::default() };
+        let config = BuildConfig {
+            keep_path_info: false,
+            ..BuildConfig::default()
+        };
         let (index, loaded) = roundtrip(config);
         assert_eq!(loaded.labels(), index.labels());
         assert!(!loaded.labels().has_path_info());
@@ -482,7 +506,8 @@ mod tests {
     fn file_roundtrip() {
         let g = barabasi_albert(80, 2, WeightModel::Unit, 5);
         let index = IsLabelIndex::build(&g, BuildConfig::default());
-        let path = std::env::temp_dir().join(format!("islabel-persist-{}.islx", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("islabel-persist-{}.islx", std::process::id()));
         save_index_to_path(&index, &path).unwrap();
         let loaded = load_index_from_path(&path).unwrap();
         assert_eq!(loaded.labels(), index.labels());

@@ -328,11 +328,12 @@ pub(crate) mod tests {
     use super::*;
     use crate::label::LabelSet;
 
-    fn view<'a>(
-        ancestors: &'a [VertexId],
-        dists: &'a [Dist],
-    ) -> LabelView<'a> {
-        LabelView { ancestors, dists, first_hops: &[] }
+    fn view<'a>(ancestors: &'a [VertexId], dists: &'a [Dist]) -> LabelView<'a> {
+        LabelView {
+            ancestors,
+            dists,
+            first_hops: &[],
+        }
     }
 
     #[test]
@@ -436,7 +437,13 @@ pub(crate) mod tests {
 
         let res = label_bi_dijkstra(
             &g,
-            SearchParams { fseeds: &[], rseeds: &[], mu0: INF, mu0_witness: None, track_paths: false },
+            SearchParams {
+                fseeds: &[],
+                rseeds: &[],
+                mu0: INF,
+                mu0_witness: None,
+                track_paths: false,
+            },
         );
         assert_eq!(res.dist, INF);
         assert_eq!(res.meeting, Meeting::None);

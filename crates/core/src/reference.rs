@@ -70,8 +70,10 @@ pub fn exact_label(g: &CsrGraph, h: &VertexHierarchy, v: VertexId) -> Vec<(Verte
         }
     }
     let dist = dijkstra_all(g, v);
-    let mut out: Vec<(VertexId, Dist)> =
-        ancestors.into_iter().map(|a| (a, dist[a as usize])).collect();
+    let mut out: Vec<(VertexId, Dist)> = ancestors
+        .into_iter()
+        .map(|a| (a, dist[a as usize]))
+        .collect();
     out.sort_unstable_by_key(|&(a, _)| a);
     out
 }
@@ -133,7 +135,7 @@ mod tests {
     fn line(n: usize) -> CsrGraph {
         let mut b = GraphBuilder::new(n);
         for v in 0..(n - 1) as VertexId {
-            b.add_edge(v, v + 1, (v + 1) as u32);
+            b.add_edge(v, v + 1, v + 1);
         }
         b.build()
     }

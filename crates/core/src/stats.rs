@@ -92,7 +92,11 @@ mod tests {
 
     #[test]
     fn empty_graph_fraction_is_zero() {
-        let s = IndexStats { num_vertices: 0, gk_vertices: 0, ..sample() };
+        let s = IndexStats {
+            num_vertices: 0,
+            gk_vertices: 0,
+            ..sample()
+        };
         assert_eq!(s.gk_vertex_fraction(), 0.0);
     }
 }

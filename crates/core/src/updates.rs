@@ -52,7 +52,10 @@ pub struct Overlay {
 /// when patched or filtered.
 pub(crate) enum EffLabel<'a> {
     Base(LabelView<'a>),
-    Owned { ancestors: Vec<VertexId>, dists: Vec<Dist> },
+    Owned {
+        ancestors: Vec<VertexId>,
+        dists: Vec<Dist>,
+    },
 }
 
 impl EffLabel<'_> {
@@ -61,9 +64,11 @@ impl EffLabel<'_> {
     pub(crate) fn view(&self) -> LabelView<'_> {
         match self {
             EffLabel::Base(v) => *v,
-            EffLabel::Owned { ancestors, dists } => {
-                LabelView { ancestors, dists, first_hops: &[] }
-            }
+            EffLabel::Owned { ancestors, dists } => LabelView {
+                ancestors,
+                dists,
+                first_hops: &[],
+            },
         }
     }
 }
@@ -71,7 +76,10 @@ impl EffLabel<'_> {
 impl Overlay {
     /// Fresh overlay over a base universe of `base_n` vertices.
     pub fn new(base_n: usize) -> Self {
-        Self { base_n, ..Default::default() }
+        Self {
+            base_n,
+            ..Default::default()
+        }
     }
 
     /// Current universe (base plus inserted vertices).
@@ -167,12 +175,18 @@ impl Overlay {
         h: &VertexHierarchy,
         label: LabelView<'_>,
     ) -> Vec<(VertexId, Dist)> {
-        label.iter().filter(|&(a, _)| self.effective_in_gk(h, a)).collect()
+        label
+            .iter()
+            .filter(|&(a, _)| self.effective_in_gk(h, a))
+            .collect()
     }
 
     /// Residual-graph view with the overlay applied.
     pub(crate) fn gk_view<'a>(&'a self, base: &'a CsrGraph) -> OverlayGk<'a> {
-        OverlayGk { base, overlay: self }
+        OverlayGk {
+            base,
+            overlay: self,
+        }
     }
 
     /// Materializes the fully updated graph: base edges minus tombstones,
@@ -199,10 +213,16 @@ impl Overlay {
     // -----------------------------------------------------------------
 
     /// Implements [`IsLabelIndex::insert_vertex`].
-    pub(crate) fn insert_vertex(index: &mut IsLabelIndex, edges: &[(VertexId, Weight)]) -> VertexId {
+    pub(crate) fn insert_vertex(
+        index: &mut IsLabelIndex,
+        edges: &[(VertexId, Weight)],
+    ) -> VertexId {
         let u = index.overlay.universe() as VertexId;
         for &(v, w) in edges {
-            assert!((v as usize) < index.overlay.universe(), "neighbor {v} out of range");
+            assert!(
+                (v as usize) < index.overlay.universe(),
+                "neighbor {v} out of range"
+            );
             assert!(!index.overlay.is_deleted(v), "neighbor {v} is deleted");
             assert!(w > 0, "weights must be positive");
         }
@@ -226,10 +246,19 @@ impl Overlay {
 
     /// Implements [`IsLabelIndex::insert_edge`].
     pub(crate) fn insert_edge(index: &mut IsLabelIndex, a: VertexId, b: VertexId, w: Weight) {
-        assert!((a as usize) < index.overlay.universe(), "vertex {a} out of range");
-        assert!((b as usize) < index.overlay.universe(), "vertex {b} out of range");
+        assert!(
+            (a as usize) < index.overlay.universe(),
+            "vertex {a} out of range"
+        );
+        assert!(
+            (b as usize) < index.overlay.universe(),
+            "vertex {b} out of range"
+        );
         assert!(a != b, "self-loops are not allowed");
-        assert!(!index.overlay.is_deleted(a) && !index.overlay.is_deleted(b), "endpoint deleted");
+        assert!(
+            !index.overlay.is_deleted(a) && !index.overlay.is_deleted(b),
+            "endpoint deleted"
+        );
         assert!(w > 0, "weights must be positive");
         index.overlay.inserted_edges.push((a, b, w));
 
@@ -258,7 +287,10 @@ impl Overlay {
 
     /// Implements [`IsLabelIndex::delete_vertex`].
     pub(crate) fn delete_vertex(index: &mut IsLabelIndex, v: VertexId) {
-        assert!((v as usize) < index.overlay.universe(), "vertex {v} out of range");
+        assert!(
+            (v as usize) < index.overlay.universe(),
+            "vertex {v} out of range"
+        );
         if index.overlay.is_deleted(v) {
             return;
         }
@@ -282,7 +314,11 @@ impl Overlay {
 
     /// Patches `target` and all its descendants with `entries` (descendants
     /// get each distance shifted by their label distance to `target`).
-    fn patch_with_entries(index: &mut IsLabelIndex, target: VertexId, entries: &[(VertexId, Dist)]) {
+    fn patch_with_entries(
+        index: &mut IsLabelIndex,
+        target: VertexId,
+        entries: &[(VertexId, Dist)],
+    ) {
         // Collect (vertex, shift) pairs first so all label reads happen
         // before any patch write.
         let mut victims: Vec<(VertexId, Dist)> = vec![(target, 0)];
@@ -307,7 +343,12 @@ impl Overlay {
             }
             // d(x, target) from x's effective label; target is an ancestor
             // of every descendant by construction of the first-hop DAG.
-            if let Some(d) = index.overlay.effective_label(&index.labels, x).view().get(target) {
+            if let Some(d) = index
+                .overlay
+                .effective_label(&index.labels, x)
+                .view()
+                .get(target)
+            {
                 victims.push((x, d));
             }
         }
@@ -373,7 +414,8 @@ impl GkGraph for OverlayGk<'_> {
             .flatten()
             .into_iter()
             .flat_map(|list| list.iter().copied());
-        base.chain(extra).filter(|&(u, _)| !self.overlay.is_deleted(u))
+        base.chain(extra)
+            .filter(|&(u, _)| !self.overlay.is_deleted(u))
     }
 }
 
@@ -385,7 +427,10 @@ mod tests {
     use islabel_graph::generators::{barabasi_albert, erdos_renyi_gnm, WeightModel};
     use islabel_graph::{GraphBuilder, VertexId};
 
-    fn check_upper_bound_and_rebuild_exact(index: &mut IsLabelIndex, queries: &[(VertexId, VertexId)]) {
+    fn check_upper_bound_and_rebuild_exact(
+        index: &mut IsLabelIndex,
+        queries: &[(VertexId, VertexId)],
+    ) {
         let current = index.current_graph();
         for &(s, t) in queries {
             let truth = dijkstra_p2p(&current, s, t);
@@ -403,7 +448,11 @@ mod tests {
         assert!(!index.has_updates());
         let current = index.current_graph();
         for &(s, t) in queries {
-            assert_eq!(index.distance(s, t), dijkstra_p2p(&current, s, t), "post-rebuild ({s}, {t})");
+            assert_eq!(
+                index.distance(s, t),
+                dijkstra_p2p(&current, s, t),
+                "post-rebuild ({s}, {t})"
+            );
         }
     }
 
@@ -422,8 +471,16 @@ mod tests {
         // Queries to/from the new vertex match ground truth exactly: the new
         // vertex is in G_k and both its edges are searchable.
         for t in [gk_a, gk_b, 0, 17, 42] {
-            assert_eq!(index.distance(u, t), dijkstra_p2p(&current, u, t), "u -> {t}");
-            assert_eq!(index.distance(t, u), dijkstra_p2p(&current, t, u), "{t} -> u");
+            assert_eq!(
+                index.distance(u, t),
+                dijkstra_p2p(&current, u, t),
+                "u -> {t}"
+            );
+            assert_eq!(
+                index.distance(t, u),
+                dijkstra_p2p(&current, t, u),
+                "{t} -> u"
+            );
         }
     }
 
@@ -431,13 +488,18 @@ mod tests {
     fn insert_vertex_adjacent_to_peeled_is_upper_bound() {
         let g = barabasi_albert(150, 3, WeightModel::UniformRange(1, 3), 6);
         let mut index = IsLabelIndex::build(&g, BuildConfig::default());
-        let peeled: Vec<VertexId> =
-            g.vertices().filter(|&v| !index.is_in_gk(v)).take(2).collect();
+        let peeled: Vec<VertexId> = g
+            .vertices()
+            .filter(|&v| !index.is_in_gk(v))
+            .take(2)
+            .collect();
         assert_eq!(peeled.len(), 2, "test needs peeled vertices");
         let u = index.insert_vertex(&[(peeled[0], 1), (peeled[1], 4)]);
 
-        let queries: Vec<(VertexId, VertexId)> =
-            (0..30).map(|i| (u, (i * 5) % 150)).chain([(peeled[0], u), (u, u)]).collect();
+        let queries: Vec<(VertexId, VertexId)> = (0..30)
+            .map(|i| (u, (i * 5) % 150))
+            .chain([(peeled[0], u), (u, u)])
+            .collect();
         check_upper_bound_and_rebuild_exact(&mut index, &queries);
     }
 
@@ -451,7 +513,11 @@ mod tests {
         index.insert_edge(a, b, 1);
         let current = index.current_graph();
         for (s, t) in [(a, b), (0, 119), (a, 60), (5, b)] {
-            assert_eq!(index.distance(s, t), dijkstra_p2p(&current, s, t), "({s}, {t})");
+            assert_eq!(
+                index.distance(s, t),
+                dijkstra_p2p(&current, s, t),
+                "({s}, {t})"
+            );
         }
     }
 
@@ -462,7 +528,9 @@ mod tests {
         let peeled = g.vertices().find(|&v| !index.is_in_gk(v)).unwrap();
         let far = g.vertices().rev().find(|&v| v != peeled).unwrap();
         index.insert_edge(peeled, far, 1);
-        let queries: Vec<(VertexId, VertexId)> = (0..25).map(|i| ((i * 3) % 100, (i * 11 + 7) % 100)).collect();
+        let queries: Vec<(VertexId, VertexId)> = (0..25)
+            .map(|i| ((i * 3) % 100, (i * 11 + 7) % 100))
+            .collect();
         check_upper_bound_and_rebuild_exact(&mut index, &queries);
     }
 
@@ -472,13 +540,20 @@ mod tests {
         let mut index = IsLabelIndex::build(&g, BuildConfig::default());
         let victim = index.hierarchy().gk_members()[0];
         index.delete_vertex(victim);
-        assert!(!index.is_stale(), "deleting a G_k vertex must not mark stale");
+        assert!(
+            !index.is_stale(),
+            "deleting a G_k vertex must not mark stale"
+        );
         assert_eq!(index.distance(victim, 0), None);
         assert_eq!(index.distance(0, victim), None);
 
         let current = index.current_graph();
         for (s, t) in [(0u32, 119u32), (3, 40), (10, 90), (55, 56)] {
-            assert_eq!(index.distance(s, t), dijkstra_p2p(&current, s, t), "({s}, {t})");
+            assert_eq!(
+                index.distance(s, t),
+                dijkstra_p2p(&current, s, t),
+                "({s}, {t})"
+            );
         }
     }
 
@@ -495,7 +570,11 @@ mod tests {
         assert!(!index.is_stale());
         let current = index.current_graph();
         for (s, t) in [(0u32, 99u32), (2, 50), (victim, 3)] {
-            assert_eq!(index.distance(s, t), dijkstra_p2p(&current, s, t), "({s}, {t})");
+            assert_eq!(
+                index.distance(s, t),
+                dijkstra_p2p(&current, s, t),
+                "({s}, {t})"
+            );
         }
     }
 

@@ -128,25 +128,39 @@ impl DiskGraph {
         let mut half_edges = 0usize;
         let mut last: Option<VertexId> = None;
         for rec in records {
-            assert!(last.is_none_or(|l| l < rec.vertex), "records must ascend by vertex id");
-            assert!(rec.edges.windows(2).all(|e| e[0].0 < e[1].0), "neighbors must be sorted");
+            assert!(
+                last.is_none_or(|l| l < rec.vertex),
+                "records must ascend by vertex id"
+            );
+            assert!(
+                rec.edges.windows(2).all(|e| e[0].0 < e[1].0),
+                "neighbors must be sorted"
+            );
             last = Some(rec.vertex);
             num_vertices += 1;
             half_edges += rec.edges.len();
             w.write(&rec)?;
         }
         w.finish()?;
-        let dg = Self { name: name.to_string(), universe, num_vertices, num_edges: half_edges / 2 };
+        let dg = Self {
+            name: name.to_string(),
+            universe,
+            num_vertices,
+            num_edges: half_edges / 2,
+        };
         dg.write_meta(storage)?;
         Ok(dg)
     }
 
     /// Converts an in-memory CSR graph (vertices with edges only).
     pub fn from_csr(storage: &dyn Storage, name: &str, g: &CsrGraph) -> io::Result<Self> {
-        let records = g.vertices().filter(|&v| g.degree(v) > 0).map(|v| AdjRecord {
-            vertex: v,
-            edges: g.edges(v).map(|(n, w)| (n, w, NO_VIA)).collect(),
-        });
+        let records = g
+            .vertices()
+            .filter(|&v| g.degree(v) > 0)
+            .map(|v| AdjRecord {
+                vertex: v,
+                edges: g.edges(v).map(|(n, w)| (n, w, NO_VIA)).collect(),
+            });
         Self::create(storage, name, g.num_vertices(), records)
     }
 
@@ -161,7 +175,12 @@ impl DiskGraph {
         num_vertices: usize,
         num_edges: usize,
     ) -> io::Result<Self> {
-        let dg = Self { name: name.to_string(), universe, num_vertices, num_edges };
+        let dg = Self {
+            name: name.to_string(),
+            universe,
+            num_vertices,
+            num_edges,
+        };
         dg.write_meta(storage)?;
         Ok(dg)
     }
@@ -192,7 +211,9 @@ impl DiskGraph {
 
     /// Sequentially scans the records in ascending vertex-id order.
     pub fn scan<'a>(&self, storage: &'a dyn Storage) -> io::Result<AdjScan<'a>> {
-        Ok(AdjScan { reader: RecordReader::new(storage.open(&self.name)?) })
+        Ok(AdjScan {
+            reader: RecordReader::new(storage.open(&self.name)?),
+        })
     }
 
     /// Deletes the record file and sidecar.
@@ -282,8 +303,14 @@ mod tests {
     fn create_rejects_unsorted_records() {
         let storage = MemStorage::new();
         let recs = vec![
-            AdjRecord { vertex: 2, edges: vec![(3, 1, NO_VIA)] },
-            AdjRecord { vertex: 1, edges: vec![(3, 1, NO_VIA)] },
+            AdjRecord {
+                vertex: 2,
+                edges: vec![(3, 1, NO_VIA)],
+            },
+            AdjRecord {
+                vertex: 1,
+                edges: vec![(3, 1, NO_VIA)],
+            },
         ];
         DiskGraph::create(&storage, "g", 4, recs).unwrap();
     }
@@ -306,8 +333,14 @@ mod tests {
                 vertex: 0,
                 edges: vec![(1, 1, NO_VIA), (2, 1, NO_VIA), (3, 1, NO_VIA)],
             }),
-            AdjByDegree(AdjRecord { vertex: 1, edges: vec![(0, 1, NO_VIA)] }),
-            AdjByDegree(AdjRecord { vertex: 2, edges: vec![(0, 1, NO_VIA), (3, 1, NO_VIA)] }),
+            AdjByDegree(AdjRecord {
+                vertex: 1,
+                edges: vec![(0, 1, NO_VIA)],
+            }),
+            AdjByDegree(AdjRecord {
+                vertex: 2,
+                edges: vec![(0, 1, NO_VIA), (3, 1, NO_VIA)],
+            }),
         ];
         external_sort(&storage, recs, "sorted", SortConfig::default()).unwrap();
         let mut r = RecordReader::new(storage.open("sorted").unwrap());
@@ -319,7 +352,10 @@ mod tests {
     #[test]
     fn via_annotations_survive_roundtrip() {
         let storage = MemStorage::new();
-        let recs = vec![AdjRecord { vertex: 0, edges: vec![(1, 5, 7), (2, 3, NO_VIA)] }];
+        let recs = vec![AdjRecord {
+            vertex: 0,
+            edges: vec![(1, 5, 7), (2, 3, NO_VIA)],
+        }];
         let dg = DiskGraph::create(&storage, "g", 8, recs.clone()).unwrap();
         let mut scan = dg.scan(&storage).unwrap();
         assert_eq!(scan.next().unwrap(), Some(recs[0].clone()));

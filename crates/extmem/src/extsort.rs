@@ -53,7 +53,10 @@ pub struct RecordWriter<W: Write> {
 impl<W: Write> RecordWriter<W> {
     /// Wraps a sink.
     pub fn new(sink: W) -> Self {
-        Self { sink, scratch: Vec::with_capacity(256) }
+        Self {
+            sink,
+            scratch: Vec::with_capacity(256),
+        }
     }
 
     /// Appends one record.
@@ -82,7 +85,10 @@ pub struct RecordReader<R: Read> {
 impl<R: Read> RecordReader<R> {
     /// Wraps a source.
     pub fn new(source: R) -> Self {
-        Self { source, scratch: Vec::with_capacity(256) }
+        Self {
+            source,
+            scratch: Vec::with_capacity(256),
+        }
     }
 
     /// Reads the next record, or `None` at clean end-of-stream.
@@ -124,7 +130,10 @@ pub struct SortConfig {
 
 impl Default for SortConfig {
     fn default() -> Self {
-        Self { memory_budget: 64 * 1024 * 1024, fan_in: 16 }
+        Self {
+            memory_budget: 64 * 1024 * 1024,
+            fan_in: 16,
+        }
     }
 }
 
@@ -211,9 +220,15 @@ pub fn external_sort<T: ExtRecord>(
 }
 
 /// Merges already-sorted run files into `out_name` (k-way heap merge).
-fn merge_runs<T: ExtRecord>(storage: &dyn Storage, runs: &[String], out_name: &str) -> io::Result<()> {
-    let mut readers: Vec<RecordReader<Box<dyn Read + Send>>> =
-        runs.iter().map(|r| storage.open(r).map(RecordReader::new)).collect::<io::Result<_>>()?;
+fn merge_runs<T: ExtRecord>(
+    storage: &dyn Storage,
+    runs: &[String],
+    out_name: &str,
+) -> io::Result<()> {
+    let mut readers: Vec<RecordReader<Box<dyn Read + Send>>> = runs
+        .iter()
+        .map(|r| storage.open(r).map(RecordReader::new))
+        .collect::<io::Result<_>>()?;
 
     // Heap of Reverse((key, run_index)); run_index breaks ties first-run-first
     // to preserve the stable order across runs.
@@ -278,7 +293,12 @@ impl ExtRecord for (u32, u32, u32, u32) {
     }
 
     fn decode(mut buf: &[u8]) -> Self {
-        (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le())
+        (
+            buf.get_u32_le(),
+            buf.get_u32_le(),
+            buf.get_u32_le(),
+            buf.get_u32_le(),
+        )
     }
 
     fn approx_size(&self) -> usize {
@@ -312,7 +332,10 @@ mod tests {
     fn sorts_across_many_tiny_runs() {
         // Budget of ~2 records per run forces many runs and multiple merge
         // passes with fan_in 2.
-        let config = SortConfig { memory_budget: 48, fan_in: 2 };
+        let config = SortConfig {
+            memory_budget: 48,
+            fan_in: 2,
+        };
         let input: Vec<(u32, u32)> = (0..200u32).rev().map(|i| (i, i * 10)).collect();
         let out = sort_pairs(input, config);
         assert_eq!(out.len(), 200);
@@ -331,7 +354,10 @@ mod tests {
     fn duplicate_keys_preserved() {
         let out = sort_pairs(
             vec![(5, 1), (5, 2), (1, 9), (5, 3)],
-            SortConfig { memory_budget: 48, fan_in: 2 },
+            SortConfig {
+                memory_budget: 48,
+                fan_in: 2,
+            },
         );
         assert_eq!(out.len(), 4);
         assert_eq!(out[0], (1, 9));
@@ -343,10 +369,18 @@ mod tests {
     fn matches_std_sort_on_random_input() {
         use rand::{rngs::StdRng, Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(42);
-        let input: Vec<(u32, u32)> = (0..5000).map(|_| (rng.gen_range(0..100), rng.gen())).collect();
+        let input: Vec<(u32, u32)> = (0..5000)
+            .map(|_| (rng.gen_range(0..100), rng.gen()))
+            .collect();
         let mut expected = input.clone();
         expected.sort();
-        let got = sort_pairs(input, SortConfig { memory_budget: 1024, fan_in: 3 });
+        let got = sort_pairs(
+            input,
+            SortConfig {
+                memory_budget: 1024,
+                fan_in: 3,
+            },
+        );
         assert_eq!(got, expected);
     }
 
@@ -360,8 +394,14 @@ mod tests {
             w.finish().unwrap();
         }
         let mut r = RecordReader::new(&buf[..]);
-        assert_eq!(r.next::<(u32, u32, u32, u32)>().unwrap(), Some((7, 8, 9, 10)));
-        assert_eq!(r.next::<(u32, u32, u32, u32)>().unwrap(), Some((1, 2, 3, 4)));
+        assert_eq!(
+            r.next::<(u32, u32, u32, u32)>().unwrap(),
+            Some((7, 8, 9, 10))
+        );
+        assert_eq!(
+            r.next::<(u32, u32, u32, u32)>().unwrap(),
+            Some((1, 2, 3, 4))
+        );
         assert_eq!(r.next::<(u32, u32, u32, u32)>().unwrap(), None);
     }
 
@@ -369,11 +409,23 @@ mod tests {
     fn io_is_counted() {
         let storage = MemStorage::new();
         let input: Vec<(u32, u32)> = (0..100u32).map(|i| (100 - i, 0)).collect();
-        external_sort(&storage, input, "out", SortConfig { memory_budget: 128, fan_in: 2 })
-            .unwrap();
+        external_sort(
+            &storage,
+            input,
+            "out",
+            SortConfig {
+                memory_budget: 128,
+                fan_in: 2,
+            },
+        )
+        .unwrap();
         let snap = storage.stats().snapshot();
         // Multiple passes => bytes written well beyond one copy of the data.
-        assert!(snap.bytes_written > 1200, "bytes written {}", snap.bytes_written);
+        assert!(
+            snap.bytes_written > 1200,
+            "bytes written {}",
+            snap.bytes_written
+        );
         assert!(snap.bytes_read > 0);
     }
 }

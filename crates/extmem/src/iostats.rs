@@ -131,8 +131,9 @@ impl IoCostModel {
     /// transfer at the configured throughput.
     pub fn modeled_time(&self, snap: &IoSnapshot) -> Duration {
         let seek = self.seek_latency * snap.seeks as u32;
-        let transfer =
-            Duration::from_secs_f64(snap.total_bytes() as f64 / self.sequential_bytes_per_sec as f64);
+        let transfer = Duration::from_secs_f64(
+            snap.total_bytes() as f64 / self.sequential_bytes_per_sec as f64,
+        );
         seek + transfer
     }
 }
@@ -180,7 +181,10 @@ mod tests {
 
     #[test]
     fn cost_model_scan_blocks() {
-        let m = IoCostModel { block_size: 10, ..Default::default() };
+        let m = IoCostModel {
+            block_size: 10,
+            ..Default::default()
+        };
         assert_eq!(m.scan_blocks(0), 0);
         assert_eq!(m.scan_blocks(1), 1);
         assert_eq!(m.scan_blocks(10), 1);
@@ -194,7 +198,11 @@ mod tests {
             seek_latency: Duration::from_millis(10),
             sequential_bytes_per_sec: 1000,
         };
-        let snap = IoSnapshot { bytes_read: 500, seeks: 2, ..Default::default() };
+        let snap = IoSnapshot {
+            bytes_read: 500,
+            seeks: 2,
+            ..Default::default()
+        };
         let t = m.modeled_time(&snap);
         // 2 seeks (20ms) + 500 bytes at 1000 B/s (500ms).
         assert_eq!(t, Duration::from_millis(520));

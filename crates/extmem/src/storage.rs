@@ -46,7 +46,10 @@ pub trait Storage: Send + Sync {
 }
 
 fn not_found(name: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::NotFound, format!("no such storage object: {name}"))
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("no such storage object: {name}"),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -101,7 +104,9 @@ impl Write for MemWriter {
 impl Drop for MemWriter {
     fn drop(&mut self) {
         let data = std::mem::take(&mut self.buf);
-        self.files.write().insert(std::mem::take(&mut self.name), Arc::new(data));
+        self.files
+            .write()
+            .insert(std::mem::take(&mut self.name), Arc::new(data));
     }
 }
 
@@ -134,12 +139,26 @@ impl Storage for MemStorage {
     }
 
     fn open(&self, name: &str) -> io::Result<Box<dyn Read + Send>> {
-        let data = self.files.read().get(name).cloned().ok_or_else(|| not_found(name))?;
-        Ok(Box::new(MemReader { data, pos: 0, stats: Arc::clone(&self.stats) }))
+        let data = self
+            .files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| not_found(name))?;
+        Ok(Box::new(MemReader {
+            data,
+            pos: 0,
+            stats: Arc::clone(&self.stats),
+        }))
     }
 
     fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> io::Result<()> {
-        let data = self.files.read().get(name).cloned().ok_or_else(|| not_found(name))?;
+        let data = self
+            .files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| not_found(name))?;
         let start = offset as usize;
         let end = start + buf.len();
         if end > data.len() {
@@ -164,7 +183,11 @@ impl Storage for MemStorage {
     }
 
     fn len(&self, name: &str) -> io::Result<u64> {
-        self.files.read().get(name).map(|d| d.len() as u64).ok_or_else(|| not_found(name))
+        self.files
+            .read()
+            .get(name)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| not_found(name))
     }
 
     fn stats(&self) -> Arc<IoStats> {
@@ -187,7 +210,10 @@ impl DirStorage {
     pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(Self { root, stats: Arc::new(IoStats::new()) })
+        Ok(Self {
+            root,
+            stats: Arc::new(IoStats::new()),
+        })
     }
 
     /// Creates a store wrapped in a [`StorageHandle`].

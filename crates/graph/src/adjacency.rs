@@ -28,7 +28,10 @@ pub struct EdgeInfo {
 impl EdgeInfo {
     /// An original (non-augmenting) edge of weight `w`.
     pub fn original(w: Weight) -> Self {
-        Self { weight: w, via: NO_VIA }
+        Self {
+            weight: w,
+            via: NO_VIA,
+        }
     }
 
     /// The via vertex as an `Option`.
@@ -70,7 +73,12 @@ impl AdjacencyGraph {
             }
             adj.push(m);
         }
-        Self { adj, present: vec![true; n], num_present: n, num_edges: g.num_edges() }
+        Self {
+            adj,
+            present: vec![true; n],
+            num_present: n,
+            num_edges: g.num_edges(),
+        }
     }
 
     /// Size of the id universe (including removed vertices).
@@ -141,7 +149,13 @@ impl AdjacencyGraph {
     /// # Panics
     ///
     /// Panics in debug builds if an endpoint has been removed or `u == v`.
-    pub fn upsert_edge_min(&mut self, u: VertexId, v: VertexId, weight: Weight, via: VertexId) -> bool {
+    pub fn upsert_edge_min(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        weight: Weight,
+        via: VertexId,
+    ) -> bool {
         debug_assert!(u != v, "self-loop");
         debug_assert!(self.is_present(u) && self.is_present(v), "endpoint removed");
         let info = EdgeInfo { weight, via };
@@ -242,7 +256,10 @@ mod tests {
     fn remove_vertex_returns_sorted_adjacency_and_updates_counts() {
         let mut g = path4();
         let adj = g.remove_vertex(1);
-        assert_eq!(adj, vec![(0, EdgeInfo::original(1)), (2, EdgeInfo::original(2))]);
+        assert_eq!(
+            adj,
+            vec![(0, EdgeInfo::original(1)), (2, EdgeInfo::original(2))]
+        );
         assert!(!g.is_present(1));
         assert_eq!(g.num_present(), 3);
         assert_eq!(g.num_edges(), 1);
@@ -262,7 +279,13 @@ mod tests {
         assert_eq!(g.edge(0, 2).unwrap().weight, 3);
         // A better one does, and replaces the via annotation.
         assert!(g.upsert_edge_min(2, 0, 2, NO_VIA));
-        assert_eq!(g.edge(0, 2), Some(EdgeInfo { weight: 2, via: NO_VIA }));
+        assert_eq!(
+            g.edge(0, 2),
+            Some(EdgeInfo {
+                weight: 2,
+                via: NO_VIA
+            })
+        );
         assert_eq!(g.num_edges(), 4);
     }
 

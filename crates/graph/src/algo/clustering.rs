@@ -130,6 +130,9 @@ mod tests {
         let g = clustered_communities(3000, 8, 14, 0.1, WeightModel::Unit, 5);
         let full = avg_clustering(&g, 1);
         let sampled = avg_clustering(&g, 7);
-        assert!((full - sampled).abs() < 0.1, "full {full} vs sampled {sampled}");
+        assert!(
+            (full - sampled).abs() < 0.1,
+            "full {full} vs sampled {sampled}"
+        );
     }
 }

@@ -48,7 +48,11 @@ pub fn connected_components(g: &CsrGraph) -> ComponentInfo {
         }
         sizes.push(size);
     }
-    ComponentInfo { component_of, num_components: sizes.len(), sizes }
+    ComponentInfo {
+        component_of,
+        num_components: sizes.len(),
+        sizes,
+    }
 }
 
 /// Extracts the largest connected component as a new graph with dense vertex

@@ -36,11 +36,17 @@ impl GraphBuilder {
     /// Creates a builder for a graph with exactly `n` vertices (`0..n`).
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "vertex ids must fit in u32");
-        Self { num_vertices: n, edges: Vec::new() }
+        Self {
+            num_vertices: n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder and bulk-loads `edges`.
-    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+    pub fn from_edges(
+        n: usize,
+        edges: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
         let mut b = Self::new(n);
         for (u, v, w) in edges {
             b.add_edge(u, v, w);
@@ -80,7 +86,10 @@ impl GraphBuilder {
             "edge ({u}, {v}) out of range for {} vertices",
             self.num_vertices
         );
-        assert!(w > 0, "edge weights must be positive integers (paper, Section 2)");
+        assert!(
+            w > 0,
+            "edge weights must be positive integers (paper, Section 2)"
+        );
         if u == v {
             return;
         }
@@ -157,11 +166,17 @@ impl DigraphBuilder {
     /// Creates a builder for a digraph with exactly `n` vertices.
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "vertex ids must fit in u32");
-        Self { num_vertices: n, arcs: Vec::new() }
+        Self {
+            num_vertices: n,
+            arcs: Vec::new(),
+        }
     }
 
     /// Creates a builder and bulk-loads `arcs`.
-    pub fn from_arcs(n: usize, arcs: impl IntoIterator<Item = (VertexId, VertexId, Weight)>) -> Self {
+    pub fn from_arcs(
+        n: usize,
+        arcs: impl IntoIterator<Item = (VertexId, VertexId, Weight)>,
+    ) -> Self {
         let mut b = Self::new(n);
         for (u, v, w) in arcs {
             b.add_arc(u, v, w);

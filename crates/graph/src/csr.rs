@@ -52,12 +52,20 @@ impl CsrGraph {
         debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
         debug_assert_eq!(neighbors.len(), weights.len());
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
-        Self { offsets, neighbors, weights }
+        Self {
+            offsets,
+            neighbors,
+            weights,
+        }
     }
 
     /// An empty graph with `n` isolated vertices.
     pub fn empty(n: usize) -> Self {
-        Self { offsets: vec![0; n + 1], neighbors: Vec::new(), weights: Vec::new() }
+        Self {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+            weights: Vec::new(),
+        }
     }
 
     /// Number of vertices `|V|`.
@@ -99,7 +107,10 @@ impl CsrGraph {
     /// Iterates `(neighbor, weight)` pairs of `v` in ascending neighbor order.
     #[inline]
     pub fn edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        self.neighbors(v).iter().copied().zip(self.weights(v).iter().copied())
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights(v).iter().copied())
     }
 
     /// Iterates every vertex id `0..n`.

@@ -106,7 +106,12 @@ impl Dataset {
             // paper's degree profile and its shallow hierarchy (k = 6).
             Dataset::SkitterLike => {
                 let communities = crate::generators::clustered_communities(
-                    n, 12, 16, 0.10, WeightModel::Unit, 0x5C17,
+                    n,
+                    12,
+                    16,
+                    0.10,
+                    WeightModel::Unit,
+                    0x5C17,
                 );
                 let cross = erdos_renyi_gnm(n, n / 2, WeightModel::Unit, 0x5C18);
                 union(&communities, &cross)
@@ -121,7 +126,12 @@ impl Dataset {
             // k = 7 hierarchy depth.
             Dataset::GoogleLike => {
                 let communities = crate::generators::clustered_communities(
-                    n, 8, 12, 0.10, WeightModel::Unit, 0x6006,
+                    n,
+                    8,
+                    12,
+                    0.10,
+                    WeightModel::Unit,
+                    0x6006,
                 );
                 let cross = erdos_renyi_gnm(n, n / 4, WeightModel::Unit, 0x6007);
                 union(&communities, &cross)
@@ -172,6 +182,12 @@ fn union(a: &CsrGraph, b: &CsrGraph) -> CsrGraph {
     builder.build()
 }
 
+/// Remaps a vertex set expressed in old ids through a relabeling table.
+/// Convenience for callers who keep both the LCC graph and original ids.
+pub fn remap_vertices(old_ids: &[VertexId], table: &[VertexId]) -> Vec<VertexId> {
+    old_ids.iter().map(|&v| table[v as usize]).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,7 +198,12 @@ mod tests {
         for ds in Dataset::ALL {
             let g = ds.generate(Scale::Tiny);
             assert!(g.num_vertices() > 100, "{} too small", ds.name());
-            assert_eq!(connected_components(&g).num_components, 1, "{} LCC", ds.name());
+            assert_eq!(
+                connected_components(&g).num_components,
+                1,
+                "{} LCC",
+                ds.name()
+            );
         }
     }
 
@@ -259,10 +280,4 @@ mod tests {
         // Compile-time exhaustiveness: ALL must cover every variant.
         assert!(Dataset::ALL.len() == 5);
     };
-}
-
-/// Remaps a vertex set expressed in old ids through a relabeling table.
-/// Convenience for callers who keep both the LCC graph and original ids.
-pub fn remap_vertices(old_ids: &[VertexId], table: &[VertexId]) -> Vec<VertexId> {
-    old_ids.iter().map(|&v| table[v as usize]).collect()
 }

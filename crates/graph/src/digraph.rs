@@ -122,13 +122,19 @@ impl CsrDigraph {
     /// Iterates outgoing `(target, weight)` arcs of `v`.
     #[inline]
     pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        self.out_neighbors(v).iter().copied().zip(self.out_weights(v).iter().copied())
+        self.out_neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.out_weights(v).iter().copied())
     }
 
     /// Iterates incoming `(source, weight)` arcs of `v`.
     #[inline]
     pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        self.in_neighbors(v).iter().copied().zip(self.in_weights(v).iter().copied())
+        self.in_neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.in_weights(v).iter().copied())
     }
 
     /// Out-degree of `v`.
@@ -146,12 +152,16 @@ impl CsrDigraph {
     /// Weight of the arc `u -> v`, if present.
     #[inline]
     pub fn arc_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
-        self.out_neighbors(u).binary_search(&v).ok().map(|i| self.out_weights(u)[i])
+        self.out_neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.out_weights(u)[i])
     }
 
     /// Iterates every arc as `(u, v, w)`.
     pub fn arc_list(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
-        self.vertices().flat_map(move |u| self.out_edges(u).map(move |(v, w)| (u, v, w)))
+        self.vertices()
+            .flat_map(move |u| self.out_edges(u).map(move |(v, w)| (u, v, w)))
     }
 
     /// The underlying undirected skeleton: an undirected edge for every arc

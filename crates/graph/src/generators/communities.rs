@@ -41,10 +41,16 @@ pub fn clustered_communities(
 ) -> CsrGraph {
     assert!(clique_lo >= 2, "cliques need at least 2 vertices");
     assert!(clique_lo <= clique_hi, "empty clique size range");
-    assert!((0.0..1.0).contains(&leaf_fraction), "leaf fraction must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&leaf_fraction),
+        "leaf fraction must be in [0, 1)"
+    );
     let n_leaves = (n as f64 * leaf_fraction) as usize;
     let n_core = n - n_leaves;
-    assert!(n_core >= clique_lo, "not enough core vertices for one clique");
+    assert!(
+        n_core >= clique_lo,
+        "not enough core vertices for one clique"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
@@ -91,7 +97,11 @@ mod tests {
         let g = clustered_communities(2000, 12, 28, 0.25, WeightModel::UniformRange(1, 2), 1);
         assert_eq!(g.num_vertices(), 2000);
         // Core ≈ 1500 in cliques of mean 20: avg degree in the teens.
-        assert!(g.avg_degree() > 10.0 && g.avg_degree() < 20.0, "avg {}", g.avg_degree());
+        assert!(
+            g.avg_degree() > 10.0 && g.avg_degree() < 20.0,
+            "avg {}",
+            g.avg_degree()
+        );
         // 500 leaves of degree 1.
         let leaves = g.vertices().filter(|&v| g.degree(v) == 1).count();
         assert!(leaves >= 450, "leaves {leaves}");
@@ -123,7 +133,10 @@ mod tests {
                 }
             }
         }
-        assert!(closed as f64 / total as f64 > 0.7, "clustering {closed}/{total}");
+        assert!(
+            closed as f64 / total as f64 > 0.7,
+            "clustering {closed}/{total}"
+        );
     }
 
     #[test]

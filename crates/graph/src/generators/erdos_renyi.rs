@@ -12,7 +12,10 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 /// Sampling is rejection-based over the builder's dedup, which is efficient
 /// for the sparse graphs this project targets (`m ≪ n²`).
 pub fn erdos_renyi_gnm(n: usize, m: usize, weights: WeightModel, seed: u64) -> CsrGraph {
-    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    assert!(
+        n >= 2 || m == 0,
+        "need at least two vertices to place edges"
+    );
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
     let m = m.min(max_edges);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -127,7 +130,10 @@ mod tests {
         let g = erdos_renyi_gnp(n, p, WeightModel::Unit, 99);
         let expected = p * (n * (n - 1) / 2) as f64;
         let got = g.num_edges() as f64;
-        assert!((got - expected).abs() < expected * 0.25, "got {got}, expected ~{expected}");
+        assert!(
+            (got - expected).abs() < expected * 0.25,
+            "got {got}, expected ~{expected}"
+        );
     }
 
     #[test]

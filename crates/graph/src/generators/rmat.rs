@@ -28,19 +28,32 @@ pub struct RmatParams {
 impl Default for RmatParams {
     /// The classic Graph500-style parameters.
     fn default() -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+        }
     }
 }
 
 impl RmatParams {
     /// A heavily skewed parameterization producing extreme hubs.
     pub fn skewed() -> Self {
-        Self { a: 0.7, b: 0.15, c: 0.1, d: 0.05 }
+        Self {
+            a: 0.7,
+            b: 0.15,
+            c: 0.1,
+            d: 0.05,
+        }
     }
 
     fn validate(&self) {
         let sum = self.a + self.b + self.c + self.d;
-        assert!((sum - 1.0).abs() < 1e-9, "R-MAT probabilities must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "R-MAT probabilities must sum to 1, got {sum}"
+        );
         assert!(
             self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
             "R-MAT probabilities must be non-negative"
@@ -51,7 +64,13 @@ impl RmatParams {
 /// Generates an undirected R-MAT graph with `2^scale` vertices and
 /// `edge_factor · 2^scale` sampled edges (fewer after dedup/self-loop
 /// removal, as usual for R-MAT).
-pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, weights: WeightModel, seed: u64) -> CsrGraph {
+pub fn rmat(
+    scale: u32,
+    edge_factor: usize,
+    params: RmatParams,
+    weights: WeightModel,
+    seed: u64,
+) -> CsrGraph {
     params.validate();
     assert!((1..=31).contains(&scale), "scale out of range");
     let n = 1usize << scale;
@@ -110,6 +129,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "sum to 1")]
     fn bad_params_panic() {
-        rmat(4, 2, RmatParams { a: 0.5, b: 0.5, c: 0.5, d: 0.5 }, WeightModel::Unit, 0);
+        rmat(
+            4,
+            2,
+            RmatParams {
+                a: 0.5,
+                b: 0.5,
+                c: 0.5,
+                d: 0.5,
+            },
+            WeightModel::Unit,
+            0,
+        );
     }
 }

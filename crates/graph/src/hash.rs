@@ -112,7 +112,13 @@ mod tests {
 
     #[test]
     fn byte_slices_hash_consistently() {
-        assert_eq!(hash_one(b"hello world".as_slice()), hash_one(b"hello world".as_slice()));
-        assert_ne!(hash_one(b"hello world".as_slice()), hash_one(b"hello worle".as_slice()));
+        assert_eq!(
+            hash_one(b"hello world".as_slice()),
+            hash_one(b"hello world".as_slice())
+        );
+        assert_ne!(
+            hash_one(b"hello world".as_slice()),
+            hash_one(b"hello worle".as_slice())
+        );
     }
 }

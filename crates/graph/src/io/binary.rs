@@ -80,7 +80,10 @@ pub fn read_csr_binary<R: Read>(reader: &mut R) -> io::Result<CsrGraph> {
     reader.read_to_end(&mut body)?;
     let expected = (n + 1) * 8 + m2 * 4 + m2 * 4;
     if body.len() != expected {
-        return Err(bad_data(&format!("expected {expected} body bytes, found {}", body.len())));
+        return Err(bad_data(&format!(
+            "expected {expected} body bytes, found {}",
+            body.len()
+        )));
     }
     let mut b = &body[..];
     let mut offsets = Vec::with_capacity(n + 1);

@@ -113,8 +113,14 @@ fn parse_field<T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<T, EdgeListError> {
-    let f = field.ok_or_else(|| EdgeListError::Parse { line, message: format!("missing {what}") })?;
-    f.parse().map_err(|_| EdgeListError::Parse { line, message: format!("invalid {what} '{f}'") })
+    let f = field.ok_or_else(|| EdgeListError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    f.parse().map_err(|_| EdgeListError::Parse {
+        line,
+        message: format!("invalid {what} '{f}'"),
+    })
 }
 
 /// Parses an edge list from an in-memory string.
@@ -125,7 +131,12 @@ pub fn parse_edge_list(text: &str) -> Result<CsrGraph, EdgeListError> {
 /// Writes `g` in the edge-list format (with a header comment).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> std::io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# islabel edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# islabel edge list: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     writeln!(w, "{}", g.num_vertices())?;
     for (u, v, weight) in g.edge_list() {
         writeln!(w, "{u} {v} {weight}")?;

@@ -20,8 +20,8 @@
 //! types here: weights are `u32 >= 1`, distances are `u64` with
 //! [`INF`] denoting "unreachable" (the paper's `∞`).
 
-pub mod algo;
 pub mod adjacency;
+pub mod algo;
 pub mod builder;
 pub mod csr;
 pub mod datasets;

@@ -19,22 +19,44 @@ fn main() {
     let friend_b = 4_999u32;
     let newcomer = index.insert_vertex(&[(friend_a, 1), (friend_b, 1)]);
     println!("\ninserted vertex {newcomer} with edges to {friend_a} and {friend_b}");
-    println!("dist({newcomer}, {friend_a})      = {:?}", index.distance(newcomer, friend_a));
-    println!("dist({newcomer}, {friend_b})    = {:?}", index.distance(newcomer, friend_b));
-    println!("dist({newcomer}, 0)       = {:?}  (upper bound until rebuild)", index.distance(newcomer, 0));
+    println!(
+        "dist({newcomer}, {friend_a})      = {:?}",
+        index.distance(newcomer, friend_a)
+    );
+    println!(
+        "dist({newcomer}, {friend_b})    = {:?}",
+        index.distance(newcomer, friend_b)
+    );
+    println!(
+        "dist({newcomer}, 0)       = {:?}  (upper bound until rebuild)",
+        index.distance(newcomer, 0)
+    );
 
     // A new relationship between existing members.
     index.insert_edge(7, 4_998, 1);
-    println!("\ninserted edge (7, 4998): dist(7, 4998) = {:?}", index.distance(7, 4_998));
+    println!(
+        "\ninserted edge (7, 4998): dist(7, 4998) = {:?}",
+        index.distance(7, 4_998)
+    );
 
     // A member leaves.
     index.delete_vertex(friend_a);
     println!("\ndeleted vertex {friend_a}:");
-    println!("  dist({newcomer}, {friend_a}) = {:?} (deleted endpoints answer None)", index.distance(newcomer, friend_a));
-    println!("  index stale? {} (deleting a peeled vertex leaves stale shortcuts)", index.is_stale());
+    println!(
+        "  dist({newcomer}, {friend_a}) = {:?} (deleted endpoints answer None)",
+        index.distance(newcomer, friend_a)
+    );
+    println!(
+        "  index stale? {} (deleting a peeled vertex leaves stale shortcuts)",
+        index.is_stale()
+    );
 
     // Periodic rebuild restores exactness, as the paper prescribes.
     index.rebuild();
     println!("\nafter rebuild: {}", index.stats());
-    println!("  stale? {}   dist({newcomer}, 0) = {:?}", index.is_stale(), index.distance(newcomer, 0));
+    println!(
+        "  stale? {}   dist({newcomer}, 0) = {:?}",
+        index.is_stale(),
+        index.distance(newcomer, 0)
+    );
 }

@@ -43,7 +43,12 @@ fn main() -> std::io::Result<()> {
     stats.reset();
 
     let queries: Vec<(u32, u32)> = (0..200u32)
-        .map(|i| ((i * 131) % graph.num_vertices() as u32, (i * 4099 + 5) % graph.num_vertices() as u32))
+        .map(|i| {
+            (
+                (i * 131) % graph.num_vertices() as u32,
+                (i * 4099 + 5) % graph.num_vertices() as u32,
+            )
+        })
         .collect();
 
     let t0 = Instant::now();

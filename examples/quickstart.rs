@@ -46,10 +46,17 @@ fn main() {
     // Section 8.1: full shortest-path reconstruction.
     let path = index.shortest_path(h, e).expect("h and e are connected");
     let pretty: Vec<&str> = path.vertices.iter().map(|&v| names[v as usize]).collect();
-    println!("path({} -> {}) = {} (length {})", "h", "e", pretty.join(" -> "), path.length);
+    println!(
+        "path(h -> e) = {} (length {})",
+        pretty.join(" -> "),
+        path.length
+    );
 
     // Unreachable pairs answer None (the paper's ∞).
     let lonely = GraphBuilder::new(2).build();
     let empty_index = IsLabelIndex::build(&lonely, BuildConfig::default());
-    println!("disconnected: dist(0, 1) = {:?}", empty_index.distance(0, 1));
+    println!(
+        "disconnected: dist(0, 1) = {:?}",
+        empty_index.distance(0, 1)
+    );
 }

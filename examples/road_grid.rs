@@ -35,7 +35,8 @@ fn main() {
 
     for (s, t, what) in routes {
         let path = index.shortest_path(s, t).expect("grid is connected");
-        path.validate_against(&graph).expect("path must be edge-valid");
+        path.validate_against(&graph)
+            .expect("path must be edge-valid");
         println!(
             "{what}: travel time {} over {} segments (distance query agrees: {})",
             path.length,

@@ -34,7 +34,12 @@ fn main() {
 
     // 2000 random "how far apart are these two people" queries.
     let pairs: Vec<(u32, u32)> = (0..2000u32)
-        .map(|i| ((i.wrapping_mul(2654435761)) % n as u32, (i.wrapping_mul(40503) + 7) % n as u32))
+        .map(|i| {
+            (
+                (i.wrapping_mul(2654435761)) % n as u32,
+                (i.wrapping_mul(40503) + 7) % n as u32,
+            )
+        })
         .collect();
 
     let t0 = Instant::now();
@@ -53,7 +58,10 @@ fn main() {
     let dij_time = t0.elapsed();
     assert_eq!(total_sep, check, "methods must agree");
 
-    println!("average separation: {:.2} hops", total_sep as f64 / pairs.len() as f64);
+    println!(
+        "average separation: {:.2} hops",
+        total_sep as f64 / pairs.len() as f64
+    );
     println!(
         "IS-LABEL: {:.2?} total ({:.1} µs/query)   bi-Dijkstra: {:.2?} total ({:.1} µs/query)",
         is_time,

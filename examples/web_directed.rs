@@ -33,7 +33,11 @@ fn main() {
         }
     }
     let web = b.build();
-    println!("web graph: {} pages, {} hyperlinks", web.num_vertices(), web.num_arcs());
+    println!(
+        "web graph: {} pages, {} hyperlinks",
+        web.num_vertices(),
+        web.num_arcs()
+    );
 
     let index = DiIsLabelIndex::build(&web, BuildConfig::default());
     println!("directed index: {}", index.stats());
@@ -60,7 +64,11 @@ fn main() {
     let (s, t) = (5u32, 17u32);
     println!(
         "page {s} {} reach page {t} (dist = {:?})",
-        if index.reachable(s, t) { "can" } else { "cannot" },
+        if index.reachable(s, t) {
+            "can"
+        } else {
+            "cannot"
+        },
         index.distance(s, t)
     );
 }

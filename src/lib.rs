@@ -32,6 +32,5 @@ pub use islabel_graph as graph;
 
 pub use islabel_core::{BuildConfig, DiIsLabelIndex, IsLabelIndex};
 pub use islabel_graph::{
-    CsrDigraph, CsrGraph, Dataset, DigraphBuilder, Dist, GraphBuilder, Scale, VertexId, Weight,
-    INF,
+    CsrDigraph, CsrGraph, Dataset, DigraphBuilder, Dist, GraphBuilder, Scale, VertexId, Weight, INF,
 };

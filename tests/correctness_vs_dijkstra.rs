@@ -16,7 +16,11 @@ fn check(g: &CsrGraph, config: BuildConfig, queries: usize, tag: &str) {
     for i in 0..queries {
         let s = ((i * 2654435761) % n) as VertexId;
         let t = ((i * 40503 + n / 3) % n) as VertexId;
-        assert_eq!(index.distance(s, t), dijkstra_p2p(g, s, t), "{tag} ({s}, {t})");
+        assert_eq!(
+            index.distance(s, t),
+            dijkstra_p2p(g, s, t),
+            "{tag} ({s}, {t})"
+        );
     }
 }
 
@@ -24,11 +28,23 @@ fn check(g: &CsrGraph, config: BuildConfig, queries: usize, tag: &str) {
 fn every_generator_family() {
     let cases: Vec<(&str, CsrGraph)> = vec![
         ("er-unit", erdos_renyi_gnm(300, 700, WeightModel::Unit, 1)),
-        ("er-weighted", erdos_renyi_gnm(300, 700, WeightModel::UniformRange(1, 50), 2)),
-        ("ba", barabasi_albert(300, 3, WeightModel::UniformRange(1, 5), 3)),
-        ("ws", watts_strogatz(300, 6, 0.2, WeightModel::UniformRange(1, 9), 4)),
+        (
+            "er-weighted",
+            erdos_renyi_gnm(300, 700, WeightModel::UniformRange(1, 50), 2),
+        ),
+        (
+            "ba",
+            barabasi_albert(300, 3, WeightModel::UniformRange(1, 5), 3),
+        ),
+        (
+            "ws",
+            watts_strogatz(300, 6, 0.2, WeightModel::UniformRange(1, 9), 4),
+        ),
         ("grid", grid2d(17, 18, WeightModel::UniformRange(1, 4), 5)),
-        ("rmat", rmat(8, 5, RmatParams::default(), WeightModel::Unit, 6)),
+        (
+            "rmat",
+            rmat(8, 5, RmatParams::default(), WeightModel::Unit, 6),
+        ),
     ];
     for (tag, g) in &cases {
         check(g, BuildConfig::default(), 80, tag);
@@ -93,7 +109,10 @@ fn all_methods_agree_on_shared_workload() {
         let b = vc.distance(s, t);
         let c = pll.distance(s, t);
         let d = bidij.distance(&g, s, t);
-        assert!(a == b && b == c && c == d, "({s}, {t}): {a:?} {b:?} {c:?} {d:?}");
+        assert!(
+            a == b && b == c && c == d,
+            "({s}, {t}): {a:?} {b:?} {c:?} {d:?}"
+        );
     }
 }
 

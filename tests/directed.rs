@@ -50,7 +50,11 @@ fn random_digraphs_match_dijkstra() {
         let index = DiIsLabelIndex::build(&g, BuildConfig::default());
         for i in 0..120u32 {
             let (s, t) = ((i * 17) % 200, (i * 31 + 3) % 200);
-            assert_eq!(index.distance(s, t), di_dijkstra_p2p(&g, s, t), "seed {seed} ({s}, {t})");
+            assert_eq!(
+                index.distance(s, t),
+                di_dijkstra_p2p(&g, s, t),
+                "seed {seed} ({s}, {t})"
+            );
         }
     }
 }
@@ -58,7 +62,11 @@ fn random_digraphs_match_dijkstra() {
 #[test]
 fn weblike_digraph_matches_dijkstra_across_configs() {
     let g = weblike_digraph(500, 7);
-    for config in [BuildConfig::default(), BuildConfig::full(), BuildConfig::fixed_k(4)] {
+    for config in [
+        BuildConfig::default(),
+        BuildConfig::full(),
+        BuildConfig::fixed_k(4),
+    ] {
         let index = DiIsLabelIndex::build(&g, config);
         for i in 0..100u32 {
             let (s, t) = ((i * 13) % 500, (i * 101 + 1) % 500);
@@ -78,7 +86,7 @@ fn reachability_matches_bfs_closure() {
     let index = DiIsLabelIndex::build(&g, BuildConfig::default());
     for s in (0..80u32).step_by(7) {
         // Directed BFS closure as ground truth.
-        let mut seen = vec![false; 80];
+        let mut seen = [false; 80];
         let mut stack = vec![s];
         seen[s as usize] = true;
         while let Some(v) = stack.pop() {
@@ -135,7 +143,11 @@ fn out_label_chains_ascend_levels() {
     for v in 0..120u32 {
         for &(to, _) in index.peel_out(v) {
             assert!(
-                !index.levels().iter().take(levels_of(&index, v) as usize).any(|l| l.contains(&to)),
+                !index
+                    .levels()
+                    .iter()
+                    .take(levels_of(&index, v) as usize)
+                    .any(|l| l.contains(&to)),
                 "peel-out target {to} of {v} is at a lower level"
             );
         }

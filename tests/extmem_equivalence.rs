@@ -19,7 +19,12 @@ fn equivalent_on_every_paper_dataset() {
             .unwrap();
         let im = IsLabelIndex::build(&g, BuildConfig::default());
         assert_eq!(em.labels(), im.labels(), "{}: labels", ds.name());
-        assert_eq!(em.hierarchy().gk(), im.hierarchy().gk(), "{}: G_k", ds.name());
+        assert_eq!(
+            em.hierarchy().gk(),
+            im.hierarchy().gk(),
+            "{}: G_k",
+            ds.name()
+        );
         assert_eq!(em.stats().k, im.stats().k, "{}: k", ds.name());
         assert_eq!(
             em.stats().label_bytes,
@@ -35,8 +40,8 @@ fn equivalent_on_real_filesystem() {
     let dir = std::env::temp_dir().join(format!("islabel-embuild-{}", std::process::id()));
     let storage = DirStorage::new(&dir).unwrap();
     let g = Dataset::GoogleLike.generate(Scale::Tiny);
-    let em = build_external_from_csr(&storage, &g, BuildConfig::default(), EmConfig::default())
-        .unwrap();
+    let em =
+        build_external_from_csr(&storage, &g, BuildConfig::default(), EmConfig::default()).unwrap();
     let im = IsLabelIndex::build(&g, BuildConfig::default());
     assert_eq!(em.labels(), im.labels());
     // All temp files cleaned off the real filesystem too.
@@ -79,8 +84,8 @@ fn external_build_io_volume_is_bounded() {
     // multiples of the data size, not hundreds (scan/sort, not quadratic).
     let g = Dataset::BtcLike.generate(Scale::Tiny);
     let storage = MemStorage::new();
-    let _ = build_external_from_csr(&storage, &g, BuildConfig::default(), EmConfig::default())
-        .unwrap();
+    let _ =
+        build_external_from_csr(&storage, &g, BuildConfig::default(), EmConfig::default()).unwrap();
     let snap = storage.stats().snapshot();
     let data_bytes = (g.num_edges() * 2 * 12) as u64; // both directions, 12 B/entry
     assert!(

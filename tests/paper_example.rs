@@ -40,7 +40,17 @@ fn paper_hierarchy() -> VertexHierarchy {
 fn figure1_hierarchy_structure() {
     let h = paper_hierarchy();
     // Example 2's level numbers.
-    let expected_levels = [(2u32, 1u32), (5, 1), (8, 1), (1, 2), (3, 2), (7, 2), (4, 3), (0, 4), (6, 5)];
+    let expected_levels = [
+        (2u32, 1u32),
+        (5, 1),
+        (8, 1),
+        (1, 2),
+        (3, 2),
+        (7, 2),
+        (4, 3),
+        (0, 4),
+        (6, 5),
+    ];
     for (v, l) in expected_levels {
         assert_eq!(h.level_of(v), l, "ℓ(vertex {v})");
     }
@@ -73,6 +83,7 @@ fn figure2_labels() {
     assert_eq!(label(4), vec![(0, 1), (4, 0), (6, 2)]); // e
     assert_eq!(label(0), vec![(0, 0), (6, 3)]); // a
     assert_eq!(label(6), vec![(6, 0)]); // g
+
     // label(f): see islabel-core's label tests — the figure's (g, 5) entry
     // is inconsistent with Definition 3 (chain f→h→g has length 2); we
     // assert the Definition 3 value.
@@ -107,6 +118,7 @@ fn example5_k2_hierarchy_and_labels() {
     assert_eq!(label(2), vec![(1, 1), (2, 0)]); // c: {(b,1), (c,0)}
     assert_eq!(label(5), vec![(4, 3), (5, 0), (7, 1)]); // f: {(e,3), (f,0), (h,1)}
     assert_eq!(label(8), vec![(4, 1), (8, 0)]); // i: {(e,1), (i,0)}
+
     // G_2 must contain the augmenting edge (e, h) of weight 4.
     assert_eq!(h.gk().edge_weight(4, 7), Some(4));
     assert_eq!(h.gk_via(4, 7), Some(5)); // via f

@@ -19,7 +19,8 @@ fn check_paths(g: &CsrGraph, config: BuildConfig, queries: usize, tag: &str) {
                 assert_eq!(p.length, d, "{tag} ({s}, {t}) length");
                 assert_eq!(*p.vertices.first().unwrap(), s);
                 assert_eq!(*p.vertices.last().unwrap(), t);
-                p.validate_against(g).unwrap_or_else(|e| panic!("{tag} ({s}, {t}): {e}"));
+                p.validate_against(g)
+                    .unwrap_or_else(|e| panic!("{tag} ({s}, {t}): {e}"));
             }
             (None, None) => {}
             (p, d) => panic!("{tag} ({s}, {t}): path {p:?} vs dist {d:?}"),

@@ -40,9 +40,16 @@ fn index_built_from_reloaded_graph_is_identical() {
 
     let a = IsLabelIndex::build(&g, BuildConfig::default());
     let b = IsLabelIndex::build(&g2, BuildConfig::default());
-    assert_eq!(a.labels(), b.labels(), "deterministic build from equal graphs");
+    assert_eq!(
+        a.labels(),
+        b.labels(),
+        "deterministic build from equal graphs"
+    );
     for i in 0..50u32 {
-        let (s, t) = ((i * 13) % g.num_vertices() as u32, (i * 7 + 1) % g.num_vertices() as u32);
+        let (s, t) = (
+            (i * 13) % g.num_vertices() as u32,
+            (i * 7 + 1) % g.num_vertices() as u32,
+        );
         assert_eq!(a.distance(s, t), b.distance(s, t));
     }
 }

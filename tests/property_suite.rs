@@ -22,8 +22,8 @@ use proptest::prelude::*;
 /// builder).
 fn arb_graph(n_max: usize, m_max: usize) -> impl Strategy<Value = CsrGraph> {
     (2..n_max).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 1..20u32), 0..m_max)
-            .prop_map(move |edges| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 1..20u32), 0..m_max).prop_map(
+            move |edges| {
                 let mut b = GraphBuilder::new(n);
                 for (u, v, w) in edges {
                     if u != v {
@@ -31,7 +31,8 @@ fn arb_graph(n_max: usize, m_max: usize) -> impl Strategy<Value = CsrGraph> {
                     }
                 }
                 b.build()
-            })
+            },
+        )
     })
 }
 

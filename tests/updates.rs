@@ -72,7 +72,10 @@ fn long_update_sequence_upper_bound_then_exact() {
             _ => {}
         }
     }
-    assert!(upper_bound_hits > 0, "workload produced no comparable queries");
+    assert!(
+        upper_bound_hits > 0,
+        "workload produced no comparable queries"
+    );
 
     index.rebuild();
     let current = index.current_graph();
@@ -82,7 +85,11 @@ fn long_update_sequence_upper_bound_then_exact() {
         if deleted_after_rebuild(&current, s) || deleted_after_rebuild(&current, t) {
             continue;
         }
-        assert_eq!(index.distance(s, t), dijkstra_p2p(&current, s, t), "post-rebuild ({s}, {t})");
+        assert_eq!(
+            index.distance(s, t),
+            dijkstra_p2p(&current, s, t),
+            "post-rebuild ({s}, {t})"
+        );
     }
 }
 
@@ -112,7 +119,11 @@ fn growth_only_workload_stays_connected_and_exact_for_gk_chains() {
     let current = index.current_graph();
     for (i, &a) in ids.iter().enumerate() {
         for &b in ids.iter().skip(i) {
-            assert_eq!(index.distance(a, b), dijkstra_p2p(&current, a, b), "({a}, {b})");
+            assert_eq!(
+                index.distance(a, b),
+                dijkstra_p2p(&current, a, b),
+                "({a}, {b})"
+            );
         }
     }
 }

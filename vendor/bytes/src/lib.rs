@@ -1,0 +1,210 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the [`Buf`] / [`BufMut`] trait surface the workspace's binary
+//! formats use — little-endian integer/float accessors, `put_slice`,
+//! `copy_to_slice`, `advance`, `remaining` — for the two concrete carriers
+//! actually used: `&[u8]` readers and `Vec<u8>` writers. All reads panic on
+//! underflow exactly like the real crate, which the persistence tests rely
+//! on to catch truncated artifacts.
+
+/// Sequential big-endian-free reader over a byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next `n` bytes as a slice.
+    ///
+    /// Internal primitive: every accessor below is defined in terms of it.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    #[inline]
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        self.take_bytes(cnt);
+    }
+
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let src = self.take_bytes(dst.len());
+        dst.copy_from_slice(src);
+    }
+
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        self.take_bytes(1)[0]
+    }
+
+    #[inline]
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_bytes(2).try_into().unwrap())
+    }
+
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes(4).try_into().unwrap())
+    }
+
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+
+    #[inline]
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(
+            n <= self.len(),
+            "buffer underflow: need {n} bytes, have {}",
+            self.len()
+        );
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
+    }
+}
+
+/// Sequential writer into a growable byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    #[inline]
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for &mut [u8] {
+    /// Writes into the front of the slice and advances it, panicking when
+    /// the slice is too short — the fixed-size-header behavior the real
+    /// crate provides.
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(
+            src.len() <= self.len(),
+            "buffer overflow: need {} bytes, have {}",
+            src.len(),
+            self.len()
+        );
+        let this = std::mem::take(self);
+        let (head, tail) = this.split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        (**self).put_u8(v);
+    }
+
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        (**self).put_u32_le(v);
+    }
+
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        (**self).put_u64_le(v);
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    #[inline]
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    #[inline]
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        (**self).take_bytes(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut};
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0123_4567_89AB_CDEF);
+        out.put_f64_le(0.25);
+        out.put_slice(b"xyz");
+
+        let mut r: &[u8] = &out;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64_le(), 0.25);
+        let mut tail = [0u8; 3];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert_eq!(r.remaining(), 0);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn advance_skips() {
+        let mut r: &[u8] = &[1, 2, 3, 4, 5];
+        r.advance(2);
+        assert_eq!(r.get_u8(), 3);
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1];
+        let _ = r.get_u32_le();
+    }
+}

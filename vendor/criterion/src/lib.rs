@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Gives the workspace's `harness = false` benches the API they expect —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — and implements it
+//! with straightforward wall-clock timing: a short warm-up, then timed
+//! batches, reporting the mean per-iteration latency to stdout. No
+//! statistics engine, plots, or baselines; `cargo bench` stays useful for
+//! coarse comparisons and, more importantly, the benches stay compiling.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation; recorded so element rates appear in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Runs one benchmark body repeatedly and measures it.
+pub struct Bencher {
+    /// (total elapsed, iterations) filled in by `iter`.
+    measurement: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measures `f`: warm-up, then enough batches to fill a short
+    /// measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for ~50ms to stabilize caches and branch predictors.
+        let warm_deadline = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warm_deadline {
+            black_box(f());
+        }
+        // Measure for ~250ms in geometrically growing batches so the clock
+        // is read between batches, never inside the timed loop — a per-
+        // iteration Instant::now() would dominate nanosecond-scale bodies.
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        let mut elapsed = Duration::ZERO;
+        let budget = Duration::from_millis(250);
+        while elapsed < budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.measurement = Some((elapsed, iters.max(1)));
+    }
+}
+
+fn format_latency(per_iter: Duration) -> String {
+    let nanos = per_iter.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { measurement: None };
+        f(&mut bencher);
+        let (elapsed, iters) = bencher
+            .measurement
+            .expect("benchmark body never called Bencher::iter");
+        let per_iter = elapsed / u32::try_from(iters).unwrap_or(u32::MAX);
+        let mut line = format!(
+            "{}/{}: {} per iter ({} iters)",
+            self.name,
+            id.id,
+            format_latency(per_iter),
+            iters
+        );
+        if let Some(Throughput::Elements(elems)) = self.throughput {
+            let per_sec = elems as f64 * iters as f64 / elapsed.as_secs_f64();
+            line.push_str(&format!(", {per_sec:.0} elem/s"));
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name).bench_function(name, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_benches_run_and_measure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10).throughput(Throughput::Elements(2));
+        let mut count = 0u64;
+        group.bench_function(BenchmarkId::new("incr", "tiny"), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.finish();
+        assert!(count > 0, "bench body never executed");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}
