@@ -5,9 +5,11 @@
 //! extractions between the cheaper frontier and stops when
 //! `min(FQ) + min(RQ) ≥ µ`, the same cutoff Algorithm 1 uses.
 
+use islabel_core::oracle::{check_vertex, DistanceOracle, QueryError};
 use islabel_graph::{CsrGraph, Dist, VertexId, INF};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 /// Reusable bidirectional Dijkstra.
 pub struct BiDijkstra {
@@ -121,6 +123,72 @@ impl BiDijkstra {
     }
 }
 
+/// [`BiDijkstra`] behind the shared oracle contract (the paper's IM-DIJ
+/// baseline as a drop-in engine).
+///
+/// The raw searcher needs `&mut` scratch state per query, which does not
+/// fit the `&self + Sync` [`DistanceOracle`] contract; this wrapper owns
+/// the graph and pools scratch states behind a mutex — each query checks
+/// one out (allocating lazily on first use per level of concurrency) and
+/// returns it afterwards, so concurrent batch workers never contend on a
+/// single searcher.
+pub struct BiDijkstraOracle {
+    graph: CsrGraph,
+    pool: Mutex<Vec<BiDijkstra>>,
+}
+
+impl BiDijkstraOracle {
+    /// Wraps a graph; scratch states are created on demand.
+    pub fn new(graph: CsrGraph) -> Self {
+        Self {
+            graph,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The graph queries run over.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Fallible point-to-point distance; `Ok(None)` means unreachable.
+    pub fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        check_vertex(s, self.graph.num_vertices())?;
+        check_vertex(t, self.graph.num_vertices())?;
+        let mut searcher = self
+            .pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| BiDijkstra::new(self.graph.num_vertices()));
+        let d = searcher.distance(&self.graph, s, t);
+        self.pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(searcher);
+        Ok(d)
+    }
+}
+
+impl DistanceOracle for BiDijkstraOracle {
+    fn engine_name(&self) -> &'static str {
+        "bidij"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// No auxiliary index: queries read the graph itself.
+    fn index_bytes(&self) -> usize {
+        self.graph.memory_bytes()
+    }
+
+    fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        BiDijkstraOracle::try_distance(self, s, t)
+    }
+}
+
 fn clean_top(
     q: &mut BinaryHeap<Reverse<(Dist, VertexId)>>,
     dist: &[Dist],
@@ -182,6 +250,35 @@ mod tests {
         // Unidirectional would settle ~n per far query; 20 queries over a
         // 2000-vertex small-world graph should stay well under 20 * 2000.
         assert!(total_settled < 20 * 2000, "settled {total_settled}");
+    }
+
+    #[test]
+    fn oracle_wrapper_pools_state_and_parallelizes() {
+        use islabel_core::oracle::BatchOptions;
+        let g = erdos_renyi_gnm(120, 300, WeightModel::UniformRange(1, 6), 4);
+        let oracle = BiDijkstraOracle::new(g.clone());
+        assert_eq!(oracle.engine_name(), "bidij");
+        assert_eq!(DistanceOracle::num_vertices(&oracle), 120);
+        assert!(oracle.index_bytes() > 0);
+
+        let pairs: Vec<(VertexId, VertexId)> =
+            (0..80u32).map(|i| (i % 120, (i * 13 + 7) % 120)).collect();
+        let expect: Vec<Option<Dist>> = pairs
+            .iter()
+            .map(|&(s, t)| islabel_core::reference::dijkstra_p2p(&g, s, t))
+            .collect();
+        // Parallel batch over the pooled scratch states must match.
+        let got = oracle
+            .distance_batch(&pairs, BatchOptions::with_threads(4))
+            .unwrap();
+        assert_eq!(got, expect);
+        // The pool retains at most one state per concurrent worker.
+        assert!(oracle.pool.lock().unwrap().len() <= 4);
+        // Out-of-range is typed, not a panic.
+        assert!(matches!(
+            oracle.try_distance(0, 500),
+            Err(QueryError::VertexOutOfRange { .. })
+        ));
     }
 
     #[test]

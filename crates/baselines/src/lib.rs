@@ -13,13 +13,20 @@
 //! * [`PllIndex`] — Pruned Landmark Labeling, the canonical practical
 //!   2-hop labeling; stands in for the Cohen et al. 2-hop family whose
 //!   construction cost Section 3 argues is prohibitive (ablation C).
+//!
+//! Every engine implements
+//! [`DistanceOracle`](islabel_core::oracle::DistanceOracle); the
+//! [`registry`] module builds any of them behind `Box<dyn DistanceOracle>`
+//! from an [`Engine`] selector.
 
 pub mod bidijkstra;
 pub mod dijkstra;
 pub mod pll;
+pub mod registry;
 pub mod vc_index;
 
-pub use bidijkstra::BiDijkstra;
+pub use bidijkstra::{BiDijkstra, BiDijkstraOracle};
 pub use dijkstra::Dijkstra;
 pub use pll::PllIndex;
+pub use registry::{build_oracle, Engine};
 pub use vc_index::{VcConfig, VcIndex, VcQueryCost};

@@ -16,6 +16,7 @@
 //! two labels — structurally the same Equation 1 evaluation IS-LABEL uses,
 //! with total correctness instead of max-level-vertex correctness.
 
+use islabel_core::oracle::{DistanceOracle, QueryError};
 use islabel_graph::{CsrGraph, Dist, VertexId, INF};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -110,6 +111,11 @@ impl PllIndex {
         self.build_time
     }
 
+    /// Number of vertices indexed.
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len()
+    }
+
     /// Total label entries.
     pub fn num_entries(&self) -> usize {
         self.labels.iter().map(|l| l.len()).sum()
@@ -130,9 +136,22 @@ impl PllIndex {
     }
 
     /// Exact point-to-point distance by label merge-join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range; use
+    /// [`PllIndex::try_distance`] for the fallible form.
     pub fn distance(&self, s: VertexId, t: VertexId) -> Option<Dist> {
+        self.try_distance(s, t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Exact point-to-point distance with typed errors; `Ok(None)` means
+    /// unreachable.
+    pub fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        islabel_core::oracle::check_vertex(s, self.labels.len())?;
+        islabel_core::oracle::check_vertex(t, self.labels.len())?;
         if s == t {
-            return Some(0);
+            return Ok(Some(0));
         }
         let (a, b) = (&self.labels[s as usize], &self.labels[t as usize]);
         let mut best = INF;
@@ -148,7 +167,25 @@ impl PllIndex {
                 }
             }
         }
-        (best < INF).then_some(best)
+        Ok((best < INF).then_some(best))
+    }
+}
+
+impl DistanceOracle for PllIndex {
+    fn engine_name(&self) -> &'static str {
+        "pll"
+    }
+
+    fn num_vertices(&self) -> usize {
+        PllIndex::num_vertices(self)
+    }
+
+    fn index_bytes(&self) -> usize {
+        PllIndex::index_bytes(self)
+    }
+
+    fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        PllIndex::try_distance(self, s, t)
     }
 }
 

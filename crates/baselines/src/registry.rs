@@ -1,0 +1,171 @@
+//! Runtime engine selection: the [`Engine`] selector and the
+//! [`build_oracle`] registry.
+//!
+//! Both the source paper and the broader 2-hop literature frame IS-LABEL as
+//! one member of a family of distance indexes that answer the same query;
+//! the registry makes that concrete: pick an [`Engine`], get a
+//! `Box<dyn DistanceOracle>`, and every consumer (CLI, benches, serving
+//! code) stays engine-agnostic.
+
+use crate::{BiDijkstraOracle, PllIndex, VcConfig, VcIndex};
+use islabel_core::oracle::DistanceOracle;
+use islabel_core::{BuildConfig, DiIsLabelIndex, Error, IsLabelIndex, KSelection};
+use islabel_graph::{CsrGraph, DigraphBuilder};
+
+/// Every distance engine the workspace can build from an undirected graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The IS-LABEL index (the paper's method).
+    IsLabel,
+    /// The directed IS-LABEL index over the symmetrized graph (each
+    /// undirected edge becomes an antiparallel arc pair) — exercises the
+    /// Section 8.2 machinery behind the same interface.
+    DiIsLabel,
+    /// Pruned Landmark Labeling (2-hop family representative).
+    Pll,
+    /// VC-Index converted for point-to-point querying (Cheng et al.).
+    Vc,
+    /// In-memory bidirectional Dijkstra (IM-DIJ), state-pooled.
+    BiDijkstra,
+}
+
+impl Engine {
+    /// Every engine, in presentation order.
+    pub const ALL: [Engine; 5] = [
+        Engine::IsLabel,
+        Engine::DiIsLabel,
+        Engine::Pll,
+        Engine::Vc,
+        Engine::BiDijkstra,
+    ];
+
+    /// The stable name [`Engine::parse`] accepts and
+    /// [`DistanceOracle::engine_name`] reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::IsLabel => "islabel",
+            Engine::DiIsLabel => "di-islabel",
+            Engine::Pll => "pll",
+            Engine::Vc => "vc",
+            Engine::BiDijkstra => "bidij",
+        }
+    }
+
+    /// Parses an engine name (the CLI's `--engine` values).
+    pub fn parse(name: &str) -> Result<Engine, Error> {
+        Engine::ALL
+            .iter()
+            .copied()
+            .find(|e| e.name() == name)
+            .ok_or_else(|| {
+                Error::InvalidConfig(format!(
+                    "unknown engine '{name}' (expected one of: islabel, di-islabel, pll, vc, \
+                     bidij)"
+                ))
+            })
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds the selected engine over `g` behind the shared trait.
+///
+/// `config` is validated up front for every engine; beyond that it applies
+/// where it is meaningful — fully for the IS-LABEL engines, as the σ
+/// threshold for VC-Index (whose hierarchy uses the same stopping rule),
+/// and not at all for PLL and bidirectional Dijkstra, which take no
+/// construction parameters.
+pub fn build_oracle(
+    engine: Engine,
+    g: &CsrGraph,
+    config: &BuildConfig,
+) -> Result<Box<dyn DistanceOracle>, Error> {
+    config.try_validate()?;
+    Ok(match engine {
+        Engine::IsLabel => Box::new(IsLabelIndex::try_build(g, *config)?),
+        Engine::DiIsLabel => {
+            let mut b = DigraphBuilder::new(g.num_vertices());
+            for (u, v, w) in g.edge_list() {
+                b.add_arc(u, v, w);
+                b.add_arc(v, u, w);
+            }
+            Box::new(DiIsLabelIndex::try_build(&b.build(), *config)?)
+        }
+        Engine::Pll => Box::new(PllIndex::build(g)),
+        Engine::Vc => {
+            let sigma = match config.k_selection {
+                KSelection::SigmaThreshold(s) => s,
+                _ => VcConfig::default().sigma,
+            };
+            Box::new(VcIndex::build(g, VcConfig { sigma }))
+        }
+        Engine::BiDijkstra => Box::new(BiDijkstraOracle::new(g.clone())),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islabel_core::oracle::BatchOptions;
+    use islabel_graph::generators::{erdos_renyi_gnm, WeightModel};
+
+    #[test]
+    fn names_roundtrip_through_parse() {
+        for engine in Engine::ALL {
+            assert_eq!(Engine::parse(engine.name()).unwrap(), engine);
+            assert_eq!(engine.to_string(), engine.name());
+        }
+        assert!(matches!(
+            Engine::parse("dijkstra3000"),
+            Err(Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn registry_builds_agreeing_oracles() {
+        let g = erdos_renyi_gnm(80, 180, WeightModel::UniformRange(1, 5), 0x11);
+        let config = BuildConfig::default();
+        let oracles: Vec<Box<dyn DistanceOracle>> = Engine::ALL
+            .iter()
+            .map(|&e| build_oracle(e, &g, &config).unwrap())
+            .collect();
+        let pairs: Vec<(u32, u32)> = (0..40u32).map(|i| (i % 80, (i * 11 + 3) % 80)).collect();
+        let reference = oracles[0]
+            .distance_batch(&pairs, BatchOptions::sequential())
+            .unwrap();
+        for oracle in &oracles[1..] {
+            assert_eq!(
+                oracle
+                    .distance_batch(&pairs, BatchOptions::sequential())
+                    .unwrap(),
+                reference,
+                "{} diverges from islabel",
+                oracle.engine_name()
+            );
+        }
+        // Reported names match the selectors that built them.
+        for (oracle, engine) in oracles.iter().zip(Engine::ALL) {
+            assert_eq!(oracle.engine_name(), engine.name());
+            assert_eq!(oracle.num_vertices(), 80);
+        }
+    }
+
+    #[test]
+    fn registry_rejects_bad_config_for_every_engine() {
+        let g = erdos_renyi_gnm(10, 20, WeightModel::Unit, 1);
+        let bad = BuildConfig {
+            k_selection: KSelection::SigmaThreshold(0.0),
+            ..BuildConfig::default()
+        };
+        for engine in Engine::ALL {
+            assert!(
+                matches!(build_oracle(engine, &g, &bad), Err(Error::InvalidConfig(_))),
+                "{engine} accepted a bad config"
+            );
+        }
+    }
+}

@@ -27,6 +27,7 @@
 //!   graphs from disk).
 
 use islabel_core::hierarchy::VertexHierarchy;
+use islabel_core::oracle::{check_vertex, DistanceOracle, QueryError};
 use islabel_core::{BuildConfig, KSelection};
 use islabel_graph::{CsrGraph, Dist, GraphBuilder, VertexId, INF};
 use std::cmp::Reverse;
@@ -107,6 +108,11 @@ impl VcIndex {
         self.levels
     }
 
+    /// Number of vertices indexed.
+    pub fn num_vertices(&self) -> usize {
+        self.search_graph.num_vertices()
+    }
+
     /// Vertices of the top core graph.
     pub fn core_vertices(&self) -> usize {
         self.core_vertices
@@ -128,8 +134,21 @@ impl VcIndex {
     }
 
     /// Point-to-point distance with early termination (the P2P conversion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is out of range; use
+    /// [`VcIndex::try_distance`] for the fallible form.
     pub fn distance(&self, s: VertexId, t: VertexId) -> Option<Dist> {
-        self.distance_with_cost(s, t).0
+        self.try_distance(s, t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Point-to-point distance with typed errors; `Ok(None)` means
+    /// unreachable.
+    pub fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        check_vertex(s, self.num_vertices())?;
+        check_vertex(t, self.num_vertices())?;
+        Ok(self.distance_with_cost(s, t).0)
     }
 
     /// Distance plus touched-volume counters.
@@ -163,6 +182,24 @@ impl VcIndex {
         }
         cost.bytes_touched = cost.edges_scanned * 8;
         (None, cost)
+    }
+}
+
+impl DistanceOracle for VcIndex {
+    fn engine_name(&self) -> &'static str {
+        "vc"
+    }
+
+    fn num_vertices(&self) -> usize {
+        VcIndex::num_vertices(self)
+    }
+
+    fn index_bytes(&self) -> usize {
+        VcIndex::index_bytes(self)
+    }
+
+    fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        VcIndex::try_distance(self, s, t)
     }
 }
 

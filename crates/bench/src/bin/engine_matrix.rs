@@ -1,0 +1,6 @@
+//! Prints the engine matrix: every `DistanceOracle` engine built through
+//! the registry and measured over the identical trait call path.
+
+fn main() {
+    println!("{}", islabel_bench::experiments::engine_matrix());
+}

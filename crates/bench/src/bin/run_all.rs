@@ -19,6 +19,7 @@ fn main() {
         ex::table7(),
         ex::table8(),
         ex::table9(),
+        ex::engine_matrix(),
         ex::ablation_strategy(),
         ex::ablation_sigma(),
         ex::ablation_twohop(),

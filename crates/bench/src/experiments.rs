@@ -10,13 +10,15 @@
 use crate::table::Table;
 use crate::timing::{ms, per_query, secs, time};
 use crate::workload::{env_datasets, env_num_queries, QueryWorkload};
-use islabel_baselines::{BiDijkstra, PllIndex, VcConfig, VcIndex};
+use islabel_baselines::{build_oracle, BiDijkstraOracle, Engine, PllIndex, VcConfig, VcIndex};
 use islabel_core::disklabel::{DiskLabelStore, FetchedLabel};
-use islabel_core::{BuildConfig, IsLabelIndex, IsStrategy, QueryType};
+use islabel_core::{
+    BatchOptions, BuildConfig, DistanceOracle, IsLabelIndex, IsStrategy, QueryType,
+};
 use islabel_extmem::storage::{MemStorage, Storage};
 use islabel_extmem::IoCostModel;
 use islabel_graph::algo::stats::{human_bytes, human_count};
-use islabel_graph::{CsrGraph, Dataset, VertexId};
+use islabel_graph::{CsrGraph, Dataset, Dist, VertexId};
 use std::time::Duration;
 
 /// Aggregated timings of a disk-label query batch.
@@ -95,6 +97,22 @@ fn fetch_or_self(
     } else {
         store.fetch(storage, v).expect("label fetch")
     }
+}
+
+/// Total wall-clock of answering `pairs` sequentially through the shared
+/// [`DistanceOracle`] trait — every engine is measured over the identical
+/// call path, so rows of a comparison table differ only by engine.
+pub fn oracle_total_time(oracle: &dyn DistanceOracle, pairs: &[(VertexId, VertexId)]) -> Duration {
+    let (_, dt) = time(|| {
+        let mut acc = 0u64;
+        for &(s, t) in pairs {
+            if let Some(d) = oracle.try_distance(s, t).expect("workload in range") {
+                acc = acc.wrapping_add(d);
+            }
+        }
+        acc
+    });
+    dt
 }
 
 /// Builds the index plus its disk-label store on counted in-memory storage.
@@ -337,14 +355,8 @@ pub fn table8() -> Table {
         let qs = run_disk_queries(&index, &store, &storage, &cost, &workload);
         let islabel_avg = qs.avg_total();
 
-        // IM-ISL: everything in memory.
-        let (_, im_total) = time(|| {
-            let mut acc = 0u64;
-            for &(s, t) in &workload.pairs {
-                acc = acc.wrapping_add(index.distance(s, t).unwrap_or(0));
-            }
-            acc
-        });
+        // IM-ISL: everything in memory, through the shared trait.
+        let im_total = oracle_total_time(&index, &workload.pairs);
 
         // VC-Index(P2P): measured CPU + modeled I/O over touched bytes (the
         // original system scans its disk-resident reduced graphs).
@@ -360,24 +372,21 @@ pub fn table8() -> Table {
                 );
         }
 
-        // IM-DIJ.
-        let mut bidij = BiDijkstra::new(n);
-        let (_, dij_total) = time(|| {
-            let mut acc = 0u64;
-            for &(s, t) in &workload.pairs {
-                acc = acc.wrapping_add(bidij.distance(&g, s, t).unwrap_or(0));
-            }
-            acc
-        });
+        // IM-DIJ, state-pooled behind the same trait.
+        let bidij = BiDijkstraOracle::new(g.clone());
+        let dij_total = oracle_total_time(&bidij, &workload.pairs);
 
-        // Cross-check the methods on a sample (fail loudly on divergence).
+        // Cross-check the methods on a sample (fail loudly on divergence),
+        // uniformly through the trait.
+        let engines: [&dyn DistanceOracle; 3] = [&index, &vc, &bidij];
         for &(s, t) in workload.pairs.iter().take(25) {
-            let a = index.distance(s, t);
-            let b = vc.distance(s, t);
-            let c = bidij.distance(&g, s, t);
+            let answers: Vec<Option<Dist>> = engines
+                .iter()
+                .map(|e| e.try_distance(s, t).expect("in range"))
+                .collect();
             assert!(
-                a == b && b == c,
-                "method divergence on ({s}, {t}): {a:?} {b:?} {c:?}"
+                answers.windows(2).all(|w| w[0] == w[1]),
+                "method divergence on ({s}, {t}): {answers:?}"
             );
         }
 
@@ -405,6 +414,55 @@ pub fn table9() -> Table {
             secs(vc.build_time()),
             human_bytes(vc.index_bytes()),
             vc.levels().to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Engine matrix — every DistanceOracle engine through the registry
+// ---------------------------------------------------------------------------
+
+/// All five engines built through [`build_oracle`] on one graph and driven
+/// through the identical trait call path: build time, index size,
+/// sequential latency and default-parallelism batch throughput. The table
+/// the unified API makes possible — one loop, zero per-engine code.
+pub fn engine_matrix() -> Table {
+    let mut t = Table::new(
+        "Engine matrix — every DistanceOracle on BTC-like via build_oracle",
+        &[
+            "engine",
+            "build time",
+            "index bytes",
+            "avg query",
+            "batch throughput (q/s)",
+        ],
+    );
+    let g = Dataset::BtcLike.generate(crate::workload::env_scale());
+    let nq = env_num_queries();
+    let workload = QueryWorkload::random(g.num_vertices(), nq, 0xEE);
+    let config = BuildConfig::default();
+    let mut reference: Option<Vec<Option<Dist>>> = None;
+    for engine in Engine::ALL {
+        let (oracle, build_dt) = time(|| build_oracle(engine, &g, &config).expect("valid config"));
+        let seq = oracle_total_time(oracle.as_ref(), &workload.pairs);
+        let (answers, batch_dt) = time(|| {
+            oracle
+                .distance_batch(&workload.pairs, BatchOptions::default())
+                .expect("workload in range")
+        });
+        // Every engine must agree with the first — the registry's whole
+        // point is interchangeability.
+        match &reference {
+            None => reference = Some(answers),
+            Some(expect) => assert_eq!(&answers, expect, "{engine} diverges"),
+        }
+        t.row(vec![
+            engine.name().into(),
+            secs(build_dt),
+            human_bytes(oracle.index_bytes()),
+            ms(per_query(seq, nq)),
+            format!("{:.0}", nq as f64 / batch_dt.as_secs_f64()),
         ]);
     }
     t
@@ -604,6 +662,16 @@ mod tests {
             // the same guard to stay serial.
             let s = table7().to_string();
             assert!(!s.is_empty());
+        });
+    }
+
+    #[test]
+    fn engine_matrix_renders_all_engines() {
+        with_tiny_env(|| {
+            let s = engine_matrix().to_string();
+            for engine in Engine::ALL {
+                assert!(s.contains(engine.name()), "missing {engine} in:\n{s}");
+            }
         });
     }
 

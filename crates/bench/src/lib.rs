@@ -16,6 +16,7 @@
 //! | `table7` | Table 7 — construction and querying at σ = 0.90 |
 //! | `table8` | Table 8 — IS-LABEL vs IM-ISL vs VC-Index(P2P) vs IM-DIJ |
 //! | `table9` | Table 9 — VC-Index construction costs |
+//! | `engine_matrix` | every `DistanceOracle` engine via the registry |
 //! | `ablation_strategy` | independent-set strategy ablation |
 //! | `ablation_sigma` | σ sweep ablation |
 //! | `ablation_twohop` | 2-hop (PLL) construction-cost curve |

@@ -1,8 +1,11 @@
 //! Command implementations.
 
 use crate::args::Args;
-use islabel_core::persist::{load_index_from_path, save_index_to_path};
-use islabel_core::{BuildConfig, IsLabelIndex, KSelection};
+use islabel_baselines::{build_oracle, Engine};
+use islabel_core::persist::{load_index_from_path, try_save_index_to_path};
+use islabel_core::{
+    BatchOptions, BuildConfig, DistanceOracle, IsLabelIndex, KSelection, QueryError,
+};
 use islabel_extmem::storage::Storage as _;
 use islabel_graph::algo::stats::{human_bytes, human_count};
 use islabel_graph::io::{read_csr_binary, read_edge_list, write_csr_binary, write_edge_list};
@@ -19,9 +22,13 @@ USAGE:
     islabel convert <in> <out>                 (.txt <-> .isgb by extension)
     islabel build <graph> -o <index.islx> [--sigma F | --k N | --full]
                   [--no-paths] [--external [--workdir DIR]]
-    islabel query <index.islx> <s> <t> [--path]
-    islabel bench <index.islx> [--queries N] [--seed S]
+    islabel query <index.islx | graph> <s> <t> [--path] [--engine E]
+    islabel bench <index.islx | graph> [--queries N] [--seed S]
+                  [--threads N] [--engine E]
     islabel stats <index.islx | graph>
+
+ENGINES (for graph inputs; an .islx artifact is always an IS-LABEL index):
+    islabel (default), di-islabel, pll, vc, bidij
 
 DATASETS: btc, web, skitter, wikitalk, google (synthetic stand-ins for the
 paper's evaluation graphs; see DESIGN.md).";
@@ -158,7 +165,7 @@ fn build(argv: &[String]) -> Result<(), String> {
     if args.flag("no-paths") {
         config.keep_path_info = false;
     }
-    config.validate();
+    config.try_validate().map_err(|e| e.to_string())?;
 
     let g = load_graph(graph_path)?;
     println!(
@@ -193,16 +200,65 @@ fn build(argv: &[String]) -> Result<(), String> {
         IsLabelIndex::build(&g, config)
     };
     println!("{}", index.stats());
-    save_index_to_path(&index, &out).map_err(|e| format!("save {out}: {e}"))?;
+    try_save_index_to_path(&index, &out).map_err(|e| format!("save {out}: {e}"))?;
     let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     println!("index written to {out} ({})", human_bytes(bytes as usize));
     Ok(())
 }
 
+/// A queryable engine a command was pointed at. The concrete index is kept
+/// when available because `--path` needs more than the trait exposes.
+enum Loaded {
+    Index(Box<IsLabelIndex>),
+    Oracle(Box<dyn DistanceOracle>),
+}
+
+impl Loaded {
+    fn as_oracle(&self) -> &dyn DistanceOracle {
+        match self {
+            Loaded::Index(index) => index.as_ref(),
+            Loaded::Oracle(oracle) => oracle.as_ref(),
+        }
+    }
+}
+
+/// Loads an `.islx` artifact (always the IS-LABEL index) or builds the
+/// selected `--engine` in-process from a graph file.
+fn load_engine(engine_opt: Option<&str>, input: &str) -> Result<Loaded, String> {
+    let engine = match engine_opt {
+        Some(name) => Engine::parse(name).map_err(|e| e.to_string())?,
+        None => Engine::IsLabel,
+    };
+    if input.ends_with(".islx") {
+        if engine != Engine::IsLabel {
+            return Err(format!(
+                "--engine {engine} needs a graph input; {input} is a prebuilt IS-LABEL index"
+            ));
+        }
+        let index = load_index_from_path(input).map_err(|e| format!("load {input}: {e}"))?;
+        return Ok(Loaded::Index(Box::new(index)));
+    }
+    let g = load_graph(input)?;
+    println!(
+        "building engine '{engine}' over {} vertices / {} edges ...",
+        human_count(g.num_vertices()),
+        human_count(g.num_edges())
+    );
+    // Keep the concrete index for the default engine so `--path` works on
+    // graph inputs too, not only on prebuilt .islx artifacts.
+    if engine == Engine::IsLabel {
+        let index =
+            IsLabelIndex::try_build(&g, BuildConfig::default()).map_err(|e| e.to_string())?;
+        return Ok(Loaded::Index(Box::new(index)));
+    }
+    let oracle = build_oracle(engine, &g, &BuildConfig::default()).map_err(|e| e.to_string())?;
+    Ok(Loaded::Oracle(oracle))
+}
+
 fn query(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &["engine"])?;
     args.reject_unknown_flags(&["path"])?;
-    let index_path = args.pos(0, "index path")?;
+    let input = args.pos(0, "index or graph path")?;
     let s: VertexId = args
         .pos(1, "source vertex")?
         .parse()
@@ -211,43 +267,47 @@ fn query(argv: &[String]) -> Result<(), String> {
         .pos(2, "target vertex")?
         .parse()
         .map_err(|_| "invalid target vertex id")?;
-    let index = load_index_from_path(index_path).map_err(|e| format!("load {index_path}: {e}"))?;
-    if (s as usize) >= index.num_vertices() || (t as usize) >= index.num_vertices() {
-        return Err(format!(
-            "vertex out of range (index has {} vertices)",
-            index.num_vertices()
-        ));
-    }
+    let loaded = load_engine(args.opt("engine"), input)?;
+    let oracle = loaded.as_oracle();
     let t0 = Instant::now();
-    let d = index.distance(s, t);
+    let d = oracle.try_distance(s, t).map_err(|e| e.to_string())?;
     let took = t0.elapsed();
     match d {
         Some(d) => println!("dist({s}, {t}) = {d}   [{took:.2?}]"),
         None => println!("dist({s}, {t}) = unreachable   [{took:.2?}]"),
     }
     if args.flag("path") {
-        match index.shortest_path(s, t) {
-            Some(p) => {
-                let verts: Vec<String> = p.vertices.iter().map(|v| v.to_string()).collect();
-                println!("path ({} edges): {}", p.num_edges(), verts.join(" -> "));
-            }
-            None if d.is_some() => {
-                println!("path unavailable (index built with --no-paths)")
-            }
-            None => {}
+        match &loaded {
+            Loaded::Index(index) => match index.try_shortest_path(s, t) {
+                Ok(Some(p)) => {
+                    let verts: Vec<String> = p.vertices.iter().map(|v| v.to_string()).collect();
+                    println!("path ({} edges): {}", p.num_edges(), verts.join(" -> "));
+                }
+                Ok(None) => {}
+                Err(QueryError::NoPathInfo) => {
+                    println!("path unavailable (index built with --no-paths)")
+                }
+                Err(e) => return Err(e.to_string()),
+            },
+            Loaded::Oracle(o) => println!(
+                "path unavailable (--engine {} answers distances only; build an .islx index)",
+                o.engine_name()
+            ),
         }
     }
     Ok(())
 }
 
 fn bench(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["queries", "seed"])?;
+    let args = Args::parse(argv, &["queries", "seed", "threads", "engine"])?;
     args.reject_unknown_flags(&[])?;
-    let index_path = args.pos(0, "index path")?;
+    let input = args.pos(0, "index or graph path")?;
     let queries: usize = args.opt_parse("queries")?.unwrap_or(1000);
     let seed: u64 = args.opt_parse("seed")?.unwrap_or(42);
-    let index = load_index_from_path(index_path).map_err(|e| format!("load {index_path}: {e}"))?;
-    let n = index.num_vertices();
+    let threads: usize = args.opt_parse("threads")?.unwrap_or(1);
+    let loaded = load_engine(args.opt("engine"), input)?;
+    let oracle = loaded.as_oracle();
+    let n = oracle.num_vertices();
     if n < 2 {
         return Err("index too small to benchmark".into());
     }
@@ -261,18 +321,22 @@ fn bench(argv: &[String]) -> Result<(), String> {
         })
         .collect();
     let t0 = Instant::now();
-    let mut reachable = 0usize;
-    let mut checksum = 0u64;
-    for &(s, t) in &pairs {
-        if let Some(d) = index.distance(s, t) {
-            reachable += 1;
-            checksum = checksum.wrapping_add(d);
-        }
-    }
+    let answers = oracle
+        .distance_batch(&pairs, BatchOptions::with_threads(threads))
+        .map_err(|e| e.to_string())?;
     let took = t0.elapsed();
+    let reachable = answers.iter().filter(|d| d.is_some()).count();
+    let checksum = answers
+        .iter()
+        .flatten()
+        .fold(0u64, |acc, &d| acc.wrapping_add(d));
     println!(
-        "{queries} queries in {took:.2?} ({:.1} µs/query); {reachable} reachable, checksum {checksum}",
-        took.as_secs_f64() * 1e6 / queries as f64
+        "[{}] {queries} queries in {took:.2?} ({:.1} µs/query, {} threads); \
+         {reachable} reachable, checksum {checksum}; index {}",
+        oracle.engine_name(),
+        took.as_secs_f64() * 1e6 / queries as f64,
+        BatchOptions::with_threads(threads).effective_threads(queries),
+        human_bytes(oracle.index_bytes())
     );
     Ok(())
 }
@@ -408,5 +472,55 @@ mod tests {
         assert!(err.contains("out of range"), "{err}");
         std::fs::remove_file(&graph).ok();
         std::fs::remove_file(&index).ok();
+    }
+
+    #[test]
+    fn query_and_bench_accept_every_engine_on_graph_input() {
+        let graph = tmp("eng.isgb");
+        run(&["gen", "google", "--scale", "tiny", "-o", &graph]).unwrap();
+        for engine in ["islabel", "di-islabel", "pll", "vc", "bidij"] {
+            run(&["query", &graph, "0", "5", "--engine", engine]).unwrap();
+            run(&[
+                "bench",
+                &graph,
+                "--queries",
+                "30",
+                "--threads",
+                "2",
+                "--engine",
+                engine,
+            ])
+            .unwrap();
+        }
+        // `--path` works for the default engine on graph inputs ...
+        run(&["query", &graph, "0", "5", "--path"]).unwrap();
+        // ... and degrades gracefully for engines without path support.
+        run(&["query", &graph, "0", "5", "--engine", "pll", "--path"]).unwrap();
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn engine_flag_is_validated() {
+        let graph = tmp("engbad.isgb");
+        let index = tmp("engbad.islx");
+        run(&["gen", "btc", "--scale", "tiny", "-o", &graph]).unwrap();
+        let err = run(&["query", &graph, "0", "1", "--engine", "warp-drive"]).unwrap_err();
+        assert!(err.contains("unknown engine"), "{err}");
+        // A prebuilt .islx is always IS-LABEL; other engines need the graph.
+        run(&["build", &graph, "-o", &index]).unwrap();
+        let err = run(&["query", &index, "0", "1", "--engine", "pll"]).unwrap_err();
+        assert!(err.contains("needs a graph input"), "{err}");
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&index).ok();
+    }
+
+    #[test]
+    fn build_rejects_bad_sigma_cleanly() {
+        let graph = tmp("sig.isgb");
+        run(&["gen", "btc", "--scale", "tiny", "-o", &graph]).unwrap();
+        // An invalid σ must surface as a clean CLI error, not a panic.
+        let err = run(&["build", &graph, "-o", "x.islx", "--sigma", "1.5"]).unwrap_err();
+        assert!(err.contains("invalid configuration"), "{err}");
+        std::fs::remove_file(&graph).ok();
     }
 }

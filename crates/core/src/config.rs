@@ -99,19 +99,37 @@ impl BuildConfig {
         }
     }
 
-    /// Validates the configuration, panicking on nonsense values.
-    pub fn validate(&self) {
+    /// Validates the configuration, returning
+    /// [`Error::InvalidConfig`](crate::Error::InvalidConfig) on nonsense
+    /// values — the fallible form used by
+    /// [`IsLabelIndex::try_build`](crate::IsLabelIndex::try_build) and the
+    /// CLI so malformed flags produce a clean message instead of a panic.
+    pub fn try_validate(&self) -> Result<(), crate::Error> {
+        let bad = |msg: String| Err(crate::Error::InvalidConfig(msg));
         match self.k_selection {
-            KSelection::SigmaThreshold(s) => {
-                assert!(s > 0.0 && s <= 1.0, "σ must be in (0, 1], got {s}");
+            KSelection::SigmaThreshold(s) if !(s > 0.0 && s <= 1.0) => {
+                return bad(format!("σ must be in (0, 1], got {s}"));
             }
-            KSelection::FixedK(k) => assert!(k >= 2, "k must be at least 2, got {k}"),
-            KSelection::Full => {}
+            KSelection::FixedK(k) if k < 2 => {
+                return bad(format!("k must be at least 2, got {k}"));
+            }
+            _ => {}
         }
-        assert!(
-            self.max_levels >= 2,
-            "max_levels must allow at least one peel"
-        );
+        if self.max_levels < 2 {
+            return bad(format!(
+                "max_levels must allow at least one peel, got {}",
+                self.max_levels
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration, panicking on nonsense values
+    /// (convenience over [`BuildConfig::try_validate`]).
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -148,5 +166,41 @@ mod tests {
     #[should_panic(expected = "k must be at least 2")]
     fn k_one_rejected() {
         BuildConfig::fixed_k(1);
+    }
+
+    #[test]
+    fn try_validate_reports_typed_errors() {
+        let bad_sigma = BuildConfig {
+            k_selection: KSelection::SigmaThreshold(1.5),
+            ..BuildConfig::default()
+        };
+        let err = bad_sigma.try_validate().unwrap_err();
+        assert!(matches!(err, crate::Error::InvalidConfig(_)));
+        assert!(err.to_string().contains("σ"), "{err}");
+
+        let bad_k = BuildConfig {
+            k_selection: KSelection::FixedK(1),
+            ..BuildConfig::default()
+        };
+        assert!(bad_k.try_validate().is_err());
+
+        let bad_levels = BuildConfig {
+            max_levels: 1,
+            ..BuildConfig::default()
+        };
+        assert!(bad_levels.try_validate().is_err());
+
+        assert!(BuildConfig::default().try_validate().is_ok());
+        assert!(BuildConfig::full().try_validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid configuration")]
+    fn validate_panics_via_try_form() {
+        BuildConfig {
+            k_selection: KSelection::FixedK(0),
+            ..BuildConfig::default()
+        }
+        .validate();
     }
 }

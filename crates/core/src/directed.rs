@@ -25,6 +25,7 @@
 
 use crate::config::{BuildConfig, IsStrategy, KSelection};
 use crate::label::LabelSet;
+use crate::oracle::{check_vertex, DistanceOracle, Error, QueryError};
 use crate::query::{intersect_min, label_bi_dijkstra_directed, GkGraph, SearchParams};
 use crate::stats::IndexStats;
 use islabel_graph::{CsrDigraph, Dist, FxHashMap, VertexId, Weight, INF};
@@ -155,9 +156,16 @@ pub struct DiIsLabelIndex {
 }
 
 impl DiIsLabelIndex {
-    /// Builds the directed index.
+    /// Builds the directed index, panicking on an invalid configuration
+    /// (convenience over [`DiIsLabelIndex::try_build`]).
     pub fn build(g: &CsrDigraph, config: BuildConfig) -> Self {
-        config.validate();
+        Self::try_build(g, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the directed index; returns
+    /// [`Error::InvalidConfig`] instead of panicking on nonsense `config`.
+    pub fn try_build(g: &CsrDigraph, config: BuildConfig) -> Result<Self, Error> {
+        config.try_validate()?;
         let t0 = Instant::now();
         let n = g.num_vertices();
         let mut work = DiAdjacency::from_digraph(g);
@@ -252,7 +260,7 @@ impl DiIsLabelIndex {
             build_time: t2 - t0,
         };
 
-        Self {
+        Ok(Self {
             level_of,
             k,
             levels,
@@ -263,7 +271,7 @@ impl DiIsLabelIndex {
             out_labels,
             in_labels,
             stats,
-        }
+        })
     }
 
     /// Number of vertices indexed.
@@ -320,18 +328,19 @@ impl DiIsLabelIndex {
     ///
     /// # Panics
     ///
-    /// Panics if `s` or `t` is out of range.
+    /// Panics if `s` or `t` is out of range; use
+    /// [`DiIsLabelIndex::try_distance`] for the fallible form.
     pub fn distance(&self, s: VertexId, t: VertexId) -> Option<Dist> {
-        assert!(
-            (s as usize) < self.num_vertices(),
-            "vertex {s} out of range"
-        );
-        assert!(
-            (t as usize) < self.num_vertices(),
-            "vertex {t} out of range"
-        );
+        self.try_distance(s, t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Directed distance with typed errors: `Ok(None)` means unreachable,
+    /// `Err(VertexOutOfRange)` flags a malformed query.
+    pub fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        check_vertex(s, self.num_vertices())?;
+        check_vertex(t, self.num_vertices())?;
         if s == t {
-            return Some(0);
+            return Ok(Some(0));
         }
         // Stage 1: Equation 1 over X = LABEL_out(s) ∩ LABEL_in(t).
         let ls = self.out_labels.label(s);
@@ -352,7 +361,7 @@ impl DiIsLabelIndex {
                 track_paths: false,
             },
         );
-        (result.dist < INF).then_some(result.dist)
+        Ok((result.dist < INF).then_some(result.dist))
     }
 
     /// Directed reachability: whether any path `s → t` exists. The paper
@@ -360,6 +369,27 @@ impl DiIsLabelIndex {
     /// for free (Section 9).
     pub fn reachable(&self, s: VertexId, t: VertexId) -> bool {
         self.distance(s, t).is_some()
+    }
+}
+
+/// The directed index serves the shared oracle contract in the forward
+/// (out) direction: `try_distance(s, t)` is `dist(s → t)`.
+impl DistanceOracle for DiIsLabelIndex {
+    fn engine_name(&self) -> &'static str {
+        "di-islabel"
+    }
+
+    fn num_vertices(&self) -> usize {
+        DiIsLabelIndex::num_vertices(self)
+    }
+
+    /// Both label directions plus the residual digraph.
+    fn index_bytes(&self) -> usize {
+        self.out_labels.memory_bytes() + self.in_labels.memory_bytes() + self.gk.memory_bytes()
+    }
+
+    fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        DiIsLabelIndex::try_distance(self, s, t)
     }
 }
 
@@ -641,5 +671,35 @@ mod tests {
         let index = DiIsLabelIndex::build(&g, BuildConfig::default());
         assert_eq!(index.distance(0, 0), Some(0));
         assert_eq!(index.distance(0, 4), None);
+    }
+
+    #[test]
+    fn oracle_impl_answers_out_direction() {
+        let mut b = DigraphBuilder::new(3);
+        b.add_arc(0, 1, 2);
+        b.add_arc(1, 2, 3);
+        let g = b.build();
+        let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+        let oracle: &dyn crate::DistanceOracle = &index;
+        assert_eq!(oracle.engine_name(), "di-islabel");
+        assert_eq!(oracle.num_vertices(), 3);
+        assert!(oracle.index_bytes() > 0);
+        assert_eq!(oracle.try_distance(0, 2), Ok(Some(5)));
+        assert_eq!(oracle.try_distance(2, 0), Ok(None));
+        assert_eq!(
+            oracle.try_distance(0, 3),
+            Err(crate::QueryError::VertexOutOfRange {
+                vertex: 3,
+                universe: 3
+            })
+        );
+        let bad = BuildConfig {
+            k_selection: KSelection::FixedK(1),
+            ..BuildConfig::default()
+        };
+        assert!(matches!(
+            DiIsLabelIndex::try_build(&g, bad),
+            Err(crate::Error::InvalidConfig(_))
+        ));
     }
 }

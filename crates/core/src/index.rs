@@ -3,6 +3,7 @@
 use crate::config::BuildConfig;
 use crate::hierarchy::VertexHierarchy;
 use crate::label::LabelSet;
+use crate::oracle::{check_vertex, BatchOptions, DistanceOracle, Error, QueryError};
 use crate::query::{
     intersect_min, label_bi_dijkstra, Meeting, QueryType, SearchParams, SearchResult,
 };
@@ -64,10 +65,18 @@ pub struct IsLabelIndex {
 }
 
 impl IsLabelIndex {
-    /// Builds the index: vertex hierarchy (Algorithms 2 + 3), then top-down
-    /// labels (Algorithm 4).
+    /// Builds the index, panicking on an invalid configuration
+    /// (convenience over [`IsLabelIndex::try_build`]).
     pub fn build(g: &CsrGraph, config: BuildConfig) -> Self {
-        config.validate();
+        Self::try_build(g, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the index: vertex hierarchy (Algorithms 2 + 3), then top-down
+    /// labels (Algorithm 4). Returns
+    /// [`Error::InvalidConfig`] instead of panicking when `config` makes no
+    /// sense (bad σ, `k < 2`, ...).
+    pub fn try_build(g: &CsrGraph, config: BuildConfig) -> Result<Self, Error> {
+        config.try_validate()?;
         let t0 = Instant::now();
         let hierarchy = VertexHierarchy::build(g, &config);
         let t1 = Instant::now();
@@ -89,14 +98,14 @@ impl IsLabelIndex {
             build_time: t2 - t0,
         };
         let overlay = Overlay::new(g.num_vertices());
-        Self {
+        Ok(Self {
             graph: g.clone(),
             hierarchy,
             labels,
             config,
             stats,
             overlay,
-        }
+        })
     }
 
     /// Builds from pre-computed parts (used by the external-memory pipeline,
@@ -171,9 +180,18 @@ impl IsLabelIndex {
     ///
     /// # Panics
     ///
-    /// Panics if `s` or `t` is not a vertex of the index.
+    /// Panics if `s` or `t` is not a vertex of the index; use
+    /// [`IsLabelIndex::try_distance`] for the fallible form.
     pub fn distance(&self, s: VertexId, t: VertexId) -> Option<Dist> {
-        self.query(s, t).distance
+        self.try_distance(s, t).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Point-to-point distance with typed errors: `Ok(None)` means
+    /// unreachable, `Err(VertexOutOfRange)` flags a malformed query.
+    pub fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        self.check_vertex(s)?;
+        self.check_vertex(t)?;
+        Ok(self.query_internal(s, t, false).0.distance)
     }
 
     /// Detailed query with diagnostics.
@@ -186,15 +204,33 @@ impl IsLabelIndex {
     /// fetched from a [`crate::disklabel::DiskLabelStore`]): Equation 1 plus
     /// the `G_k` search, without touching the in-memory label arrays. Only
     /// valid while the index has no dynamic updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index has dynamic updates; use
+    /// [`IsLabelIndex::try_distance_from_labels`] for the fallible form.
     pub fn distance_from_labels(
         &self,
         ls: crate::label::LabelView<'_>,
         lt: crate::label::LabelView<'_>,
     ) -> Option<Dist> {
-        assert!(
-            self.overlay.is_pristine(),
-            "disk-label queries require a pristine index"
-        );
+        self.try_distance_from_labels(ls, lt)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of
+    /// [`distance_from_labels`](IsLabelIndex::distance_from_labels):
+    /// returns [`QueryError::StaleIndex`] when the index has pending
+    /// dynamic updates (whose patched labels the supplied views cannot
+    /// reflect) instead of asserting.
+    pub fn try_distance_from_labels(
+        &self,
+        ls: crate::label::LabelView<'_>,
+        lt: crate::label::LabelView<'_>,
+    ) -> Result<Option<Dist>, QueryError> {
+        if !self.overlay.is_pristine() {
+            return Err(QueryError::StaleIndex);
+        }
         let (mu0, witness) = intersect_min(ls, lt);
         let fseeds: Vec<(VertexId, Dist)> = ls
             .iter()
@@ -214,38 +250,63 @@ impl IsLabelIndex {
                 track_paths: false,
             },
         );
-        (result.dist < INF).then_some(result.dist)
+        Ok((result.dist < INF).then_some(result.dist))
     }
 
     /// Shortest path between `s` and `t` (Section 8.1). Returns `None` when
-    /// unreachable, and also when the index was built with
-    /// `keep_path_info: false` or the optimum depends on dynamically patched
-    /// label entries (which carry no path metadata).
+    /// unreachable, and also when the index cannot answer path queries at
+    /// all (see [`IsLabelIndex::try_shortest_path`], which distinguishes
+    /// the two with [`QueryError::NoPathInfo`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` or `t` is not a vertex of the index.
     pub fn shortest_path(&self, s: VertexId, t: VertexId) -> Option<crate::path::Path> {
+        match self.try_shortest_path(s, t) {
+            Ok(p) => p,
+            Err(QueryError::NoPathInfo) => None,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Shortest path with typed errors: `Ok(None)` means unreachable,
+    /// [`QueryError::NoPathInfo`] means the index cannot reconstruct paths
+    /// — built with `keep_path_info: false`, or carrying dynamic updates
+    /// whose patched label entries have no path metadata. The silent
+    /// `None`-for-both conflation of the panicking form is gone here.
+    pub fn try_shortest_path(
+        &self,
+        s: VertexId,
+        t: VertexId,
+    ) -> Result<Option<crate::path::Path>, QueryError> {
+        self.check_vertex(s)?;
+        self.check_vertex(t)?;
         if !self.labels.has_path_info() || !self.overlay.is_pristine() {
-            return None;
+            return Err(QueryError::NoPathInfo);
         }
         if s == t {
-            self.assert_vertex(s);
-            if self.overlay.is_deleted(s) {
-                return None;
-            }
-            return Some(crate::path::Path {
+            // A pristine overlay has no deletions, so `s` answers for
+            // itself.
+            return Ok(Some(crate::path::Path {
                 vertices: vec![s],
                 length: 0,
-            });
+            }));
         }
         let (outcome, result) = self.query_internal(s, t, true);
-        let dist = outcome.distance?;
-        crate::path::reconstruct(self, s, t, dist, &result)
+        let Some(dist) = outcome.distance else {
+            return Ok(None);
+        };
+        Ok(crate::path::reconstruct(self, s, t, dist, &result))
+    }
+
+    fn check_vertex(&self, v: VertexId) -> Result<(), QueryError> {
+        check_vertex(v, self.overlay.universe())
     }
 
     fn assert_vertex(&self, v: VertexId) {
-        assert!(
-            (v as usize) < self.overlay.universe(),
-            "vertex {v} out of range (universe {})",
-            self.overlay.universe()
-        );
+        if let Err(e) = self.check_vertex(v) {
+            panic!("{e}");
+        }
     }
 
     fn query_internal(
@@ -321,33 +382,21 @@ impl IsLabelIndex {
     /// the natural serving mode for the paper's workload of independent
     /// point-to-point queries.
     ///
-    /// Results are returned in input order.
+    /// Results are returned in input order. `threads == 0` no longer
+    /// panics: it selects `available_parallelism()`, the
+    /// [`BatchOptions`] default.
     ///
     /// # Panics
     ///
-    /// Panics if `threads == 0` or any vertex is out of range.
+    /// Panics if any vertex is out of range; use
+    /// [`DistanceOracle::distance_batch`] for the fallible form.
     pub fn distance_batch_parallel(
         &self,
         pairs: &[(VertexId, VertexId)],
         threads: usize,
     ) -> Vec<Option<Dist>> {
-        assert!(threads > 0, "need at least one thread");
-        if pairs.is_empty() {
-            return Vec::new();
-        }
-        let threads = threads.min(pairs.len());
-        let chunk = pairs.len().div_ceil(threads);
-        let mut out = vec![None; pairs.len()];
-        std::thread::scope(|scope| {
-            for (slot, work) in out.chunks_mut(chunk).zip(pairs.chunks(chunk)) {
-                scope.spawn(move || {
-                    for (o, &(s, t)) in slot.iter_mut().zip(work) {
-                        *o = self.distance(s, t);
-                    }
-                });
-            }
-        });
-        out
+        self.distance_batch(pairs, BatchOptions::with_threads(threads))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     // ---------------------------------------------------------------------
@@ -396,6 +445,25 @@ impl IsLabelIndex {
     pub fn rebuild(&mut self) {
         let g = self.current_graph();
         *self = Self::build(&g, self.config);
+    }
+}
+
+impl DistanceOracle for IsLabelIndex {
+    fn engine_name(&self) -> &'static str {
+        "islabel"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.overlay.universe()
+    }
+
+    /// Labels plus the residual graph `G_k` — everything a query reads.
+    fn index_bytes(&self) -> usize {
+        self.labels.memory_bytes() + self.hierarchy.gk().memory_bytes()
+    }
+
+    fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        IsLabelIndex::try_distance(self, s, t)
     }
 }
 
@@ -560,6 +628,131 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_query_panics() {
         paper_index().distance(0, 100);
+    }
+
+    #[test]
+    fn try_distance_types_out_of_range() {
+        let index = paper_index();
+        assert_eq!(
+            index.try_distance(0, 100),
+            Err(crate::QueryError::VertexOutOfRange {
+                vertex: 100,
+                universe: 9
+            })
+        );
+        assert_eq!(
+            index.try_distance(100, 0),
+            Err(crate::QueryError::VertexOutOfRange {
+                vertex: 100,
+                universe: 9
+            })
+        );
+        assert_eq!(index.try_distance(7, 4), Ok(Some(3)));
+    }
+
+    #[test]
+    fn try_build_rejects_bad_config() {
+        let g = crate::hierarchy::tests::paper_graph();
+        let bad = BuildConfig {
+            k_selection: KSelection::FixedK(1),
+            ..BuildConfig::default()
+        };
+        assert!(matches!(
+            IsLabelIndex::try_build(&g, bad),
+            Err(crate::Error::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn try_shortest_path_distinguishes_unreachable_from_unsupported() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 2);
+        let g = b.build();
+
+        // With path info: unreachable is Ok(None), not an error.
+        let with = IsLabelIndex::build(&g, BuildConfig::default());
+        assert!(with.try_shortest_path(0, 1).unwrap().is_some());
+        assert_eq!(with.try_shortest_path(0, 3), Ok(None));
+
+        // Without path info: a typed NoPathInfo, where shortest_path would
+        // silently return None.
+        let without = IsLabelIndex::build(
+            &g,
+            BuildConfig {
+                keep_path_info: false,
+                ..BuildConfig::default()
+            },
+        );
+        assert_eq!(
+            without.try_shortest_path(0, 1),
+            Err(crate::QueryError::NoPathInfo)
+        );
+        assert_eq!(without.shortest_path(0, 1), None);
+
+        // Dynamic updates also drop path metadata.
+        let mut updated = IsLabelIndex::build(&g, BuildConfig::default());
+        updated.insert_edge(2, 3, 1);
+        assert_eq!(
+            updated.try_shortest_path(0, 1),
+            Err(crate::QueryError::NoPathInfo)
+        );
+    }
+
+    #[test]
+    fn try_distance_from_labels_reports_stale_index() {
+        let g = crate::hierarchy::tests::paper_graph();
+        let mut index = IsLabelIndex::build(&g, BuildConfig::default());
+        let own = |index: &IsLabelIndex, v: VertexId| {
+            let l = index.labels().label(v);
+            (l.ancestors.to_vec(), l.dists.to_vec())
+        };
+        let (sa, sd) = own(&index, 7);
+        let (ta, td) = own(&index, 4);
+        fn view<'a>(a: &'a [VertexId], d: &'a [Dist]) -> crate::label::LabelView<'a> {
+            crate::label::LabelView {
+                ancestors: a,
+                dists: d,
+                first_hops: &[],
+            }
+        }
+        assert_eq!(
+            index.try_distance_from_labels(view(&sa, &sd), view(&ta, &td)),
+            Ok(Some(3))
+        );
+        index.insert_edge(0, 8, 1);
+        assert_eq!(
+            index.try_distance_from_labels(view(&sa, &sd), view(&ta, &td)),
+            Err(crate::QueryError::StaleIndex)
+        );
+    }
+
+    #[test]
+    fn oracle_trait_surface() {
+        let index = paper_index();
+        let oracle: &dyn crate::DistanceOracle = &index;
+        assert_eq!(oracle.engine_name(), "islabel");
+        assert_eq!(oracle.num_vertices(), 9);
+        assert!(oracle.index_bytes() > 0);
+        assert_eq!(oracle.try_distance(7, 4), Ok(Some(3)));
+        let batch = oracle
+            .distance_batch(&[(7, 4), (0, 6), (3, 3)], BatchOptions::default())
+            .unwrap();
+        assert_eq!(batch, vec![Some(3), Some(3), Some(0)]);
+        assert!(oracle
+            .distance_batch(&[(0, 99)], BatchOptions::sequential())
+            .is_err());
+    }
+
+    #[test]
+    fn batch_zero_threads_uses_default_parallelism() {
+        let g = erdos_renyi_gnm(60, 140, WeightModel::Unit, 12);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        let pairs: Vec<(VertexId, VertexId)> =
+            (0..40).map(|i| (i % 60, (i * 7 + 3) % 60)).collect();
+        let sequential: Vec<Option<Dist>> =
+            pairs.iter().map(|&(s, t)| index.distance(s, t)).collect();
+        // The old assert!(threads > 0) is gone: 0 selects the default.
+        assert_eq!(index.distance_batch_parallel(&pairs, 0), sequential);
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!
 //! ## Entry points
 //!
+//! * [`DistanceOracle`] — the unified query trait every engine in the
+//!   workspace implements, with typed fallible `try_*` forms ([`Error`],
+//!   [`QueryError`]) next to the panicking conveniences.
 //! * [`IsLabelIndex`] — build/query interface for undirected graphs,
 //!   including shortest-path reconstruction (Section 8.1) and lazy dynamic
 //!   updates (Section 8.3).
@@ -59,6 +62,7 @@ pub mod hierarchy;
 pub mod index;
 pub mod label;
 pub mod labelcache;
+pub mod oracle;
 pub mod path;
 pub mod persist;
 pub mod query;
@@ -69,6 +73,7 @@ pub mod updates;
 pub use config::{BuildConfig, IsStrategy, KSelection};
 pub use directed::DiIsLabelIndex;
 pub use index::IsLabelIndex;
+pub use oracle::{BatchOptions, DistanceOracle, Error, QueryError};
 pub use path::Path;
 pub use query::QueryType;
 pub use stats::IndexStats;

@@ -369,6 +369,29 @@ pub fn load_index_from_path(path: impl AsRef<std::path::Path>) -> io::Result<IsL
     load_index(&mut f)
 }
 
+/// Fully typed save: I/O failures surface as
+/// [`Error::Persist`](crate::Error::Persist) and an index with pending
+/// dynamic updates surfaces as
+/// [`QueryError::StaleIndex`](crate::QueryError::StaleIndex) instead of the
+/// panic in [`save_index`].
+pub fn try_save_index_to_path(
+    index: &IsLabelIndex,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), crate::Error> {
+    if index.has_updates() {
+        return Err(crate::QueryError::StaleIndex.into());
+    }
+    save_index_to_path(index, path).map_err(crate::Error::Persist)
+}
+
+/// Fully typed load: I/O and format failures surface as
+/// [`Error::Persist`](crate::Error::Persist).
+pub fn try_load_index_from_path(
+    path: impl AsRef<std::path::Path>,
+) -> Result<IsLabelIndex, crate::Error> {
+    load_index_from_path(path).map_err(crate::Error::Persist)
+}
+
 // The CSR binary format reads to end-of-stream; frame it with a length.
 fn read_csr_framed<R: Read>(reader: &mut R) -> io::Result<islabel_graph::CsrGraph> {
     let mut len = [0u8; 8];

@@ -137,6 +137,13 @@ impl CsrDigraph {
             .zip(self.in_weights(v).iter().copied())
     }
 
+    /// Approximate resident size in bytes (both CSR orientations).
+    pub fn memory_bytes(&self) -> usize {
+        (self.out_offsets.len() + self.in_offsets.len()) * std::mem::size_of::<usize>()
+            + (self.out_neighbors.len() + self.in_neighbors.len()) * std::mem::size_of::<VertexId>()
+            + (self.out_weights.len() + self.in_weights.len()) * std::mem::size_of::<Weight>()
+    }
+
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: VertexId) -> usize {

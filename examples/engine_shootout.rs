@@ -1,0 +1,68 @@
+//! Engine shootout: build every distance engine on one generated graph
+//! through the `Engine` registry and compare them behind
+//! `Box<dyn DistanceOracle>` — index footprint, batch-query throughput,
+//! and (of course) identical answers.
+//!
+//! ```sh
+//! cargo run --release --example engine_shootout
+//! ```
+
+use islabel::graph::generators::{barabasi_albert, WeightModel};
+use islabel::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // A scale-free graph: hubs flatter the labeling schemes, long tails
+    // keep the search baselines honest.
+    let g = barabasi_albert(3_000, 4, WeightModel::UniformRange(1, 8), 0x5107);
+    println!(
+        "graph: {} vertices, {} edges\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // One deterministic workload for everyone.
+    let pairs: Vec<(VertexId, VertexId)> = (0..4_000u32)
+        .map(|i| ((i * 97) % 3_000, (i * 131 + 17) % 3_000))
+        .collect();
+    let options = BatchOptions::default(); // available_parallelism() workers
+
+    println!(
+        "{:<12} {:>10} {:>14} {:>12} {:>16}",
+        "engine", "build", "index bytes", "batch", "throughput"
+    );
+    let mut reference: Option<Vec<Option<Dist>>> = None;
+    for engine in Engine::ALL {
+        let t0 = Instant::now();
+        let oracle: Box<dyn DistanceOracle> =
+            build_oracle(engine, &g, &BuildConfig::default()).expect("default config is valid");
+        let build = t0.elapsed();
+
+        let t0 = Instant::now();
+        let answers = oracle
+            .distance_batch(&pairs, options)
+            .expect("workload is in range");
+        let batch = t0.elapsed();
+
+        // Interchangeability check: all engines answer identically.
+        match &reference {
+            None => reference = Some(answers),
+            Some(expect) => assert_eq!(&answers, expect, "{engine} diverged"),
+        }
+
+        println!(
+            "{:<12} {:>10.2?} {:>14} {:>12.2?} {:>12.0} q/s",
+            oracle.engine_name(),
+            build,
+            oracle.index_bytes(),
+            batch,
+            pairs.len() as f64 / batch.as_secs_f64()
+        );
+    }
+
+    println!(
+        "\nall {} engines agree on {} queries",
+        Engine::ALL.len(),
+        pairs.len()
+    );
+}

@@ -24,13 +24,45 @@
 //! assert_eq!(index.distance(0, 3), Some(4));
 //! assert_eq!(index.distance(3, 3), Some(0));
 //! ```
+//!
+//! Engine-agnostic code programs against [`DistanceOracle`] and builds any
+//! engine through the [`Engine`] registry (see [`prelude`]):
+//!
+//! ```
+//! use islabel::prelude::*;
+//!
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(0, 1, 4);
+//! let g = b.build();
+//! for engine in Engine::ALL {
+//!     let oracle = build_oracle(engine, &g, &BuildConfig::default()).unwrap();
+//!     assert_eq!(oracle.try_distance(0, 1), Ok(Some(4)));
+//!     assert_eq!(oracle.try_distance(0, 2), Ok(None)); // unreachable
+//!     assert!(oracle.try_distance(0, 7).is_err()); // typed, not a panic
+//! }
+//! ```
 
 pub use islabel_baselines as baselines;
 pub use islabel_core as core;
 pub use islabel_extmem as extmem;
 pub use islabel_graph as graph;
 
-pub use islabel_core::{BuildConfig, DiIsLabelIndex, IsLabelIndex};
+pub use islabel_baselines::{build_oracle, BiDijkstraOracle, Engine};
+pub use islabel_core::{
+    BatchOptions, BuildConfig, DiIsLabelIndex, DistanceOracle, Error, IsLabelIndex, QueryError,
+};
 pub use islabel_graph::{
     CsrDigraph, CsrGraph, Dataset, DigraphBuilder, Dist, GraphBuilder, Scale, VertexId, Weight, INF,
 };
+
+/// One-stop imports for programming against the unified query API.
+pub mod prelude {
+    pub use islabel_baselines::{build_oracle, BiDijkstraOracle, Engine};
+    pub use islabel_baselines::{PllIndex, VcConfig, VcIndex};
+    pub use islabel_core::{
+        BatchOptions, BuildConfig, DiIsLabelIndex, DistanceOracle, Error, IsLabelIndex, QueryError,
+    };
+    pub use islabel_graph::{
+        CsrDigraph, CsrGraph, DigraphBuilder, Dist, GraphBuilder, VertexId, Weight, INF,
+    };
+}

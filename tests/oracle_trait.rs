@@ -1,0 +1,132 @@
+//! Trait-conformance suite: every [`Engine`] must satisfy the
+//! [`DistanceOracle`] contract through one generic checker.
+//!
+//! The contract under test, per engine and per graph family (Erdős–Rényi,
+//! 2-D grid, Barabási–Albert):
+//!
+//! * **exactness** — `try_distance` agrees with a reference Dijkstra,
+//!   including `Ok(None)` on unreachable pairs;
+//! * **typed failure** — out-of-range endpoints yield
+//!   `Err(VertexOutOfRange)` (never a panic), on either side, for both the
+//!   single and the batch entry point;
+//! * **batch coherence** — `distance_batch` equals the sequential answers
+//!   at every thread count, including the `available_parallelism` default;
+//! * **identity** — `s == t` answers `Some(0)`;
+//! * **metadata** — `engine_name` matches the selector and `num_vertices`
+//!   / `index_bytes` are sane.
+
+use islabel::core::reference::dijkstra_p2p;
+use islabel::graph::generators::{barabasi_albert, erdos_renyi_gnm, grid2d, WeightModel};
+use islabel::prelude::*;
+
+/// Deterministic query mix: spread pairs plus a few self and repeated
+/// queries.
+fn pairs(n: u32) -> Vec<(VertexId, VertexId)> {
+    let mut v: Vec<(VertexId, VertexId)> = (0..96u32)
+        .map(|i| ((i * 13) % n, (i * 37 + 5) % n))
+        .collect();
+    v.push((0, 0));
+    v.push((n - 1, n - 1));
+    v.push((0, n - 1));
+    v.push((0, n - 1));
+    v
+}
+
+/// The generic conformance check every engine must pass.
+fn check<O: DistanceOracle + ?Sized>(oracle: &O, g: &CsrGraph, what: &str) {
+    let n = g.num_vertices();
+    assert_eq!(oracle.num_vertices(), n, "{what}: num_vertices");
+    assert!(oracle.index_bytes() > 0, "{what}: index_bytes");
+
+    // Exactness against the reference oracle, and s == t => Some(0).
+    let pairs = pairs(n as u32);
+    for &(s, t) in &pairs {
+        let got = oracle
+            .try_distance(s, t)
+            .unwrap_or_else(|e| panic!("{what}: in-range query ({s}, {t}) errored: {e}"));
+        if s == t {
+            assert_eq!(got, Some(0), "{what}: self query ({s}, {t})");
+        }
+        assert_eq!(got, dijkstra_p2p(g, s, t), "{what}: query ({s}, {t})");
+    }
+
+    // Typed out-of-range on either endpoint, single and batch form.
+    for (s, t) in [(0, n as VertexId), (n as VertexId + 7, 0)] {
+        let bad = s.max(t);
+        let expect = Err(QueryError::VertexOutOfRange {
+            vertex: bad,
+            universe: n,
+        });
+        assert_eq!(oracle.try_distance(s, t), expect, "{what}: oob ({s}, {t})");
+        assert_eq!(
+            oracle
+                .distance_batch(&[(0, 0), (s, t)], BatchOptions::sequential())
+                .map(|_| ()),
+            expect.map(|_: Option<Dist>| ()),
+            "{what}: batch oob ({s}, {t})"
+        );
+    }
+
+    // Batch == sequential at several thread counts (0 = default pool).
+    let sequential: Vec<Option<Dist>> = pairs
+        .iter()
+        .map(|&(s, t)| oracle.try_distance(s, t).unwrap())
+        .collect();
+    for threads in [0usize, 1, 2, 5] {
+        assert_eq!(
+            oracle
+                .distance_batch(&pairs, BatchOptions::with_threads(threads))
+                .unwrap(),
+            sequential,
+            "{what}: batch at {threads} threads"
+        );
+    }
+    assert!(
+        oracle
+            .distance_batch(&[], BatchOptions::default())
+            .unwrap()
+            .is_empty(),
+        "{what}: empty batch"
+    );
+}
+
+fn check_all_engines(g: &CsrGraph, family: &str) {
+    for engine in Engine::ALL {
+        let oracle =
+            build_oracle(engine, g, &BuildConfig::default()).expect("default config is valid");
+        assert_eq!(oracle.engine_name(), engine.name());
+        check(oracle.as_ref(), g, &format!("{family}/{engine}"));
+    }
+}
+
+#[test]
+fn conformance_on_erdos_renyi() {
+    // Sparse: many unreachable pairs exercise the Ok(None) case.
+    let g = erdos_renyi_gnm(200, 360, WeightModel::UniformRange(1, 9), 0xA1);
+    check_all_engines(&g, "er");
+}
+
+#[test]
+fn conformance_on_grid() {
+    let g = grid2d(13, 15, WeightModel::UniformRange(1, 4), 0xA2);
+    check_all_engines(&g, "grid");
+}
+
+#[test]
+fn conformance_on_barabasi_albert() {
+    let g = barabasi_albert(250, 3, WeightModel::Unit, 0xA3);
+    check_all_engines(&g, "ba");
+}
+
+#[test]
+fn conformance_survives_non_default_configs() {
+    // The trait contract holds whatever construction parameters produced
+    // the IS-LABEL engines.
+    let g = erdos_renyi_gnm(150, 320, WeightModel::UniformRange(1, 5), 0xA4);
+    for config in [BuildConfig::full(), BuildConfig::fixed_k(3)] {
+        for engine in [Engine::IsLabel, Engine::DiIsLabel] {
+            let oracle = build_oracle(engine, &g, &config).unwrap();
+            check(oracle.as_ref(), &g, &format!("cfg/{engine}"));
+        }
+    }
+}

@@ -128,3 +128,45 @@ fn mem_and_dir_storage_hold_identical_bytes() {
 }
 
 use std::io::Read;
+
+#[test]
+fn typed_persist_roundtrip_and_stale_rejection() {
+    use islabel::core::persist::{try_load_index_from_path, try_save_index_to_path};
+    use islabel::core::{Error, QueryError};
+
+    let dir = tempdir("typed-persist");
+    let path = dir.join("i.islx");
+    let g = Dataset::GoogleLike.generate(Scale::Tiny);
+    let mut index = IsLabelIndex::build(&g, BuildConfig::default());
+
+    // Pristine index: save + load roundtrips and answers identically.
+    try_save_index_to_path(&index, &path).unwrap();
+    let reloaded = try_load_index_from_path(&path).unwrap();
+    for i in 0..40u32 {
+        let n = g.num_vertices() as u32;
+        let (s, t) = ((i * 11) % n, (i * 17 + 3) % n);
+        assert_eq!(reloaded.distance(s, t), index.distance(s, t), "({s}, {t})");
+    }
+
+    // A pending dynamic update is a typed StaleIndex, not a panic.
+    index.insert_edge(0, 1, 5);
+    assert!(matches!(
+        try_save_index_to_path(&index, &path),
+        Err(Error::Query(QueryError::StaleIndex))
+    ));
+
+    // I/O failures map to Error::Persist.
+    assert!(matches!(
+        try_load_index_from_path(dir.join("does-not-exist.islx")),
+        Err(Error::Persist(_))
+    ));
+    let rebuilt = {
+        index.rebuild();
+        index
+    };
+    assert!(matches!(
+        try_save_index_to_path(&rebuilt, dir.join("no-such-dir").join("x.islx")),
+        Err(Error::Persist(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}

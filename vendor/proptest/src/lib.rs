@@ -128,7 +128,7 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C);
     impl_tuple_strategy!(A, B, C, D);
 
-    /// Boxes a strategy for use in heterogeneous unions ([`prop_oneof!`]).
+    /// Boxes a strategy for use in heterogeneous unions (`prop_oneof!`).
     pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
     where
         S: Strategy + 'static,
