@@ -5,7 +5,7 @@
 //! extractions between the cheaper frontier and stops when
 //! `min(FQ) + min(RQ) ≥ µ`, the same cutoff Algorithm 1 uses.
 
-use islabel_core::oracle::{check_vertex, DistanceOracle, QueryError};
+use islabel_core::oracle::{check_vertex, DistanceOracle, QueryError, QuerySession};
 use islabel_graph::{CsrGraph, Dist, VertexId, INF};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -155,18 +155,73 @@ impl BiDijkstraOracle {
     pub fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         check_vertex(s, self.graph.num_vertices())?;
         check_vertex(t, self.graph.num_vertices())?;
-        let mut searcher = self
-            .pool
-            .lock()
-            .expect("scratch pool poisoned")
-            .pop()
-            .unwrap_or_else(|| BiDijkstra::new(self.graph.num_vertices()));
+        let mut searcher = self.checkout();
         let d = searcher.distance(&self.graph, s, t);
         self.pool
             .lock()
             .expect("scratch pool poisoned")
             .push(searcher);
         Ok(d)
+    }
+
+    /// Opens a per-thread session that checks a searcher out of the pool
+    /// for its whole lifetime (returned on drop), so a serving thread skips
+    /// the per-query pool round-trip of
+    /// [`try_distance`](BiDijkstraOracle::try_distance) entirely.
+    pub fn session(&self) -> BiDijkstraSession<'_> {
+        BiDijkstraSession {
+            oracle: self,
+            searcher: Some(self.checkout()),
+        }
+    }
+
+    fn checkout(&self) -> BiDijkstra {
+        self.pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| BiDijkstra::new(self.graph.num_vertices()))
+    }
+}
+
+/// A pool checkout of one [`BiDijkstra`] searcher (see
+/// [`QuerySession`]). Obtained from [`BiDijkstraOracle::session`]; the
+/// searcher returns to the pool when the session drops.
+pub struct BiDijkstraSession<'a> {
+    oracle: &'a BiDijkstraOracle,
+    searcher: Option<BiDijkstra>,
+}
+
+impl BiDijkstraSession<'_> {
+    /// Exact distance through this session's dedicated searcher; same
+    /// contract as [`BiDijkstraOracle::try_distance`].
+    pub fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        check_vertex(s, self.oracle.graph.num_vertices())?;
+        check_vertex(t, self.oracle.graph.num_vertices())?;
+        let searcher = self.searcher.as_mut().expect("searcher held until drop");
+        Ok(searcher.distance(&self.oracle.graph, s, t))
+    }
+}
+
+impl QuerySession for BiDijkstraSession<'_> {
+    fn engine_name(&self) -> &'static str {
+        "bidij"
+    }
+
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        BiDijkstraSession::distance(self, s, t)
+    }
+}
+
+impl Drop for BiDijkstraSession<'_> {
+    fn drop(&mut self) {
+        if let Some(searcher) = self.searcher.take() {
+            self.oracle
+                .pool
+                .lock()
+                .expect("scratch pool poisoned")
+                .push(searcher);
+        }
     }
 }
 
@@ -186,6 +241,10 @@ impl DistanceOracle for BiDijkstraOracle {
 
     fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         BiDijkstraOracle::try_distance(self, s, t)
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(BiDijkstraOracle::session(self))
     }
 }
 

@@ -16,7 +16,7 @@
 //! two labels — structurally the same Equation 1 evaluation IS-LABEL uses,
 //! with total correctness instead of max-level-vertex correctness.
 
-use islabel_core::oracle::{DistanceOracle, QueryError};
+use islabel_core::oracle::{DistanceOracle, QueryError, QuerySession};
 use islabel_graph::{CsrGraph, Dist, VertexId, INF};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -186,6 +186,28 @@ impl DistanceOracle for PllIndex {
 
     fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         PllIndex::try_distance(self, s, t)
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(PllSession { index: self })
+    }
+}
+
+/// [`QuerySession`] over a [`PllIndex`]. The 2-hop merge-join query reads
+/// only the two label slices and needs no per-query scratch, so the
+/// session is a plain borrow — it exists to give PLL the same per-thread
+/// serving surface as the search-based engines.
+pub struct PllSession<'a> {
+    index: &'a PllIndex,
+}
+
+impl QuerySession for PllSession<'_> {
+    fn engine_name(&self) -> &'static str {
+        "pll"
+    }
+
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        self.index.try_distance(s, t)
     }
 }
 

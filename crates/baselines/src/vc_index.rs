@@ -27,7 +27,7 @@
 //!   graphs from disk).
 
 use islabel_core::hierarchy::VertexHierarchy;
-use islabel_core::oracle::{check_vertex, DistanceOracle, QueryError};
+use islabel_core::oracle::{check_vertex, DistanceOracle, QueryError, QuerySession};
 use islabel_core::{BuildConfig, KSelection};
 use islabel_graph::{CsrGraph, Dist, GraphBuilder, VertexId, INF};
 use std::cmp::Reverse;
@@ -183,6 +183,18 @@ impl VcIndex {
         cost.bytes_touched = cost.edges_scanned * 8;
         (None, cost)
     }
+
+    /// Opens a per-thread [`VcSession`] whose Dijkstra buffers (distance
+    /// array, touched list, heap) persist across queries; the typed twin
+    /// of [`DistanceOracle::session`].
+    pub fn session(&self) -> VcSession<'_> {
+        VcSession {
+            index: self,
+            dist: vec![INF; self.search_graph.num_vertices()],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
 }
 
 impl DistanceOracle for VcIndex {
@@ -200,6 +212,72 @@ impl DistanceOracle for VcIndex {
 
     fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         VcIndex::try_distance(self, s, t)
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(VcIndex::session(self))
+    }
+}
+
+/// Reusable query state for one [`VcIndex`]: the distance array, touched
+/// list and heap of the early-terminating Dijkstra (see
+/// [`QuerySession`]). Obtained from [`VcIndex::session`].
+pub struct VcSession<'a> {
+    index: &'a VcIndex,
+    dist: Vec<Dist>,
+    touched: Vec<VertexId>,
+    heap: BinaryHeap<Reverse<(Dist, VertexId)>>,
+}
+
+impl VcSession<'_> {
+    /// Exact distance through the reused search buffers; same contract as
+    /// [`VcIndex::try_distance`].
+    pub fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        let g = &self.index.search_graph;
+        check_vertex(s, g.num_vertices())?;
+        check_vertex(t, g.num_vertices())?;
+        if s == t {
+            return Ok(Some(0));
+        }
+        // Sparse reset: only vertices the previous query touched.
+        for &v in &self.touched {
+            self.dist[v as usize] = INF;
+        }
+        self.touched.clear();
+        self.heap.clear();
+
+        self.dist[s as usize] = 0;
+        self.touched.push(s);
+        self.heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            if d > self.dist[v as usize] {
+                continue;
+            }
+            if v == t {
+                return Ok(Some(d));
+            }
+            for (u, w) in g.edges(v) {
+                let nd = d + w as Dist;
+                if nd < self.dist[u as usize] {
+                    if self.dist[u as usize] == INF {
+                        self.touched.push(u);
+                    }
+                    self.dist[u as usize] = nd;
+                    self.heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl QuerySession for VcSession<'_> {
+    fn engine_name(&self) -> &'static str {
+        "vc"
+    }
+
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        VcSession::distance(self, s, t)
     }
 }
 

@@ -1,0 +1,8 @@
+//! Prints the serving-throughput scaling table: queries/sec through the
+//! sharded `QueryService` at 1/2/4/8 worker shards vs the single-thread
+//! session baseline (`ISLABEL_SERVE_N` / `ISLABEL_SERVE_QUERIES` size the
+//! workload).
+
+fn main() {
+    println!("{}", islabel_bench::experiments::serve_throughput());
+}

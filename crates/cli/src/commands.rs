@@ -10,6 +10,7 @@ use islabel_extmem::storage::Storage as _;
 use islabel_graph::algo::stats::{human_bytes, human_count};
 use islabel_graph::io::{read_csr_binary, read_edge_list, write_csr_binary, write_edge_list};
 use islabel_graph::{CsrGraph, Dataset, Scale, VertexId};
+use islabel_serve::{QueryService, ServeConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::path::Path;
 use std::time::Instant;
@@ -25,6 +26,9 @@ USAGE:
     islabel query <index.islx | graph> <s> <t> [--path] [--engine E]
     islabel bench <index.islx | graph> [--queries N] [--seed S]
                   [--threads N] [--engine E]
+    islabel serve [index.islx | graph] [--engine E] [--shards N]
+                  [--clients N] [--requests N] [--batch B] [--seed S]
+                  [--smoke]
     islabel stats <index.islx | graph>
 
 ENGINES (for graph inputs; an .islx artifact is always an IS-LABEL index):
@@ -45,6 +49,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "build" => build(rest),
         "query" => query(rest),
         "bench" => bench(rest),
+        "serve" => serve(rest),
         "stats" => stats(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -341,6 +346,176 @@ fn bench(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Drives a synthetic closed-loop workload through a [`QueryService`] and
+/// prints per-shard and latency tables. `--smoke` is the one-shot CI mode:
+/// small fixed workload, in-memory generated graph if no input is given,
+/// and a correctness cross-check that fails the command on any mismatch.
+fn serve(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(
+        argv,
+        &["engine", "shards", "clients", "requests", "batch", "seed"],
+    )?;
+    args.reject_unknown_flags(&["smoke"])?;
+    let smoke = args.flag("smoke");
+
+    let loaded = match args.pos(0, "index or graph path") {
+        Ok(path) => load_engine(args.opt("engine"), path)?,
+        Err(_) if smoke => {
+            // One-shot mode needs no artifacts: generate a tiny stand-in
+            // graph in memory and build the selected engine over it.
+            let engine = match args.opt("engine") {
+                Some(name) => Engine::parse(name).map_err(|e| e.to_string())?,
+                None => Engine::IsLabel,
+            };
+            let g = Dataset::GoogleLike.generate(Scale::Tiny);
+            println!(
+                "smoke: engine '{engine}' over generated graph ({} vertices, {} edges)",
+                human_count(g.num_vertices()),
+                human_count(g.num_edges())
+            );
+            Loaded::Oracle(
+                build_oracle(engine, &g, &BuildConfig::default()).map_err(|e| e.to_string())?,
+            )
+        }
+        Err(e) => return Err(format!("{e} (or pass --smoke to generate one)")),
+    };
+    let oracle: std::sync::Arc<dyn DistanceOracle> = match loaded {
+        Loaded::Index(index) => std::sync::Arc::new(*index),
+        Loaded::Oracle(boxed) => std::sync::Arc::from(boxed),
+    };
+    let n = oracle.num_vertices();
+    if n < 2 {
+        return Err("index too small to serve".into());
+    }
+
+    let shards: usize = args
+        .opt_parse("shards")?
+        .unwrap_or(if smoke { 2 } else { 0 });
+    let clients: usize = args
+        .opt_parse("clients")?
+        .unwrap_or(if smoke { 2 } else { 4 });
+    let requests: usize = args
+        .opt_parse("requests")?
+        .unwrap_or(if smoke { 400 } else { 20_000 });
+    let batch: usize = args
+        .opt_parse("batch")?
+        .unwrap_or(if smoke { 16 } else { 64 });
+    let seed: u64 = args.opt_parse("seed")?.unwrap_or(42);
+    if clients == 0 || requests == 0 || batch == 0 {
+        return Err("--clients, --requests and --batch must be positive".into());
+    }
+
+    let service = QueryService::start(
+        std::sync::Arc::clone(&oracle),
+        ServeConfig {
+            shards,
+            queue_capacity: 256,
+        },
+    );
+    println!(
+        "serving [{}] on {} shard(s): {} clients x {} requests (batch {})",
+        oracle.engine_name(),
+        service.num_shards(),
+        clients,
+        requests,
+        batch
+    );
+
+    // Cross-check one deterministic batch against the direct query path —
+    // in smoke mode this is the assertion CI relies on.
+    let check: Vec<(VertexId, VertexId)> = (0..64usize)
+        .map(|i| (((i * 13) % n) as VertexId, ((i * 29 + 7) % n) as VertexId))
+        .collect();
+    let served = service.submit(&check).wait().map_err(|e| e.to_string())?;
+    for (&(s, t), got) in check.iter().zip(&served) {
+        let expect = oracle.try_distance(s, t).map_err(|e| e.to_string())?;
+        if *got != expect {
+            return Err(format!(
+                "serve cross-check failed: dist({s}, {t}) served {got:?}, direct {expect:?}"
+            ));
+        }
+    }
+
+    // Closed-loop synthetic workload: each client thread submits a batch,
+    // waits for it, repeats. Queries served before this point (the
+    // cross-check) are excluded from the throughput figure.
+    let pre_workload_queries = service.stats().total_queries();
+    let t0 = Instant::now();
+    let mut latencies: Vec<std::time::Duration> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let service = &service;
+                let per_client = requests.div_ceil(clients);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9 * (c as u64 + 1)));
+                    let mut lats = Vec::new();
+                    let mut remaining = per_client;
+                    while remaining > 0 {
+                        let size = batch.min(remaining);
+                        let pairs: Vec<(VertexId, VertexId)> = (0..size)
+                            .map(|_| {
+                                (
+                                    rng.gen_range(0..n as VertexId),
+                                    rng.gen_range(0..n as VertexId),
+                                )
+                            })
+                            .collect();
+                        let t = Instant::now();
+                        service
+                            .submit(&pairs)
+                            .wait()
+                            .expect("in-range queries cannot fail");
+                        lats.push(t.elapsed());
+                        remaining -= size;
+                    }
+                    lats
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    let stats = service.shutdown();
+
+    println!("\nper-shard stats");
+    println!("  shard |   queries |  batches |      busy | mean µs/query | swaps seen");
+    for s in &stats.shards {
+        println!(
+            "  {:>5} | {:>9} | {:>8} | {:>9.2?} | {:>13.2} | {:>10}",
+            s.shard,
+            s.queries,
+            s.batches,
+            s.busy,
+            s.mean_query_latency().as_secs_f64() * 1e6,
+            s.swaps_observed
+        );
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    println!("\nclient batch latency (batch of {batch})");
+    println!(
+        "  p50 {:.2?}   p95 {:.2?}   p99 {:.2?}   max {:.2?}",
+        pct(0.50),
+        pct(0.95),
+        pct(0.99),
+        latencies[latencies.len() - 1]
+    );
+    let served_queries = stats.total_queries() - pre_workload_queries;
+    println!(
+        "\n{} queries in {wall:.2?} -> {:.0} queries/sec across {} shard(s)",
+        served_queries,
+        served_queries as f64 / wall.as_secs_f64(),
+        stats.shards.len()
+    );
+    if smoke {
+        println!("smoke OK: cross-check passed, workload drained, workers joined");
+    }
+    Ok(())
+}
+
 fn stats(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
     args.reject_unknown_flags(&[])?;
@@ -512,6 +687,42 @@ mod tests {
         assert!(err.contains("needs a graph input"), "{err}");
         std::fs::remove_file(&graph).ok();
         std::fs::remove_file(&index).ok();
+    }
+
+    #[test]
+    fn serve_smoke_without_input() {
+        run(&["serve", "--smoke"]).unwrap();
+    }
+
+    #[test]
+    fn serve_smoke_on_prebuilt_index_and_engines() {
+        let graph = tmp("srv.isgb");
+        let index = tmp("srv.islx");
+        run(&["gen", "btc", "--scale", "tiny", "-o", &graph]).unwrap();
+        run(&["build", &graph, "-o", &index]).unwrap();
+        run(&[
+            "serve",
+            &index,
+            "--smoke",
+            "--shards",
+            "3",
+            "--clients",
+            "2",
+            "--requests",
+            "120",
+        ])
+        .unwrap();
+        run(&["serve", &graph, "--smoke", "--engine", "bidij"]).unwrap();
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&index).ok();
+    }
+
+    #[test]
+    fn serve_requires_input_or_smoke() {
+        let err = run(&["serve"]).unwrap_err();
+        assert!(err.contains("--smoke"), "{err}");
+        let err = run(&["serve", "--smoke", "--batch", "0"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
     }
 
     #[test]

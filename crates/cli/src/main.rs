@@ -6,6 +6,7 @@
 //! islabel build <graph> -o index.islx [options]           build and persist an index
 //! islabel query <index.islx> <s> <t> [--path]             one query
 //! islabel bench <index.islx> [--queries N] [--seed S]     random-query benchmark
+//! islabel serve <index.islx> [--shards N] [--smoke]       closed-loop serving workload
 //! islabel stats <index.islx|graph>                        artifact statistics
 //! ```
 //!

@@ -25,8 +25,11 @@
 
 use crate::config::{BuildConfig, IsStrategy, KSelection};
 use crate::label::LabelSet;
-use crate::oracle::{check_vertex, DistanceOracle, Error, QueryError};
-use crate::query::{intersect_min, label_bi_dijkstra_directed, GkGraph, SearchParams};
+use crate::oracle::{check_vertex, DistanceOracle, Error, QueryError, QuerySession};
+use crate::query::{
+    intersect_min, label_bi_dijkstra_directed, label_bi_dijkstra_directed_in, GkGraph,
+    SearchParams, SearchScratch,
+};
 use crate::stats::IndexStats;
 use islabel_graph::{CsrDigraph, Dist, FxHashMap, VertexId, Weight, INF};
 use std::time::Instant;
@@ -370,6 +373,72 @@ impl DiIsLabelIndex {
     pub fn reachable(&self, s: VertexId, t: VertexId) -> bool {
         self.distance(s, t).is_some()
     }
+
+    /// Opens a per-thread [`DiIsLabelSession`] with reusable search
+    /// scratch; the typed twin of [`DistanceOracle::session`].
+    pub fn session(&self) -> DiIsLabelSession<'_> {
+        DiIsLabelSession {
+            index: self,
+            scratch: SearchScratch::new(),
+            fseeds: Vec::new(),
+            rseeds: Vec::new(),
+        }
+    }
+}
+
+/// Reusable query state for one [`DiIsLabelIndex`] (see
+/// [`QuerySession`]). Obtained from [`DiIsLabelIndex::session`].
+#[derive(Debug)]
+pub struct DiIsLabelSession<'a> {
+    index: &'a DiIsLabelIndex,
+    scratch: SearchScratch,
+    fseeds: Vec<(VertexId, Dist)>,
+    rseeds: Vec<(VertexId, Dist)>,
+}
+
+impl DiIsLabelSession<'_> {
+    /// Directed distance `dist(s → t)` through the reused scratch buffers;
+    /// same contract as [`DiIsLabelIndex::try_distance`].
+    pub fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        let index = self.index;
+        check_vertex(s, index.num_vertices())?;
+        check_vertex(t, index.num_vertices())?;
+        if s == t {
+            return Ok(Some(0));
+        }
+        let ls = index.out_labels.label(s);
+        let lt = index.in_labels.label(t);
+        let (mu0, witness) = intersect_min(ls, lt);
+        self.fseeds.clear();
+        self.fseeds
+            .extend(ls.iter().filter(|&(a, _)| index.is_in_gk(a)));
+        self.rseeds.clear();
+        self.rseeds
+            .extend(lt.iter().filter(|&(a, _)| index.is_in_gk(a)));
+        let outcome = label_bi_dijkstra_directed_in(
+            &Forward(&index.gk),
+            &Backward(&index.gk),
+            SearchParams {
+                fseeds: &self.fseeds,
+                rseeds: &self.rseeds,
+                mu0,
+                mu0_witness: witness,
+                track_paths: false,
+            },
+            &mut self.scratch,
+        );
+        Ok((outcome.dist < INF).then_some(outcome.dist))
+    }
+}
+
+impl QuerySession for DiIsLabelSession<'_> {
+    fn engine_name(&self) -> &'static str {
+        "di-islabel"
+    }
+
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        DiIsLabelSession::distance(self, s, t)
+    }
 }
 
 /// The directed index serves the shared oracle contract in the forward
@@ -390,6 +459,10 @@ impl DistanceOracle for DiIsLabelIndex {
 
     fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         DiIsLabelIndex::try_distance(self, s, t)
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(DiIsLabelIndex::session(self))
     }
 }
 
@@ -671,6 +744,24 @@ mod tests {
         let index = DiIsLabelIndex::build(&g, BuildConfig::default());
         assert_eq!(index.distance(0, 0), Some(0));
         assert_eq!(index.distance(0, 4), None);
+    }
+
+    #[test]
+    fn session_matches_try_distance_directed() {
+        let g = random_digraph(120, 420, 7, 5);
+        let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+        let mut session = index.session();
+        for round in 0..2 {
+            for i in 0..70u32 {
+                let (s, t) = ((i * 11) % 120, (i * 17 + 3) % 120);
+                assert_eq!(
+                    session.distance(s, t),
+                    index.try_distance(s, t),
+                    "round {round} ({s}, {t})"
+                );
+            }
+        }
+        assert!(session.distance(0, 500).is_err());
     }
 
     #[test]

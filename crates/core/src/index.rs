@@ -3,9 +3,10 @@
 use crate::config::BuildConfig;
 use crate::hierarchy::VertexHierarchy;
 use crate::label::LabelSet;
-use crate::oracle::{check_vertex, BatchOptions, DistanceOracle, Error, QueryError};
+use crate::oracle::{check_vertex, BatchOptions, DistanceOracle, Error, QueryError, QuerySession};
 use crate::query::{
-    intersect_min, label_bi_dijkstra, Meeting, QueryType, SearchParams, SearchResult,
+    intersect_min, label_bi_dijkstra, label_bi_dijkstra_in, Meeting, QueryType, SearchParams,
+    SearchResult, SearchScratch,
 };
 use crate::stats::IndexStats;
 use crate::updates::Overlay;
@@ -377,6 +378,18 @@ impl IsLabelIndex {
         (outcome, result)
     }
 
+    /// Opens a per-thread [`IsLabelSession`] with reusable search scratch;
+    /// the typed twin of [`DistanceOracle::session`]. Create one per
+    /// serving thread and answer queries through it allocation-free.
+    pub fn session(&self) -> IsLabelSession<'_> {
+        IsLabelSession {
+            index: self,
+            scratch: SearchScratch::new(),
+            fseeds: Vec::new(),
+            rseeds: Vec::new(),
+        }
+    }
+
     /// Answers a batch of queries on `threads` worker threads. Queries are
     /// read-only, so the index is shared freely (`&self` + `Sync`); this is
     /// the natural serving mode for the paper's workload of independent
@@ -464,6 +477,76 @@ impl DistanceOracle for IsLabelIndex {
 
     fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         IsLabelIndex::try_distance(self, s, t)
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(IsLabelIndex::session(self))
+    }
+}
+
+/// Reusable query state for one [`IsLabelIndex`]: the bidirectional-search
+/// workspace plus the two `G_k` seed buffers (see
+/// [`QuerySession`]). Obtained from [`IsLabelIndex::session`].
+#[derive(Debug)]
+pub struct IsLabelSession<'a> {
+    index: &'a IsLabelIndex,
+    scratch: SearchScratch,
+    fseeds: Vec<(VertexId, Dist)>,
+    rseeds: Vec<(VertexId, Dist)>,
+}
+
+impl IsLabelSession<'_> {
+    /// The index this session queries.
+    pub fn index(&self) -> &IsLabelIndex {
+        self.index
+    }
+
+    /// Exact distance `dist(s, t)` through the reused scratch buffers;
+    /// same contract as [`IsLabelIndex::try_distance`].
+    pub fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        let index = self.index;
+        index.check_vertex(s)?;
+        index.check_vertex(t)?;
+        // The allocation-free fast path serves the paper's core scenario: a
+        // built (pristine) index under a pure query workload. Indexes
+        // carrying dynamic updates take the general overlay-merging path.
+        if !index.overlay.is_pristine() {
+            return index.try_distance(s, t);
+        }
+        if s == t {
+            return Ok(Some(0));
+        }
+        let ls = index.labels.label(s);
+        let lt = index.labels.label(t);
+        let (mu0, witness) = intersect_min(ls, lt);
+        self.fseeds.clear();
+        self.fseeds
+            .extend(ls.iter().filter(|&(a, _)| index.hierarchy.is_in_gk(a)));
+        self.rseeds.clear();
+        self.rseeds
+            .extend(lt.iter().filter(|&(a, _)| index.hierarchy.is_in_gk(a)));
+        let outcome = label_bi_dijkstra_in(
+            index.hierarchy.gk(),
+            SearchParams {
+                fseeds: &self.fseeds,
+                rseeds: &self.rseeds,
+                mu0,
+                mu0_witness: witness,
+                track_paths: false,
+            },
+            &mut self.scratch,
+        );
+        Ok((outcome.dist < INF).then_some(outcome.dist))
+    }
+}
+
+impl QuerySession for IsLabelSession<'_> {
+    fn engine_name(&self) -> &'static str {
+        "islabel"
+    }
+
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        IsLabelSession::distance(self, s, t)
     }
 }
 
@@ -753,6 +836,44 @@ mod tests {
             pairs.iter().map(|&(s, t)| index.distance(s, t)).collect();
         // The old assert!(threads > 0) is gone: 0 selects the default.
         assert_eq!(index.distance_batch_parallel(&pairs, 0), sequential);
+    }
+
+    #[test]
+    fn session_matches_try_distance_across_reuse() {
+        let g = barabasi_albert(200, 3, WeightModel::UniformRange(1, 4), 17);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        let mut session = index.session();
+        assert_eq!(QuerySession::engine_name(&session), "islabel");
+        for round in 0..3 {
+            for i in 0..60u32 {
+                let (s, t) = ((i * 7) % 200, (i * 13 + 5) % 200);
+                assert_eq!(
+                    session.distance(s, t),
+                    index.try_distance(s, t),
+                    "round {round} ({s}, {t})"
+                );
+            }
+        }
+        assert_eq!(session.distance(3, 3), Ok(Some(0)));
+        assert!(matches!(
+            session.distance(0, 999),
+            Err(QueryError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn session_serves_updated_index_through_fallback() {
+        let g = erdos_renyi_gnm(60, 140, WeightModel::UniformRange(1, 5), 23);
+        let mut index = IsLabelIndex::build(&g, BuildConfig::default());
+        let v = index.insert_vertex(&[(0, 2), (10, 1)]);
+        let mut session = DistanceOracle::session(&index);
+        for t in [0u32, 10, 30, v] {
+            assert_eq!(
+                session.distance(v, t),
+                index.try_distance(v, t),
+                "({v}, {t})"
+            );
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! An LRU cache in front of the disk-resident label store.
+//! A sharded LRU cache in front of the disk-resident label store.
 //!
 //! The paper's two serving modes are the extremes of a spectrum: labels
 //! fully on disk (one seek per fetch — IS-LABEL) or fully in memory
@@ -7,17 +7,31 @@
 //! memory, cold ones pay the seek. Because real query workloads are
 //! skewed, even a small cache removes most of Time (a).
 //!
-//! The implementation is a classic hash-map + intrusive doubly-linked LRU
-//! list with O(1) fetch/insert/evict, bounded by total cached *bytes*
-//! (labels vary wildly in size, so an entry-count bound would be
-//! meaningless).
+//! Each shard is a classic hash-map + intrusive doubly-linked LRU list
+//! with O(1) fetch/insert/evict, bounded by cached *bytes* (labels vary
+//! wildly in size, so an entry-count bound would be meaningless). The
+//! cache as a whole is `&self` + [`Sync`]: vertices hash to shards, each
+//! shard sits behind its own [`parking_lot::Mutex`], and hit/miss counters
+//! are atomics — so one cache serves every thread of a query server, and
+//! contention is limited to threads colliding on the same shard. Disk
+//! reads on a miss happen *outside* the shard lock; a concurrent fetch of
+//! the same vertex may duplicate the read (both get correct data, the
+//! insert is idempotent), which is the standard cache trade-off in favor
+//! of not blocking a whole shard on I/O.
 
 use crate::disklabel::{DiskLabelStore, FetchedLabel};
 use islabel_extmem::storage::Storage;
 use islabel_graph::{FxHashMap, VertexId};
+use parking_lot::Mutex;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const NIL: usize = usize::MAX;
+
+/// Shards stay coarse until there is enough byte budget for each shard to
+/// hold a useful working set of labels on its own.
+const BYTES_PER_SHARD: usize = 32 << 10;
+const MAX_SHARDS: usize = 16;
 
 struct Node {
     vertex: VertexId,
@@ -27,9 +41,8 @@ struct Node {
     next: usize,
 }
 
-/// Byte-bounded LRU cache over a [`DiskLabelStore`].
-pub struct LabelCache {
-    store: DiskLabelStore,
+/// One independently locked LRU cache over a slice of the vertex space.
+struct Shard {
     map: FxHashMap<VertexId, usize>,
     nodes: Vec<Node>,
     free: Vec<usize>,
@@ -37,72 +50,112 @@ pub struct LabelCache {
     tail: usize, // least recently used
     capacity_bytes: usize,
     used_bytes: usize,
-    hits: u64,
-    misses: u64,
+}
+
+/// Byte-bounded sharded LRU cache over a [`DiskLabelStore`].
+///
+/// Shared read path: [`fetch`](LabelCache::fetch) takes `&self`, so one
+/// cache instance can sit behind an `Arc` and serve every worker thread of
+/// a query service concurrently.
+pub struct LabelCache {
+    store: DiskLabelStore,
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl LabelCache {
-    /// Wraps `store` with a cache of at most `capacity_bytes` of label data.
+    /// Wraps `store` with a cache of at most `capacity_bytes` of label data
+    /// in total, split evenly across the shards.
     pub fn new(store: DiskLabelStore, capacity_bytes: usize) -> Self {
+        let num_shards = (capacity_bytes / BYTES_PER_SHARD).clamp(1, MAX_SHARDS);
+        let per_shard = capacity_bytes / num_shards;
+        let shards = (0..num_shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    map: FxHashMap::default(),
+                    nodes: Vec::new(),
+                    free: Vec::new(),
+                    head: NIL,
+                    tail: NIL,
+                    capacity_bytes: per_shard,
+                    used_bytes: 0,
+                })
+            })
+            .collect();
         Self {
             store,
-            map: FxHashMap::default(),
-            nodes: Vec::new(),
-            free: Vec::new(),
-            head: NIL,
-            tail: NIL,
-            capacity_bytes,
-            used_bytes: 0,
-            hits: 0,
-            misses: 0,
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
+    fn shard(&self, v: VertexId) -> &Mutex<Shard> {
+        &self.shards[v as usize % self.shards.len()]
+    }
+
     /// Fetches `v`'s label, from cache if resident (no I/O) or from the
-    /// store (one seek) otherwise.
-    pub fn fetch(&mut self, storage: &dyn Storage, v: VertexId) -> io::Result<FetchedLabel> {
-        if let Some(&slot) = self.map.get(&v) {
-            self.hits += 1;
-            self.touch(slot);
-            return Ok(self.nodes[slot].label.clone());
+    /// store (one seek) otherwise. `&self`: safe to call from any number
+    /// of threads concurrently.
+    pub fn fetch(&self, storage: &dyn Storage, v: VertexId) -> io::Result<FetchedLabel> {
+        {
+            let mut shard = self.shard(v).lock();
+            if let Some(&slot) = shard.map.get(&v) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.touch(slot);
+                return Ok(shard.nodes[slot].label.clone());
+            }
         }
-        self.misses += 1;
+        // Miss: read from the store without holding the shard lock.
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let label = self.store.fetch(storage, v)?;
         let bytes = label.ancestors.len() * 12 + 64;
-        if bytes <= self.capacity_bytes {
-            while self.used_bytes + bytes > self.capacity_bytes {
-                self.evict_lru();
+        let mut shard = self.shard(v).lock();
+        if bytes <= shard.capacity_bytes && !shard.map.contains_key(&v) {
+            while shard.used_bytes + bytes > shard.capacity_bytes {
+                shard.evict_lru();
             }
-            self.insert_front(v, label.clone(), bytes);
+            shard.insert_front(v, label.clone(), bytes);
         }
         Ok(label)
     }
 
-    /// `(hits, misses)` so far.
+    /// `(hits, misses)` so far, totalled across all shards.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
-    /// Bytes currently cached.
+    /// Bytes currently cached (all shards).
     pub fn used_bytes(&self) -> usize {
-        self.used_bytes
+        self.shards.iter().map(|s| s.lock().used_bytes).sum()
     }
 
-    /// Number of cached labels.
+    /// Number of cached labels (all shards).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of independently locked shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// The wrapped store.
     pub fn store(&self) -> &DiskLabelStore {
         &self.store
     }
+}
 
+impl Shard {
     fn detach(&mut self, slot: usize) {
         let (prev, next) = (self.nodes[slot].prev, self.nodes[slot].next);
         if prev != NIL {
@@ -188,7 +241,7 @@ mod tests {
 
     #[test]
     fn cached_fetches_skip_io() {
-        let (_, storage, mut cache) = setup(1 << 20);
+        let (_, storage, cache) = setup(1 << 20);
         let io = storage.stats();
         io.reset();
         let a = cache.fetch(&storage, 7).unwrap();
@@ -201,7 +254,7 @@ mod tests {
 
     #[test]
     fn cache_results_match_store() {
-        let (index, storage, mut cache) = setup(4 << 10);
+        let (index, storage, cache) = setup(4 << 10);
         for round in 0..3 {
             for v in (0..150u32).step_by(7) {
                 let cached = cache.fetch(&storage, v).unwrap();
@@ -214,7 +267,8 @@ mod tests {
 
     #[test]
     fn eviction_respects_byte_budget() {
-        let (_, storage, mut cache) = setup(600);
+        let (_, storage, cache) = setup(600);
+        assert_eq!(cache.num_shards(), 1, "small budgets must stay unsharded");
         for v in 0..150u32 {
             cache.fetch(&storage, v).unwrap();
             assert!(
@@ -233,15 +287,17 @@ mod tests {
 
     #[test]
     fn lru_order_evicts_coldest() {
-        let (_, storage, mut cache) = setup(100_000);
+        let (_, storage, cache) = setup(100_000);
         // Prime 0..10, touch 0 again, then force evictions with big churn.
         for v in 0..10u32 {
             cache.fetch(&storage, v).unwrap();
         }
-        cache.fetch(&storage, 0).unwrap(); // 0 becomes MRU; 1 is now LRU
+        cache.fetch(&storage, 0).unwrap(); // 0 becomes MRU of its shard
         let before = cache.len();
         assert!(before >= 10);
-        // Churn new entries until at least one eviction happens.
+        // Churn new entries until at least one eviction happens (or the
+        // whole label set fits, in which case nothing may be evicted and
+        // the residency check below is trivially satisfied).
         let mut next = 11u32;
         while cache.len() >= before && next < 150 {
             cache.fetch(&storage, next).unwrap();
@@ -257,10 +313,45 @@ mod tests {
 
     #[test]
     fn oversized_labels_bypass_cache() {
-        let (_, storage, mut cache) = setup(8); // smaller than any label
+        let (_, storage, cache) = setup(8); // smaller than any label
         cache.fetch(&storage, 3).unwrap();
         assert_eq!(cache.len(), 0);
         cache.fetch(&storage, 3).unwrap();
         assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn big_budgets_shard_the_cache() {
+        let (_, _, cache) = setup(1 << 20);
+        assert!(cache.num_shards() > 1);
+        assert!(cache.num_shards() <= MAX_SHARDS);
+    }
+
+    #[test]
+    fn concurrent_fetches_are_coherent() {
+        // The &self read path under contention: every thread must see the
+        // exact stored label, and the counters must account every fetch.
+        let (index, storage, cache) = setup(64 << 10);
+        let threads = 8;
+        let rounds = 40;
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let cache = &cache;
+                let storage = &storage;
+                let index = &index;
+                scope.spawn(move || {
+                    for i in 0..rounds {
+                        let v = ((tid * 37 + i * 13) % 150) as u32;
+                        let got = cache.fetch(storage, v).unwrap();
+                        let direct: Vec<(u32, u64)> = index.labels().label(v).iter().collect();
+                        let have: Vec<(u32, u64)> = got.view().iter().collect();
+                        assert_eq!(have, direct, "thread {tid}, label({v})");
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, (threads * rounds) as u64);
+        assert!(hits > 0, "a hot working set must produce hits");
     }
 }

@@ -26,7 +26,11 @@
 //!
 //! * [`DistanceOracle`] — the unified query trait every engine in the
 //!   workspace implements, with typed fallible `try_*` forms ([`Error`],
-//!   [`QueryError`]) next to the panicking conveniences.
+//!   [`QueryError`]) next to the panicking conveniences, and per-thread
+//!   [`QuerySession`]s that reuse search scratch on the hot path.
+//! * [`Snapshot`] / [`OracleHandle`] ([`snapshot`]) — immutable Arc-backed
+//!   index views with atomic hot-swap, the serving substrate consumed by
+//!   the `islabel-serve` worker pool.
 //! * [`IsLabelIndex`] — build/query interface for undirected graphs,
 //!   including shortest-path reconstruction (Section 8.1) and lazy dynamic
 //!   updates (Section 8.3).
@@ -67,13 +71,15 @@ pub mod path;
 pub mod persist;
 pub mod query;
 pub mod reference;
+pub mod snapshot;
 pub mod stats;
 pub mod updates;
 
 pub use config::{BuildConfig, IsStrategy, KSelection};
-pub use directed::DiIsLabelIndex;
-pub use index::IsLabelIndex;
-pub use oracle::{BatchOptions, DistanceOracle, Error, QueryError};
+pub use directed::{DiIsLabelIndex, DiIsLabelSession};
+pub use index::{IsLabelIndex, IsLabelSession};
+pub use oracle::{BatchOptions, DistanceOracle, Error, QueryError, QuerySession};
 pub use path::Path;
 pub use query::QueryType;
+pub use snapshot::{OracleHandle, SharedOracle, Snapshot};
 pub use stats::IndexStats;

@@ -25,7 +25,12 @@ use std::num::NonZeroUsize;
 ///
 /// `Ok(None)` (unreachable) is *not* an error; these variants are reserved
 /// for queries the engine cannot answer at all.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches need a wildcard arm
+/// so future engines can introduce new failure modes without a breaking
+/// release.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum QueryError {
     /// A queried vertex id is not a vertex of the index.
     VertexOutOfRange {
@@ -61,7 +66,10 @@ impl std::fmt::Display for QueryError {
 impl std::error::Error for QueryError {}
 
 /// Any fallible islabel-core operation: building, querying, persisting.
+///
+/// `#[non_exhaustive]` like [`QueryError`]: match with a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
     /// A query-time failure.
     Query(QueryError),
@@ -138,12 +146,40 @@ impl BatchOptions {
     }
 }
 
+/// A per-thread query handle holding an engine's reusable scratch state.
+///
+/// Every engine answers queries through temporary working memory —
+/// bidirectional-Dijkstra heaps and visited maps, label-merge seed buffers,
+/// distance arrays. Allocating that per query is pure hot-path overhead; a
+/// session owns it once and reuses it, so a serving thread creates one
+/// session and answers queries allocation-free (after warm-up).
+///
+/// Sessions borrow the engine (`&self` queries stay the source of truth)
+/// and are deliberately `&mut self`: one session belongs to one thread.
+/// Concurrency comes from creating one session per thread via
+/// [`DistanceOracle::session`], never from sharing a session.
+///
+/// The answer contract is identical to
+/// [`try_distance`](DistanceOracle::try_distance): `Ok(None)` is
+/// unreachable, errors are typed, and the distances are exact.
+pub trait QuerySession {
+    /// The engine identifier of the oracle this session queries (equals
+    /// [`DistanceOracle::engine_name`] of the creating oracle).
+    fn engine_name(&self) -> &'static str;
+
+    /// Exact distance `dist(s, t)` using this session's scratch buffers;
+    /// `Ok(None)` when `t` is unreachable.
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError>;
+}
+
 /// A point-to-point exact distance engine.
 ///
 /// Queries are read-only (`&self`) and the engine is shareable across
 /// threads ([`Sync`]), so one index serves arbitrarily many concurrent
 /// queries — the serving mode the paper's workload of independent
-/// point-to-point queries implies.
+/// point-to-point queries implies. Hot loops should prefer a per-thread
+/// [`QuerySession`] from [`session`](DistanceOracle::session), which
+/// reuses search state instead of allocating per query.
 ///
 /// `Ok(None)` encodes *unreachable*; errors are reserved for malformed or
 /// unanswerable queries (see [`QueryError`]).
@@ -187,13 +223,18 @@ pub trait DistanceOracle: Send + Sync {
     /// Exact distance `dist(s, t)`; `Ok(None)` when `t` is unreachable.
     fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError>;
 
+    /// Opens a per-thread [`QuerySession`] with this engine's reusable
+    /// scratch state. The session borrows the oracle; create one per
+    /// serving thread.
+    fn session(&self) -> Box<dyn QuerySession + '_>;
+
     /// Answers a batch of independent queries, in input order, on a worker
     /// pool sized by `options`. The default implementation bounds-checks
     /// every pair up front — a malformed batch fails fast with the first
     /// offending pair in input order, before any query runs — then chunks
-    /// the batch over scoped threads calling
-    /// [`try_distance`](DistanceOracle::try_distance); a residual engine
-    /// error from a worker also fails the whole batch.
+    /// the batch over scoped threads, each answering through its own
+    /// [`session`](DistanceOracle::session); a residual engine error from a
+    /// worker also fails the whole batch.
     fn distance_batch(
         &self,
         pairs: &[(VertexId, VertexId)],
@@ -210,8 +251,9 @@ pub trait DistanceOracle: Send + Sync {
         let threads = options.effective_threads(pairs.len());
         let mut out = vec![None; pairs.len()];
         if threads == 1 {
+            let mut session = self.session();
             for (o, &(s, t)) in out.iter_mut().zip(pairs) {
-                *o = self.try_distance(s, t)?;
+                *o = session.distance(s, t)?;
             }
             return Ok(out);
         }
@@ -222,8 +264,9 @@ pub trait DistanceOracle: Send + Sync {
                 .zip(pairs.chunks(chunk))
                 .map(|(slot, work)| {
                     scope.spawn(move || -> Result<(), QueryError> {
+                        let mut session = self.session();
                         for (o, &(s, t)) in slot.iter_mut().zip(work) {
-                            *o = self.try_distance(s, t)?;
+                            *o = session.distance(s, t)?;
                         }
                         Ok(())
                     })
@@ -277,6 +320,42 @@ mod tests {
             .contains("invalid configuration"));
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         assert!(Error::from(io).to_string().contains("persistence"));
+    }
+
+    #[test]
+    fn every_variant_displays_nonempty_and_distinct() {
+        // One sample per variant of both (non_exhaustive) enums: a silent
+        // or duplicated message would make typed errors indistinguishable
+        // at the CLI / log boundary.
+        let query_variants = [
+            QueryError::VertexOutOfRange {
+                vertex: 3,
+                universe: 2,
+            },
+            QueryError::StaleIndex,
+            QueryError::NoPathInfo,
+        ];
+        let error_variants = [
+            Error::Query(QueryError::StaleIndex),
+            Error::InvalidConfig("k < 2".into()),
+            Error::Persist(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
+        ];
+        let mut messages: Vec<String> = query_variants
+            .iter()
+            .map(|e| e.to_string())
+            .chain(error_variants.iter().map(|e| e.to_string()))
+            .collect();
+        // `Error::Query` forwards its inner Display — that one duplicate is
+        // by design; drop it before the pairwise check.
+        messages.remove(3);
+        for m in &messages {
+            assert!(!m.is_empty(), "empty Display message");
+        }
+        for i in 0..messages.len() {
+            for j in (i + 1)..messages.len() {
+                assert_ne!(messages[i], messages[j], "duplicate Display message");
+            }
+        }
     }
 
     #[test]

@@ -49,12 +49,29 @@ fn bad(msg: &str) -> io::Error {
 /// # Panics
 ///
 /// Panics if the index has pending dynamic updates (persist after
-/// [`IsLabelIndex::rebuild`]).
+/// [`IsLabelIndex::rebuild`]); use [`try_save_index`] for the typed form.
 pub fn save_index<W: Write>(index: &IsLabelIndex, writer: &mut W) -> io::Result<()> {
-    assert!(
-        !index.has_updates(),
-        "cannot persist an index with pending dynamic updates; call rebuild() first"
-    );
+    try_save_index(index, writer).map_err(|e| match e {
+        crate::Error::Persist(io) => io,
+        other => panic!(
+            "cannot persist an index with pending dynamic updates; call rebuild() first: {other}"
+        ),
+    })
+}
+
+/// Fully typed serialization of `index` to `writer`: an index with pending
+/// dynamic updates surfaces as
+/// [`QueryError::StaleIndex`](crate::QueryError::StaleIndex) (the overlay
+/// is session state and is never persisted — rebuild first), I/O failures
+/// as [`Error::Persist`](crate::Error::Persist).
+pub fn try_save_index<W: Write>(index: &IsLabelIndex, writer: &mut W) -> Result<(), crate::Error> {
+    if index.has_updates() {
+        return Err(crate::QueryError::StaleIndex.into());
+    }
+    save_index_body(index, writer).map_err(crate::Error::Persist)
+}
+
+fn save_index_body<W: Write>(index: &IsLabelIndex, writer: &mut W) -> io::Result<()> {
     let mut head = Vec::new();
     head.put_slice(MAGIC);
     head.put_u32_le(VERSION);
@@ -369,19 +386,22 @@ pub fn load_index_from_path(path: impl AsRef<std::path::Path>) -> io::Result<IsL
     load_index(&mut f)
 }
 
-/// Fully typed save: I/O failures surface as
+/// Fully typed save to a file path: I/O failures surface as
 /// [`Error::Persist`](crate::Error::Persist) and an index with pending
 /// dynamic updates surfaces as
 /// [`QueryError::StaleIndex`](crate::QueryError::StaleIndex) instead of the
-/// panic in [`save_index`].
+/// panic in [`save_index`] (see [`try_save_index`]).
 pub fn try_save_index_to_path(
     index: &IsLabelIndex,
     path: impl AsRef<std::path::Path>,
 ) -> Result<(), crate::Error> {
+    // Refuse *before* touching the filesystem: `File::create` truncates,
+    // and a stale save must not destroy an existing valid artifact.
     if index.has_updates() {
         return Err(crate::QueryError::StaleIndex.into());
     }
-    save_index_to_path(index, path).map_err(crate::Error::Persist)
+    let mut f = io::BufWriter::new(std::fs::File::create(path).map_err(crate::Error::Persist)?);
+    try_save_index(index, &mut f)
 }
 
 /// Fully typed load: I/O and format failures surface as
@@ -502,6 +522,41 @@ mod tests {
         index.insert_edge(0, 30, 1);
         let mut buf = Vec::new();
         let _ = save_index(&index, &mut buf);
+    }
+
+    #[test]
+    fn try_save_types_stale_index_instead_of_panicking() {
+        let g = barabasi_albert(50, 2, WeightModel::Unit, 1);
+        let mut index = IsLabelIndex::build(&g, BuildConfig::default());
+        index.insert_edge(0, 30, 1);
+        let mut buf = Vec::new();
+        // The writer-level form is typed end to end...
+        assert!(matches!(
+            try_save_index(&index, &mut buf),
+            Err(crate::Error::Query(crate::QueryError::StaleIndex))
+        ));
+        assert!(buf.is_empty(), "stale save must not write partial data");
+        // ... and so is the path-level wrapper — which must also leave an
+        // existing artifact at the destination untouched (no truncation).
+        let path = std::env::temp_dir().join(format!("islabel-stale-{}.islx", std::process::id()));
+        let pristine = IsLabelIndex::build(&g, BuildConfig::default());
+        save_index_to_path(&pristine, &path).unwrap();
+        let bytes_before = std::fs::metadata(&path).unwrap().len();
+        assert!(matches!(
+            try_save_index_to_path(&index, &path),
+            Err(crate::Error::Query(crate::QueryError::StaleIndex))
+        ));
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            bytes_before,
+            "failed stale save truncated the existing artifact"
+        );
+        assert!(load_index_from_path(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+        // Rebuilding clears the staleness and the save goes through.
+        index.rebuild();
+        assert!(try_save_index(&index, &mut buf).is_ok());
+        assert!(load_index(&mut &buf[..]).is_ok());
     }
 
     #[test]

@@ -108,6 +108,7 @@ pub enum Meeting {
 }
 
 /// Inputs of one bidirectional search.
+#[derive(Clone, Copy)]
 pub struct SearchParams<'a> {
     /// Forward seeds: `(v, d(s, v))` for each `G_k` vertex in `label(s)`.
     pub fseeds: &'a [(VertexId, Dist)],
@@ -145,14 +146,108 @@ pub struct SearchResult {
 /// Parent marker for vertices seeded directly from a label entry.
 pub const SEED_PARENT: VertexId = VertexId::MAX;
 
+/// Reusable workspace of one bidirectional search: heaps, tentative
+/// distances, settled sets and parent pointers.
+///
+/// Allocating these per query dominated the hot path; a [`SearchScratch`]
+/// owned by a long-lived session (see
+/// [`QuerySession`](crate::oracle::QuerySession)) amortizes the allocations
+/// across queries. Maps and heaps keep their capacity between searches;
+/// [`label_bi_dijkstra_directed_in`] resets contents on entry.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    dist_f: FxHashMap<VertexId, Dist>,
+    dist_r: FxHashMap<VertexId, Dist>,
+    parents_f: FxHashMap<VertexId, VertexId>,
+    parents_r: FxHashMap<VertexId, VertexId>,
+    settled_f: FxHashMap<VertexId, Dist>,
+    settled_r: FxHashMap<VertexId, Dist>,
+    fq: BinaryHeap<Reverse<(Dist, VertexId)>>,
+    rq: BinaryHeap<Reverse<(Dist, VertexId)>>,
+}
+
+impl SearchScratch {
+    /// An empty workspace; buffers grow on first use and are kept after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self) {
+        self.dist_f.clear();
+        self.dist_r.clear();
+        self.parents_f.clear();
+        self.parents_r.clear();
+        self.settled_f.clear();
+        self.settled_r.clear();
+        self.fq.clear();
+        self.rq.clear();
+    }
+}
+
+/// Result of a scratch-based search: the answer without the per-search
+/// maps, which stay inside the [`SearchScratch`] for reuse.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOutcome {
+    /// `dist_G(s, t)`, or `INF` if unreachable.
+    pub dist: Dist,
+    /// Which mechanism found it.
+    pub meeting: Meeting,
+    /// Vertices settled across both directions.
+    pub settled: usize,
+}
+
 /// Algorithm 1 over a single (undirected) residual graph.
 pub fn label_bi_dijkstra<G: GkGraph>(gk: &G, params: SearchParams<'_>) -> SearchResult {
     label_bi_dijkstra_directed(gk, gk, params)
 }
 
+/// Algorithm 1 over a single (undirected) residual graph, reusing a
+/// caller-owned [`SearchScratch`] — the allocation-free hot path sessions
+/// run on.
+pub fn label_bi_dijkstra_in<G: GkGraph>(
+    gk: &G,
+    params: SearchParams<'_>,
+    scratch: &mut SearchScratch,
+) -> SearchOutcome {
+    label_bi_dijkstra_directed_in(gk, gk, params, scratch)
+}
+
 /// Algorithm 1 with lazy-deletion binary heaps, generalized to distinct
 /// forward/reverse adjacency so the directed index (Section 8.2) can run the
 /// reverse search over transposed arcs.
+///
+/// Allocates a fresh workspace and hands the per-search maps back inside
+/// [`SearchResult`]; the repeated-query hot path should prefer
+/// [`label_bi_dijkstra_directed_in`] with a reused [`SearchScratch`].
+pub fn label_bi_dijkstra_directed<GF: GkGraph, GR: GkGraph>(
+    fwd: &GF,
+    rev: &GR,
+    params: SearchParams<'_>,
+) -> SearchResult {
+    let mut scratch = SearchScratch::new();
+    let outcome = label_bi_dijkstra_directed_in(fwd, rev, params, &mut scratch);
+    let (parents_f, parents_r, dist_f, dist_r) = if params.track_paths {
+        (
+            std::mem::take(&mut scratch.parents_f),
+            std::mem::take(&mut scratch.parents_r),
+            std::mem::take(&mut scratch.dist_f),
+            std::mem::take(&mut scratch.dist_r),
+        )
+    } else {
+        Default::default()
+    };
+    SearchResult {
+        dist: outcome.dist,
+        meeting: outcome.meeting,
+        settled: outcome.settled,
+        parents_f,
+        parents_r,
+        dist_f,
+        dist_r,
+    }
+}
+
+/// The directed search core, operating entirely inside `scratch`.
 ///
 /// Differences from the paper's pseudocode, both conservative:
 /// * vertices enter the queues on demand instead of all starting at `∞`
@@ -161,25 +256,29 @@ pub fn label_bi_dijkstra<G: GkGraph>(gk: &G, params: SearchParams<'_>) -> Search
 ///   already carries a (tentative or settled) distance on the other — every
 ///   such value is the length of a real path, so `µ` remains an upper bound
 ///   and the `min(FQ) + min(RQ) ≥ µ` cutoff stays sound.
-pub fn label_bi_dijkstra_directed<GF: GkGraph, GR: GkGraph>(
+pub fn label_bi_dijkstra_directed_in<GF: GkGraph, GR: GkGraph>(
     fwd: &GF,
     rev: &GR,
     params: SearchParams<'_>,
-) -> SearchResult {
+    scratch: &mut SearchScratch,
+) -> SearchOutcome {
+    scratch.reset();
     let mut mu = params.mu0;
     let mut meeting = match params.mu0_witness {
         Some(w) if mu < INF => Meeting::Labels(w),
         _ => Meeting::None,
     };
 
-    let mut dist_f: FxHashMap<VertexId, Dist> = FxHashMap::default();
-    let mut dist_r: FxHashMap<VertexId, Dist> = FxHashMap::default();
-    let mut parents_f: FxHashMap<VertexId, VertexId> = FxHashMap::default();
-    let mut parents_r: FxHashMap<VertexId, VertexId> = FxHashMap::default();
-    let mut settled_f: FxHashMap<VertexId, Dist> = FxHashMap::default();
-    let mut settled_r: FxHashMap<VertexId, Dist> = FxHashMap::default();
-    let mut fq: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
-    let mut rq: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    let SearchScratch {
+        dist_f,
+        dist_r,
+        parents_f,
+        parents_r,
+        settled_f,
+        settled_r,
+        fq,
+        rq,
+    } = scratch;
 
     for &(v, d) in params.fseeds {
         let e = dist_f.entry(v).or_insert(INF);
@@ -265,8 +364,8 @@ pub fn label_bi_dijkstra_directed<GF: GkGraph, GR: GkGraph>(
     }
 
     loop {
-        let min_f = clean_top(&mut fq, &dist_f, &settled_f);
-        let min_r = clean_top(&mut rq, &dist_r, &settled_r);
+        let min_f = clean_top(fq, dist_f, settled_f);
+        let min_r = clean_top(rq, dist_r, settled_r);
         // Line 8: stop when either frontier is exhausted or no via-G_k path
         // can beat µ.
         if min_f == INF || min_r == INF {
@@ -279,12 +378,12 @@ pub fn label_bi_dijkstra_directed<GF: GkGraph, GR: GkGraph>(
         if min_f <= min_r {
             step_side(
                 fwd,
-                &mut fq,
-                &mut dist_f,
-                &mut settled_f,
-                &settled_r,
-                &dist_r,
-                &mut parents_f,
+                fq,
+                dist_f,
+                settled_f,
+                settled_r,
+                dist_r,
+                parents_f,
                 &mut mu,
                 &mut meeting,
                 params.track_paths,
@@ -292,12 +391,12 @@ pub fn label_bi_dijkstra_directed<GF: GkGraph, GR: GkGraph>(
         } else {
             step_side(
                 rev,
-                &mut rq,
-                &mut dist_r,
-                &mut settled_r,
-                &settled_f,
-                &dist_f,
-                &mut parents_r,
+                rq,
+                dist_r,
+                settled_r,
+                settled_f,
+                dist_f,
+                parents_r,
                 &mut mu,
                 &mut meeting,
                 params.track_paths,
@@ -305,21 +404,10 @@ pub fn label_bi_dijkstra_directed<GF: GkGraph, GR: GkGraph>(
         }
     }
 
-    let settled = settled_f.len() + settled_r.len();
-    if !params.track_paths {
-        parents_f.clear();
-        parents_r.clear();
-        dist_f.clear();
-        dist_r.clear();
-    }
-    SearchResult {
+    SearchOutcome {
         dist: mu,
         meeting: if mu == INF { Meeting::None } else { meeting },
-        settled,
-        parents_f,
-        parents_r,
-        dist_f,
-        dist_r,
+        settled: settled_f.len() + settled_r.len(),
     }
 }
 
@@ -480,6 +568,35 @@ pub(crate) mod tests {
                 assert!(hops < 10);
             }
             assert_eq!(cur, 2, "forward chain must start at the cheaper seed");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_search() {
+        // The same scratch answers a mixed query sequence identically to
+        // per-query allocation, including after INF and pruned searches.
+        let g = islabel_graph::generators::erdos_renyi_gnm(
+            80,
+            160,
+            islabel_graph::generators::WeightModel::UniformRange(1, 6),
+            11,
+        );
+        let mut scratch = SearchScratch::new();
+        for round in 0..3 {
+            for (s, t) in [(0u32, 79u32), (5, 40), (13, 13), (2, 30), (70, 3)] {
+                let params = SearchParams {
+                    fseeds: &[(s, 0)],
+                    rseeds: &[(t, 0)],
+                    mu0: INF,
+                    mu0_witness: None,
+                    track_paths: false,
+                };
+                let fresh = label_bi_dijkstra(&g, params);
+                let reused = label_bi_dijkstra_in(&g, params, &mut scratch);
+                assert_eq!(reused.dist, fresh.dist, "round {round} ({s}, {t})");
+                assert_eq!(reused.meeting, fresh.meeting, "round {round} ({s}, {t})");
+                assert_eq!(reused.settled, fresh.settled, "round {round} ({s}, {t})");
+            }
         }
     }
 

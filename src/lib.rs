@@ -8,6 +8,8 @@
 //! * [`core`] — the IS-LABEL index itself (hierarchy, labels, queries).
 //! * [`baselines`] — comparison methods (Dijkstra, bi-Dijkstra, VC-Index,
 //!   Pruned Landmark Labeling).
+//! * [`serve`] — the concurrent serving layer ([`QueryService`] worker
+//!   pool over hot-swappable [`Snapshot`]s).
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -46,23 +48,28 @@ pub use islabel_baselines as baselines;
 pub use islabel_core as core;
 pub use islabel_extmem as extmem;
 pub use islabel_graph as graph;
+pub use islabel_serve as serve;
 
 pub use islabel_baselines::{build_oracle, BiDijkstraOracle, Engine};
 pub use islabel_core::{
-    BatchOptions, BuildConfig, DiIsLabelIndex, DistanceOracle, Error, IsLabelIndex, QueryError,
+    BatchOptions, BuildConfig, DiIsLabelIndex, DistanceOracle, Error, IsLabelIndex, OracleHandle,
+    QueryError, QuerySession, SharedOracle, Snapshot,
 };
 pub use islabel_graph::{
     CsrDigraph, CsrGraph, Dataset, DigraphBuilder, Dist, GraphBuilder, Scale, VertexId, Weight, INF,
 };
+pub use islabel_serve::{BatchTicket, QueryService, ServeConfig, ServiceStats, ShardStats};
 
 /// One-stop imports for programming against the unified query API.
 pub mod prelude {
     pub use islabel_baselines::{build_oracle, BiDijkstraOracle, Engine};
     pub use islabel_baselines::{PllIndex, VcConfig, VcIndex};
     pub use islabel_core::{
-        BatchOptions, BuildConfig, DiIsLabelIndex, DistanceOracle, Error, IsLabelIndex, QueryError,
+        BatchOptions, BuildConfig, DiIsLabelIndex, DistanceOracle, Error, IsLabelIndex,
+        OracleHandle, QueryError, QuerySession, SharedOracle, Snapshot,
     };
     pub use islabel_graph::{
         CsrDigraph, CsrGraph, DigraphBuilder, Dist, GraphBuilder, VertexId, Weight, INF,
     };
+    pub use islabel_serve::{BatchTicket, QueryService, ServeConfig, ServiceStats, ShardStats};
 }

@@ -11,6 +11,9 @@
 //!   single and the batch entry point;
 //! * **batch coherence** — `distance_batch` equals the sequential answers
 //!   at every thread count, including the `available_parallelism` default;
+//! * **session coherence** — a reused [`QuerySession`] answers the whole
+//!   mix identically to `try_distance`, including typed errors, and many
+//!   concurrent sessions over one shared oracle stay exact;
 //! * **identity** — `s == t` answers `Some(0)`;
 //! * **metadata** — `engine_name` matches the selector and `num_vertices`
 //!   / `index_bytes` are sane.
@@ -72,6 +75,48 @@ fn check<O: DistanceOracle + ?Sized>(oracle: &O, g: &CsrGraph, what: &str) {
         .iter()
         .map(|&(s, t)| oracle.try_distance(s, t).unwrap())
         .collect();
+
+    // A reused session answers the whole mix identically, reports the
+    // engine, and types its errors like the oracle does.
+    {
+        let mut session = oracle.session();
+        assert_eq!(session.engine_name(), oracle.engine_name(), "{what}");
+        for round in 0..2 {
+            for (&(s, t), expect) in pairs.iter().zip(&sequential) {
+                assert_eq!(
+                    session.distance(s, t),
+                    Ok(*expect),
+                    "{what}: session round {round} ({s}, {t})"
+                );
+            }
+        }
+        assert_eq!(
+            session.distance(0, n as VertexId),
+            Err(QueryError::VertexOutOfRange {
+                vertex: n as VertexId,
+                universe: n,
+            }),
+            "{what}: session oob"
+        );
+    }
+
+    // Concurrent sessions: one per thread over the same shared oracle.
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let pairs = &pairs;
+            let sequential = &sequential;
+            scope.spawn(move || {
+                let mut session = oracle.session();
+                for (&(s, t), expect) in pairs.iter().zip(sequential) {
+                    assert_eq!(
+                        session.distance(s, t),
+                        Ok(*expect),
+                        "{what}: concurrent session {worker} ({s}, {t})"
+                    );
+                }
+            });
+        }
+    });
     for threads in [0usize, 1, 2, 5] {
         assert_eq!(
             oracle

@@ -1,0 +1,261 @@
+//! Concurrent-serving correctness: many threads hammering one
+//! [`Snapshot`] through a [`QueryService`], checked against the reference
+//! Dijkstra oracle, plus hot-swap semantics — in-flight queries finish on
+//! the snapshot they started on, new queries see the new index.
+
+use islabel::core::reference::dijkstra_p2p;
+use islabel::graph::generators::{erdos_renyi_gnm, WeightModel};
+use islabel::prelude::*;
+use std::sync::{Arc, Condvar, Mutex};
+
+fn pair_mix(n: u32, count: u32) -> Vec<(VertexId, VertexId)> {
+    (0..count)
+        .map(|i| ((i * 13) % n, (i * 37 + 5) % n))
+        .collect()
+}
+
+/// N client threads hammer one snapshot of every engine through the
+/// service; every answer must equal the reference Dijkstra on the base
+/// graph. This is the concurrent conformance check of the serving layer:
+/// per-shard sessions, batch fan-out and result collection may not distort
+/// a single distance under contention.
+#[test]
+fn all_engines_stay_exact_under_concurrent_hammering() {
+    let g = erdos_renyi_gnm(250, 600, WeightModel::UniformRange(1, 9), 0xC0);
+    let pairs = pair_mix(250, 120);
+    let truth: Vec<Option<Dist>> = pairs.iter().map(|&(s, t)| dijkstra_p2p(&g, s, t)).collect();
+
+    for engine in Engine::ALL {
+        let oracle: SharedOracle =
+            Arc::from(build_oracle(engine, &g, &BuildConfig::default()).unwrap());
+        let service = QueryService::start(
+            Arc::clone(&oracle),
+            ServeConfig {
+                shards: 4,
+                queue_capacity: 8, // small on purpose: exercise backpressure
+            },
+        );
+        let clients = 6;
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let service = &service;
+                let pairs = &pairs;
+                let truth = &truth;
+                scope.spawn(move || {
+                    // Each client walks the mix from a different offset in
+                    // small batches, so shards interleave different batches.
+                    for start in 0..pairs.len() {
+                        let i = (start + c * 17) % pairs.len();
+                        let chunk_end = (i + 8).min(pairs.len());
+                        let got = service.submit(&pairs[i..chunk_end]).wait().unwrap();
+                        assert_eq!(
+                            got,
+                            truth[i..chunk_end],
+                            "{engine}: client {c} chunk {i}..{chunk_end}"
+                        );
+                    }
+                });
+            }
+        });
+        let stats = service.shutdown();
+        assert_eq!(stats.total_errors(), 0, "{engine}");
+        assert!(
+            stats.shards.iter().all(|s| s.queries > 0),
+            "{engine}: an idle shard means fan-out is broken: {stats:?}"
+        );
+    }
+}
+
+/// A gate that lets the test observe a worker *inside* a query and hold it
+/// there: the first gated query signals entry and blocks until released;
+/// everything after the release passes through untouched.
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    entered: bool,
+    released: bool,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn pass(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.entered = true;
+        self.cv.notify_all();
+        while !st.released {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn wait_entered(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !st.entered {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.released = true;
+        self.cv.notify_all();
+    }
+}
+
+/// An engine wrapper whose queries stop at the gate — the instrument for
+/// deterministically racing a hot swap against an in-flight query.
+struct GatedOracle {
+    inner: IsLabelIndex,
+    gate: Arc<Gate>,
+}
+
+impl DistanceOracle for GatedOracle {
+    fn engine_name(&self) -> &'static str {
+        "gated-islabel"
+    }
+
+    fn num_vertices(&self) -> usize {
+        DistanceOracle::num_vertices(&self.inner)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.inner.index_bytes()
+    }
+
+    fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        self.gate.pass();
+        self.inner.try_distance(s, t)
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(GatedSession { oracle: self })
+    }
+}
+
+struct GatedSession<'a> {
+    oracle: &'a GatedOracle,
+}
+
+impl QuerySession for GatedSession<'_> {
+    fn engine_name(&self) -> &'static str {
+        "gated-islabel"
+    }
+
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        self.oracle.try_distance(s, t)
+    }
+}
+
+fn line_index(weight: u32) -> IsLabelIndex {
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1, weight);
+    b.add_edge(1, 2, weight);
+    IsLabelIndex::build(&b.build(), BuildConfig::default())
+}
+
+/// The hot-swap contract, deterministically: a query already being
+/// processed when the swap lands finishes on the *old* snapshot; the next
+/// query is answered by the *new* one.
+#[test]
+fn in_flight_queries_finish_on_the_old_snapshot() {
+    let gate = Arc::new(Gate::new());
+    let old = GatedOracle {
+        inner: line_index(5), // dist(0, 2) = 10
+        gate: Arc::clone(&gate),
+    };
+    let service = QueryService::start(
+        Arc::new(old),
+        ServeConfig {
+            shards: 1, // single worker: the gated query is the in-flight one
+            queue_capacity: 4,
+        },
+    );
+
+    let ticket = service.submit(&[(0, 2)]);
+    // The worker is now provably inside the query, on generation 0.
+    gate.wait_entered();
+
+    // Swap to an index that answers differently (dist(0, 2) = 2).
+    let retired = service.swap_oracle(line_index(1));
+    assert_eq!(retired.version(), 0);
+    assert_eq!(service.handle().version(), 1);
+
+    // Queue a second query *behind* the blocked one, then let the worker go.
+    let after = service.submit(&[(0, 2)]);
+    gate.release();
+
+    // The in-flight query answered from the old snapshot...
+    assert_eq!(ticket.wait(), Ok(vec![Some(10)]));
+    // ... and the queued one from the new snapshot, because the worker
+    // observed the swap and refreshed its session between jobs.
+    assert_eq!(after.wait(), Ok(vec![Some(2)]));
+
+    let stats = service.shutdown();
+    assert_eq!(stats.shards[0].swaps_observed, 1, "{stats:?}");
+}
+
+/// Swaps racing a live workload: every answer must be coherent with *some*
+/// generation (never a mix, never a crash), and the workload drains clean.
+#[test]
+fn answers_stay_generation_coherent_under_swap_storm() {
+    let g = erdos_renyi_gnm(150, 400, WeightModel::UniformRange(1, 5), 0xD1);
+    let pairs = pair_mix(150, 60);
+    let truth1: Vec<Option<Dist>> = pairs.iter().map(|&(s, t)| dijkstra_p2p(&g, s, t)).collect();
+    // Generation 2 = same topology, every weight tripled: its truth is
+    // exactly 3x, so a per-query coherence check needs no second Dijkstra.
+    let g3 = {
+        let mut b = GraphBuilder::new(150);
+        for (u, v, w) in g.edge_list() {
+            b.add_edge(u, v, w * 3);
+        }
+        b.build()
+    };
+
+    let make = |tripled: bool| -> IsLabelIndex {
+        IsLabelIndex::build(if tripled { &g3 } else { &g }, BuildConfig::default())
+    };
+    let service = QueryService::start(Arc::new(make(false)), ServeConfig::with_shards(3));
+    std::thread::scope(|scope| {
+        let swapper = scope.spawn(|| {
+            for gen in 0..12u32 {
+                service.swap_oracle(make(gen % 2 == 0));
+                std::thread::yield_now();
+            }
+        });
+        for c in 0..4 {
+            let service = &service;
+            let pairs = &pairs;
+            let truth1 = &truth1;
+            scope.spawn(move || {
+                for round in 0..10 {
+                    for (i, &(s, t)) in pairs.iter().enumerate() {
+                        let got = service.query(s, t).unwrap();
+                        let t1 = truth1[i];
+                        let t3 = t1.map(|d| d * 3);
+                        assert!(
+                            got == t1 || got == t3,
+                            "client {c} round {round} ({s}, {t}): {got:?} matches no generation"
+                        );
+                    }
+                }
+            });
+        }
+        swapper.join().unwrap();
+    });
+    // After the storm settles the service answers from the last generation
+    // (gen 11 is odd, so the final swap installed the untripled graph).
+    assert_eq!(service.handle().version(), 12);
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        assert_eq!(service.query(s, t).unwrap(), truth1[i]);
+    }
+    service.shutdown();
+}
