@@ -4,46 +4,42 @@
 //! memory over the original graph. This implementation alternates
 //! extractions between the cheaper frontier and stops when
 //! `min(FQ) + min(RQ) ≥ µ`, the same cutoff Algorithm 1 uses.
+//!
+//! The searcher runs on the same dense primitives as the IS-LABEL kernel
+//! (the graph's own ids are already compact): [`StampedSlab`] tentative
+//! distances with O(1) epoch-bump reset — replacing the old touched-list
+//! walk — and the indexed 4-ary [`IndexedHeap`] with decrease-key, which
+//! eliminates the lazy-deletion `clean_top` scan.
 
+use islabel_core::dense::{IndexedHeap, StampedSlab};
 use islabel_core::oracle::{check_vertex, DistanceOracle, QueryError, QuerySession};
 use islabel_graph::{CsrGraph, Dist, VertexId, INF};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::Mutex;
 
 /// Reusable bidirectional Dijkstra.
 pub struct BiDijkstra {
-    dist_f: Vec<Dist>,
-    dist_r: Vec<Dist>,
-    settled_f: Vec<bool>,
-    settled_r: Vec<bool>,
-    touched: Vec<VertexId>,
-    fq: BinaryHeap<Reverse<(Dist, VertexId)>>,
-    rq: BinaryHeap<Reverse<(Dist, VertexId)>>,
+    dist_f: StampedSlab<Dist>,
+    dist_r: StampedSlab<Dist>,
+    fq: IndexedHeap,
+    rq: IndexedHeap,
 }
 
 impl BiDijkstra {
-    /// Allocates buffers for graphs of `n` vertices.
+    /// Allocates buffers for graphs of `n` vertices; both heaps are
+    /// pre-sized (decrease-key bounds each by `n`), so later queries never
+    /// allocate.
     pub fn new(n: usize) -> Self {
         Self {
-            dist_f: vec![INF; n],
-            dist_r: vec![INF; n],
-            settled_f: vec![false; n],
-            settled_r: vec![false; n],
-            touched: Vec::new(),
-            fq: BinaryHeap::new(),
-            rq: BinaryHeap::new(),
+            dist_f: StampedSlab::new(n),
+            dist_r: StampedSlab::new(n),
+            fq: IndexedHeap::new(n),
+            rq: IndexedHeap::new(n),
         }
     }
 
     fn reset(&mut self) {
-        for &v in &self.touched {
-            self.dist_f[v as usize] = INF;
-            self.dist_r[v as usize] = INF;
-            self.settled_f[v as usize] = false;
-            self.settled_r[v as usize] = false;
-        }
-        self.touched.clear();
+        self.dist_f.reset();
+        self.dist_r.reset();
         self.fq.clear();
         self.rq.clear();
     }
@@ -60,18 +56,16 @@ impl BiDijkstra {
             return (Some(0), 0);
         }
         self.reset();
-        self.dist_f[s as usize] = 0;
-        self.dist_r[t as usize] = 0;
-        self.touched.push(s);
-        self.touched.push(t);
-        self.fq.push(Reverse((0, s)));
-        self.rq.push(Reverse((0, t)));
+        self.dist_f.set(s, 0);
+        self.dist_r.set(t, 0);
+        self.fq.push_or_decrease(s, 0);
+        self.rq.push_or_decrease(t, 0);
         let mut mu = INF;
         let mut settled = 0usize;
 
         loop {
-            let min_f = clean_top(&mut self.fq, &self.dist_f, &self.settled_f);
-            let min_r = clean_top(&mut self.rq, &self.dist_r, &self.settled_r);
+            let min_f = self.fq.peek_key();
+            let min_r = self.rq.peek_key();
             if min_f == INF || min_r == INF {
                 break;
             }
@@ -79,37 +73,23 @@ impl BiDijkstra {
                 break;
             }
             let forward = min_f <= min_r;
-            let (q, dist_x, settled_x, dist_y) = if forward {
-                (
-                    &mut self.fq,
-                    &mut self.dist_f,
-                    &mut self.settled_f,
-                    &self.dist_r,
-                )
+            let (q, dist_x, dist_y) = if forward {
+                (&mut self.fq, &mut self.dist_f, &self.dist_r)
             } else {
-                (
-                    &mut self.rq,
-                    &mut self.dist_r,
-                    &mut self.settled_r,
-                    &self.dist_f,
-                )
+                (&mut self.rq, &mut self.dist_r, &self.dist_f)
             };
-            let Reverse((d, v)) = q.pop().expect("live entry");
-            settled_x[v as usize] = true;
+            let (d, v) = q.pop().expect("finite peek_key means a live entry");
             settled += 1;
-            if dist_y[v as usize] < INF {
-                mu = mu.min(d + dist_y[v as usize]);
+            if let Some(dy) = dist_y.get(v) {
+                mu = mu.min(d + dy);
             }
             for (u, w) in g.edges(v) {
                 let nd = d + w as Dist;
-                if nd < dist_x[u as usize] {
-                    if dist_x[u as usize] == INF && dist_y[u as usize] == INF {
-                        self.touched.push(u);
-                    }
-                    dist_x[u as usize] = nd;
-                    q.push(Reverse((nd, u)));
-                    if dist_y[u as usize] < INF {
-                        mu = mu.min(nd.saturating_add(dist_y[u as usize]));
+                if dist_x.get(u).is_none_or(|cur| nd < cur) {
+                    dist_x.set(u, nd);
+                    q.push_or_decrease(u, nd);
+                    if let Some(dy) = dist_y.get(u) {
+                        mu = mu.min(nd.saturating_add(dy));
                     }
                 }
             }
@@ -246,21 +226,6 @@ impl DistanceOracle for BiDijkstraOracle {
     fn session(&self) -> Box<dyn QuerySession + '_> {
         Box::new(BiDijkstraOracle::session(self))
     }
-}
-
-fn clean_top(
-    q: &mut BinaryHeap<Reverse<(Dist, VertexId)>>,
-    dist: &[Dist],
-    settled: &[bool],
-) -> Dist {
-    while let Some(&Reverse((d, v))) = q.peek() {
-        if settled[v as usize] || d > dist[v as usize] {
-            q.pop();
-        } else {
-            return d;
-        }
-    }
-    INF
 }
 
 #[cfg(test)]

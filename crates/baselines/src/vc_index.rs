@@ -26,12 +26,11 @@
 //!   published VC-Index(P2P) numbers are dominated by scanning reduced
 //!   graphs from disk).
 
+use islabel_core::dense::{IndexedHeap, StampedSlab};
 use islabel_core::hierarchy::VertexHierarchy;
 use islabel_core::oracle::{check_vertex, DistanceOracle, QueryError, QuerySession};
 use islabel_core::{BuildConfig, KSelection};
-use islabel_graph::{CsrGraph, Dist, GraphBuilder, VertexId, INF};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use islabel_graph::{CsrGraph, Dist, GraphBuilder, VertexId};
 use std::time::{Duration, Instant};
 
 /// VC-Index construction parameters.
@@ -152,47 +151,25 @@ impl VcIndex {
     }
 
     /// Distance plus touched-volume counters.
+    ///
+    /// One-shot convenience: allocates a fresh [`VcSession`] per call. Any
+    /// caller issuing repeated cost queries should hold a session and use
+    /// [`VcSession::distance_with_cost`], which reuses the slab and heap.
     pub fn distance_with_cost(&self, s: VertexId, t: VertexId) -> (Option<Dist>, VcQueryCost) {
-        let g = &self.search_graph;
         let mut cost = VcQueryCost::default();
-        if s == t {
-            return (Some(0), cost);
-        }
-        let mut dist = vec![INF; g.num_vertices()];
-        let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
-        dist[s as usize] = 0;
-        heap.push(Reverse((0, s)));
-        while let Some(Reverse((d, v))) = heap.pop() {
-            if d > dist[v as usize] {
-                continue;
-            }
-            cost.settled += 1;
-            if v == t {
-                cost.bytes_touched = cost.edges_scanned * 8;
-                return (Some(d), cost);
-            }
-            cost.edges_scanned += g.degree(v);
-            for (u, w) in g.edges(v) {
-                let nd = d + w as Dist;
-                if nd < dist[u as usize] {
-                    dist[u as usize] = nd;
-                    heap.push(Reverse((nd, u)));
-                }
-            }
-        }
-        cost.bytes_touched = cost.edges_scanned * 8;
-        (None, cost)
+        let d = self.session().dijkstra(s, t, &mut cost);
+        (d, cost)
     }
 
-    /// Opens a per-thread [`VcSession`] whose Dijkstra buffers (distance
-    /// array, touched list, heap) persist across queries; the typed twin
+    /// Opens a per-thread [`VcSession`] whose Dijkstra buffers (stamped
+    /// distance slab, indexed heap) persist across queries; the typed twin
     /// of [`DistanceOracle::session`].
     pub fn session(&self) -> VcSession<'_> {
+        let n = self.search_graph.num_vertices();
         VcSession {
             index: self,
-            dist: vec![INF; self.search_graph.num_vertices()],
-            touched: Vec::new(),
-            heap: BinaryHeap::new(),
+            dist: StampedSlab::new(n),
+            heap: IndexedHeap::new(n),
         }
     }
 }
@@ -219,55 +196,68 @@ impl DistanceOracle for VcIndex {
     }
 }
 
-/// Reusable query state for one [`VcIndex`]: the distance array, touched
-/// list and heap of the early-terminating Dijkstra (see
+/// Reusable query state for one [`VcIndex`]: the stamped distance slab and
+/// indexed heap of the early-terminating Dijkstra (see
 /// [`QuerySession`]). Obtained from [`VcIndex::session`].
 pub struct VcSession<'a> {
     index: &'a VcIndex,
-    dist: Vec<Dist>,
-    touched: Vec<VertexId>,
-    heap: BinaryHeap<Reverse<(Dist, VertexId)>>,
+    dist: StampedSlab<Dist>,
+    heap: IndexedHeap,
 }
 
 impl VcSession<'_> {
     /// Exact distance through the reused search buffers; same contract as
     /// [`VcIndex::try_distance`].
     pub fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        Ok(self.distance_with_cost(s, t)?.0)
+    }
+
+    /// Distance plus touched-volume counters through the reused buffers —
+    /// the session-hot-path twin of [`VcIndex::distance_with_cost`].
+    pub fn distance_with_cost(
+        &mut self,
+        s: VertexId,
+        t: VertexId,
+    ) -> Result<(Option<Dist>, VcQueryCost), QueryError> {
         let g = &self.index.search_graph;
         check_vertex(s, g.num_vertices())?;
         check_vertex(t, g.num_vertices())?;
-        if s == t {
-            return Ok(Some(0));
-        }
-        // Sparse reset: only vertices the previous query touched.
-        for &v in &self.touched {
-            self.dist[v as usize] = INF;
-        }
-        self.touched.clear();
-        self.heap.clear();
+        let mut cost = VcQueryCost::default();
+        let d = self.dijkstra(s, t, &mut cost);
+        Ok((d, cost))
+    }
 
-        self.dist[s as usize] = 0;
-        self.touched.push(s);
-        self.heap.push(Reverse((0, s)));
-        while let Some(Reverse((d, v))) = self.heap.pop() {
-            if d > self.dist[v as usize] {
-                continue;
-            }
+    /// The early-terminating Dijkstra core over the union search structure.
+    /// O(1) epoch-bump reset replaces the old touched-list walk; the
+    /// indexed heap's decrease-key means every pop is a settle, so the
+    /// `settled` counter is exact without a staleness re-check.
+    fn dijkstra(&mut self, s: VertexId, t: VertexId, cost: &mut VcQueryCost) -> Option<Dist> {
+        let g = &self.index.search_graph;
+        if s == t {
+            return Some(0);
+        }
+        self.dist.reset();
+        self.heap.clear();
+        self.dist.set(s, 0);
+        self.heap.push_or_decrease(s, 0);
+        let mut answer = None;
+        while let Some((d, v)) = self.heap.pop() {
+            cost.settled += 1;
             if v == t {
-                return Ok(Some(d));
+                answer = Some(d);
+                break;
             }
+            cost.edges_scanned += g.degree(v);
             for (u, w) in g.edges(v) {
                 let nd = d + w as Dist;
-                if nd < self.dist[u as usize] {
-                    if self.dist[u as usize] == INF {
-                        self.touched.push(u);
-                    }
-                    self.dist[u as usize] = nd;
-                    self.heap.push(Reverse((nd, u)));
+                if self.dist.get(u).is_none_or(|cur| nd < cur) {
+                    self.dist.set(u, nd);
+                    self.heap.push_or_decrease(u, nd);
                 }
             }
         }
-        Ok(None)
+        cost.bytes_touched = cost.edges_scanned * 8;
+        answer
     }
 }
 

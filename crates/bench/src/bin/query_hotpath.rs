@@ -1,0 +1,558 @@
+//! The query hot-path benchmark behind `BENCH_PR4.json`: per-engine build
+//! time, p50/p99 query latency, throughput and settled counts on ER / BA /
+//! grid graphs, plus the two PR-4 before/after comparisons — the dense
+//! compact-id kernel vs the hashmap kernel on single-thread throughput, and
+//! parallel vs single-thread `LabelSet::build` wall-clock.
+//!
+//! ```text
+//! query_hotpath [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks every graph to a few hundred vertices and
+//! cross-checks **every** answer of **every** engine against reference
+//! Dijkstra (the CI gate); the same JSON schema is emitted either way.
+//! Env knobs: `ISLABEL_HOTPATH_N` (default 50 000 vertices per graph),
+//! `ISLABEL_HOTPATH_QUERIES` (default 10 000 for the label engines; search
+//! baselines run a capped slice), and `ISLABEL_HOTPATH_PLL_MAX_N` (default
+//! 20 000): PLL's 2-hop construction is superlinear on weighted ER/grid
+//! topologies (≈ 90 s and 200 MB of labels already at n = 20 000), so
+//! graphs above the cap report the other four engines and skip PLL.
+//!
+//! Schema (`islabel-bench-pr4/v1`) — see README § Performance:
+//! `graphs[].engines[]` carries `build_ms`, `queries`, `p50_us`, `p99_us`,
+//! `qps`, `settled_total` (null for engines without a settle counter);
+//! `kernel_comparison` and `label_build` carry the two speedup claims.
+
+use islabel_baselines::{BiDijkstra, PllIndex, VcConfig, VcIndex};
+use islabel_core::label::LabelSet;
+use islabel_core::oracle::DistanceOracle;
+use islabel_core::query::{intersect_min, label_bi_dijkstra_in, SearchParams, SearchScratch};
+use islabel_core::reference::dijkstra_p2p;
+use islabel_core::{BuildConfig, DiIsLabelIndex, IsLabelIndex};
+use islabel_graph::generators::{barabasi_albert, erdos_renyi_gnm, grid2d, WeightModel};
+use islabel_graph::{CsrGraph, DigraphBuilder, Dist, VertexId, INF};
+use std::time::Instant;
+
+/// Per-query latencies in nanoseconds, plus whatever the engine settled.
+struct RunStats {
+    latencies_ns: Vec<u64>,
+    total_ns: u64,
+    settled: Option<u64>,
+}
+
+struct EngineReport {
+    engine: &'static str,
+    build_ms: f64,
+    queries: usize,
+    p50_us: f64,
+    p99_us: f64,
+    qps: f64,
+    settled: Option<u64>,
+}
+
+struct GraphReport {
+    name: &'static str,
+    n: usize,
+    m: usize,
+    engines: Vec<EngineReport>,
+}
+
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+fn finish(engine: &'static str, build_ms: f64, mut stats: RunStats) -> EngineReport {
+    let queries = stats.latencies_ns.len();
+    stats.latencies_ns.sort_unstable();
+    EngineReport {
+        engine,
+        build_ms,
+        queries,
+        p50_us: percentile_us(&stats.latencies_ns, 0.50),
+        p99_us: percentile_us(&stats.latencies_ns, 0.99),
+        qps: if stats.total_ns == 0 {
+            0.0
+        } else {
+            queries as f64 / (stats.total_ns as f64 / 1e9)
+        },
+        settled: stats.settled,
+    }
+}
+
+/// Times `answer` over `pairs`, cross-checking against `truth` when given.
+fn run_workload(
+    pairs: &[(VertexId, VertexId)],
+    truth: Option<&[Option<Dist>]>,
+    engine: &str,
+    mut answer: impl FnMut(VertexId, VertexId) -> (Option<Dist>, Option<u64>),
+) -> RunStats {
+    let mut latencies = Vec::with_capacity(pairs.len());
+    let mut settled_total: Option<u64> = None;
+    let mut total_ns = 0u64;
+    for (i, &(s, t)) in pairs.iter().enumerate() {
+        let t0 = Instant::now();
+        let (d, settled) = answer(s, t);
+        let ns = t0.elapsed().as_nanos() as u64;
+        latencies.push(ns);
+        total_ns += ns;
+        if let Some(settle) = settled {
+            *settled_total.get_or_insert(0) += settle;
+        }
+        if let Some(expect) = truth {
+            assert_eq!(
+                d, expect[i],
+                "{engine}: answer mismatch on query {i} ({s}, {t})"
+            );
+        }
+    }
+    RunStats {
+        latencies_ns: latencies,
+        total_ns,
+        settled: settled_total,
+    }
+}
+
+fn query_pairs(n: usize, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..count)
+        .map(|_| {
+            let s = (next() % n as u64) as VertexId;
+            let mut t = (next() % n as u64) as VertexId;
+            if t == s {
+                t = (t + 1) % n as VertexId;
+            }
+            (s, t)
+        })
+        .collect()
+}
+
+fn bench_graph(
+    name: &'static str,
+    g: &CsrGraph,
+    label_queries: usize,
+    search_queries: usize,
+    smoke: bool,
+) -> GraphReport {
+    let n = g.num_vertices();
+    let pairs = query_pairs(n, label_queries, 0xB0A7 + n as u64);
+    let search_pairs = &pairs[..search_queries.min(pairs.len())];
+    let truth_buf: Option<Vec<Option<Dist>>> =
+        smoke.then(|| pairs.iter().map(|&(s, t)| dijkstra_p2p(g, s, t)).collect());
+    let truth = truth_buf.as_deref();
+    let truth_search = truth.map(|t| &t[..search_pairs.len()]);
+    let mut engines = Vec::new();
+
+    // islabel — dense-kernel session, with settled counts.
+    eprintln!("[query_hotpath]   islabel ...");
+    let t0 = Instant::now();
+    let index = IsLabelIndex::build(g, BuildConfig::default());
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut session = index.session();
+    let stats = run_workload(&pairs, truth, "islabel", |s, t| {
+        let out = session.search_outcome(s, t).expect("in range");
+        (
+            (out.dist < INF).then_some(out.dist),
+            Some(out.settled as u64),
+        )
+    });
+    drop(session);
+    engines.push(finish("islabel", build_ms, stats));
+
+    // di-islabel over the symmetrized digraph.
+    eprintln!("[query_hotpath]   di-islabel ...");
+    let t0 = Instant::now();
+    let mut b = DigraphBuilder::new(n);
+    for (u, v, w) in g.edge_list() {
+        b.add_arc(u, v, w);
+        b.add_arc(v, u, w);
+    }
+    let di = DiIsLabelIndex::build(&b.build(), BuildConfig::default());
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut di_session = di.session();
+    let stats = run_workload(&pairs, truth, "di-islabel", |s, t| {
+        (di_session.distance(s, t).expect("in range"), None)
+    });
+    drop(di_session);
+    engines.push(finish("di-islabel", build_ms, stats));
+
+    // pll — 2-hop comparator, label-only queries. Skipped above the size
+    // cap (see module docs): its construction is superlinear on these
+    // topologies and would dwarf every other engine's build.
+    let pll_max_n: usize = std::env::var("ISLABEL_HOTPATH_PLL_MAX_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    if n <= pll_max_n {
+        eprintln!("[query_hotpath]   pll ...");
+        let t0 = Instant::now();
+        let pll = PllIndex::build(g);
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut pll_session = DistanceOracle::session(&pll);
+        let stats = run_workload(&pairs, truth, "pll", |s, t| {
+            (pll_session.distance(s, t).expect("in range"), None)
+        });
+        drop(pll_session);
+        engines.push(finish("pll", build_ms, stats));
+    } else {
+        eprintln!("[query_hotpath]   pll skipped on {name}: n = {n} > ISLABEL_HOTPATH_PLL_MAX_N = {pll_max_n}");
+    }
+
+    // vc — search engine; capped workload, settled counts.
+    eprintln!("[query_hotpath]   vc ...");
+    let t0 = Instant::now();
+    let vc = VcIndex::build(g, VcConfig::default());
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut vc_session = vc.session();
+    let stats = run_workload(search_pairs, truth_search, "vc", |s, t| {
+        let (d, cost) = vc_session.distance_with_cost(s, t).expect("in range");
+        (d, Some(cost.settled as u64))
+    });
+    drop(vc_session);
+    engines.push(finish("vc", build_ms, stats));
+
+    // bidij — no index to build; capped workload, settled counts.
+    eprintln!("[query_hotpath]   bidij ...");
+    let mut searcher = BiDijkstra::new(n);
+    let stats = run_workload(search_pairs, truth_search, "bidij", |s, t| {
+        let (d, settled) = searcher.distance_with_cost(g, s, t);
+        (d, Some(settled as u64))
+    });
+    engines.push(finish("bidij", 0.0, stats));
+
+    GraphReport {
+        name,
+        n,
+        m: g.num_edges(),
+        engines,
+    }
+}
+
+struct KernelComparison {
+    graph: &'static str,
+    n: usize,
+    queries: usize,
+    hashmap_qps: f64,
+    dense_qps: f64,
+}
+
+/// Single-thread throughput of the dense session vs the hashmap reference
+/// kernel (reused `SearchScratch`, reused seed buffers — its best case),
+/// on the same index and workload. The two loops are interleaved over
+/// several rounds (best run each) so machine-speed drift across the
+/// measurement window cannot hand either kernel an unearned win.
+fn kernel_comparison(
+    name: &'static str,
+    g: &CsrGraph,
+    queries: usize,
+    smoke: bool,
+) -> KernelComparison {
+    let index = IsLabelIndex::build(g, BuildConfig::default());
+    let pairs = query_pairs(g.num_vertices(), queries, 0xD15C);
+    let h = index.hierarchy();
+
+    let mut scratch = SearchScratch::new();
+    let mut fseeds: Vec<(VertexId, Dist)> = Vec::new();
+    let mut rseeds: Vec<(VertexId, Dist)> = Vec::new();
+    let mut sparse_pass = |sum: &mut u64| -> std::time::Duration {
+        *sum = 0;
+        let t0 = Instant::now();
+        for &(s, t) in &pairs {
+            let ls = index.labels().label(s);
+            let lt = index.labels().label(t);
+            let (mu0, witness) = intersect_min(ls, lt);
+            fseeds.clear();
+            fseeds.extend(ls.iter().filter(|&(a, _)| h.is_in_gk(a)));
+            rseeds.clear();
+            rseeds.extend(lt.iter().filter(|&(a, _)| h.is_in_gk(a)));
+            let out = label_bi_dijkstra_in(
+                h.gk(),
+                SearchParams {
+                    fseeds: &fseeds,
+                    rseeds: &rseeds,
+                    mu0,
+                    mu0_witness: witness,
+                    track_paths: false,
+                },
+                &mut scratch,
+            );
+            *sum = sum.wrapping_add(out.dist);
+        }
+        t0.elapsed()
+    };
+    let mut session = index.session();
+    let mut dense_pass = |sum: &mut u64| -> std::time::Duration {
+        *sum = 0;
+        let t0 = Instant::now();
+        for &(s, t) in &pairs {
+            let d = session.distance(s, t).expect("in range").unwrap_or(INF);
+            *sum = sum.wrapping_add(d);
+        }
+        t0.elapsed()
+    };
+
+    let (mut sparse_sum, mut dense_sum) = (0u64, 0u64);
+    let mut sparse_dt = std::time::Duration::MAX;
+    let mut dense_dt = std::time::Duration::MAX;
+    for _ in 0..3 {
+        sparse_dt = sparse_dt.min(sparse_pass(&mut sparse_sum));
+        dense_dt = dense_dt.min(dense_pass(&mut dense_sum));
+    }
+    assert_eq!(dense_sum, sparse_sum, "kernel disagreement on {name}");
+    // Releases the closure's borrow of `session` for the smoke check.
+    let _ = dense_pass;
+    if smoke {
+        for &(s, t) in &pairs {
+            assert_eq!(
+                session.distance(s, t).expect("in range"),
+                dijkstra_p2p(g, s, t),
+                "dense kernel vs reference Dijkstra ({s}, {t})"
+            );
+        }
+    }
+
+    KernelComparison {
+        graph: name,
+        n: g.num_vertices(),
+        queries: pairs.len(),
+        hashmap_qps: pairs.len() as f64 / sparse_dt.as_secs_f64(),
+        dense_qps: pairs.len() as f64 / dense_dt.as_secs_f64(),
+    }
+}
+
+struct LabelBuild {
+    graph: &'static str,
+    k: u32,
+    entries: usize,
+    threads: usize,
+    single_ms: f64,
+    parallel_ms: f64,
+}
+
+/// Parallel vs single-thread `LabelSet::build` over a **deep** hierarchy
+/// (fixed k): the σ rule stops ER-like graphs at k = 2, where labeling is
+/// a few milliseconds and scheduler noise drowns any comparison; forcing
+/// more levels puts construction in the labeling-bound regime the parallel
+/// path exists for. Each variant is timed twice and the best run kept.
+fn label_build_comparison(name: &'static str, g: &CsrGraph, k: u32) -> LabelBuild {
+    let h = islabel_core::hierarchy::VertexHierarchy::build(g, &BuildConfig::fixed_k(k));
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // Interleave the two variants ([1, N] × rounds) and keep each one's
+    // best: on a shared box, machine speed drifts across minutes, and
+    // back-to-back blocks would hand whichever variant runs in the faster
+    // window an unearned win.
+    let run = |threads: usize| -> (LabelSet, f64) {
+        let t0 = Instant::now();
+        let ls = LabelSet::build_with_threads(&h, true, threads);
+        (ls, t0.elapsed().as_secs_f64() * 1e3)
+    };
+    let mut single: Option<(LabelSet, f64)> = None;
+    let mut parallel: Option<(LabelSet, f64)> = None;
+    for _ in 0..3 {
+        let s = run(1);
+        if single.as_ref().is_none_or(|(_, b)| s.1 < *b) {
+            single = Some(s);
+        }
+        let p = run(threads);
+        if parallel.as_ref().is_none_or(|(_, b)| p.1 < *b) {
+            parallel = Some(p);
+        }
+    }
+    let (single, single_ms) = single.expect("rounds ran");
+    let (parallel, parallel_ms) = parallel.expect("rounds ran");
+    assert_eq!(single, parallel, "parallel labeling must be deterministic");
+    LabelBuild {
+        graph: name,
+        k: h.k(),
+        entries: single.num_entries(),
+        threads,
+        single_ms,
+        parallel_ms,
+    }
+}
+
+fn json_escape_free(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".into(), |x| x.to_string())
+}
+
+fn to_json(
+    mode: &str,
+    graphs: &[GraphReport],
+    kernel: &KernelComparison,
+    labels: &LabelBuild,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"islabel-bench-pr4/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!(
+        "  \"host_threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    out.push_str("  \"graphs\": [\n");
+    for (gi, g) in graphs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"engines\": [\n",
+            g.name, g.n, g.m
+        ));
+        for (ei, e) in g.engines.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"engine\": \"{}\", \"build_ms\": {:.2}, \"queries\": {}, \
+                 \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"qps\": {:.1}, \"settled_total\": {}}}{}\n",
+                e.engine,
+                e.build_ms,
+                e.queries,
+                e.p50_us,
+                e.p99_us,
+                e.qps,
+                json_escape_free(e.settled),
+                if ei + 1 < g.engines.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if gi + 1 < graphs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"kernel_comparison\": {{\"graph\": \"{}\", \"n\": {}, \"queries\": {}, \
+         \"hashmap_qps\": {:.1}, \"dense_qps\": {:.1}, \"speedup\": {:.3}}},\n",
+        kernel.graph,
+        kernel.n,
+        kernel.queries,
+        kernel.hashmap_qps,
+        kernel.dense_qps,
+        kernel.dense_qps / kernel.hashmap_qps
+    ));
+    out.push_str(&format!(
+        "  \"label_build\": {{\"graph\": \"{}\", \"k\": {}, \"entries\": {}, \"threads\": {}, \
+         \"single_thread_ms\": {:.1}, \"parallel_ms\": {:.1}, \"speedup\": {:.3}}}\n",
+        labels.graph,
+        labels.k,
+        labels.entries,
+        labels.threads,
+        labels.single_ms,
+        labels.parallel_ms,
+        labels.single_ms / labels.parallel_ms
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+
+    let n: usize = if smoke {
+        400
+    } else {
+        std::env::var("ISLABEL_HOTPATH_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50_000)
+    };
+    let label_queries: usize = if smoke {
+        200
+    } else {
+        std::env::var("ISLABEL_HOTPATH_QUERIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10_000)
+    };
+    let search_queries = if smoke { 200 } else { 1_000 };
+
+    let side = (n as f64).sqrt().round() as usize;
+    let graphs: Vec<(&'static str, CsrGraph)> = vec![
+        (
+            "er",
+            erdos_renyi_gnm(n, 3 * n, WeightModel::UniformRange(1, 10), 0x5EED),
+        ),
+        (
+            "ba",
+            barabasi_albert(n, 3, WeightModel::UniformRange(1, 10), 0x5EED),
+        ),
+        (
+            "grid",
+            grid2d(side, side, WeightModel::UniformRange(1, 10), 0x5EED),
+        ),
+    ];
+
+    let mut reports = Vec::new();
+    for (name, g) in &graphs {
+        eprintln!(
+            "[query_hotpath] {} (n = {}, m = {}) ...",
+            name,
+            g.num_vertices(),
+            g.num_edges()
+        );
+        reports.push(bench_graph(name, g, label_queries, search_queries, smoke));
+    }
+
+    eprintln!("[query_hotpath] kernel comparison (dense vs hashmap) ...");
+    let kernel = kernel_comparison("er", &graphs[0].1, label_queries, smoke);
+    eprintln!("[query_hotpath] label construction (parallel vs single) ...");
+    let labels = label_build_comparison("er", &graphs[0].1, 10);
+
+    // Human-readable summary.
+    println!(
+        "{:<6} {:<11} {:>11} {:>8} {:>9} {:>9} {:>11} {:>12}",
+        "graph", "engine", "build_ms", "queries", "p50_us", "p99_us", "qps", "settled"
+    );
+    for g in &reports {
+        for e in &g.engines {
+            println!(
+                "{:<6} {:<11} {:>11.1} {:>8} {:>9.2} {:>9.2} {:>11.0} {:>12}",
+                g.name,
+                e.engine,
+                e.build_ms,
+                e.queries,
+                e.p50_us,
+                e.p99_us,
+                e.qps,
+                e.settled.map_or_else(|| "-".into(), |s| s.to_string()),
+            );
+        }
+    }
+    println!(
+        "kernel: dense {:.0} qps vs hashmap {:.0} qps ({:.2}x) on {} n={}",
+        kernel.dense_qps,
+        kernel.hashmap_qps,
+        kernel.dense_qps / kernel.hashmap_qps,
+        kernel.graph,
+        kernel.n
+    );
+    println!(
+        "labels: parallel {:.0} ms vs single {:.0} ms ({:.2}x, {} threads, k={}, {} entries)",
+        labels.parallel_ms,
+        labels.single_ms,
+        labels.single_ms / labels.parallel_ms,
+        labels.threads,
+        labels.k,
+        labels.entries
+    );
+
+    let json = to_json(
+        if smoke { "smoke" } else { "full" },
+        &reports,
+        &kernel,
+        &labels,
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    println!("wrote {out_path}");
+}

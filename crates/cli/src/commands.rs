@@ -541,6 +541,13 @@ fn stats(argv: &[String]) -> Result<(), String> {
         );
         println!("  label bytes:   {}", human_bytes(s.label_bytes));
         println!("  path info:     {}", index.labels().has_path_info());
+        let dense = index.dense_gk();
+        println!(
+            "  dense kernel:  {} compact ids, {} adjacency entries, {}",
+            human_count(dense.ids().len()),
+            human_count(dense.fwd().num_entries()),
+            human_bytes(dense.memory_bytes())
+        );
     } else {
         let g = load_graph(path)?;
         println!("graph: {path}");

@@ -1,0 +1,857 @@
+//! The dense search kernel: compact `G_k` ids, generation-stamped flat
+//! arrays, and an indexed 4-ary min-heap with decrease-key.
+//!
+//! The paper's query cost is dominated by "Time (b)" — the label-seeded
+//! bidirectional Dijkstra over the residual graph `G_k` (Section 5.2,
+//! Algorithm 1). The original kernel in [`crate::query`] runs that search
+//! over hash maps keyed by global vertex ids and lazy-deletion binary
+//! heaps; correct, but every relaxation pays a hash and every pop may wade
+//! through stale entries. Hub-labeling systems (PLL and its successors) get
+//! their speed from flat, cache-friendly state instead, and this module
+//! brings the `G_k` search to that standard:
+//!
+//! * [`GkIdMap`] remaps the (typically sparse) `G_k` vertex set to compact
+//!   ids `0..|G_k|`, built **once per index**. Label seeds translate with
+//!   one array read, and every per-vertex search array shrinks from
+//!   universe-sized to `|G_k|`-sized.
+//! * [`DenseCsr`] stores `G_k`'s adjacency over compact ids in flat CSR
+//!   arrays, so the relax loop is a pure sequential scan.
+//! * [`StampedSlab`] gives O(1) *whole-array reset*: each slot carries a
+//!   generation stamp, and "clearing" is one epoch increment — no per-query
+//!   `memset`, no hashing, no allocation.
+//! * [`IndexedHeap`] is a 4-ary min-heap with a stamped position index and
+//!   true decrease-key: at most one live entry per vertex, so the
+//!   `clean_top` stale-entry filtering of the lazy-deletion kernel
+//!   disappears entirely, and heap capacity is bounded by `|G_k|`.
+//! * [`DenseScratch`] bundles the per-search state; a session allocates it
+//!   once and every later query runs **allocation-free** (asserted by the
+//!   `alloc_free` integration test).
+//!
+//! [`dense_bi_dijkstra`] is a drop-in replacement for the hashmap kernel:
+//! it settles the same vertices in the same order (ties broken by vertex
+//! id, exactly like `BinaryHeap<Reverse<(Dist, VertexId)>>`) and returns
+//! bit-identical `(dist, meeting, settled)` outcomes — the
+//! `dense_kernel` conformance suite holds the two kernels equal across
+//! graphs, engines, and dynamic updates.
+
+use crate::query::{Meeting, SearchOutcome};
+use islabel_graph::{CsrGraph, Dist, VertexId, Weight, INF};
+
+/// Sentinel for "vertex is not in `G_k`" in [`GkIdMap`]'s forward array.
+pub const NO_DENSE: u32 = u32::MAX;
+
+/// A bidirectional mapping between global vertex ids and compact `G_k` ids
+/// `0..|G_k|`, built once per index.
+///
+/// Because `G_k` members are enumerated in ascending global order, dense
+/// ids preserve the relative order of global ids — which is what lets the
+/// dense kernel reproduce the hashmap kernel's id-based tie-breaking
+/// exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GkIdMap {
+    /// `dense_of[global]` is the compact id, or [`NO_DENSE`].
+    dense_of: Vec<u32>,
+    /// `global_of[dense]` is the original vertex id.
+    global_of: Vec<VertexId>,
+}
+
+impl GkIdMap {
+    /// Builds the map for a `universe`-vertex index whose `G_k` members are
+    /// `members` (ascending global ids).
+    pub fn build(universe: usize, members: &[VertexId]) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        let mut dense_of = vec![NO_DENSE; universe];
+        for (d, &v) in members.iter().enumerate() {
+            dense_of[v as usize] = d as u32;
+        }
+        Self {
+            dense_of,
+            global_of: members.to_vec(),
+        }
+    }
+
+    /// Compact id of `v`, or `None` when `v` is not a `G_k` vertex. This is
+    /// simultaneously the `G_k` membership test the seed filter uses.
+    #[inline]
+    pub fn dense(&self, v: VertexId) -> Option<u32> {
+        let d = self.dense_of[v as usize];
+        (d != NO_DENSE).then_some(d)
+    }
+
+    /// Global id of compact id `d`.
+    #[inline]
+    pub fn global(&self, d: u32) -> VertexId {
+        self.global_of[d as usize]
+    }
+
+    /// Number of `G_k` vertices (the compact id range).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.global_of.len()
+    }
+
+    /// Whether `G_k` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.global_of.is_empty()
+    }
+
+    /// Resident bytes of both direction arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.dense_of.len() * std::mem::size_of::<u32>()
+            + self.global_of.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+/// `G_k` adjacency over compact ids in flat CSR arrays.
+///
+/// The base residual graph spans the full id universe with peeled vertices
+/// isolated; remapping to `0..|G_k|` packs the arrays the relax loop
+/// actually touches into contiguous, cache-dense memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseCsr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<Weight>,
+}
+
+impl DenseCsr {
+    /// Builds from an edge source: for each of the `m` compact vertices,
+    /// `edges(dense_id)` yields `(dense_neighbor, weight)` pairs.
+    pub fn build<I: Iterator<Item = (u32, Weight)>>(
+        m: usize,
+        mut edges: impl FnMut(u32) -> I,
+    ) -> Self {
+        let mut offsets = Vec::with_capacity(m + 1);
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        offsets.push(0);
+        for d in 0..m as u32 {
+            for (t, w) in edges(d) {
+                targets.push(t);
+                weights.push(w);
+            }
+            assert!(
+                targets.len() <= u32::MAX as usize,
+                "G_k adjacency exceeds u32 offsets; widen DenseCsr::offsets"
+            );
+            offsets.push(targets.len() as u32);
+        }
+        Self {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Compacts the undirected residual graph `gk` (over the full universe)
+    /// through `ids`.
+    pub fn from_gk(gk: &CsrGraph, ids: &GkIdMap) -> Self {
+        Self::build(ids.len(), |d| {
+            gk.edges(ids.global(d)).map(|(u, w)| {
+                let du = ids.dense(u).expect("G_k edge endpoint outside G_k");
+                (du, w)
+            })
+        })
+    }
+
+    /// Number of compact vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored (directed) adjacency entries.
+    pub fn num_entries(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Iterates `(dense_neighbor, weight)` pairs of compact vertex `d`.
+    #[inline]
+    pub fn edges_of(&self, d: u32) -> impl Iterator<Item = (u32, Weight)> + '_ {
+        let lo = self.offsets[d as usize] as usize;
+        let hi = self.offsets[d as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Resident bytes of the three CSR arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.targets.len() * std::mem::size_of::<u32>()
+            + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+}
+
+/// The dense search substrate of one index: the compact id map plus the
+/// remapped residual adjacency (and, for directed indexes, its transpose).
+#[derive(Debug, Clone)]
+pub struct DenseGk {
+    ids: GkIdMap,
+    fwd: DenseCsr,
+    /// Transposed arcs for the reverse frontier; `None` for undirected
+    /// graphs (the forward CSR is symmetric).
+    rev: Option<DenseCsr>,
+}
+
+impl DenseGk {
+    /// Builds the undirected substrate from a full-universe residual graph.
+    pub fn undirected(universe: usize, members: &[VertexId], gk: &CsrGraph) -> Self {
+        let ids = GkIdMap::build(universe, members);
+        let fwd = DenseCsr::from_gk(gk, &ids);
+        Self {
+            ids,
+            fwd,
+            rev: None,
+        }
+    }
+
+    /// Builds a directed substrate from pre-remapped forward/reverse CSRs.
+    pub fn directed(ids: GkIdMap, fwd: DenseCsr, rev: DenseCsr) -> Self {
+        Self {
+            ids,
+            fwd,
+            rev: Some(rev),
+        }
+    }
+
+    /// The compact id map.
+    #[inline]
+    pub fn ids(&self) -> &GkIdMap {
+        &self.ids
+    }
+
+    /// Forward adjacency over compact ids.
+    #[inline]
+    pub fn fwd(&self) -> &DenseCsr {
+        &self.fwd
+    }
+
+    /// Reverse adjacency (the forward CSR itself when undirected).
+    #[inline]
+    pub fn rev(&self) -> &DenseCsr {
+        self.rev.as_ref().unwrap_or(&self.fwd)
+    }
+
+    /// Resident bytes of ids and adjacency.
+    pub fn memory_bytes(&self) -> usize {
+        self.ids.memory_bytes()
+            + self.fwd.memory_bytes()
+            + self.rev.as_ref().map_or(0, DenseCsr::memory_bytes)
+    }
+}
+
+/// A flat array with O(1) whole-array reset via generation stamps.
+///
+/// Each slot pairs a value with the epoch it was written in; a slot "holds"
+/// a value only when its stamp equals the current epoch, so
+/// [`reset`](StampedSlab::reset) is a single counter increment — no
+/// per-query clearing, hashing, or allocation. On the (rare) epoch-counter
+/// wrap the stamps are zeroed once, keeping correctness unconditional.
+#[derive(Debug, Clone)]
+pub struct StampedSlab<T> {
+    vals: Vec<T>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl<T: Copy + Default> StampedSlab<T> {
+    /// A slab of `n` unset slots.
+    pub fn new(n: usize) -> Self {
+        Self {
+            vals: vec![T::default(); n],
+            stamps: vec![0; n],
+            epoch: 1,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether the slab has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Unsets every slot in O(1) by bumping the epoch.
+    #[inline]
+    pub fn reset(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// The value of slot `i`, if written since the last reset.
+    #[inline]
+    pub fn get(&self, i: u32) -> Option<T> {
+        (self.stamps[i as usize] == self.epoch).then(|| self.vals[i as usize])
+    }
+
+    /// Whether slot `i` was written since the last reset.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        self.stamps[i as usize] == self.epoch
+    }
+
+    /// Writes slot `i`.
+    #[inline]
+    pub fn set(&mut self, i: u32, v: T) {
+        self.vals[i as usize] = v;
+        self.stamps[i as usize] = self.epoch;
+    }
+}
+
+/// An indexed 4-ary min-heap with decrease-key over compact vertex ids.
+///
+/// Entries are `(key, vertex)` ordered by `(key, vertex)` — the same total
+/// order `BinaryHeap<Reverse<(Dist, VertexId)>>` pops in, which keeps the
+/// dense kernel's settle order (and therefore its `settled` counts and
+/// meeting vertices) bit-identical to the lazy-deletion kernel's. Unlike
+/// lazy deletion there is **at most one live entry per vertex**: a
+/// relaxation either inserts or sifts the existing entry up, so the heap
+/// never exceeds `|G_k|` slots and `pop` never revisits stale state.
+///
+/// 4-ary layout: children of slot `i` are `4i + 1 ..= 4i + 4`. A wider node
+/// trades deeper sift-downs for fewer cache-missing levels, the standard
+/// choice for Dijkstra workloads.
+///
+/// Deliberately not `Clone`: `Vec::clone` copies length, not capacity, so
+/// a cloned heap would silently lose the pre-reservation this type's
+/// allocation-free contract rests on. Build a fresh one with
+/// [`IndexedHeap::new`] instead.
+#[derive(Debug)]
+pub struct IndexedHeap {
+    /// Heap-ordered `(key, vertex)` pairs.
+    slots: Vec<(Dist, u32)>,
+    /// `pos.get(v)` is `v`'s slot index while `v` is queued this epoch.
+    pos: StampedSlab<u32>,
+}
+
+impl IndexedHeap {
+    /// An empty heap addressing vertices `0..n`, with slot storage
+    /// pre-reserved so pushes never reallocate (at most one live entry per
+    /// vertex bounds the heap by `n`).
+    pub fn new(n: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(n),
+            pos: StampedSlab::new(n),
+        }
+    }
+
+    /// Number of queued vertices.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no vertex is queued.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Empties the heap in O(1) (epoch bump + length reset).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.pos.reset();
+    }
+
+    /// The minimum key, or [`INF`] when empty — the `min(FQ)` / `min(RQ)`
+    /// read of Algorithm 1's cutoff, with no stale-entry cleanup needed.
+    #[inline]
+    pub fn peek_key(&self) -> Dist {
+        self.slots.first().map_or(INF, |&(k, _)| k)
+    }
+
+    /// Pops the minimum `(key, vertex)`.
+    pub fn pop(&mut self) -> Option<(Dist, u32)> {
+        let top = *self.slots.first()?;
+        let last = self.slots.pop().expect("non-empty");
+        if !self.slots.is_empty() {
+            self.slots[0] = last;
+            self.pos.set(last.1, 0);
+            self.sift_down(0);
+        }
+        // Leave `top`'s position stamped-but-dangling: `contains` is only
+        // meaningful for queued vertices, and the search never re-pushes a
+        // settled vertex (its tentative distance is already final).
+        Some(top)
+    }
+
+    /// Inserts `v` with `key`, or lowers `v`'s existing key if `key`
+    /// improves it; returns whether the heap changed. A `key` at or above
+    /// the queued one is ignored (the caller's relaxation test should make
+    /// that unreachable for Dijkstra, but the heap stays safe regardless).
+    pub fn push_or_decrease(&mut self, v: u32, key: Dist) -> bool {
+        match self.pos.get(v) {
+            Some(slot)
+                if (slot as usize) < self.slots.len() && self.slots[slot as usize].1 == v =>
+            {
+                if key < self.slots[slot as usize].0 {
+                    self.slots[slot as usize].0 = key;
+                    self.sift_up(slot as usize);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => {
+                let slot = self.slots.len();
+                self.slots.push((key, v));
+                self.pos.set(v, slot as u32);
+                self.sift_up(slot);
+                true
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let entry = self.slots[i];
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.slots[parent] <= entry {
+                break;
+            }
+            self.slots[i] = self.slots[parent];
+            self.pos.set(self.slots[i].1, i as u32);
+            i = parent;
+        }
+        self.slots[i] = entry;
+        self.pos.set(entry.1, i as u32);
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let entry = self.slots[i];
+        let n = self.slots.len();
+        loop {
+            let first = 4 * i + 1;
+            if first >= n {
+                break;
+            }
+            let mut best = first;
+            let last = (first + 4).min(n);
+            for c in (first + 1)..last {
+                if self.slots[c] < self.slots[best] {
+                    best = c;
+                }
+            }
+            if entry <= self.slots[best] {
+                break;
+            }
+            self.slots[i] = self.slots[best];
+            self.pos.set(self.slots[i].1, i as u32);
+            i = best;
+        }
+        self.slots[i] = entry;
+        self.pos.set(entry.1, i as u32);
+    }
+}
+
+/// Reusable workspace of one dense bidirectional search: stamped tentative
+/// distances, settled markers, and the two indexed frontiers.
+///
+/// A session sizes this once against `|G_k|` and every later search resets
+/// it in O(1); [`dense_bi_dijkstra`] performs no heap allocation. Not
+/// `Clone` (see [`IndexedHeap`]) — each thread builds its own with
+/// [`DenseScratch::new`].
+#[derive(Debug)]
+pub struct DenseScratch {
+    dist_f: StampedSlab<Dist>,
+    dist_r: StampedSlab<Dist>,
+    settled_f: StampedSlab<Dist>,
+    settled_r: StampedSlab<Dist>,
+    fq: IndexedHeap,
+    rq: IndexedHeap,
+}
+
+impl DenseScratch {
+    /// A workspace for searches over `m = |G_k|` compact vertices; all
+    /// arrays and both heaps are fully pre-sized.
+    pub fn new(m: usize) -> Self {
+        Self {
+            dist_f: StampedSlab::new(m),
+            dist_r: StampedSlab::new(m),
+            settled_f: StampedSlab::new(m),
+            settled_r: StampedSlab::new(m),
+            fq: IndexedHeap::new(m),
+            rq: IndexedHeap::new(m),
+        }
+    }
+
+    /// Number of compact vertices this scratch is sized for.
+    pub fn capacity(&self) -> usize {
+        self.dist_f.len()
+    }
+
+    fn reset(&mut self) {
+        self.dist_f.reset();
+        self.dist_r.reset();
+        self.settled_f.reset();
+        self.settled_r.reset();
+        self.fq.clear();
+        self.rq.clear();
+    }
+}
+
+/// Algorithm 1 on the dense substrate: label-seeded bidirectional Dijkstra
+/// over compact ids, allocation-free inside `scratch`.
+///
+/// `fseeds` / `rseeds` carry **compact** ids (map label ancestors through
+/// [`GkIdMap::dense`]); the returned [`Meeting::Search`] vertex is likewise
+/// compact — callers map it back with [`GkIdMap::global`]. Semantics match
+/// [`crate::query::label_bi_dijkstra_directed_in`] exactly, including the
+/// settle-time µ tightening and the `min(FQ) + min(RQ) ≥ µ` cutoff; the
+/// conformance suite asserts bit-identical `(dist, meeting, settled)`
+/// against the hashmap kernel.
+pub fn dense_bi_dijkstra(
+    fwd: &DenseCsr,
+    rev: &DenseCsr,
+    fseeds: &[(u32, Dist)],
+    rseeds: &[(u32, Dist)],
+    mu0: Dist,
+    mu0_witness: Option<VertexId>,
+    scratch: &mut DenseScratch,
+) -> SearchOutcome {
+    debug_assert!(scratch.capacity() >= fwd.num_vertices());
+    scratch.reset();
+    let mut mu = mu0;
+    // The witness is a *global* id (a label ancestor that may not be in
+    // G_k); it is returned verbatim when Equation 1 wins.
+    let mut meeting = match mu0_witness {
+        Some(w) if mu < INF => Meeting::Labels(w),
+        _ => Meeting::None,
+    };
+
+    let DenseScratch {
+        dist_f,
+        dist_r,
+        settled_f,
+        settled_r,
+        fq,
+        rq,
+    } = scratch;
+
+    for &(v, d) in fseeds {
+        if dist_f.get(v).is_none_or(|cur| d < cur) {
+            dist_f.set(v, d);
+            fq.push_or_decrease(v, d);
+        }
+    }
+    for &(v, d) in rseeds {
+        if dist_r.get(v).is_none_or(|cur| d < cur) {
+            dist_r.set(v, d);
+            rq.push_or_decrease(v, d);
+        }
+    }
+
+    let mut settled = 0usize;
+    loop {
+        let min_f = fq.peek_key();
+        let min_r = rq.peek_key();
+        if min_f == INF || min_r == INF {
+            break;
+        }
+        if min_f.saturating_add(min_r) >= mu {
+            break;
+        }
+
+        // Settle the cheaper frontier (ties to forward, like the sparse
+        // kernel's `min_f <= min_r`).
+        let forward = min_f <= min_r;
+        let (g, q, dist_x, settled_x, settled_y, dist_y) = if forward {
+            (
+                fwd,
+                &mut *fq,
+                &mut *dist_f,
+                &mut *settled_f,
+                &*settled_r,
+                &*dist_r,
+            )
+        } else {
+            (
+                rev,
+                &mut *rq,
+                &mut *dist_r,
+                &mut *settled_r,
+                &*settled_f,
+                &*dist_f,
+            )
+        };
+        let (d, v) = q.pop().expect("peek_key returned a finite minimum");
+        settled_x.set(v, d);
+        settled += 1;
+        // Settle-time meeting check: any distance on the other side
+        // (tentative or settled) closes a real path.
+        if let Some(dy) = dist_y.get(v) {
+            let cand = d.saturating_add(dy);
+            if cand < mu {
+                mu = cand;
+                meeting = Meeting::Search(v);
+            }
+        }
+        for (u, w) in g.edges_of(v) {
+            let nd = d + w as Dist;
+            if dist_x.get(u).is_none_or(|cur| nd < cur) {
+                dist_x.set(u, nd);
+                q.push_or_decrease(u, nd);
+                // Lines 17–18: u already settled from the other direction.
+                if let Some(dy) = settled_y.get(u) {
+                    let cand = nd.saturating_add(dy);
+                    if cand < mu {
+                        mu = cand;
+                        meeting = Meeting::Search(u);
+                    }
+                }
+            }
+        }
+    }
+
+    SearchOutcome {
+        dist: mu,
+        meeting: if mu == INF { Meeting::None } else { meeting },
+        settled,
+    }
+}
+
+/// The full session fast path for one query: Equation 1 via the adaptive
+/// intersect, label seeds translated to compact ids through `ids` (the
+/// lookup doubling as the `G_k` membership filter), then
+/// [`dense_bi_dijkstra`]. The returned meeting vertex is still compact —
+/// callers wanting global ids apply [`globalize_outcome`].
+///
+/// Shared by the undirected and directed sessions (pass the out-label of
+/// `s` and the in-label of `t` for a directed query) so the seed handling
+/// cannot drift between them.
+#[allow(clippy::too_many_arguments)]
+pub fn seeded_search(
+    ls: crate::label::LabelView<'_>,
+    lt: crate::label::LabelView<'_>,
+    ids: &GkIdMap,
+    fwd: &DenseCsr,
+    rev: &DenseCsr,
+    fseeds: &mut Vec<(u32, Dist)>,
+    rseeds: &mut Vec<(u32, Dist)>,
+    scratch: &mut DenseScratch,
+) -> SearchOutcome {
+    let (mu0, witness) = crate::query::intersect_min_adaptive(ls, lt);
+    fseeds.clear();
+    for (a, d) in ls.iter() {
+        if let Some(da) = ids.dense(a) {
+            fseeds.push((da, d));
+        }
+    }
+    rseeds.clear();
+    for (a, d) in lt.iter() {
+        if let Some(da) = ids.dense(a) {
+            rseeds.push((da, d));
+        }
+    }
+    dense_bi_dijkstra(fwd, rev, fseeds, rseeds, mu0, witness, scratch)
+}
+
+/// Maps a dense search outcome's meeting vertex back to global ids.
+pub fn globalize_outcome(outcome: SearchOutcome, ids: &GkIdMap) -> SearchOutcome {
+    SearchOutcome {
+        meeting: match outcome.meeting {
+            Meeting::Search(d) => Meeting::Search(ids.global(d)),
+            other => other,
+        },
+        ..outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn gk_id_map_roundtrip() {
+        let map = GkIdMap::build(10, &[1, 4, 7, 9]);
+        assert_eq!(map.len(), 4);
+        assert_eq!(map.dense(4), Some(1));
+        assert_eq!(map.dense(0), None);
+        for d in 0..4u32 {
+            assert_eq!(map.dense(map.global(d)), Some(d));
+        }
+        assert!(map.memory_bytes() >= 10 * 4 + 4 * 4);
+        assert!(!map.is_empty());
+        assert!(GkIdMap::build(3, &[]).is_empty());
+    }
+
+    #[test]
+    fn stamped_slab_reset_is_logical_clear() {
+        let mut s: StampedSlab<u64> = StampedSlab::new(4);
+        assert_eq!(s.get(2), None);
+        s.set(2, 7);
+        assert_eq!(s.get(2), Some(7));
+        assert!(s.contains(2));
+        s.reset();
+        assert_eq!(s.get(2), None);
+        assert!(!s.contains(2));
+        s.set(2, 9);
+        assert_eq!(s.get(2), Some(9));
+    }
+
+    #[test]
+    fn stamped_slab_epoch_wrap_stays_correct() {
+        let mut s: StampedSlab<u32> = StampedSlab::new(2);
+        s.set(0, 1);
+        // Force the wrap path.
+        s.epoch = u32::MAX - 1;
+        s.set(1, 5);
+        assert_eq!(s.get(1), Some(5));
+        s.reset(); // epoch becomes MAX
+        s.set(0, 6);
+        s.reset(); // wrap: stamps zeroed, epoch back to 1
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.get(1), None);
+        s.set(1, 8);
+        assert_eq!(s.get(1), Some(8));
+    }
+
+    #[test]
+    fn indexed_heap_matches_binary_heap_model() {
+        // Deterministic pseudo-random operation stream checked against a
+        // lazy-deletion BinaryHeap reference.
+        let n = 64u32;
+        let mut heap = IndexedHeap::new(n as usize);
+        let mut model: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+        let mut best = vec![INF; n as usize];
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..4 {
+            heap.clear();
+            model.clear();
+            best.fill(INF);
+            for _ in 0..400 {
+                let v = (next() % n as u64) as u32;
+                let key = (next() % 1000) as Dist;
+                heap.push_or_decrease(v, key);
+                if key < best[v as usize] {
+                    best[v as usize] = key;
+                    model.push(Reverse((key, v)));
+                }
+            }
+            // Drain both; the model needs lazy-deletion cleanup.
+            let mut drained = Vec::new();
+            while let Some((k, v)) = heap.pop() {
+                drained.push((k, v));
+            }
+            let mut expect = Vec::new();
+            let mut settled = vec![false; n as usize];
+            while let Some(Reverse((k, v))) = model.pop() {
+                if !settled[v as usize] && k == best[v as usize] {
+                    settled[v as usize] = true;
+                    expect.push((k, v));
+                }
+            }
+            assert_eq!(drained, expect, "round {round}");
+            assert!(heap.is_empty());
+            assert_eq!(heap.peek_key(), INF);
+        }
+    }
+
+    #[test]
+    fn indexed_heap_decrease_key_reorders() {
+        let mut h = IndexedHeap::new(8);
+        for (v, k) in [(0u32, 50u64), (1, 40), (2, 30), (3, 20)] {
+            assert!(h.push_or_decrease(v, k));
+        }
+        // Raising a key is a no-op.
+        assert!(!h.push_or_decrease(3, 25));
+        assert_eq!(h.peek_key(), 20);
+        // Decrease 0 below everything.
+        assert!(h.push_or_decrease(0, 1));
+        assert_eq!(h.pop(), Some((1, 0)));
+        assert_eq!(h.pop(), Some((20, 3)));
+        assert_eq!(h.pop(), Some((30, 2)));
+        assert_eq!(h.pop(), Some((40, 1)));
+        assert_eq!(h.pop(), None);
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn indexed_heap_ties_pop_by_vertex_id() {
+        let mut h = IndexedHeap::new(8);
+        for v in [5u32, 2, 7, 0, 3] {
+            h.push_or_decrease(v, 10);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![0, 2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn dense_csr_compacts_gk() {
+        // Global graph over 6 vertices; members {1, 3, 5} form a path
+        // 1 - 3 - 5.
+        let mut b = islabel_graph::GraphBuilder::new(6);
+        b.add_edge(1, 3, 2);
+        b.add_edge(3, 5, 4);
+        let gk = b.build();
+        let ids = GkIdMap::build(6, &[1, 3, 5]);
+        let csr = DenseCsr::from_gk(&gk, &ids);
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(csr.num_entries(), 4);
+        let adj: Vec<(u32, Weight)> = csr.edges_of(1).collect();
+        assert_eq!(adj, vec![(0, 2), (2, 4)]);
+        assert!(csr.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn dense_search_plain_point_to_point() {
+        let g = islabel_graph::generators::erdos_renyi_gnm(
+            60,
+            150,
+            islabel_graph::generators::WeightModel::UniformRange(1, 5),
+            3,
+        );
+        let members: Vec<VertexId> = g.vertices().collect();
+        let dense = DenseGk::undirected(60, &members, &g);
+        let mut scratch = DenseScratch::new(dense.ids().len());
+        for (s, t) in [(0u32, 59u32), (5, 40), (2, 30)] {
+            let out = dense_bi_dijkstra(
+                dense.fwd(),
+                dense.rev(),
+                &[(dense.ids().dense(s).unwrap(), 0)],
+                &[(dense.ids().dense(t).unwrap(), 0)],
+                INF,
+                None,
+                &mut scratch,
+            );
+            let expect = crate::reference::dijkstra_p2p(&g, s, t).unwrap_or(INF);
+            assert_eq!(out.dist, expect, "({s}, {t})");
+        }
+    }
+
+    #[test]
+    fn dense_search_empty_seeds_returns_mu0() {
+        let dense = DenseGk::undirected(3, &[0, 1, 2], &CsrGraph::empty(3));
+        let mut scratch = DenseScratch::new(3);
+        let out = dense_bi_dijkstra(
+            dense.fwd(),
+            dense.rev(),
+            &[],
+            &[(1, 0)],
+            7,
+            Some(2),
+            &mut scratch,
+        );
+        assert_eq!(out.dist, 7);
+        assert_eq!(out.meeting, Meeting::Labels(2));
+        let out = dense_bi_dijkstra(dense.fwd(), dense.rev(), &[], &[], INF, None, &mut scratch);
+        assert_eq!(out.dist, INF);
+        assert_eq!(out.meeting, Meeting::None);
+    }
+}

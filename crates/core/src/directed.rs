@@ -24,12 +24,10 @@
 //! setting); directed queries return distances.
 
 use crate::config::{BuildConfig, IsStrategy, KSelection};
+use crate::dense::{seeded_search, DenseCsr, DenseGk, DenseScratch, GkIdMap};
 use crate::label::LabelSet;
 use crate::oracle::{check_vertex, DistanceOracle, Error, QueryError, QuerySession};
-use crate::query::{
-    intersect_min, label_bi_dijkstra_directed, label_bi_dijkstra_directed_in, GkGraph,
-    SearchParams, SearchScratch,
-};
+use crate::query::{intersect_min, label_bi_dijkstra_directed, GkGraph, SearchParams};
 use crate::stats::IndexStats;
 use islabel_graph::{CsrDigraph, Dist, FxHashMap, VertexId, Weight, INF};
 use std::time::Instant;
@@ -153,6 +151,9 @@ pub struct DiIsLabelIndex {
     peel_in: Vec<Box<[(VertexId, Weight)]>>,
     gk: CsrDigraph,
     gk_members: Vec<VertexId>,
+    /// Compact-id forward/transposed residual adjacency (see
+    /// [`crate::dense`]); the session hot path searches this.
+    dense: DenseGk,
     out_labels: LabelSet,
     in_labels: LabelSet,
     stats: IndexStats,
@@ -234,6 +235,16 @@ impl DiIsLabelIndex {
             }
         }
         let gk = gb.build();
+        let ids = GkIdMap::build(n, &gk_members);
+        let fwd = DenseCsr::build(ids.len(), |d| {
+            gk.out_edges(ids.global(d))
+                .map(|(u, w)| (ids.dense(u).expect("G_k arc endpoint outside G_k"), w))
+        });
+        let rev = DenseCsr::build(ids.len(), |d| {
+            gk.in_edges(ids.global(d))
+                .map(|(u, w)| (ids.dense(u).expect("G_k arc endpoint outside G_k"), w))
+        });
+        let dense = DenseGk::directed(ids, fwd, rev);
         let t1 = Instant::now();
 
         // Top-down labeling in both directions (Algorithm 4 applied to the
@@ -271,6 +282,7 @@ impl DiIsLabelIndex {
             peel_in,
             gk,
             gk_members,
+            dense,
             out_labels,
             in_labels,
             stats,
@@ -295,6 +307,19 @@ impl DiIsLabelIndex {
     /// Vertices of the residual graph, ascending.
     pub fn gk_members(&self) -> &[VertexId] {
         &self.gk_members
+    }
+
+    /// The residual digraph `G_k` over the full id universe (peeled
+    /// vertices are isolated in it). The reference/sparse search path runs
+    /// over this; the hot path uses [`DiIsLabelIndex::dense_gk`].
+    pub fn gk(&self) -> &CsrDigraph {
+        &self.gk
+    }
+
+    /// The dense search substrate: compact `G_k` ids plus remapped forward
+    /// and transposed adjacency (see [`crate::dense`]).
+    pub fn dense_gk(&self) -> &DenseGk {
+        &self.dense
     }
 
     /// Peel-time outgoing arcs of `v` (empty for residual vertices).
@@ -374,30 +399,37 @@ impl DiIsLabelIndex {
         self.distance(s, t).is_some()
     }
 
-    /// Opens a per-thread [`DiIsLabelSession`] with reusable search
-    /// scratch; the typed twin of [`DistanceOracle::session`].
+    /// Opens a per-thread [`DiIsLabelSession`] with reusable dense-kernel
+    /// scratch; the typed twin of [`DistanceOracle::session`]. Scratch and
+    /// seed buffers are fully pre-sized, so steady-state queries are
+    /// allocation-free.
     pub fn session(&self) -> DiIsLabelSession<'_> {
+        let seed_cap = self
+            .out_labels
+            .max_label_len()
+            .max(self.in_labels.max_label_len());
         DiIsLabelSession {
             index: self,
-            scratch: SearchScratch::new(),
-            fseeds: Vec::new(),
-            rseeds: Vec::new(),
+            scratch: DenseScratch::new(self.dense.ids().len()),
+            fseeds: Vec::with_capacity(seed_cap),
+            rseeds: Vec::with_capacity(seed_cap),
         }
     }
 }
 
-/// Reusable query state for one [`DiIsLabelIndex`] (see
-/// [`QuerySession`]). Obtained from [`DiIsLabelIndex::session`].
+/// Reusable query state for one [`DiIsLabelIndex`]: dense search scratch
+/// plus compact-id seed buffers (see [`QuerySession`]). Obtained from
+/// [`DiIsLabelIndex::session`].
 #[derive(Debug)]
 pub struct DiIsLabelSession<'a> {
     index: &'a DiIsLabelIndex,
-    scratch: SearchScratch,
-    fseeds: Vec<(VertexId, Dist)>,
-    rseeds: Vec<(VertexId, Dist)>,
+    scratch: DenseScratch,
+    fseeds: Vec<(u32, Dist)>,
+    rseeds: Vec<(u32, Dist)>,
 }
 
 impl DiIsLabelSession<'_> {
-    /// Directed distance `dist(s → t)` through the reused scratch buffers;
+    /// Directed distance `dist(s → t)` through the reused dense scratch;
     /// same contract as [`DiIsLabelIndex::try_distance`].
     pub fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         let index = self.index;
@@ -406,25 +438,14 @@ impl DiIsLabelSession<'_> {
         if s == t {
             return Ok(Some(0));
         }
-        let ls = index.out_labels.label(s);
-        let lt = index.in_labels.label(t);
-        let (mu0, witness) = intersect_min(ls, lt);
-        self.fseeds.clear();
-        self.fseeds
-            .extend(ls.iter().filter(|&(a, _)| index.is_in_gk(a)));
-        self.rseeds.clear();
-        self.rseeds
-            .extend(lt.iter().filter(|&(a, _)| index.is_in_gk(a)));
-        let outcome = label_bi_dijkstra_directed_in(
-            &Forward(&index.gk),
-            &Backward(&index.gk),
-            SearchParams {
-                fseeds: &self.fseeds,
-                rseeds: &self.rseeds,
-                mu0,
-                mu0_witness: witness,
-                track_paths: false,
-            },
+        let outcome = seeded_search(
+            index.out_labels.label(s),
+            index.in_labels.label(t),
+            index.dense.ids(),
+            index.dense.fwd(),
+            index.dense.rev(),
+            &mut self.fseeds,
+            &mut self.rseeds,
             &mut self.scratch,
         );
         Ok((outcome.dist < INF).then_some(outcome.dist))
@@ -452,9 +473,10 @@ impl DistanceOracle for DiIsLabelIndex {
         DiIsLabelIndex::num_vertices(self)
     }
 
-    /// Both label directions plus the residual digraph.
+    /// Both label directions plus the dense `G_k` search substrate the
+    /// session hot path reads.
     fn index_bytes(&self) -> usize {
-        self.out_labels.memory_bytes() + self.in_labels.memory_bytes() + self.gk.memory_bytes()
+        self.out_labels.memory_bytes() + self.in_labels.memory_bytes() + self.dense.memory_bytes()
     }
 
     fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
@@ -506,7 +528,20 @@ fn select_is(work: &DiAdjacency, strategy: IsStrategy) -> Vec<VertexId> {
     li
 }
 
-/// Top-down labeling along one direction's peel adjacency.
+/// One direction's peel-arc lists as a [`crate::label::PeelSource`], so the
+/// directed index shares the level-parallel sorted-merge labeling loop with
+/// the undirected one.
+struct DirectionalPeel<'a>(&'a [Box<[(VertexId, Weight)]>]);
+
+impl crate::label::PeelSource for DirectionalPeel<'_> {
+    fn peel_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.0[v as usize].iter().copied()
+    }
+}
+
+/// Top-down labeling along one direction's peel adjacency (the shared
+/// Algorithm 4 loop; first hops are discarded — directed queries return
+/// distances only).
 fn build_directional_labels(
     level_of: &[u32],
     k: u32,
@@ -514,35 +549,16 @@ fn build_directional_labels(
     gk_members: &[VertexId],
     peel: &[Box<[(VertexId, Weight)]>],
 ) -> LabelSet {
-    let n = level_of.len();
-    let mut labels: Vec<Vec<(VertexId, Dist, VertexId)>> = vec![Vec::new(); n];
-    for &v in gk_members {
-        labels[v as usize].push((v, 0, v));
-    }
-    let mut merge: FxHashMap<VertexId, Dist> = FxHashMap::default();
-    for i in (1..k).rev() {
-        for &v in &levels[(i - 1) as usize] {
-            merge.clear();
-            merge.insert(v, 0);
-            for &(u, w) in peel[v as usize].iter() {
-                debug_assert!(level_of[u as usize] > i);
-                for &(anc, d, _) in &labels[u as usize] {
-                    let cand = w as Dist + d;
-                    let slot = merge.entry(anc).or_insert(Dist::MAX);
-                    if cand < *slot {
-                        *slot = cand;
-                    }
-                }
-            }
-            let mut entries: Vec<(VertexId, Dist, VertexId)> = merge
-                .iter()
-                .map(|(&anc, &d)| (anc, d, crate::label::NO_HOP))
-                .collect();
-            entries.sort_unstable_by_key(|&(anc, _, _)| anc);
-            labels[v as usize] = entries;
-        }
-    }
-    LabelSet::from_per_vertex(labels, false)
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    crate::label::build_from_peel(
+        level_of.len(),
+        k,
+        levels,
+        gk_members,
+        &DirectionalPeel(peel),
+        false,
+        threads,
+    )
 }
 
 /// Forward arc view of the residual digraph.

@@ -1,12 +1,12 @@
 //! The public IS-LABEL index for undirected graphs.
 
 use crate::config::BuildConfig;
+use crate::dense::{globalize_outcome, seeded_search, DenseGk, DenseScratch};
 use crate::hierarchy::VertexHierarchy;
 use crate::label::LabelSet;
 use crate::oracle::{check_vertex, BatchOptions, DistanceOracle, Error, QueryError, QuerySession};
 use crate::query::{
-    intersect_min, label_bi_dijkstra, label_bi_dijkstra_in, Meeting, QueryType, SearchParams,
-    SearchResult, SearchScratch,
+    intersect_min, label_bi_dijkstra, Meeting, QueryType, SearchParams, SearchResult,
 };
 use crate::stats::IndexStats;
 use crate::updates::Overlay;
@@ -60,6 +60,9 @@ pub struct IsLabelIndex {
     pub(crate) graph: CsrGraph,
     pub(crate) hierarchy: VertexHierarchy,
     pub(crate) labels: LabelSet,
+    /// Compact-id search substrate (see [`crate::dense`]), built once per
+    /// index; the session hot path runs on it.
+    dense: DenseGk,
     config: BuildConfig,
     stats: IndexStats,
     pub(crate) overlay: Overlay,
@@ -99,10 +102,13 @@ impl IsLabelIndex {
             build_time: t2 - t0,
         };
         let overlay = Overlay::new(g.num_vertices());
+        let dense =
+            DenseGk::undirected(hierarchy.universe(), hierarchy.gk_members(), hierarchy.gk());
         Ok(Self {
             graph: g.clone(),
             hierarchy,
             labels,
+            dense,
             config,
             stats,
             overlay,
@@ -120,10 +126,13 @@ impl IsLabelIndex {
         stats: IndexStats,
     ) -> Self {
         let overlay = Overlay::new(graph.num_vertices());
+        let dense =
+            DenseGk::undirected(hierarchy.universe(), hierarchy.gk_members(), hierarchy.gk());
         Self {
             graph,
             hierarchy,
             labels,
+            dense,
             config,
             stats,
             overlay,
@@ -149,6 +158,14 @@ impl IsLabelIndex {
     /// The label set.
     pub fn labels(&self) -> &LabelSet {
         &self.labels
+    }
+
+    /// The dense search substrate: compact `G_k` ids plus the remapped
+    /// residual adjacency (see [`crate::dense`]). Sessions run the
+    /// bidirectional search on this; benches and the conformance suite use
+    /// it to drive the dense kernel directly.
+    pub fn dense_gk(&self) -> &DenseGk {
+        &self.dense
     }
 
     /// Build configuration used.
@@ -380,13 +397,17 @@ impl IsLabelIndex {
 
     /// Opens a per-thread [`IsLabelSession`] with reusable search scratch;
     /// the typed twin of [`DistanceOracle::session`]. Create one per
-    /// serving thread and answer queries through it allocation-free.
+    /// serving thread and answer queries through it allocation-free: the
+    /// dense scratch is fully pre-sized against `|G_k|` and the seed
+    /// buffers against the longest label, so steady-state queries perform
+    /// zero heap allocations (asserted by the `alloc_free` test).
     pub fn session(&self) -> IsLabelSession<'_> {
+        let seed_cap = self.labels.max_label_len();
         IsLabelSession {
             index: self,
-            scratch: SearchScratch::new(),
-            fseeds: Vec::new(),
-            rseeds: Vec::new(),
+            scratch: DenseScratch::new(self.dense.ids().len()),
+            fseeds: Vec::with_capacity(seed_cap),
+            rseeds: Vec::with_capacity(seed_cap),
         }
     }
 
@@ -470,9 +491,12 @@ impl DistanceOracle for IsLabelIndex {
         self.overlay.universe()
     }
 
-    /// Labels plus the residual graph `G_k` — everything a query reads.
+    /// Labels plus the dense `G_k` search substrate — everything the
+    /// session hot path reads. (The full-universe residual graph is also
+    /// resident for path reconstruction and the overlay fallback, but it is
+    /// not on the query path.)
     fn index_bytes(&self) -> usize {
-        self.labels.memory_bytes() + self.hierarchy.gk().memory_bytes()
+        self.labels.memory_bytes() + self.dense.memory_bytes()
     }
 
     fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
@@ -484,15 +508,15 @@ impl DistanceOracle for IsLabelIndex {
     }
 }
 
-/// Reusable query state for one [`IsLabelIndex`]: the bidirectional-search
-/// workspace plus the two `G_k` seed buffers (see
+/// Reusable query state for one [`IsLabelIndex`]: the dense-kernel search
+/// workspace plus the two compact-id seed buffers (see
 /// [`QuerySession`]). Obtained from [`IsLabelIndex::session`].
 #[derive(Debug)]
 pub struct IsLabelSession<'a> {
     index: &'a IsLabelIndex,
-    scratch: SearchScratch,
-    fseeds: Vec<(VertexId, Dist)>,
-    rseeds: Vec<(VertexId, Dist)>,
+    scratch: DenseScratch,
+    fseeds: Vec<(u32, Dist)>,
+    rseeds: Vec<(u32, Dist)>,
 }
 
 impl IsLabelSession<'_> {
@@ -501,42 +525,65 @@ impl IsLabelSession<'_> {
         self.index
     }
 
-    /// Exact distance `dist(s, t)` through the reused scratch buffers;
-    /// same contract as [`IsLabelIndex::try_distance`].
+    /// Exact distance `dist(s, t)` through the reused dense scratch; same
+    /// contract as [`IsLabelIndex::try_distance`].
     pub fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         let index = self.index;
         index.check_vertex(s)?;
         index.check_vertex(t)?;
         // The allocation-free fast path serves the paper's core scenario: a
         // built (pristine) index under a pure query workload. Indexes
-        // carrying dynamic updates take the general overlay-merging path.
+        // carrying dynamic updates take the general overlay-merging path on
+        // the sparse kernel (compact ids cover base G_k vertices only).
         if !index.overlay.is_pristine() {
             return index.try_distance(s, t);
         }
         if s == t {
             return Ok(Some(0));
         }
-        let ls = index.labels.label(s);
-        let lt = index.labels.label(t);
-        let (mu0, witness) = intersect_min(ls, lt);
-        self.fseeds.clear();
-        self.fseeds
-            .extend(ls.iter().filter(|&(a, _)| index.hierarchy.is_in_gk(a)));
-        self.rseeds.clear();
-        self.rseeds
-            .extend(lt.iter().filter(|&(a, _)| index.hierarchy.is_in_gk(a)));
-        let outcome = label_bi_dijkstra_in(
-            index.hierarchy.gk(),
-            SearchParams {
-                fseeds: &self.fseeds,
-                rseeds: &self.rseeds,
-                mu0,
-                mu0_witness: witness,
-                track_paths: false,
-            },
-            &mut self.scratch,
-        );
+        let outcome = self.run_dense(s, t);
         Ok((outcome.dist < INF).then_some(outcome.dist))
+    }
+
+    /// The full dense-kernel outcome (distance, meeting mechanism, settled
+    /// count) for one query — the session-side counterpart of
+    /// [`IsLabelIndex::query`], used by the conformance suite and benches.
+    pub fn search_outcome(
+        &mut self,
+        s: VertexId,
+        t: VertexId,
+    ) -> Result<crate::query::SearchOutcome, QueryError> {
+        let index = self.index;
+        index.check_vertex(s)?;
+        index.check_vertex(t)?;
+        if !index.overlay.is_pristine() {
+            return Err(QueryError::StaleIndex);
+        }
+        if s == t {
+            return Ok(crate::query::SearchOutcome {
+                dist: 0,
+                meeting: Meeting::Labels(s),
+                settled: 0,
+            });
+        }
+        let outcome = self.run_dense(s, t);
+        Ok(globalize_outcome(outcome, self.index.dense.ids()))
+    }
+
+    /// The shared fast path (pristine index, `s != t`, bounds checked):
+    /// seed translation plus the dense kernel, meeting still compact.
+    fn run_dense(&mut self, s: VertexId, t: VertexId) -> crate::query::SearchOutcome {
+        let index = self.index;
+        seeded_search(
+            index.labels.label(s),
+            index.labels.label(t),
+            index.dense.ids(),
+            index.dense.fwd(),
+            index.dense.rev(),
+            &mut self.fseeds,
+            &mut self.rseeds,
+            &mut self.scratch,
+        )
     }
 }
 

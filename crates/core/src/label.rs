@@ -13,12 +13,32 @@
 //! (ω(v, u) + label(u))`, processing levels `k−1 .. 1` so every neighbor's
 //! label (all neighbors sit at strictly higher levels) is already final.
 //!
+//! Two observations make that loop fast here:
+//!
+//! * Within one level the vertices are **independent**: every peel neighbor
+//!   sits at a strictly higher level, so level `i` labels read only
+//!   already-final data. [`LabelSet::build`] therefore fans each level out
+//!   over scoped worker threads that claim small vertex chunks off an
+//!   atomic counter (label sizes vary wildly, so static halves would
+//!   leave workers idle), producing bit-identical labels at any thread
+//!   count. Transient labels live in flat arenas — per-vertex `Vec`s would
+//!   put the allocator on the contended path.
+//! * The per-vertex min-merge is a **deterministic sorted k-way merge**
+//!   over the (ancestor-sorted) neighbor labels instead of a hash map:
+//!   cursors advance through the sorted inputs via a small heap ordered by
+//!   `(ancestor, neighbor)`, so equal ancestors resolve in ascending
+//!   neighbor order and the "earliest smallest-id first hop wins" tie rule
+//!   of the old hash merge is preserved exactly — with no hashing and no
+//!   output sort. Worker-local merge buffers are reused across the chunk.
+//!
 //! Storage is struct-of-arrays, each vertex's entries sorted by ancestor id,
 //! which makes Equation 1 a linear merge-join — the "simple sequential
 //! scanning" the paper relies on (Section 6.2).
 
 use crate::hierarchy::VertexHierarchy;
-use islabel_graph::{Dist, FxHashMap, VertexId};
+use islabel_graph::{Dist, VertexId, Weight};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Sentinel first hop for labels built without path info.
 pub const NO_HOP: VertexId = VertexId::MAX;
@@ -87,59 +107,330 @@ impl<'a> LabelView<'a> {
     }
 }
 
-impl LabelSet {
-    /// Runs top-down labeling (Algorithm 4) over a hierarchy.
-    pub fn build(h: &VertexHierarchy, keep_path_info: bool) -> Self {
-        let n = h.universe();
-        let k = h.k();
-        // Transient per-vertex labels; flattened at the end. Entries are
-        // (ancestor, dist, first_hop) sorted by ancestor.
-        let mut labels: Vec<Vec<(VertexId, Dist, VertexId)>> = vec![Vec::new(); n];
+/// One transient label entry during construction: `(ancestor, dist, hop)`.
+type Entry = (VertexId, Dist, VertexId);
 
-        // Initialization: G_k vertices have only the self entry.
-        for &v in h.gk_members() {
-            labels[v as usize].push((v, 0, v));
+/// One chunk's output of a labeling worker: `(chunk index, per-vertex
+/// lengths, flat entries)` — committed to the arena by the main thread.
+type ChunkOut = (usize, Vec<u32>, Vec<Entry>);
+
+/// A peel-adjacency view of one hierarchy direction, consumed by the
+/// shared top-down labeling loop. The undirected index implements it over
+/// [`VertexHierarchy::peel_adj`]; the directed index implements it twice,
+/// over its out- and in-arc peel lists.
+pub(crate) trait PeelSource: Sync {
+    /// Iterates `(higher-level neighbor, edge weight)` of `v` as archived at
+    /// peel time.
+    fn peel_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_;
+}
+
+struct HierarchyPeel<'a>(&'a VertexHierarchy);
+
+impl PeelSource for HierarchyPeel<'_> {
+    fn peel_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.0.peel_adj(v).iter().map(|e| (e.to, e.weight))
+    }
+}
+
+/// Transient label storage during construction: per-vertex **spans into
+/// flat arena chunks** instead of one `Vec` per vertex.
+///
+/// Construction produces tens of thousands of short-lived label lists; a
+/// `Vec<Vec<Entry>>` allocates each of them individually, and when worker
+/// threads do that concurrently the allocator becomes the bottleneck
+/// (measured 3–6× *slowdowns* at 2 threads). Here every worker appends its
+/// chunk's labels to one flat buffer, the finished buffer is frozen as an
+/// arena, and each vertex stores `(arena, start, len)` — a handful of
+/// allocations per level instead of one per vertex, on both the sequential
+/// and the parallel path.
+#[derive(Debug)]
+struct ArenaLabels {
+    /// All committed entries, level after level. Only grows between level
+    /// scopes, so worker borrows never observe a reallocation.
+    arena: Vec<Entry>,
+    /// `(start, len)` per vertex into `arena`; len 0 = no label yet.
+    span: Vec<(u64, u32)>,
+}
+
+impl ArenaLabels {
+    fn new(n: usize) -> Self {
+        Self {
+            arena: Vec::new(),
+            span: vec![(0, 0); n],
+        }
+    }
+
+    #[inline]
+    fn get(&self, v: VertexId) -> &[Entry] {
+        let (s, l) = self.span[v as usize];
+        &self.arena[s as usize..s as usize + l as usize]
+    }
+
+    /// Appends one worker's flat output to the arena and records the spans
+    /// of the vertices it covered (`lens` parallel to `part`).
+    fn commit(&mut self, part: &[VertexId], lens: &[u32], flat: &[Entry]) {
+        debug_assert_eq!(part.len(), lens.len());
+        debug_assert_eq!(lens.iter().map(|&l| l as usize).sum::<usize>(), flat.len());
+        let mut start = self.arena.len() as u64;
+        self.arena.extend_from_slice(flat);
+        for (&v, &len) in part.iter().zip(lens) {
+            self.span[v as usize] = (start, len);
+            start += len as u64;
+        }
+    }
+
+    fn total_entries(&self) -> usize {
+        self.arena.len()
+    }
+}
+
+/// A cursor of the k-way merge: walks `label(u)` shifted by the peel-edge
+/// weight. The self entry `(v, 0, v)` rides as a synthetic cursor with
+/// `u == v` (no neighbor label can contain `v`: ancestors of a strictly
+/// higher-level neighbor all sit above `v`'s level).
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    u: VertexId,
+    shift: Dist,
+    pos: u32,
+}
+
+/// Reusable per-worker state of the sorted k-way merge.
+#[derive(Debug, Default)]
+struct MergeBufs {
+    cursors: Vec<Cursor>,
+    /// Min-heap of `(current ancestor, neighbor id, cursor index)`; the
+    /// `(ancestor, neighbor)` order makes equal-ancestor resolution scan
+    /// neighbors ascending — the deterministic first-hop tie rule.
+    heap: BinaryHeap<Reverse<(VertexId, VertexId, u32)>>,
+    out: Vec<Entry>,
+}
+
+impl MergeBufs {
+    /// Computes `label(v)` by k-way merging the (final) labels of `v`'s
+    /// peel neighbors plus the self entry, leaving the sorted result in
+    /// `self.out`.
+    fn merge_vertex<P: PeelSource>(&mut self, v: VertexId, peel: &P, labels: &ArenaLabels) {
+        self.cursors.clear();
+        self.heap.clear();
+        self.out.clear();
+        // Synthetic self cursor first so `entry_at` can special-case it.
+        self.cursors.push(Cursor {
+            u: v,
+            shift: 0,
+            pos: 0,
+        });
+        self.heap.push(Reverse((v, v, 0)));
+        for (u, w) in peel.peel_neighbors(v) {
+            let list = labels.get(u);
+            if list.is_empty() {
+                continue;
+            }
+            let ci = self.cursors.len() as u32;
+            self.cursors.push(Cursor {
+                u,
+                shift: w as Dist,
+                pos: 0,
+            });
+            self.heap.push(Reverse((list[0].0, u, ci)));
         }
 
-        // Top-down: level k−1 down to 1. Every peel neighbor of a level-i
-        // vertex is at a level > i, so its label is already final.
-        let mut merge: FxHashMap<VertexId, (Dist, VertexId)> = FxHashMap::default();
-        for i in (1..k).rev() {
-            let li = &h.levels()[(i - 1) as usize];
-            for &v in li {
-                merge.clear();
-                merge.insert(v, (0, v));
-                for e in h.peel_adj(v) {
-                    let u = e.to;
-                    debug_assert!(h.level_of(u) > i);
-                    let w = e.weight as Dist;
-                    for &(anc, d, _) in &labels[u as usize] {
-                        let cand = w + d;
-                        match merge.entry(anc) {
-                            std::collections::hash_map::Entry::Vacant(slot) => {
-                                slot.insert((cand, u));
-                            }
-                            std::collections::hash_map::Entry::Occupied(mut slot) => {
-                                // Strict improvement only: on ties the
-                                // earlier (smaller-id) first hop wins, which
-                                // keeps labels deterministic.
-                                if cand < slot.get().0 {
-                                    *slot.get_mut() = (cand, u);
-                                }
-                            }
-                        }
-                    }
+        // `(anc, dist, hop)` under cursor `ci`; self cursor yields (v, 0, v).
+        let entry_at = |c: Cursor, v: VertexId| -> (VertexId, Dist, VertexId) {
+            if c.u == v {
+                (v, 0, v)
+            } else {
+                let (anc, d, _) = labels.get(c.u)[c.pos as usize];
+                (anc, c.shift + d, c.u)
+            }
+        };
+
+        while let Some(Reverse((anc, _, ci))) = self.heap.pop() {
+            let (_, mut best_d, mut best_hop) = entry_at(self.cursors[ci as usize], v);
+            self.advance(ci, v, labels);
+            // Drain every cursor sitting on the same ancestor, ascending by
+            // neighbor id: strict improvement only, so the earliest
+            // (smallest-id) neighbor achieving the minimum keeps the hop.
+            while let Some(&Reverse((a2, _, cj))) = self.heap.peek() {
+                if a2 != anc {
+                    break;
                 }
-                let mut entries: Vec<(VertexId, Dist, VertexId)> = merge
-                    .iter()
-                    .map(|(&anc, &(d, hop))| (anc, d, hop))
+                self.heap.pop();
+                let (_, d2, hop2) = entry_at(self.cursors[cj as usize], v);
+                if d2 < best_d {
+                    best_d = d2;
+                    best_hop = hop2;
+                }
+                self.advance(cj, v, labels);
+            }
+            self.out.push((anc, best_d, best_hop));
+        }
+    }
+
+    /// Steps cursor `ci` and re-queues it if its input has entries left.
+    fn advance(&mut self, ci: u32, v: VertexId, labels: &ArenaLabels) {
+        let c = &mut self.cursors[ci as usize];
+        if c.u == v {
+            return; // the self cursor has exactly one entry
+        }
+        c.pos += 1;
+        let list = labels.get(c.u);
+        if (c.pos as usize) < list.len() {
+            self.heap.push(Reverse((list[c.pos as usize].0, c.u, ci)));
+        }
+    }
+}
+
+/// Smallest level size worth fanning out over worker threads: below this
+/// the per-level spawn cost dominates the merge work.
+const PARALLEL_LEVEL_CUTOFF: usize = 128;
+
+/// Shared top-down labeling loop (Algorithm 4) over any [`PeelSource`],
+/// level-parallel and deterministic at every thread count.
+pub(crate) fn build_from_peel<P: PeelSource>(
+    n: usize,
+    k: u32,
+    levels: &[Vec<VertexId>],
+    gk_members: &[VertexId],
+    peel: &P,
+    keep_path_info: bool,
+    threads: usize,
+) -> LabelSet {
+    // Transient labels live in flat arenas (see [`ArenaLabels`]): entries
+    // are (ancestor, dist, first_hop), each vertex's slice sorted by
+    // ancestor.
+    let mut labels = ArenaLabels::new(n);
+
+    // Initialization: G_k vertices have only the self entry.
+    let self_entries: Vec<Entry> = gk_members.iter().map(|&v| (v, 0, v)).collect();
+    labels.commit(gk_members, &vec![1u32; gk_members.len()], &self_entries);
+    drop(self_entries);
+
+    // Top-down: level k−1 down to 1. Every peel neighbor of a level-i
+    // vertex is at a level > i, so its label is already final — which also
+    // means the vertices of one level are mutually independent and can be
+    // labeled in parallel.
+    for i in (1..k).rev() {
+        let li = &levels[(i - 1) as usize];
+        let workers = threads.min(li.len().div_ceil(PARALLEL_LEVEL_CUTOFF)).max(1);
+        if workers <= 1 {
+            let mut bufs = MergeBufs::default();
+            let mut flat: Vec<Entry> = Vec::new();
+            let mut lens: Vec<u32> = Vec::with_capacity(li.len());
+            for &v in li {
+                bufs.merge_vertex(v, peel, &labels);
+                flat.extend_from_slice(&bufs.out);
+                lens.push(bufs.out.len() as u32);
+            }
+            labels.commit(li, &lens, &flat);
+        } else {
+            // Dynamic chunk assignment: label sizes vary wildly within a
+            // level, so fixed contiguous halves leave workers idle. Chunks
+            // several times smaller than a worker's fair share are claimed
+            // off an atomic counter instead — cheap work stealing.
+            let chunk = li
+                .len()
+                .div_ceil(workers * 8)
+                .max(PARALLEL_LEVEL_CUTOFF / 2);
+            let parts: Vec<&[VertexId]> = li.chunks(chunk).collect();
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let shared = &labels;
+            let produced: Vec<Vec<ChunkOut>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let parts = &parts;
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut bufs = MergeBufs::default();
+                            let mut outs = Vec::new();
+                            loop {
+                                let pi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                let Some(part) = parts.get(pi) else { break };
+                                let mut flat: Vec<Entry> = Vec::new();
+                                let mut lens: Vec<u32> = Vec::with_capacity(part.len());
+                                for &v in *part {
+                                    bufs.merge_vertex(v, peel, shared);
+                                    flat.extend_from_slice(&bufs.out);
+                                    lens.push(bufs.out.len() as u32);
+                                }
+                                outs.push((pi, lens, flat));
+                            }
+                            outs
+                        })
+                    })
                     .collect();
-                entries.sort_unstable_by_key(|&(anc, _, _)| anc);
-                labels[v as usize] = entries;
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("labeling worker panicked"))
+                    .collect()
+            });
+            for outs in produced {
+                for (pi, lens, flat) in outs {
+                    labels.commit(parts[pi], &lens, &flat);
+                }
             }
         }
+    }
 
-        Self::from_per_vertex(labels, keep_path_info)
+    LabelSet::from_arena(&labels, n, keep_path_info)
+}
+
+impl LabelSet {
+    /// Runs top-down labeling (Algorithm 4) over a hierarchy, parallelized
+    /// level-by-level over [`std::thread::available_parallelism`] workers.
+    /// Labels are deterministic — identical at any worker count (see
+    /// [`LabelSet::build_with_threads`]).
+    pub fn build(h: &VertexHierarchy, keep_path_info: bool) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::build_with_threads(h, keep_path_info, threads)
+    }
+
+    /// [`LabelSet::build`] with an explicit worker count (`0` and `1` both
+    /// run single-threaded). Every vertex's label is computed independently
+    /// by a deterministic sorted k-way merge, so the output is bit-identical
+    /// across `threads` values.
+    pub fn build_with_threads(h: &VertexHierarchy, keep_path_info: bool, threads: usize) -> Self {
+        build_from_peel(
+            h.universe(),
+            h.k(),
+            h.levels(),
+            h.gk_members(),
+            &HierarchyPeel(h),
+            keep_path_info,
+            threads.max(1),
+        )
+    }
+
+    /// Flattens arena-backed construction labels into the SoA layout.
+    fn from_arena(labels: &ArenaLabels, n: usize, keep_path_info: bool) -> Self {
+        let total = labels.total_entries();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut ancestors = Vec::with_capacity(total);
+        let mut dists = Vec::with_capacity(total);
+        let mut first_hops = if keep_path_info {
+            Vec::with_capacity(total)
+        } else {
+            Vec::new()
+        };
+        offsets.push(0);
+        for v in 0..n as VertexId {
+            let l = labels.get(v);
+            debug_assert!(l.windows(2).all(|w| w[0].0 < w[1].0), "label not sorted");
+            for &(anc, d, hop) in l {
+                ancestors.push(anc);
+                dists.push(d);
+                if keep_path_info {
+                    first_hops.push(hop);
+                }
+            }
+            offsets.push(ancestors.len());
+        }
+        Self {
+            offsets,
+            ancestors,
+            dists,
+            first_hops,
+        }
     }
 
     /// Flattens per-vertex sorted entry lists into the SoA layout.
@@ -211,9 +502,9 @@ impl LabelSet {
     /// (Tables 3, 6, 7).
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<usize>()
-            + self.ancestors.len() * 4
-            + self.dists.len() * 8
-            + self.first_hops.len() * 4
+            + self.ancestors.len() * std::mem::size_of::<VertexId>()
+            + self.dists.len() * std::mem::size_of::<Dist>()
+            + self.first_hops.len() * std::mem::size_of::<VertexId>()
     }
 
     /// Largest single label (diagnostics; drives worst-case Time (a)).
@@ -373,6 +664,26 @@ mod tests {
                         "first hop {hop} of entry {i} of label({v}) is not a peel neighbor"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic_across_thread_counts() {
+        // The level-parallel sorted merge must produce bit-identical labels
+        // (entries, distances, and first hops) at every worker count.
+        for seed in [3u64, 19] {
+            let g = islabel_graph::generators::barabasi_albert(
+                600,
+                3,
+                islabel_graph::generators::WeightModel::UniformRange(1, 5),
+                seed,
+            );
+            let h = VertexHierarchy::build(&g, &BuildConfig::sigma(0.95));
+            let single = LabelSet::build_with_threads(&h, true, 1);
+            for threads in [2, 3, 8] {
+                let multi = LabelSet::build_with_threads(&h, true, threads);
+                assert_eq!(single, multi, "threads {threads} seed {seed}");
             }
         }
     }

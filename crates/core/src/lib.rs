@@ -31,6 +31,11 @@
 //! * [`Snapshot`] / [`OracleHandle`] ([`snapshot`]) — immutable Arc-backed
 //!   index views with atomic hot-swap, the serving substrate consumed by
 //!   the `islabel-serve` worker pool.
+//! * [`dense`] — the dense search kernel the session hot path runs on:
+//!   compact `G_k` ids ([`GkIdMap`]), generation-stamped flat arrays
+//!   ([`StampedSlab`]) and an indexed 4-ary heap with decrease-key
+//!   ([`IndexedHeap`]); the hashmap kernel in [`query`] remains the
+//!   reference and overlay-fallback path.
 //! * [`IsLabelIndex`] — build/query interface for undirected graphs,
 //!   including shortest-path reconstruction (Section 8.1) and lazy dynamic
 //!   updates (Section 8.3).
@@ -59,6 +64,7 @@
 //! ```
 
 pub mod config;
+pub mod dense;
 pub mod directed;
 pub mod disklabel;
 pub mod embuild;
@@ -76,6 +82,7 @@ pub mod stats;
 pub mod updates;
 
 pub use config::{BuildConfig, IsStrategy, KSelection};
+pub use dense::{DenseCsr, DenseGk, DenseScratch, GkIdMap, IndexedHeap, StampedSlab};
 pub use directed::{DiIsLabelIndex, DiIsLabelSession};
 pub use index::{IsLabelIndex, IsLabelSession};
 pub use oracle::{BatchOptions, DistanceOracle, Error, QueryError, QuerySession};

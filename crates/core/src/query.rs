@@ -16,6 +16,18 @@
 //! If a query's labels contribute no `G_k` seeds at all, the search loop
 //! never runs and the Equation 1 value is returned — exactly the paper's
 //! "Type 1" correctness case (Theorem 3).
+//!
+//! Two kernels implement the search stage:
+//!
+//! * the **sparse (hashmap) kernel** in this module — global vertex ids,
+//!   hash-map state, lazy-deletion binary heaps. It accepts any
+//!   [`GkGraph`], which is what the dynamic-update overlay's patched
+//!   residual view needs, and doubles as the reference implementation the
+//!   conformance suite checks the fast path against;
+//! * the **dense kernel** in [`crate::dense`] — compact `0..|G_k|` ids,
+//!   generation-stamped flat arrays and an indexed 4-ary heap with
+//!   decrease-key. Pristine indexes route distance queries through it; it
+//!   returns bit-identical `(dist, meeting, settled)` outcomes.
 
 use crate::label::LabelView;
 use islabel_graph::{CsrGraph, Dist, FxHashMap, VertexId, Weight, INF};
@@ -74,6 +86,63 @@ pub fn intersect_min(a: LabelView<'_>, b: LabelView<'_>) -> (Dist, Option<Vertex
                 }
                 i += 1;
                 j += 1;
+            }
+        }
+    }
+    (best, witness)
+}
+
+/// Length ratio beyond which [`intersect_min_adaptive`] switches from the
+/// linear merge to galloping: with `|long| / |short| ≥ 8`, the
+/// `O(|short| · log |long|)` skip-search beats scanning the long label.
+pub const GALLOP_CROSSOVER: usize = 8;
+
+/// Equation 1 with an adaptive strategy: the linear merge-join of
+/// [`intersect_min`] for similarly sized labels, and a **galloping**
+/// intersection when one label is at least [`GALLOP_CROSSOVER`]× longer
+/// than the other — each entry of the short label gallops (doubling probe
+/// stride, then binary search) forward into the unscanned tail of the long
+/// one, so heavily skewed intersections (a leaf label against a hub label)
+/// cost `O(|short| · log |long|)` instead of `O(|short| + |long|)`.
+///
+/// Returns exactly what [`intersect_min`] returns on every input; the
+/// query hot paths call this form.
+pub fn intersect_min_adaptive(a: LabelView<'_>, b: LabelView<'_>) -> (Dist, Option<VertexId>) {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.len().saturating_mul(GALLOP_CROSSOVER) > long.len() {
+        return intersect_min(a, b);
+    }
+    let mut best = INF;
+    let mut witness = None;
+    let mut lo = 0usize;
+    for (i, &anc) in short.ancestors.iter().enumerate() {
+        let tail = &long.ancestors[lo..];
+        if tail.is_empty() {
+            break;
+        }
+        // Gallop: double the probe stride until the bracket contains `anc`,
+        // then binary-search the bracket. The cursor only moves forward, so
+        // a run of short-label entries mapping into one long-label region
+        // stays cheap.
+        let mut hi = 1usize;
+        while hi < tail.len() && tail[hi] < anc {
+            hi *= 2;
+        }
+        // `tail[hi] >= anc` (or `hi` ran off the end), so the bracket must
+        // include index `hi` itself for an exact hit there to be found.
+        let window = &tail[..(hi + 1).min(tail.len())];
+        match window.binary_search(&anc) {
+            Ok(p) => {
+                let j = lo + p;
+                let sum = short.dists[i].saturating_add(long.dists[j]);
+                if sum < best {
+                    best = sum;
+                    witness = Some(anc);
+                }
+                lo = j + 1;
+            }
+            Err(p) => {
+                lo += p;
             }
         }
     }
@@ -445,6 +514,60 @@ pub(crate) mod tests {
         // Saturating addition keeps INF absorbing.
         let (d, _) = intersect_min(view(&[5], &[INF]), view(&[5], &[3]));
         assert_eq!(d, INF);
+    }
+
+    #[test]
+    fn adaptive_intersect_matches_linear_merge() {
+        // Deterministic pseudo-random label pairs across the crossover
+        // boundary: tiny-vs-huge (gallops), balanced (linear), empty, and
+        // exact-boundary shapes must all agree with the reference merge.
+        let mut state = 0x0DDB_1A5E_5BAD_5EEDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut make = |len: usize, stride: u64| -> (Vec<VertexId>, Vec<Dist>) {
+            let mut ancs = Vec::with_capacity(len);
+            let mut cur = 0u64;
+            for _ in 0..len {
+                cur += 1 + next() % stride;
+                ancs.push(cur as VertexId);
+            }
+            let dists = ancs.iter().map(|_| next() % 50).collect();
+            (ancs, dists)
+        };
+        for (la, lb) in [(0, 40), (3, 200), (5, 41), (8, 64), (40, 45), (200, 3)] {
+            for trial in 0..5 {
+                let (aa, ad) = make(la, 3);
+                let (ba, bd) = make(lb, 3);
+                let a = view(&aa, &ad);
+                let b = view(&ba, &bd);
+                assert_eq!(
+                    intersect_min_adaptive(a, b),
+                    intersect_min(a, b),
+                    "lens ({la}, {lb}) trial {trial}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_intersect_finds_boundary_hits() {
+        // Regression shape: the short entry equals exactly the galloped
+        // probe position of the long label (tail[hi] == anc).
+        let long_anc: Vec<VertexId> = (0..100).map(|i| i * 2).collect();
+        let long_d: Vec<Dist> = (0..100).map(|i| i as Dist).collect();
+        for probe in [2u32, 4, 8, 16, 32, 64, 128, 198] {
+            let short_anc = [probe];
+            let short_d = [7u64];
+            let a = view(&short_anc, &short_d);
+            let b = view(&long_anc, &long_d);
+            let got = intersect_min_adaptive(a, b);
+            assert_eq!(got, intersect_min(a, b), "probe {probe}");
+            assert_eq!(got.1, Some(probe));
+        }
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //!   so distances can err in either direction until `rebuild()`.
 //! * Queries naming a deleted endpoint return `None`; deleted ancestors are
 //!   filtered out of every label at query time.
+//!
+//! **Kernel routing**: the dense compact-id kernel ([`crate::dense`]) maps
+//! exactly the *base* `G_k` vertex set, which an overlay extends (inserted
+//! vertices and edges) and shrinks (tombstones) at arbitrary ids. Rather
+//! than rebuilding the id map per update, a non-pristine index routes every
+//! query through the sparse hashmap kernel over the overlay's patched
+//! residual view — the documented fallback path; `rebuild()` folds the
+//! overlay in and restores the dense fast path.
 
 use crate::hierarchy::VertexHierarchy;
 use crate::index::IsLabelIndex;

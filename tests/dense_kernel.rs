@@ -1,0 +1,284 @@
+//! Conformance suite for the dense search kernel (`islabel_core::dense`).
+//!
+//! The hashmap kernel of `islabel_core::query` is kept as the reference
+//! implementation; this suite drives both kernels over the same indexes and
+//! asserts **bit-identical** `(dist, meeting, settled)` outcomes across
+//! ER / BA / grid graphs, both IS-LABEL directions, every oracle engine,
+//! and dynamic-update overlays (which route through the sparse fallback).
+
+use islabel::core::dense::{dense_bi_dijkstra, globalize_outcome, DenseScratch};
+use islabel::core::label::LabelView;
+use islabel::core::query::{
+    intersect_min, label_bi_dijkstra_directed_in, label_bi_dijkstra_in, GkGraph, SearchOutcome,
+    SearchParams, SearchScratch,
+};
+use islabel::core::reference::dijkstra_p2p;
+use islabel::graph::generators::{barabasi_albert, erdos_renyi_gnm, grid2d, WeightModel};
+use islabel::prelude::*;
+
+fn test_graphs() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        (
+            "er",
+            erdos_renyi_gnm(400, 1100, WeightModel::UniformRange(1, 9), 11),
+        ),
+        (
+            "ba",
+            barabasi_albert(400, 3, WeightModel::UniformRange(1, 5), 7),
+        ),
+        ("grid", grid2d(20, 20, WeightModel::UniformRange(1, 4), 3)),
+    ]
+}
+
+fn query_pairs(n: u32, count: u32) -> impl Iterator<Item = (VertexId, VertexId)> {
+    (0..count).map(move |i| ((i * 7) % n, (i * 13 + 5) % n))
+}
+
+/// Runs the reference hashmap kernel for `(s, t)` over a pristine index.
+fn sparse_outcome(
+    index: &IsLabelIndex,
+    s: VertexId,
+    t: VertexId,
+    scratch: &mut SearchScratch,
+) -> SearchOutcome {
+    let h = index.hierarchy();
+    let ls = index.labels().label(s);
+    let lt = index.labels().label(t);
+    let (mu0, witness) = intersect_min(ls, lt);
+    let seeds = |l: LabelView<'_>| -> Vec<(VertexId, Dist)> {
+        l.iter().filter(|&(a, _)| h.is_in_gk(a)).collect()
+    };
+    label_bi_dijkstra_in(
+        h.gk(),
+        SearchParams {
+            fseeds: &seeds(ls),
+            rseeds: &seeds(lt),
+            mu0,
+            mu0_witness: witness,
+            track_paths: false,
+        },
+        scratch,
+    )
+}
+
+#[test]
+fn dense_kernel_matches_hashmap_kernel_bit_for_bit() {
+    for (name, g) in test_graphs() {
+        for config in [
+            BuildConfig::default(),
+            BuildConfig::fixed_k(3),
+            BuildConfig::sigma(0.5),
+        ] {
+            let index = IsLabelIndex::build(&g, config);
+            let mut session = index.session();
+            let mut sparse = SearchScratch::new();
+            for (s, t) in query_pairs(g.num_vertices() as u32, 120) {
+                if s == t {
+                    continue;
+                }
+                let reference = sparse_outcome(&index, s, t, &mut sparse);
+                let dense = session.search_outcome(s, t).unwrap();
+                assert_eq!(dense.dist, reference.dist, "{name} {config:?} ({s}, {t})");
+                assert_eq!(
+                    dense.meeting, reference.meeting,
+                    "{name} {config:?} ({s}, {t})"
+                );
+                assert_eq!(
+                    dense.settled, reference.settled,
+                    "{name} {config:?} ({s}, {t})"
+                );
+                // And both agree with ground truth.
+                let truth = dijkstra_p2p(&g, s, t).unwrap_or(INF);
+                assert_eq!(dense.dist, truth, "{name} truth ({s}, {t})");
+            }
+        }
+    }
+}
+
+#[test]
+fn dense_kernel_matches_reference_on_directed_graphs() {
+    // Directed conformance: the session (dense kernel over fwd/transposed
+    // compact CSRs) against the sparse kernel over the full-universe
+    // residual digraph, plus directed Dijkstra ground truth.
+    struct Fwd<'a>(&'a CsrDigraph);
+    impl GkGraph for Fwd<'_> {
+        fn edges_of(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+            self.0.out_edges(v)
+        }
+    }
+    struct Bwd<'a>(&'a CsrDigraph);
+    impl GkGraph for Bwd<'_> {
+        fn edges_of(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+            self.0.in_edges(v)
+        }
+    }
+
+    let mut b = DigraphBuilder::new(300);
+    let mut state = 0xD1CEu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..1200 {
+        let u = (next() % 300) as VertexId;
+        let v = (next() % 300) as VertexId;
+        if u != v {
+            b.add_arc(u, v, (next() % 6 + 1) as Weight);
+        }
+    }
+    let g = b.build();
+    let index = DiIsLabelIndex::build(&g, BuildConfig::default());
+    let mut session = index.session();
+    let mut sparse = SearchScratch::new();
+    for (s, t) in query_pairs(300, 150) {
+        let got = session.distance(s, t).unwrap();
+        let (mu0, witness) = intersect_min(index.out_label(s), index.in_label(t));
+        let seeds = |l: LabelView<'_>| -> Vec<(VertexId, Dist)> {
+            l.iter().filter(|&(a, _)| index.is_in_gk(a)).collect()
+        };
+        let reference = if s == t {
+            None
+        } else {
+            let out = label_bi_dijkstra_directed_in(
+                &Fwd(index.gk()),
+                &Bwd(index.gk()),
+                SearchParams {
+                    fseeds: &seeds(index.out_label(s)),
+                    rseeds: &seeds(index.in_label(t)),
+                    mu0,
+                    mu0_witness: witness,
+                    track_paths: false,
+                },
+                &mut sparse,
+            );
+            (out.dist < INF).then_some(out.dist)
+        };
+        let expect = if s == t {
+            Some(0)
+        } else {
+            islabel::core::directed::di_dijkstra_p2p(&g, s, t)
+        };
+        assert_eq!(got, expect, "truth ({s}, {t})");
+        if s != t {
+            assert_eq!(got, reference, "kernel parity ({s}, {t})");
+        }
+    }
+}
+
+#[test]
+fn dense_kernel_drivable_from_public_parts() {
+    // The substrate accessors are enough to drive the dense kernel by hand
+    // (what benches do): seeds mapped through GkIdMap, outcome globalized.
+    let g = erdos_renyi_gnm(300, 800, WeightModel::UniformRange(1, 7), 23);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let dense = index.dense_gk();
+    assert_eq!(dense.ids().len(), index.hierarchy().num_gk_vertices());
+    let mut scratch = DenseScratch::new(dense.ids().len());
+    let mut sparse = SearchScratch::new();
+    for (s, t) in query_pairs(300, 60) {
+        if s == t {
+            continue;
+        }
+        let ls = index.labels().label(s);
+        let lt = index.labels().label(t);
+        let (mu0, witness) = intersect_min(ls, lt);
+        let seed = |l: LabelView<'_>| -> Vec<(u32, Dist)> {
+            l.iter()
+                .filter_map(|(a, d)| dense.ids().dense(a).map(|da| (da, d)))
+                .collect()
+        };
+        let out = globalize_outcome(
+            dense_bi_dijkstra(
+                dense.fwd(),
+                dense.rev(),
+                &seed(ls),
+                &seed(lt),
+                mu0,
+                witness,
+                &mut scratch,
+            ),
+            dense.ids(),
+        );
+        let reference = sparse_outcome(&index, s, t, &mut sparse);
+        assert_eq!(
+            (out.dist, out.meeting, out.settled),
+            (reference.dist, reference.meeting, reference.settled),
+            "({s}, {t})"
+        );
+    }
+}
+
+#[test]
+fn all_engines_agree_through_sessions() {
+    // Every DistanceOracle engine — IS-LABEL and di-IS-LABEL on the dense
+    // kernel, bidij and VC on the shared indexed heap, PLL untouched —
+    // answers identically to plain Dijkstra through its session.
+
+    for (name, g) in test_graphs() {
+        let config = BuildConfig::default();
+        for engine in [
+            Engine::IsLabel,
+            Engine::DiIsLabel,
+            Engine::Pll,
+            Engine::Vc,
+            Engine::BiDijkstra,
+        ] {
+            let oracle = build_oracle(engine, &g, &config).unwrap();
+            let mut session = oracle.session();
+            for (s, t) in query_pairs(g.num_vertices() as u32, 80) {
+                let expect = dijkstra_p2p(&g, s, t);
+                assert_eq!(
+                    session.distance(s, t).unwrap(),
+                    expect,
+                    "{name} {engine:?} ({s}, {t})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overlay_fallback_matches_reference_after_updates() {
+    // A non-pristine index must answer through the sparse overlay path —
+    // sessions included — with the documented upper-bound semantics, and
+    // return to the dense path (exact again) after rebuild().
+    let g = barabasi_albert(250, 3, WeightModel::UniformRange(1, 4), 31);
+    let mut index = IsLabelIndex::build(&g, BuildConfig::default());
+    let gk_anchor = index.hierarchy().gk_members()[0];
+    let peeled = g.vertices().find(|&v| !index.is_in_gk(v)).unwrap();
+    let u = index.insert_vertex(&[(gk_anchor, 2), (peeled, 1)]);
+    index.insert_edge(u, gk_anchor, 5);
+    let victim = index.hierarchy().gk_members()[1];
+    index.delete_vertex(victim);
+    assert!(index.has_updates());
+
+    let current = index.current_graph();
+    let mut session = index.session();
+    for (s, t) in query_pairs(250, 60).chain([(u, gk_anchor), (u, peeled), (victim, 0)]) {
+        // Session and one-shot path answer identically (both route through
+        // the overlay-aware sparse kernel).
+        let via_session = session.distance(s, t).unwrap();
+        assert_eq!(via_session, index.try_distance(s, t).unwrap(), "({s}, {t})");
+        // Upper-bound contract against the materialized graph.
+        let truth = dijkstra_p2p(&current, s, t);
+        match (via_session, truth) {
+            (Some(got), Some(tr)) => assert!(got >= tr, "({s}, {t}): {got} < {tr}"),
+            (Some(_), None) => panic!("({s}, {t}): distance for unreachable pair"),
+            _ => {}
+        }
+    }
+    drop(session);
+
+    index.rebuild();
+    let current = index.current_graph();
+    let mut session = index.session();
+    for (s, t) in query_pairs(250, 60) {
+        assert_eq!(
+            session.distance(s, t).unwrap(),
+            dijkstra_p2p(&current, s, t),
+            "post-rebuild ({s}, {t})"
+        );
+    }
+}
