@@ -1,0 +1,303 @@
+//! The network-serving benchmark behind `BENCH_PR5.json`: remote
+//! queries/sec through a loopback [`DistanceServer`] as a function of
+//! client connections × pipeline depth, against the in-process
+//! single-session baseline the wire overhead is paid on top of.
+//!
+//! ```text
+//! net_throughput [--smoke] [--out PATH]
+//! ```
+//!
+//! Each remote configuration drives N client connections from N threads;
+//! every thread keeps a window of `depth` requests in flight (send,
+//! flush, recv, refill), measuring per-request latency from send to
+//! response. `--smoke` shrinks the workload and cross-checks **every**
+//! remote answer against the in-process truth — the CI gate.
+//!
+//! Env knobs: `ISLABEL_NET_N` (default 20 000 vertices),
+//! `ISLABEL_NET_QUERIES` (default 40 000 per configuration),
+//! `ISLABEL_NET_DEPTH` (default 8: the pipelined window per connection).
+//!
+//! Schema (`islabel-bench-pr5/v1`) — see README § Networking:
+//! `graph` describes the ER workload; `inprocess` is the single-thread
+//! session baseline (`qps`, `p50_us`, `p99_us`); `remote[]` carries one
+//! entry per `{connections, pipeline_depth}` configuration with the same
+//! fields; qps scaling with connection count is the headline claim.
+
+use islabel_core::{BuildConfig, IsLabelIndex};
+use islabel_graph::generators::{erdos_renyi_gnm, WeightModel};
+use islabel_graph::{Dist, VertexId};
+use islabel_net::protocol::{Request, Response};
+use islabel_net::{DistanceClient, DistanceServer, NetConfig};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct RunReport {
+    queries: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+struct RemoteReport {
+    connections: usize,
+    depth: usize,
+    run: RunReport,
+}
+
+use islabel_bench::timing::percentile_us;
+
+fn finish(mut latencies_ns: Vec<u64>, wall_ns: u64) -> RunReport {
+    latencies_ns.sort_unstable();
+    RunReport {
+        queries: latencies_ns.len(),
+        qps: if wall_ns == 0 {
+            0.0
+        } else {
+            latencies_ns.len() as f64 / (wall_ns as f64 / 1e9)
+        },
+        p50_us: percentile_us(&latencies_ns, 0.50),
+        p99_us: percentile_us(&latencies_ns, 0.99),
+    }
+}
+
+fn workload(n: usize, queries: usize) -> Vec<(VertexId, VertexId)> {
+    (0..queries)
+        .map(|i| {
+            (
+                ((i * 2654435761) % n) as VertexId,
+                ((i * 40503 + 12345) % n) as VertexId,
+            )
+        })
+        .collect()
+}
+
+/// Single-thread in-process session over the same workload: the baseline
+/// the wire overhead is paid on top of.
+fn inprocess_baseline(index: &IsLabelIndex, pairs: &[(VertexId, VertexId)]) -> RunReport {
+    let mut session = index.session();
+    let mut lats = Vec::with_capacity(pairs.len());
+    let t0 = Instant::now();
+    for &(s, t) in pairs {
+        let q0 = Instant::now();
+        session.distance(s, t).expect("in-range query");
+        lats.push(q0.elapsed().as_nanos() as u64);
+    }
+    finish(lats, t0.elapsed().as_nanos() as u64)
+}
+
+/// One remote configuration: `connections` threads, each pipelining a
+/// window of `depth` queries over its own connection.
+fn remote_run(
+    addr: std::net::SocketAddr,
+    pairs: &[(VertexId, VertexId)],
+    truth: Option<&[Option<Dist>]>,
+    connections: usize,
+    depth: usize,
+) -> RemoteReport {
+    let t0 = Instant::now();
+    let per_conn = pairs.len().div_ceil(connections);
+    let lats: Vec<u64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..connections)
+            .map(|c| {
+                let chunk: Vec<(usize, (VertexId, VertexId))> = pairs
+                    .iter()
+                    .enumerate()
+                    .skip(c * per_conn)
+                    .take(per_conn)
+                    .map(|(i, &p)| (i, p))
+                    .collect();
+                scope.spawn(move || {
+                    let mut client = DistanceClient::connect(addr).expect("connect bench client");
+                    let mut lats = Vec::with_capacity(chunk.len());
+                    let mut inflight: VecDeque<(u64, usize, Instant)> = VecDeque::new();
+                    let mut next = 0;
+                    while next < chunk.len() || !inflight.is_empty() {
+                        while next < chunk.len() && inflight.len() < depth {
+                            let (i, (s, t)) = chunk[next];
+                            let sent_at = Instant::now();
+                            let id = client.send(&Request::Query { s, t }).expect("send");
+                            inflight.push_back((id, i, sent_at));
+                            next += 1;
+                        }
+                        client.flush().expect("flush");
+                        let (rid, resp) = client.recv().expect("recv");
+                        let (id, i, sent_at) =
+                            inflight.pop_front().expect("response without request");
+                        assert_eq!(rid, id, "pipelined responses must arrive in order");
+                        lats.push(sent_at.elapsed().as_nanos() as u64);
+                        if let Some(truth) = truth {
+                            assert_eq!(
+                                resp,
+                                Response::Distance(truth[i]),
+                                "remote answer diverged from in-process truth for pair {i}"
+                            );
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("bench client thread panicked"))
+            .collect()
+    });
+    RemoteReport {
+        connections,
+        depth,
+        run: finish(lats, t0.elapsed().as_nanos() as u64),
+    }
+}
+
+fn to_json(
+    mode: &str,
+    n: usize,
+    m: usize,
+    inprocess: &RunReport,
+    remote: &[RemoteReport],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"islabel-bench-pr5/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!(
+        "  \"graph\": {{\"name\": \"er\", \"n\": {n}, \"m\": {m}}},\n  \"engine\": \"islabel\",\n"
+    ));
+    out.push_str(&format!(
+        "  \"inprocess\": {{\"queries\": {}, \"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}},\n",
+        inprocess.queries, inprocess.qps, inprocess.p50_us, inprocess.p99_us
+    ));
+    out.push_str("  \"remote\": [\n");
+    for (i, r) in remote.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"connections\": {}, \"pipeline_depth\": {}, \"queries\": {}, \
+             \"qps\": {:.1}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}{}\n",
+            r.connections,
+            r.depth,
+            r.run.queries,
+            r.run.qps,
+            r.run.p50_us,
+            r.run.p99_us,
+            if i + 1 < remote.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+
+    let n: usize = if smoke {
+        300
+    } else {
+        std::env::var("ISLABEL_NET_N")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20_000)
+    };
+    let queries: usize = if smoke {
+        2_000
+    } else {
+        std::env::var("ISLABEL_NET_QUERIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(40_000)
+    };
+
+    let g = erdos_renyi_gnm(n, 3 * n, WeightModel::UniformRange(1, 10), 0x5EED);
+    let m = g.num_edges();
+    eprintln!("[net_throughput] building IS-LABEL over er n={n} m={m} ...");
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let pairs = workload(n, queries);
+
+    eprintln!("[net_throughput] in-process single-session baseline ...");
+    let inprocess = inprocess_baseline(&index, &pairs);
+
+    // Smoke mode cross-checks every remote answer against this truth.
+    let truth: Option<Vec<Option<Dist>>> = smoke.then(|| {
+        let mut session = index.session();
+        pairs
+            .iter()
+            .map(|&(s, t)| session.distance(s, t).unwrap())
+            .collect()
+    });
+
+    let server = DistanceServer::start(Arc::new(index), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback server");
+    let addr = server.local_addr();
+    eprintln!("[net_throughput] serving on {addr}");
+
+    let depth: usize = std::env::var("ISLABEL_NET_DEPTH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&d| d > 0)
+        .unwrap_or(8);
+    let configs: Vec<(usize, usize)> = if smoke {
+        vec![(1, 1), (1, depth), (2, depth), (4, depth)]
+    } else {
+        vec![(1, 1), (1, depth), (2, depth), (4, depth), (8, depth)]
+    };
+    let mut remote = Vec::new();
+    for &(connections, depth) in &configs {
+        eprintln!("[net_throughput] remote: {connections} conn x depth {depth} ...");
+        remote.push(remote_run(
+            addr,
+            &pairs,
+            truth.as_deref(),
+            connections,
+            depth,
+        ));
+    }
+    let server_stats = server.shutdown();
+
+    println!(
+        "{:<22} {:>8} {:>11} {:>9} {:>9}",
+        "configuration", "queries", "qps", "p50_us", "p99_us"
+    );
+    println!(
+        "{:<22} {:>8} {:>11.0} {:>9.2} {:>9.2}",
+        "in-process (1 thread)",
+        inprocess.queries,
+        inprocess.qps,
+        inprocess.p50_us,
+        inprocess.p99_us
+    );
+    for r in &remote {
+        println!(
+            "{:<22} {:>8} {:>11.0} {:>9.2} {:>9.2}",
+            format!("remote {}c x d{}", r.connections, r.depth),
+            r.run.queries,
+            r.run.qps,
+            r.run.p50_us,
+            r.run.p99_us
+        );
+    }
+    println!(
+        "server: {} queries, {} connections, service p50 {:.1} µs / p99 {:.1} µs",
+        server_stats.queries,
+        server_stats.connections_total,
+        server_stats.latency.p50().as_secs_f64() * 1e6,
+        server_stats.latency.p99().as_secs_f64() * 1e6
+    );
+    if smoke {
+        println!("smoke OK: every remote answer matched the in-process session");
+    }
+
+    let json = to_json(
+        if smoke { "smoke" } else { "full" },
+        n,
+        m,
+        &inprocess,
+        &remote,
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    println!("wrote {out_path}");
+}

@@ -57,13 +57,7 @@ struct GraphReport {
     engines: Vec<EngineReport>,
 }
 
-fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
-    if sorted_ns.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
-    sorted_ns[idx] as f64 / 1e3
-}
+use islabel_bench::timing::percentile_us;
 
 fn finish(engine: &'static str, build_ms: f64, mut stats: RunStats) -> EngineReport {
     let queries = stats.latencies_ns.len();

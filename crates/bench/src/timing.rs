@@ -21,6 +21,17 @@ pub fn secs(d: Duration) -> String {
     format!("{:.2} s", d.as_secs_f64())
 }
 
+/// Nearest-rank percentile of pre-sorted nanosecond latencies, in
+/// microseconds — the shared definition behind every `BENCH_*.json`
+/// latency field (`query_hotpath`, `net_throughput`).
+pub fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
 /// Mean duration per item.
 pub fn per_query(total: Duration, n: usize) -> Duration {
     if n == 0 {

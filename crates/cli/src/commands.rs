@@ -10,6 +10,7 @@ use islabel_extmem::storage::Storage as _;
 use islabel_graph::algo::stats::{human_bytes, human_count};
 use islabel_graph::io::{read_csr_binary, read_edge_list, write_csr_binary, write_edge_list};
 use islabel_graph::{CsrGraph, Dataset, Scale, VertexId};
+use islabel_net::{DistanceClient, DistanceServer, NetConfig};
 use islabel_serve::{QueryService, ServeConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::path::Path;
@@ -29,6 +30,10 @@ USAGE:
     islabel serve [index.islx | graph] [--engine E] [--shards N]
                   [--clients N] [--requests N] [--batch B] [--seed S]
                   [--smoke]
+    islabel serve <index.islx | graph> --listen ADDR [--engine E]
+                  [--no-reload]                      (TCP server; see README)
+    islabel remote-query <ADDR> [s t] [--ping] [--stats]
+                  [--reload PATH] [--shutdown]
     islabel stats <index.islx | graph>
 
 ENGINES (for graph inputs; an .islx artifact is always an IS-LABEL index):
@@ -50,6 +55,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "query" => query(rest),
         "bench" => bench(rest),
         "serve" => serve(rest),
+        "remote-query" => remote_query(rest),
         "stats" => stats(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -353,10 +359,31 @@ fn bench(argv: &[String]) -> Result<(), String> {
 fn serve(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(
         argv,
-        &["engine", "shards", "clients", "requests", "batch", "seed"],
+        &[
+            "engine", "shards", "clients", "requests", "batch", "seed", "listen",
+        ],
     )?;
-    args.reject_unknown_flags(&["smoke"])?;
+    args.reject_unknown_flags(&["smoke", "no-reload"])?;
     let smoke = args.flag("smoke");
+
+    // The wire server takes no workload: the closed-loop options are
+    // in-process-mode only, and silently dropping them would turn a
+    // mistyped smoke run into an indefinite hang. Checked before any
+    // index loading so the mistake surfaces immediately.
+    if args.opt("listen").is_some() {
+        if smoke {
+            return Err("--listen and --smoke are mutually exclusive \
+                 (the network smoke drives the server via `remote-query`)"
+                .into());
+        }
+        for opt in ["shards", "clients", "requests", "batch", "seed"] {
+            if args.opt(opt).is_some() {
+                return Err(format!(
+                    "--{opt} applies to the in-process workload mode, not --listen"
+                ));
+            }
+        }
+    }
 
     let loaded = match args.pos(0, "index or graph path") {
         Ok(path) => load_engine(args.opt("engine"), path)?,
@@ -386,6 +413,10 @@ fn serve(argv: &[String]) -> Result<(), String> {
     let n = oracle.num_vertices();
     if n < 2 {
         return Err("index too small to serve".into());
+    }
+
+    if let Some(listen) = args.opt("listen") {
+        return serve_listen(oracle, listen, !args.flag("no-reload"));
     }
 
     let shards: usize = args
@@ -481,18 +512,29 @@ fn serve(argv: &[String]) -> Result<(), String> {
     let stats = service.shutdown();
 
     println!("\nper-shard stats");
-    println!("  shard |   queries |  batches |      busy | mean µs/query | swaps seen");
+    println!(
+        "  shard |   queries |  batches |      busy | mean µs/query |  p50 µs |  p99 µs | swaps seen"
+    );
     for s in &stats.shards {
         println!(
-            "  {:>5} | {:>9} | {:>8} | {:>9.2?} | {:>13.2} | {:>10}",
+            "  {:>5} | {:>9} | {:>8} | {:>9.2?} | {:>13.2} | {:>7.1} | {:>7.1} | {:>10}",
             s.shard,
             s.queries,
             s.batches,
             s.busy,
             s.mean_query_latency().as_secs_f64() * 1e6,
+            s.latency.p50().as_secs_f64() * 1e6,
+            s.latency.p99().as_secs_f64() * 1e6,
             s.swaps_observed
         );
     }
+    let service_latency = stats.latency();
+    println!(
+        "  per-query service time: p50 {:.1} µs, p99 {:.1} µs over {} queries",
+        service_latency.p50().as_secs_f64() * 1e6,
+        service_latency.p99().as_secs_f64() * 1e6,
+        service_latency.count()
+    );
     latencies.sort_unstable();
     let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
     println!("\nclient batch latency (batch of {batch})");
@@ -512,6 +554,100 @@ fn serve(argv: &[String]) -> Result<(), String> {
     );
     if smoke {
         println!("smoke OK: cross-check passed, workload drained, workers joined");
+    }
+    Ok(())
+}
+
+/// `serve --listen ADDR`: expose the loaded engine over the wire protocol
+/// and block until a remote `Shutdown` request, then drain and print the
+/// final server stats.
+fn serve_listen(
+    oracle: std::sync::Arc<dyn DistanceOracle>,
+    listen: &str,
+    allow_reload: bool,
+) -> Result<(), String> {
+    let config = NetConfig {
+        allow_reload,
+        ..NetConfig::default()
+    };
+    let server =
+        DistanceServer::start(oracle, listen, config).map_err(|e| format!("bind {listen}: {e}"))?;
+    println!(
+        "listening on {} (reload {}); stop with `islabel remote-query {} --shutdown`",
+        server.local_addr(),
+        if allow_reload { "enabled" } else { "disabled" },
+        server.local_addr()
+    );
+    server.wait_for_shutdown_request();
+    println!("shutdown requested; draining connections ...");
+    let stats = server.shutdown();
+    println!(
+        "served {} queries ({} batches, {} errors) over {} connection(s) in {:.2?}",
+        stats.queries, stats.batches, stats.errors, stats.connections_total, stats.uptime
+    );
+    println!(
+        "per-query service time: p50 {:.1} µs, p99 {:.1} µs",
+        stats.latency.p50().as_secs_f64() * 1e6,
+        stats.latency.p99().as_secs_f64() * 1e6
+    );
+    Ok(())
+}
+
+/// Client-side operations against a running `serve --listen` server:
+/// optional `s t` query plus `--ping`, `--stats`, `--reload PATH` and
+/// `--shutdown` admin calls, executed in that order.
+fn remote_query(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["reload"])?;
+    args.reject_unknown_flags(&["ping", "stats", "shutdown"])?;
+    let addr = args.pos(0, "server address (host:port)")?;
+    let mut client = DistanceClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    // A wedged or partitioned server must not hang the CLI forever.
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+
+    if args.flag("ping") {
+        let t0 = Instant::now();
+        client.ping().map_err(|e| e.to_string())?;
+        println!("ping: ok   [{:.2?}]", t0.elapsed());
+    }
+    if let Ok(s) = args.pos(1, "source vertex") {
+        let s: VertexId = s.parse().map_err(|_| "invalid source vertex id")?;
+        let t: VertexId = args
+            .pos(2, "target vertex")?
+            .parse()
+            .map_err(|_| "invalid target vertex id")?;
+        let t0 = Instant::now();
+        let d = client.distance(s, t).map_err(|e| e.to_string())?;
+        let took = t0.elapsed();
+        match d {
+            Some(d) => println!("dist({s}, {t}) = {d}   [{took:.2?}]"),
+            None => println!("dist({s}, {t}) = unreachable   [{took:.2?}]"),
+        }
+    }
+    if let Some(path) = args.opt("reload") {
+        let (version, num_vertices) = client.reload(path).map_err(|e| e.to_string())?;
+        println!("reloaded {path}: snapshot generation {version}, {num_vertices} vertices");
+    }
+    if args.flag("stats") {
+        let s = client.stats().map_err(|e| e.to_string())?;
+        println!("server stats ({addr})");
+        println!("  engine:       {} ({} vertices)", s.engine, s.num_vertices);
+        println!("  snapshot:     generation {}", s.snapshot_version);
+        println!(
+            "  connections:  {} total, {} active",
+            s.connections_total, s.connections_active
+        );
+        println!(
+            "  traffic:      {} frames, {} queries, {} batches, {} errors",
+            s.frames, s.queries, s.batches, s.errors
+        );
+        println!("  latency:      p50 {} µs, p99 {} µs", s.p50_us, s.p99_us);
+        println!("  uptime:       {:.1} s", s.uptime_ms as f64 / 1e3);
+    }
+    if args.flag("shutdown") {
+        client.shutdown_server().map_err(|e| e.to_string())?;
+        println!("shutdown acknowledged");
     }
     Ok(())
 }
@@ -730,6 +866,55 @@ mod tests {
         assert!(err.contains("--smoke"), "{err}");
         let err = run(&["serve", "--smoke", "--batch", "0"]).unwrap_err();
         assert!(err.contains("positive"), "{err}");
+        // The wire server takes no in-process workload options.
+        let err = run(&["serve", "--smoke", "--listen", "127.0.0.1:0"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = run(&[
+            "serve",
+            "x.isgb",
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            "4",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+    }
+
+    #[test]
+    fn serve_listen_and_remote_query_end_to_end() {
+        let graph = tmp("net.isgb");
+        let index = tmp("net.islx");
+        run(&["gen", "google", "--scale", "tiny", "-o", &graph]).unwrap();
+        run(&["build", &graph, "-o", &index]).unwrap();
+
+        // Reserve an ephemeral port, free it, and hand it to --listen.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+
+        let server = {
+            let index = index.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || run(&["serve", &index, "--listen", &addr]))
+        };
+        // The server thread needs a moment to bind; retry until it answers.
+        let mut attempts = 0;
+        loop {
+            match run(&["remote-query", &addr, "0", "5", "--ping", "--stats"]) {
+                Ok(()) => break,
+                Err(e) if attempts < 50 => {
+                    assert!(e.contains("connect"), "unexpected failure: {e}");
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                Err(e) => panic!("server never came up: {e}"),
+            }
+        }
+        run(&["remote-query", &addr, "--shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&index).ok();
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! islabel query <index.islx> <s> <t> [--path]             one query
 //! islabel bench <index.islx> [--queries N] [--seed S]     random-query benchmark
 //! islabel serve <index.islx> [--shards N] [--smoke]       closed-loop serving workload
+//! islabel serve <index.islx> --listen ADDR                TCP wire-protocol server
+//! islabel remote-query <addr> [s t] [--stats|--shutdown]  client of a --listen server
 //! islabel stats <index.islx|graph>                        artifact statistics
 //! ```
 //!

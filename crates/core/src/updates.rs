@@ -11,8 +11,11 @@
 //!
 //! * **Guarantee after insertions** (vertices or edges): every reported
 //!   distance is the length of a real path in the updated graph, so results
-//!   are *upper bounds* of the true distance and exact whenever the optimum
-//!   avoids interplay the patches cannot see. `rebuild()` restores exactness.
+//!   are *upper bounds* of the true distance. They are exact whenever some
+//!   true shortest path is covered by a single patch (or by the original
+//!   index); only an optimum that routes through interactions *between*
+//!   separate updates — which no individual patch sees — can be
+//!   overestimated. `rebuild()` restores exactness.
 //! * **Guarantee after deletions**: deleting a `G_k` vertex (including any
 //!   dynamically inserted vertex) stays *exact* — no label chain or residual
 //!   edge routes through other `G_k` vertices. Deleting a *peeled* vertex

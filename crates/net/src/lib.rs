@@ -1,0 +1,63 @@
+//! # islabel-net
+//!
+//! IS-LABEL on the wire: a dependency-light networking layer over
+//! `std::net` that puts the workspace's serving stack behind a TCP
+//! endpoint. The paper's pitch is a small k-level label index answering
+//! point-to-point distance queries in microseconds — exactly the kind of
+//! index that belongs behind a network service; this crate supplies the
+//! process boundary the in-process
+//! [`QueryService`](islabel_serve::QueryService) stack stops at.
+//!
+//! Three pieces:
+//!
+//! * [`protocol`] — a versioned, length-prefixed binary protocol
+//!   (magic/version handshake; `Ping`/`Query`/`Batch`/`Stats` plus admin
+//!   `Reload`/`Shutdown` opcodes; stable error codes that round-trip
+//!   [`QueryError`](islabel_core::QueryError)). Pure functions over byte
+//!   buffers, panic-free on adversarial input.
+//! * [`DistanceServer`] — an acceptor thread plus one reader/writer
+//!   thread pair per connection. Connections are **pipelined**: the
+//!   reader decodes and answers frames while the writer streams earlier
+//!   responses back, each tagged with its request id, so one connection
+//!   keeps many requests in flight. Queries answer through a pinned
+//!   [`Snapshot`](islabel_core::Snapshot) session that refreshes when a
+//!   hot swap is observed — a wire-triggered `Reload` behaves exactly
+//!   like [`OracleHandle::swap`](islabel_core::OracleHandle::swap):
+//!   in-flight frames finish on their pinned generation.
+//! * [`DistanceClient`] / [`ClientPool`] — a blocking client with
+//!   request-id correlation (sync conveniences plus raw `send`/`recv`
+//!   pipelining primitives) and a multi-connection pool for load
+//!   generation.
+//!
+//! # Example
+//!
+//! ```
+//! use islabel_core::{BuildConfig, IsLabelIndex};
+//! use islabel_graph::GraphBuilder;
+//! use islabel_net::{DistanceClient, DistanceServer, NetConfig};
+//! use std::sync::Arc;
+//!
+//! let mut b = GraphBuilder::new(4);
+//! for v in 0..3 {
+//!     b.add_edge(v, v + 1, 2);
+//! }
+//! let index = IsLabelIndex::build(&b.build(), BuildConfig::default());
+//!
+//! let server =
+//!     DistanceServer::start(Arc::new(index), "127.0.0.1:0", NetConfig::default()).unwrap();
+//! let mut client = DistanceClient::connect(server.local_addr()).unwrap();
+//! assert_eq!(client.distance(0, 3).unwrap(), Some(6));
+//! assert_eq!(
+//!     client.distance_batch(&[(0, 1), (1, 1)]).unwrap(),
+//!     vec![Some(2), Some(0)]
+//! );
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientPool, DistanceClient, NetError};
+pub use protocol::{Request, Response, WireError, WireStats};
+pub use server::{DistanceServer, NetConfig, ServerStats};

@@ -1,0 +1,713 @@
+//! [`DistanceServer`]: the TCP front of the serving stack.
+//!
+//! One acceptor thread plus a reader/writer thread pair per connection.
+//! The reader decodes request frames and answers them through a
+//! [`QuerySession`](islabel_core::QuerySession) pinned to the current
+//! [`Snapshot`]; the writer streams encoded responses back, each tagged
+//! with the request id it answers — so a connection is a **pipeline**:
+//! the client may have any number of requests in flight and responses
+//! arrive in processing order, correlated by id, while TCP backpressure
+//! (a bounded write queue) bounds per-connection memory.
+//!
+//! Hot swap semantics mirror `QueryService`: after every frame the reader
+//! compares its pinned generation with the shared [`OracleHandle`]; when
+//! a swap (e.g. a wire-triggered `Reload`) has landed, it re-pins and
+//! opens a fresh session, and the frame being processed when the swap hit
+//! finishes on the generation it pinned. An idle connection keeps its pin
+//! until the next frame arrives — swap-heavy deployments should expect
+//! retired snapshots to live until their slowest idle connection speaks
+//! again or closes.
+//!
+//! Error handling is frame-scoped: a body that fails to decode is
+//! answered with a `Malformed` error carrying the frame's request id (if
+//! one could be recovered) and the connection keeps serving. Only lies
+//! the stream cannot recover from — a length prefix over the configured
+//! cap, a broken socket, a bad handshake — close the connection.
+
+use crate::protocol::{self, FrameReadError, Request, Response, WireError, WireStats, HELLO_LEN};
+use islabel_core::persist::try_load_index_from_path;
+use islabel_core::snapshot::{OracleHandle, SharedOracle, Snapshot};
+use islabel_serve::{AtomicLatencyHistogram, LatencyHistogram};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Limits and toggles of a [`DistanceServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// Cap on one frame body's length; a prefix above it closes the
+    /// connection (the stream cannot be resynchronized past it).
+    pub max_frame_bytes: u32,
+    /// Cap on pairs in one `Batch` request; larger well-formed batches are
+    /// answered with a `TooLarge` error and the connection stays up.
+    pub max_batch_pairs: usize,
+    /// Cap on simultaneously open connections; excess accepts are dropped.
+    pub max_connections: usize,
+    /// Bound of each connection's outbound response queue, in frames.
+    /// When the client reads too slowly the reader blocks here —
+    /// backpressure instead of unbounded buffering.
+    pub write_queue_frames: usize,
+    /// Whether the admin `Reload` opcode is honored; when `false` it is
+    /// answered with `ReloadFailed`. (Transport auth is a roadmap item;
+    /// until then this is the only guard.)
+    pub allow_reload: bool,
+    /// Socket write timeout per connection. Bounds how long a client that
+    /// stops *reading* can stall its writer thread — and therefore how
+    /// long [`DistanceServer::shutdown`] can block on such a client.
+    /// `None` disables the bound (not recommended).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_bytes: protocol::DEFAULT_MAX_FRAME_BYTES,
+            max_batch_pairs: 65_536,
+            max_connections: 1024,
+            write_queue_frames: 1024,
+            allow_reload: true,
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Monotonic server-wide counters (relaxed atomics, written by the
+/// connection readers).
+struct NetCounters {
+    connections_total: AtomicU64,
+    connections_active: AtomicU64,
+    frames: AtomicU64,
+    queries: AtomicU64,
+    batches: AtomicU64,
+    errors: AtomicU64,
+    latency: AtomicLatencyHistogram,
+    started: Instant,
+}
+
+impl NetCounters {
+    fn new() -> Self {
+        Self {
+            connections_total: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: AtomicLatencyHistogram::new(),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a server's counters.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Connections accepted since start.
+    pub connections_total: u64,
+    /// Connections currently open.
+    pub connections_active: u64,
+    /// Request frames processed (all opcodes).
+    pub frames: u64,
+    /// Distance queries answered (singles plus batch members).
+    pub queries: u64,
+    /// Batch frames answered.
+    pub batches: u64,
+    /// Error responses sent.
+    pub errors: u64,
+    /// Time since the server started.
+    pub uptime: Duration,
+    /// Per-query service-time distribution (p50/p99 accessors).
+    pub latency: LatencyHistogram,
+}
+
+/// Bounded per-connection queue of encoded response frames, reader →
+/// writer.
+struct WriteQueue {
+    state: Mutex<WriteQueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct WriteQueueState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl WriteQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(WriteQueueState {
+                frames: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Blocks while full; `false` once the writer has gone away.
+    fn push(&self, frame: Vec<u8>) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.frames.len() < self.capacity {
+                st.frames.push_back(frame);
+                self.not_empty.notify_one();
+                return true;
+            }
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks until a frame is available; `None` once closed *and*
+    /// drained, so every accepted response is written before the writer
+    /// exits.
+    fn pop(&self) -> Option<Vec<u8>> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(f) = st.frames.pop_front() {
+                self.not_full.notify_one();
+                return Some(f);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking pop, used by the writer to batch before flushing.
+    fn try_pop(&self) -> Option<Vec<u8>> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let f = st.frames.pop_front();
+        if f.is_some() {
+            self.not_full.notify_one();
+        }
+        f
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// State shared by the acceptor, the connections and the owning handle.
+struct ServerShared {
+    handle: Arc<OracleHandle>,
+    config: NetConfig,
+    counters: NetCounters,
+    shutting_down: AtomicBool,
+    /// Set with the signal below; readers check it per frame and refuse
+    /// queries with `ShuttingDown` once a drain has been requested.
+    draining: AtomicBool,
+    /// Signaled when a wire `Shutdown` (or `request_shutdown`) asks the
+    /// owner to drain; `wait_for_shutdown_request` blocks on it.
+    shutdown_requested: (Mutex<bool>, Condvar),
+}
+
+impl ServerShared {
+    fn signal_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let (lock, cv) = &self.shutdown_requested;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+    }
+}
+
+struct ConnSlot {
+    stream: TcpStream,
+    reader: Option<JoinHandle<()>>,
+    done: Arc<AtomicBool>,
+}
+
+/// A TCP server answering the IS-LABEL wire protocol from a hot-swappable
+/// index snapshot. See the [module docs](self) for the threading and
+/// pipelining model.
+pub struct DistanceServer {
+    shared: Arc<ServerShared>,
+    conns: Arc<Mutex<Vec<ConnSlot>>>,
+    acceptor: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl DistanceServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// serving the engine wrapped as a fresh generation-0 snapshot.
+    pub fn start(
+        oracle: SharedOracle,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> std::io::Result<Self> {
+        Self::bind(
+            Arc::new(OracleHandle::new(Snapshot::from_arc(oracle))),
+            addr,
+            config,
+        )
+    }
+
+    /// Binds `addr` and serves through an existing [`OracleHandle`],
+    /// sharing it with whoever else performs swaps (an in-process
+    /// [`islabel_serve::QueryService`], a rebuild pipeline, ...).
+    pub fn bind(
+        handle: Arc<OracleHandle>,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            handle,
+            config,
+            counters: NetCounters::new(),
+            shutting_down: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            shutdown_requested: (Mutex::new(false), Condvar::new()),
+        });
+        let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::Builder::new()
+                .name("islabel-net-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &conns))
+                .expect("spawn acceptor thread")
+        };
+        Ok(Self {
+            shared,
+            conns,
+            acceptor: Some(acceptor),
+            local_addr,
+        })
+    }
+
+    /// The address the server is listening on (with the OS-assigned port
+    /// resolved when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared handle queries answer from; swap it to hot-swap the
+    /// served index.
+    pub fn handle(&self) -> &Arc<OracleHandle> {
+        &self.shared.handle
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            connections_total: c.connections_total.load(Ordering::Relaxed),
+            connections_active: c.connections_active.load(Ordering::Relaxed),
+            frames: c.frames.load(Ordering::Relaxed),
+            queries: c.queries.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            uptime: c.started.elapsed(),
+            latency: c.latency.snapshot(),
+        }
+    }
+
+    /// Blocks until a wire `Shutdown` request (or
+    /// [`request_shutdown`](DistanceServer::request_shutdown)) arrives.
+    /// The embedder then calls [`shutdown`](DistanceServer::shutdown) to
+    /// actually drain and join — the split keeps thread teardown on the
+    /// owning thread.
+    pub fn wait_for_shutdown_request(&self) {
+        let (lock, cv) = &self.shared.shutdown_requested;
+        let mut requested = lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !*requested {
+            requested = cv.wait(requested).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks the server as shutdown-requested, waking
+    /// [`wait_for_shutdown_request`](DistanceServer::wait_for_shutdown_request).
+    pub fn request_shutdown(&self) {
+        self.shared.signal_shutdown();
+    }
+
+    /// Graceful shutdown: stop accepting, close every connection's read
+    /// side, let readers finish the frames they already received, flush
+    /// writers, join everything, and return the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.signal_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            // The acceptor blocks in accept(); a throwaway connection
+            // wakes it to observe the flag.
+            drop(TcpStream::connect(self.local_addr));
+            acceptor.join().expect("acceptor thread panicked");
+        }
+        let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        for conn in conns.iter_mut() {
+            // Read side only: the reader wakes with EOF, stops taking
+            // frames, and the writer still drains queued responses (e.g.
+            // a just-pushed ShutdownAck) to well-behaved clients. The
+            // write side stays bounded by `NetConfig::write_timeout`, so
+            // a client that stopped reading cannot wedge this join.
+            let _ = conn.stream.shutdown(Shutdown::Read);
+            if let Some(reader) = conn.reader.take() {
+                reader.join().expect("connection reader panicked");
+            }
+        }
+        conns.clear();
+    }
+}
+
+impl Drop for DistanceServer {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+impl std::fmt::Debug for DistanceServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistanceServer")
+            .field("local_addr", &self.local_addr)
+            .field("handle", &self.shared.handle)
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<ServerShared>,
+    conns: &Arc<Mutex<Vec<ConnSlot>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let mut guard = conns.lock().unwrap_or_else(|e| e.into_inner());
+        // Reap finished connections so a long-lived server's registry
+        // tracks live sockets, not history.
+        guard.retain_mut(|c| {
+            if c.done.load(Ordering::Acquire) {
+                if let Some(r) = c.reader.take() {
+                    r.join().expect("connection reader panicked");
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if guard.len() >= shared.config.max_connections {
+            drop(stream); // over the cap: refuse by closing
+            continue;
+        }
+        let done = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let shared = Arc::clone(shared);
+            let stream = match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let done = Arc::clone(&done);
+            std::thread::Builder::new()
+                .name("islabel-net-conn".into())
+                .spawn(move || {
+                    shared
+                        .counters
+                        .connections_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .connections_active
+                        .fetch_add(1, Ordering::Relaxed);
+                    connection_loop(stream, &shared);
+                    shared
+                        .counters
+                        .connections_active
+                        .fetch_sub(1, Ordering::Relaxed);
+                    done.store(true, Ordering::Release);
+                })
+                .expect("spawn connection reader")
+        };
+        guard.push(ConnSlot {
+            stream,
+            reader: Some(reader),
+            done,
+        });
+    }
+}
+
+/// Everything one connection does, on its reader thread: handshake, spawn
+/// the writer, answer frames until EOF / fatal framing error / shutdown
+/// opcode, then drain the writer and exit.
+fn connection_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(shared.config.write_timeout);
+    run_connection(&mut stream, shared);
+    // Socket-level shutdown on *every* exit path (including handshake
+    // rejections): the acceptor's registry holds a clone of this stream,
+    // so merely dropping ours would leave the socket open and the peer
+    // waiting for an EOF that never comes.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn run_connection(stream: &mut TcpStream, shared: &Arc<ServerShared>) {
+    // Handshake: read the client hello, always answer with ours (so a
+    // mismatched peer learns *our* version), then bail on mismatch.
+    let mut hello = [0u8; HELLO_LEN];
+    if stream.read_exact(&mut hello).is_err() {
+        return;
+    }
+    let client_version = protocol::decode_hello(&hello);
+    let mut our_hello = Vec::with_capacity(HELLO_LEN);
+    protocol::encode_hello(&mut our_hello);
+    if stream.write_all(&our_hello).is_err() || stream.flush().is_err() {
+        return;
+    }
+    match client_version {
+        Ok(v) if v == protocol::VERSION => {}
+        _ => return, // bad magic or foreign version: hello sent, close
+    }
+
+    let queue = Arc::new(WriteQueue::new(shared.config.write_queue_frames));
+    let writer = {
+        let queue = Arc::clone(&queue);
+        let stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        std::thread::Builder::new()
+            .name("islabel-net-write".into())
+            .spawn(move || writer_loop(stream, &queue))
+            .expect("spawn connection writer")
+    };
+
+    serve_frames(stream, shared, &queue);
+
+    // Drain: the writer flushes everything queued, then exits.
+    queue.close();
+    writer.join().expect("connection writer panicked");
+}
+
+/// The frame loop: pin a snapshot, answer frames through one session,
+/// re-pin when a hot swap is observed between frames.
+fn serve_frames(stream: &mut TcpStream, shared: &Arc<ServerShared>, queue: &WriteQueue) {
+    let mut frame = Vec::new();
+    let respond = |id: u64, resp: &Response| -> bool {
+        if matches!(resp, Response::Error(_)) {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        queue.push(protocol::encode_framed(|out| {
+            protocol::encode_response(id, resp, out)
+        }))
+    };
+    'pin: loop {
+        let pinned = shared.handle.load();
+        let mut session = pinned.session();
+        loop {
+            match protocol::read_frame(stream, shared.config.max_frame_bytes, &mut frame) {
+                Ok(true) => {}
+                Ok(false) => return, // clean close
+                Err(FrameReadError::Oversized { len, max }) => {
+                    // The stream cannot be resynchronized past a lying
+                    // prefix: answer (id unknowable) and close.
+                    respond(
+                        0,
+                        &Response::Error(WireError::TooLarge {
+                            message: format!("frame length {len} exceeds cap {max}"),
+                        }),
+                    );
+                    return;
+                }
+                Err(FrameReadError::Io(_)) => return,
+            }
+            shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+
+            let (id, request) = match protocol::decode_request(&frame) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    // Frame-scoped failure: answer it, keep the connection.
+                    let id = protocol::decode_request_id(&frame).unwrap_or(0);
+                    if !respond(
+                        id,
+                        &Response::Error(WireError::Malformed {
+                            message: e.to_string(),
+                        }),
+                    ) {
+                        return;
+                    }
+                    continue;
+                }
+            };
+
+            let mut shutdown_after = false;
+            // Once a drain has been requested, work-carrying opcodes are
+            // refused with the documented ShuttingDown code; Ping/Stats
+            // stay answerable so clients can observe the drain.
+            let draining = shared.draining.load(Ordering::SeqCst);
+            let response = match request {
+                _ if draining
+                    && matches!(
+                        request,
+                        Request::Query { .. } | Request::Batch { .. } | Request::Reload { .. }
+                    ) =>
+                {
+                    Response::Error(WireError::ShuttingDown)
+                }
+                Request::Ping => Response::Pong,
+                Request::Query { s, t } => {
+                    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+                    let q0 = Instant::now();
+                    let answer = session.distance(s, t);
+                    shared.counters.latency.record(q0.elapsed());
+                    match answer {
+                        Ok(d) => Response::Distance(d),
+                        Err(e) => Response::Error(WireError::from(e)),
+                    }
+                }
+                Request::Batch { pairs } => {
+                    if pairs.len() > shared.config.max_batch_pairs {
+                        Response::Error(WireError::TooLarge {
+                            message: format!(
+                                "batch of {} pairs exceeds cap {}",
+                                pairs.len(),
+                                shared.config.max_batch_pairs
+                            ),
+                        })
+                    } else {
+                        shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+                        let mut dists = Vec::with_capacity(pairs.len());
+                        let mut failed = None;
+                        for &(s, t) in &pairs {
+                            shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+                            let q0 = Instant::now();
+                            let answer = session.distance(s, t);
+                            shared.counters.latency.record(q0.elapsed());
+                            match answer {
+                                Ok(d) => dists.push(d),
+                                Err(e) => {
+                                    failed = Some(e);
+                                    break;
+                                }
+                            }
+                        }
+                        match failed {
+                            // Mirror `distance_batch`: one bad pair fails
+                            // the whole batch with the first error.
+                            Some(e) => Response::Error(WireError::from(e)),
+                            None => Response::Batch(dists),
+                        }
+                    }
+                }
+                Request::Stats => Response::Stats(wire_stats(shared, &pinned)),
+                Request::Reload { path } => {
+                    if !shared.config.allow_reload {
+                        Response::Error(WireError::ReloadFailed {
+                            message: "admin reload disabled by server config".into(),
+                        })
+                    } else {
+                        match try_load_index_from_path(&path) {
+                            Ok(index) => {
+                                let num_vertices =
+                                    islabel_core::DistanceOracle::num_vertices(&index) as u64;
+                                // The retired snapshot pins which swap was
+                                // ours; re-reading handle.version() would
+                                // race a concurrent admin's swap.
+                                let retired = shared.handle.swap_oracle(index);
+                                Response::Reloaded {
+                                    version: retired.version() + 1,
+                                    num_vertices,
+                                }
+                            }
+                            Err(e) => Response::Error(WireError::ReloadFailed {
+                                message: format!("{path}: {e}"),
+                            }),
+                        }
+                    }
+                }
+                Request::Shutdown => {
+                    shutdown_after = true;
+                    Response::ShutdownAck
+                }
+            };
+            if !respond(id, &response) {
+                return; // writer died (client gone)
+            }
+            if shutdown_after {
+                shared.signal_shutdown();
+                return;
+            }
+            if shared.handle.version() != pinned.version() {
+                // A swap (possibly our own Reload) landed: re-pin so the
+                // next frame answers from the new generation.
+                continue 'pin;
+            }
+        }
+    }
+}
+
+fn wire_stats(shared: &ServerShared, pinned: &Snapshot) -> WireStats {
+    let c = &shared.counters;
+    let latency = c.latency.snapshot();
+    WireStats {
+        // One consistent view: the snapshot *this connection* answers
+        // from. Mixing the pinned engine identity with the shared
+        // handle's (possibly newer) version would let a Stats response
+        // pair a fresh generation number with a stale index's identity.
+        engine: pinned.oracle().engine_name().to_string(),
+        num_vertices: pinned.oracle().num_vertices() as u64,
+        snapshot_version: pinned.version(),
+        connections_total: c.connections_total.load(Ordering::Relaxed),
+        connections_active: c.connections_active.load(Ordering::Relaxed),
+        frames: c.frames.load(Ordering::Relaxed),
+        queries: c.queries.load(Ordering::Relaxed),
+        batches: c.batches.load(Ordering::Relaxed),
+        errors: c.errors.load(Ordering::Relaxed),
+        uptime_ms: c.started.elapsed().as_millis() as u64,
+        p50_us: latency.p50().as_micros() as u64,
+        p99_us: latency.p99().as_micros() as u64,
+    }
+}
+
+/// The writer half: stream queued response frames out, flushing whenever
+/// the queue momentarily empties (so pipelined bursts coalesce into few
+/// syscalls but a lone response never waits).
+fn writer_loop(stream: TcpStream, queue: &WriteQueue) {
+    let mut out = std::io::BufWriter::new(stream);
+    while let Some(frame) = queue.pop() {
+        if out.write_all(&frame).is_err() {
+            break;
+        }
+        loop {
+            match queue.try_pop() {
+                Some(next) => {
+                    if out.write_all(&next).is_err() {
+                        queue.close();
+                        return;
+                    }
+                }
+                None => {
+                    if out.flush().is_err() {
+                        queue.close();
+                        return;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    // Unblock a reader stuck pushing after a write error.
+    queue.close();
+    let _ = out.flush();
+}

@@ -1,0 +1,251 @@
+//! Protocol hardening: property-based encode→decode identity for
+//! arbitrary frames (including max-size batches) and adversarial decoder
+//! tests — truncations, byte soup, lying headers — proving the decoder
+//! never panics and rejects cleanly.
+
+use islabel_net::protocol::{
+    self, decode_request, decode_response, encode_frame, encode_request, encode_response,
+    read_frame, FrameReadError, Request, Response, WireError, WireStats,
+};
+use proptest::collection;
+use proptest::prelude::*;
+
+fn arb_path() -> impl Strategy<Value = String> {
+    collection::vec(0x20u8..0x7F, 0..120)
+        .prop_map(|b| String::from_utf8(b).expect("printable ASCII is UTF-8"))
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        (0u32..=u32::MAX, 0u32..=u32::MAX).prop_map(|(s, t)| Request::Query { s, t }),
+        collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 0..400)
+            .prop_map(|pairs| Request::Batch { pairs }),
+        Just(Request::Stats),
+        arb_path().prop_map(|path| Request::Reload { path }),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_dist() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![
+        Just(None),
+        (0u64..u64::MAX).prop_map(Some), // u64::MAX is the None sentinel
+    ]
+}
+
+fn arb_wire_error() -> impl Strategy<Value = WireError> {
+    prop_oneof![
+        (0u32..=u32::MAX, 0u64..=u64::MAX)
+            .prop_map(|(vertex, universe)| WireError::VertexOutOfRange { vertex, universe }),
+        Just(WireError::StaleIndex),
+        Just(WireError::NoPathInfo),
+        arb_path().prop_map(|message| WireError::UnknownQuery { message }),
+        arb_path().prop_map(|message| WireError::Malformed { message }),
+        (0u8..=255).prop_map(|opcode| WireError::UnsupportedOpcode { opcode }),
+        arb_path().prop_map(|message| WireError::TooLarge { message }),
+        arb_path().prop_map(|message| WireError::ReloadFailed { message }),
+        Just(WireError::ShuttingDown),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        arb_dist().prop_map(Response::Distance),
+        collection::vec(arb_dist(), 0..400).prop_map(Response::Batch),
+        (
+            arb_path(),
+            (0u64..1 << 40, 0u64..1000, 0u64..1 << 30, 0u64..1 << 20),
+            (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 30, 0u64..1 << 30),
+            (0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20),
+        )
+            .prop_map(|(engine, a, b, c)| {
+                Response::Stats(WireStats {
+                    engine,
+                    num_vertices: a.0,
+                    snapshot_version: a.1,
+                    connections_total: a.2,
+                    connections_active: a.3,
+                    frames: b.0,
+                    queries: b.1,
+                    batches: b.2,
+                    errors: b.3,
+                    uptime_ms: c.0,
+                    p50_us: c.1,
+                    p99_us: c.2,
+                })
+            }),
+        (0u64..1000, 0u64..1 << 40).prop_map(|(version, num_vertices)| Response::Reloaded {
+            version,
+            num_vertices
+        }),
+        Just(Response::ShutdownAck),
+        arb_wire_error().prop_map(Response::Error),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_encode_decode_identity(id in 0u64..=u64::MAX, req in arb_request()) {
+        let mut body = Vec::new();
+        encode_request(id, &req, &mut body);
+        prop_assert_eq!(decode_request(&body), Ok((id, req)));
+    }
+
+    #[test]
+    fn response_encode_decode_identity(id in 0u64..=u64::MAX, resp in arb_response()) {
+        let mut body = Vec::new();
+        encode_response(id, &resp, &mut body);
+        prop_assert_eq!(decode_response(&body), Ok((id, resp)));
+    }
+
+    #[test]
+    fn truncated_encodings_never_panic(req in arb_request(), cut_seed in 0usize..10_000) {
+        let mut body = Vec::new();
+        encode_request(7, &req, &mut body);
+        let cut = cut_seed % (body.len() + 1);
+        let parsed = decode_request(&body[..cut]);
+        if cut == body.len() {
+            prop_assert!(parsed.is_ok());
+        } else {
+            // Every strict prefix must reject (the frame length makes the
+            // full body reach the decoder, so a prefix means corruption).
+            prop_assert!(parsed.is_err());
+        }
+    }
+
+    #[test]
+    fn byte_soup_never_panics(bytes in collection::vec(0u8..=255, 0..200)) {
+        // Whatever the bytes, both decoders must return, not panic.
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    #[test]
+    fn frame_reader_survives_arbitrary_streams(bytes in collection::vec(0u8..=255, 0..64)) {
+        let mut r: &[u8] = &bytes;
+        let mut buf = Vec::new();
+        // Either a frame, a clean EOF, an oversized rejection, or a
+        // truncation error — never a panic, never a hang.
+        let _ = read_frame(&mut r, 32, &mut buf);
+    }
+}
+
+/// A batch sized exactly to the default frame cap round-trips: body =
+/// id(8) + opcode(1) + count(4) + 8·pairs ≤ cap.
+#[test]
+fn max_size_batch_roundtrips_at_the_frame_cap() {
+    let max_pairs = (protocol::DEFAULT_MAX_FRAME_BYTES as usize - 13) / 8;
+    let pairs: Vec<(u32, u32)> = (0..max_pairs as u32).map(|i| (i, i ^ 0xABCD)).collect();
+    let req = Request::Batch {
+        pairs: pairs.clone(),
+    };
+    let mut body = Vec::new();
+    encode_request(99, &req, &mut body);
+    assert!(body.len() <= protocol::DEFAULT_MAX_FRAME_BYTES as usize);
+
+    // Through the framing layer as well, at exactly the cap.
+    let mut framed = Vec::new();
+    encode_frame(&body, &mut framed);
+    let mut r: &[u8] = &framed;
+    let mut buf = Vec::new();
+    assert!(read_frame(&mut r, protocol::DEFAULT_MAX_FRAME_BYTES, &mut buf).unwrap());
+    let (id, decoded) = decode_request(&buf).unwrap();
+    assert_eq!(id, 99);
+    assert_eq!(decoded, req);
+
+    // One more pair overflows the cap and is rejected by the reader.
+    let mut bigger = Vec::new();
+    encode_request(
+        100,
+        &Request::Batch {
+            pairs: (0..max_pairs as u32 + 1).map(|i| (i, i)).collect(),
+        },
+        &mut bigger,
+    );
+    let mut framed = Vec::new();
+    encode_frame(&bigger, &mut framed);
+    let mut r: &[u8] = &framed;
+    assert!(matches!(
+        read_frame(&mut r, protocol::DEFAULT_MAX_FRAME_BYTES, &mut buf),
+        Err(FrameReadError::Oversized { .. })
+    ));
+}
+
+/// The stable wire codes must never change: they are the cross-version
+/// contract remote clients rely on.
+#[test]
+fn error_codes_are_pinned() {
+    let cases: [(WireError, u8); 9] = [
+        (
+            WireError::VertexOutOfRange {
+                vertex: 0,
+                universe: 0,
+            },
+            1,
+        ),
+        (WireError::StaleIndex, 2),
+        (WireError::NoPathInfo, 3),
+        (WireError::UnknownQuery { message: "".into() }, 15),
+        (WireError::Malformed { message: "".into() }, 16),
+        (WireError::UnsupportedOpcode { opcode: 0 }, 17),
+        (WireError::TooLarge { message: "".into() }, 18),
+        (WireError::ReloadFailed { message: "".into() }, 19),
+        (WireError::ShuttingDown, 20),
+    ];
+    for (err, code) in cases {
+        assert_eq!(err.code(), code, "{err:?}");
+    }
+    assert_eq!(
+        (
+            protocol::opcode::PING,
+            protocol::opcode::QUERY,
+            protocol::opcode::BATCH,
+            protocol::opcode::STATS,
+            protocol::opcode::RELOAD,
+            protocol::opcode::SHUTDOWN,
+        ),
+        (0x01, 0x02, 0x03, 0x04, 0x05, 0x06)
+    );
+    assert_eq!(protocol::MAGIC, *b"ISLW");
+    assert_eq!(protocol::VERSION, 1);
+}
+
+/// Mutating any single byte of a valid frame must decode to either an
+/// error or a *different* well-formed value — never a panic.
+#[test]
+fn single_byte_corruption_never_panics() {
+    let mut body = Vec::new();
+    encode_request(
+        5,
+        &Request::Batch {
+            pairs: vec![(1, 2), (3, 4)],
+        },
+        &mut body,
+    );
+    for i in 0..body.len() {
+        for delta in [1u8, 0x80] {
+            let mut corrupted = body.clone();
+            corrupted[i] = corrupted[i].wrapping_add(delta);
+            let _ = decode_request(&corrupted);
+        }
+    }
+
+    let mut resp = Vec::new();
+    encode_response(
+        5,
+        &Response::Stats(WireStats {
+            engine: "islabel".into(),
+            ..WireStats::default()
+        }),
+        &mut resp,
+    );
+    for i in 0..resp.len() {
+        let mut corrupted = resp.clone();
+        corrupted[i] ^= 0xFF;
+        let _ = decode_response(&corrupted);
+    }
+}

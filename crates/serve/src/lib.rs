@@ -20,8 +20,10 @@
 //!   swap in a freshly built index at any time, new requests pick it up,
 //!   and requests already being processed finish on the snapshot they
 //!   started on.
-//! * **Observability** — per-shard query/batch/busy-time counters
-//!   ([`ShardStats`]) aggregated in [`ServiceStats`].
+//! * **Observability** — per-shard query/batch/busy-time counters and a
+//!   fixed-bucket latency histogram with p50/p99 accessors
+//!   ([`ShardStats`], [`LatencyHistogram`]) aggregated in
+//!   [`ServiceStats`].
 //! * **Graceful shutdown** — [`QueryService::shutdown`] (and `Drop`)
 //!   closes the queues, drains every queued request and joins the
 //!   workers.
@@ -236,6 +238,136 @@ impl ShardQueue {
     }
 }
 
+/// Number of buckets in a [`LatencyHistogram`]: bucket `i` counts
+/// latencies in `[2^i, 2^{i+1})` nanoseconds, so 40 buckets span 1 ns to
+/// ~18 minutes — any conceivable query service time.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Lock-free recorder behind [`LatencyHistogram`]: one relaxed atomic
+/// increment per observation, shared across threads. Used by the shard
+/// workers here and by the network server in `islabel-net`.
+pub struct AtomicLatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for AtomicLatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicLatencyHistogram {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation (a relaxed increment of one bucket).
+    pub fn record(&self, elapsed: Duration) {
+        self.buckets[bucket_index(elapsed)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counts.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        LatencyHistogram {
+            counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicLatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+#[inline]
+fn bucket_index(elapsed: Duration) -> usize {
+    let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+    // floor(log2(ns)); `| 1` makes 0 ns land in bucket 0.
+    let idx = (63 - (ns | 1).leading_zeros()) as usize;
+    idx.min(LATENCY_BUCKETS - 1)
+}
+
+/// A fixed-bucket (power-of-two) latency histogram: cheap to record
+/// (one increment), cheap to merge, and accurate enough for serving
+/// percentiles — [`percentile`](LatencyHistogram::percentile) reports the
+/// upper edge of the bucket the quantile falls in, i.e. within 2x of the
+/// true value, conservatively rounded up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation (single-threaded variant; serving layers
+    /// share an [`AtomicLatencyHistogram`] instead).
+    pub fn record(&mut self, elapsed: Duration) {
+        self.counts[bucket_index(elapsed)] += 1;
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds another histogram's counts into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// The raw bucket counts; bucket `i` covers `[2^i, 2^{i+1})` ns.
+    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.counts
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`: the upper edge of the
+    /// first bucket whose cumulative count reaches `q` of the total.
+    /// [`Duration::ZERO`] when nothing has been recorded.
+    pub fn percentile(&self, q: f64) -> Duration {
+        let total = self.count();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Duration::from_nanos(1u64 << (i + 1).min(63));
+            }
+        }
+        Duration::from_nanos(1u64 << LATENCY_BUCKETS.min(63))
+    }
+
+    /// Median observed latency (histogram upper bound).
+    pub fn p50(&self) -> Duration {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile observed latency (histogram upper bound).
+    pub fn p99(&self) -> Duration {
+        self.percentile(0.99)
+    }
+}
+
 /// Monotonic per-shard counters, written by the worker with relaxed
 /// atomics.
 #[derive(Default)]
@@ -245,10 +377,11 @@ struct ShardCounters {
     busy_nanos: AtomicU64,
     errors: AtomicU64,
     swaps_observed: AtomicU64,
+    latency: AtomicLatencyHistogram,
 }
 
 /// A point-in-time snapshot of one shard's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardStats {
     /// Shard index (`0..num_shards`).
     pub shard: usize,
@@ -262,6 +395,10 @@ pub struct ShardStats {
     pub errors: u64,
     /// Times the worker refreshed its session onto a newer snapshot.
     pub swaps_observed: u64,
+    /// Per-query service-time distribution (inside the worker, excludes
+    /// queueing), with [`p50`](LatencyHistogram::p50) /
+    /// [`p99`](LatencyHistogram::p99) accessors.
+    pub latency: LatencyHistogram,
 }
 
 impl ShardStats {
@@ -301,6 +438,16 @@ impl ServiceStats {
     /// Busy time summed over shards (CPU-seconds of query work).
     pub fn total_busy(&self) -> Duration {
         self.shards.iter().map(|s| s.busy).sum()
+    }
+
+    /// Service-wide per-query latency distribution: every shard's
+    /// histogram merged.
+    pub fn latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for s in &self.shards {
+            merged.merge(&s.latency);
+        }
+        merged
     }
 }
 
@@ -442,6 +589,7 @@ impl QueryService {
                     busy: Duration::from_nanos(s.counters.busy_nanos.load(Ordering::Relaxed)),
                     errors: s.counters.errors.load(Ordering::Relaxed),
                     swaps_observed: s.counters.swaps_observed.load(Ordering::Relaxed),
+                    latency: s.counters.latency.snapshot(),
                 })
                 .collect(),
         }
@@ -517,7 +665,10 @@ fn process(job: Job, session: &mut dyn QuerySession, counters: &ShardCounters) {
     let mut local: Vec<Option<Dist>> = Vec::with_capacity(job.pairs.len());
     let mut err = None;
     for &(s, t) in &job.pairs {
-        match session.distance(s, t) {
+        let q0 = Instant::now();
+        let answer = session.distance(s, t);
+        counters.latency.record(q0.elapsed());
+        match answer {
             Ok(d) => local.push(d),
             Err(e) => {
                 err = Some(e);
@@ -638,6 +789,63 @@ mod tests {
         assert_eq!(stats.total_queries(), 60, "shutdown dropped queued work");
         for ticket in tickets {
             ticket.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_percentiles() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), Duration::ZERO);
+        // 90 fast observations (~1 µs) and 10 slow ones (~1 ms): p50 must
+        // land in the fast bucket's range, p99 in the slow one's.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.p50();
+        let p99 = h.p99();
+        assert!(
+            p50 >= Duration::from_micros(1) && p50 <= Duration::from_micros(2),
+            "{p50:?}"
+        );
+        assert!(
+            p99 >= Duration::from_millis(1) && p99 <= Duration::from_millis(2),
+            "{p99:?}"
+        );
+        // Conservative upper edge: the quantile never under-reports by
+        // more than the bucket width (2x).
+        assert!(h.percentile(1.0) >= p99);
+
+        let atomic = AtomicLatencyHistogram::new();
+        atomic.record(Duration::from_nanos(0)); // bucket 0, no panic
+        atomic.record(Duration::from_secs(3600)); // clamps to the top bucket
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.buckets()[0], 1);
+        assert_eq!(snap.buckets()[LATENCY_BUCKETS - 1], 1);
+
+        let mut merged = snap.clone();
+        merged.merge(&h);
+        assert_eq!(merged.count(), 102);
+    }
+
+    #[test]
+    fn shard_stats_carry_real_latency_percentiles() {
+        let g = test_graph();
+        let service = service_over(&g, 2);
+        let pairs: Vec<(VertexId, VertexId)> =
+            (0..100u32).map(|i| (i % 120, (i * 17 + 3) % 120)).collect();
+        service.submit(&pairs).wait().unwrap();
+        let stats = service.shutdown();
+        let total = stats.latency();
+        assert_eq!(total.count(), 100, "one observation per query");
+        assert!(total.p50() > Duration::ZERO);
+        assert!(total.p99() >= total.p50());
+        for s in &stats.shards {
+            assert_eq!(s.latency.count(), s.queries);
         }
     }
 

@@ -10,6 +10,9 @@
 //!   Pruned Landmark Labeling).
 //! * [`serve`] — the concurrent serving layer ([`QueryService`] worker
 //!   pool over hot-swappable [`Snapshot`]s).
+//! * [`net`] — the network boundary: a binary wire protocol, a pipelining
+//!   TCP [`DistanceServer`], and a blocking [`DistanceClient`] /
+//!   [`ClientPool`].
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -48,6 +51,7 @@ pub use islabel_baselines as baselines;
 pub use islabel_core as core;
 pub use islabel_extmem as extmem;
 pub use islabel_graph as graph;
+pub use islabel_net as net;
 pub use islabel_serve as serve;
 
 pub use islabel_baselines::{build_oracle, BiDijkstraOracle, Engine};
@@ -58,7 +62,10 @@ pub use islabel_core::{
 pub use islabel_graph::{
     CsrDigraph, CsrGraph, Dataset, DigraphBuilder, Dist, GraphBuilder, Scale, VertexId, Weight, INF,
 };
-pub use islabel_serve::{BatchTicket, QueryService, ServeConfig, ServiceStats, ShardStats};
+pub use islabel_net::{ClientPool, DistanceClient, DistanceServer, NetConfig, NetError};
+pub use islabel_serve::{
+    BatchTicket, LatencyHistogram, QueryService, ServeConfig, ServiceStats, ShardStats,
+};
 
 /// One-stop imports for programming against the unified query API.
 pub mod prelude {
@@ -71,5 +78,8 @@ pub mod prelude {
     pub use islabel_graph::{
         CsrDigraph, CsrGraph, DigraphBuilder, Dist, GraphBuilder, VertexId, Weight, INF,
     };
-    pub use islabel_serve::{BatchTicket, QueryService, ServeConfig, ServiceStats, ShardStats};
+    pub use islabel_net::{ClientPool, DistanceClient, DistanceServer, NetConfig, NetError};
+    pub use islabel_serve::{
+        BatchTicket, LatencyHistogram, QueryService, ServeConfig, ServiceStats, ShardStats,
+    };
 }

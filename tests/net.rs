@@ -1,0 +1,485 @@
+//! Network-serving correctness: every engine served over loopback must
+//! answer bit-identically to an in-process session, under concurrent
+//! pipelined clients; a wire-triggered `Reload` hot-swap completes while
+//! in-flight remote queries finish on their pinned snapshot generation;
+//! malformed frames error without dropping the connection; typed query
+//! errors round-trip the wire.
+
+use islabel::core::persist::try_save_index_to_path;
+use islabel::graph::generators::{erdos_renyi_gnm, WeightModel};
+use islabel::net::protocol::{self, Request, Response, WireError};
+use islabel::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+
+fn pair_mix(n: u32, count: u32) -> Vec<(VertexId, VertexId)> {
+    (0..count)
+        .map(|i| ((i * 13) % n, (i * 37 + 5) % n))
+        .collect()
+}
+
+/// Every engine, served over a real socket, hammered by pipelined
+/// concurrent clients: answers must be bit-identical to an in-process
+/// session on the same oracle.
+#[test]
+fn all_engines_bit_identical_over_loopback_under_pipelined_clients() {
+    let g = erdos_renyi_gnm(200, 520, WeightModel::UniformRange(1, 9), 0xA7);
+    let pairs = pair_mix(200, 100);
+
+    for engine in Engine::ALL {
+        let oracle: SharedOracle =
+            Arc::from(build_oracle(engine, &g, &BuildConfig::default()).unwrap());
+        let truth: Vec<Option<Dist>> = {
+            let mut session = oracle.session();
+            pairs
+                .iter()
+                .map(|&(s, t)| session.distance(s, t).unwrap())
+                .collect()
+        };
+        let server =
+            DistanceServer::start(Arc::clone(&oracle), "127.0.0.1:0", NetConfig::default())
+                .unwrap();
+        let addr = server.local_addr();
+
+        std::thread::scope(|scope| {
+            for c in 0..4usize {
+                let pairs = &pairs;
+                let truth = &truth;
+                scope.spawn(move || {
+                    let mut client = DistanceClient::connect(addr).unwrap();
+                    // Pipelined: a window of 8 requests in flight, each
+                    // client walking the mix from its own offset.
+                    const DEPTH: usize = 8;
+                    let order: Vec<usize> = (0..pairs.len())
+                        .map(|i| (i + c * 23) % pairs.len())
+                        .collect();
+                    let mut sent = std::collections::VecDeque::new();
+                    let mut next = 0;
+                    while next < order.len() || !sent.is_empty() {
+                        while next < order.len() && sent.len() < DEPTH {
+                            let i = order[next];
+                            let (s, t) = pairs[i];
+                            let id = client.send(&Request::Query { s, t }).unwrap();
+                            sent.push_back((id, i));
+                            next += 1;
+                        }
+                        client.flush().unwrap();
+                        let (rid, resp) = client.recv().unwrap();
+                        let (id, i) = sent.pop_front().unwrap();
+                        assert_eq!(rid, id, "{engine}: responses out of order");
+                        assert_eq!(
+                            resp,
+                            Response::Distance(truth[i]),
+                            "{engine}: client {c} pair {i} diverged from in-process"
+                        );
+                    }
+                });
+            }
+        });
+
+        // Batches through a pool agree too.
+        let pool = ClientPool::connect(addr, 3).unwrap();
+        assert_eq!(pool.distance_batch(&pairs).unwrap(), truth, "{engine}");
+
+        let stats = server.shutdown();
+        assert_eq!(stats.errors, 0, "{engine}");
+        assert_eq!(
+            stats.queries,
+            4 * pairs.len() as u64 + pairs.len() as u64,
+            "{engine}: query counter missed traffic"
+        );
+        assert!(stats.latency.count() == stats.queries, "{engine}");
+        assert!(stats.latency.p99() >= stats.latency.p50(), "{engine}");
+    }
+}
+
+/// A gate that lets the test hold a server-side query mid-flight (same
+/// instrument as `tests/serve.rs`).
+struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    entered: bool,
+    released: bool,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn pass(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.entered = true;
+        self.cv.notify_all();
+        while !st.released {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn wait_entered(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !st.entered {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.released = true;
+        self.cv.notify_all();
+    }
+}
+
+struct GatedOracle {
+    inner: IsLabelIndex,
+    gate: Arc<Gate>,
+}
+
+impl DistanceOracle for GatedOracle {
+    fn engine_name(&self) -> &'static str {
+        "gated-islabel"
+    }
+
+    fn num_vertices(&self) -> usize {
+        DistanceOracle::num_vertices(&self.inner)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.inner.index_bytes()
+    }
+
+    fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        self.gate.pass();
+        self.inner.try_distance(s, t)
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(GatedSession { oracle: self })
+    }
+}
+
+struct GatedSession<'a> {
+    oracle: &'a GatedOracle,
+}
+
+impl QuerySession for GatedSession<'_> {
+    fn engine_name(&self) -> &'static str {
+        "gated-islabel"
+    }
+
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        self.oracle.try_distance(s, t)
+    }
+}
+
+fn line_index(weight: u32) -> IsLabelIndex {
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1, weight);
+    b.add_edge(1, 2, weight);
+    IsLabelIndex::build(&b.build(), BuildConfig::default())
+}
+
+/// The end-to-end Reload contract: an admin connection hot-swaps the
+/// served index from a persisted artifact while another connection is
+/// *inside* a query — that query finishes on the generation it pinned,
+/// and the same connection's next query sees the new generation.
+#[test]
+fn wire_reload_swaps_while_in_flight_queries_finish_on_their_generation() {
+    let artifact =
+        std::env::temp_dir().join(format!("islabel-net-reload-{}.islx", std::process::id()));
+    try_save_index_to_path(&line_index(1), &artifact).unwrap(); // dist(0,2) = 2
+
+    let gate = Arc::new(Gate::new());
+    let gated = GatedOracle {
+        inner: line_index(5), // generation 0: dist(0, 2) = 10
+        gate: Arc::clone(&gate),
+    };
+    let server =
+        DistanceServer::start(Arc::new(gated), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut querier = DistanceClient::connect(addr).unwrap();
+    let mut admin = DistanceClient::connect(addr).unwrap();
+
+    let in_flight = std::thread::spawn(move || {
+        let d = querier.distance(0, 2).unwrap();
+        (d, querier)
+    });
+    // The server's reader for `querier` is now provably inside the query,
+    // holding its generation-0 pin.
+    gate.wait_entered();
+
+    let (version, num_vertices) = admin.reload(artifact.to_str().unwrap()).unwrap();
+    assert_eq!(version, 1);
+    assert_eq!(num_vertices, 3);
+    assert_eq!(server.handle().version(), 1);
+
+    // Release the gated query: it must answer from generation 0.
+    gate.release();
+    let (d, mut querier) = in_flight.join().unwrap();
+    assert_eq!(d, Some(10), "in-flight query escaped its pinned snapshot");
+
+    // The same connection's next query runs on the reloaded snapshot
+    // (the reader re-pins after observing the swap).
+    assert_eq!(querier.distance(0, 2).unwrap(), Some(2));
+    // And the admin connection sees it too.
+    assert_eq!(admin.distance(0, 2).unwrap(), Some(2));
+
+    let stats = admin.stats().unwrap();
+    assert_eq!(stats.snapshot_version, 1);
+    assert_eq!(
+        stats.engine, "islabel",
+        "reloaded artifact is an IS-LABEL index"
+    );
+
+    server.shutdown();
+    std::fs::remove_file(&artifact).ok();
+}
+
+/// A reload of a nonexistent artifact is a frame-scoped typed error; the
+/// connection and the served snapshot are untouched.
+#[test]
+fn failed_reload_keeps_generation_and_connection() {
+    let server =
+        DistanceServer::start(Arc::new(line_index(4)), "127.0.0.1:0", NetConfig::default())
+            .unwrap();
+    let mut client = DistanceClient::connect(server.local_addr()).unwrap();
+    let err = client
+        .reload("/nonexistent/definitely-missing.islx")
+        .unwrap_err();
+    assert!(
+        matches!(&err, NetError::Remote(WireError::ReloadFailed { .. })),
+        "{err:?}"
+    );
+    assert_eq!(server.handle().version(), 0);
+    assert_eq!(client.distance(0, 2).unwrap(), Some(8));
+    server.shutdown();
+}
+
+/// Typed query errors round-trip the wire: the remote error maps back to
+/// the exact in-process `QueryError`.
+#[test]
+fn query_errors_round_trip_the_wire() {
+    let server =
+        DistanceServer::start(Arc::new(line_index(2)), "127.0.0.1:0", NetConfig::default())
+            .unwrap();
+    let mut client = DistanceClient::connect(server.local_addr()).unwrap();
+    let err = client.distance(0, 999).unwrap_err();
+    assert_eq!(
+        err.as_query_error(),
+        Some(QueryError::VertexOutOfRange {
+            vertex: 999,
+            universe: 3
+        })
+    );
+    // A failing pair fails a batch with the same round-tripped error.
+    let err = client.distance_batch(&[(0, 1), (7, 0)]).unwrap_err();
+    assert_eq!(
+        err.as_query_error(),
+        Some(QueryError::VertexOutOfRange {
+            vertex: 7,
+            universe: 3
+        })
+    );
+    // The connection is still healthy.
+    assert_eq!(client.distance(0, 2).unwrap(), Some(4));
+    let stats = server.shutdown();
+    assert_eq!(stats.errors, 2);
+}
+
+/// Hand-rolled socket speaking the protocol directly: a malformed body in
+/// a well-formed frame is answered with a `Malformed` error and the
+/// connection keeps serving; an oversized length prefix is rejected and
+/// the connection closed — but the server survives both for other
+/// clients.
+#[test]
+fn malformed_frames_error_without_dropping_the_connection() {
+    let server =
+        DistanceServer::start(Arc::new(line_index(3)), "127.0.0.1:0", NetConfig::default())
+            .unwrap();
+    let addr = server.local_addr();
+
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let mut hello = Vec::new();
+    protocol::encode_hello(&mut hello);
+    raw.write_all(&hello).unwrap();
+    let mut server_hello = [0u8; protocol::HELLO_LEN];
+    raw.read_exact(&mut server_hello).unwrap();
+    assert_eq!(protocol::decode_hello(&server_hello), Ok(protocol::VERSION));
+
+    let read_one = |raw: &mut TcpStream| -> (u64, Response) {
+        let mut buf = Vec::new();
+        assert!(protocol::read_frame(raw, 1 << 20, &mut buf).unwrap());
+        protocol::decode_response(&buf).unwrap()
+    };
+
+    // 1. A garbage body (unknown opcode) in a valid frame: answered with
+    //    Malformed, carrying the id we sent.
+    let mut body = Vec::new();
+    bytes::BufMut::put_u64_le(&mut body, 77u64);
+    bytes::BufMut::put_u8(&mut body, 0xEE);
+    let mut framed = Vec::new();
+    protocol::encode_frame(&body, &mut framed);
+    raw.write_all(&framed).unwrap();
+    let (id, resp) = read_one(&mut raw);
+    assert_eq!(id, 77);
+    assert!(
+        matches!(resp, Response::Error(WireError::Malformed { .. })),
+        "{resp:?}"
+    );
+
+    // 2. The *same* connection still answers real queries.
+    let mut body = Vec::new();
+    protocol::encode_request(78, &Request::Query { s: 0, t: 2 }, &mut body);
+    let mut framed = Vec::new();
+    protocol::encode_frame(&body, &mut framed);
+    raw.write_all(&framed).unwrap();
+    let (id, resp) = read_one(&mut raw);
+    assert_eq!((id, resp), (78, Response::Distance(Some(6))));
+
+    // 3. A truncated frame (half a body, then close) must not take the
+    //    server down.
+    let mut truncating = TcpStream::connect(addr).unwrap();
+    truncating.write_all(&hello).unwrap();
+    truncating.read_exact(&mut server_hello).unwrap();
+    truncating.write_all(&[200, 0, 0, 0, 1, 2, 3]).unwrap();
+    drop(truncating);
+
+    // 4. An oversized length prefix is answered with TooLarge and the
+    //    connection is closed (the stream cannot be resynchronized).
+    let mut lying = TcpStream::connect(addr).unwrap();
+    lying.write_all(&hello).unwrap();
+    lying.read_exact(&mut server_hello).unwrap();
+    lying.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let (_, resp) = read_one(&mut lying);
+    assert!(
+        matches!(resp, Response::Error(WireError::TooLarge { .. })),
+        "{resp:?}"
+    );
+    let mut scratch = [0u8; 1];
+    assert_eq!(
+        lying.read(&mut scratch).unwrap(),
+        0,
+        "connection stayed open"
+    );
+
+    // 5. A client with a bad magic is closed before any frame.
+    let mut imposter = TcpStream::connect(addr).unwrap();
+    imposter.write_all(b"HTTP/1.1").unwrap();
+    let mut sink = Vec::new();
+    // The server sends its hello (so real-but-mismatched peers can
+    // diagnose) and closes; nothing else arrives.
+    imposter.read_to_end(&mut sink).unwrap();
+    assert!(sink.len() <= protocol::HELLO_LEN);
+
+    // The original well-behaved connection *still* works.
+    let mut body = Vec::new();
+    protocol::encode_request(79, &Request::Ping, &mut body);
+    let mut framed = Vec::new();
+    protocol::encode_frame(&body, &mut framed);
+    raw.write_all(&framed).unwrap();
+    let (id, resp) = read_one(&mut raw);
+    assert_eq!((id, resp), (79, Response::Pong));
+
+    let stats = server.shutdown();
+    assert!(stats.errors >= 2, "{stats:?}");
+}
+
+/// Batches over the configured pair cap are refused with `TooLarge`
+/// without killing the connection.
+#[test]
+fn oversized_batches_are_refused_frame_scoped() {
+    let server = DistanceServer::start(
+        Arc::new(line_index(2)),
+        "127.0.0.1:0",
+        NetConfig {
+            max_batch_pairs: 4,
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = DistanceClient::connect(server.local_addr()).unwrap();
+    let err = client.distance_batch(&[(0, 1); 5]).unwrap_err();
+    assert!(
+        matches!(&err, NetError::Remote(WireError::TooLarge { .. })),
+        "{err:?}"
+    );
+    assert_eq!(
+        client.distance_batch(&[(0, 1); 4]).unwrap(),
+        vec![Some(2); 4]
+    );
+    server.shutdown();
+}
+
+/// Once a drain has been requested, work-carrying opcodes are refused
+/// with the documented `ShuttingDown` code while Ping/Stats stay
+/// answerable, and the refusal round-trips as a typed remote error.
+#[test]
+fn draining_server_refuses_queries_with_shutting_down() {
+    let server =
+        DistanceServer::start(Arc::new(line_index(2)), "127.0.0.1:0", NetConfig::default())
+            .unwrap();
+    let mut client = DistanceClient::connect(server.local_addr()).unwrap();
+    assert_eq!(client.distance(0, 2).unwrap(), Some(4));
+
+    server.request_shutdown();
+    let err = client.distance(0, 2).unwrap_err();
+    assert!(
+        matches!(&err, NetError::Remote(WireError::ShuttingDown)),
+        "{err:?}"
+    );
+    // Observability opcodes keep working so clients can see the drain.
+    client.ping().unwrap();
+    assert!(client.stats().unwrap().queries >= 1);
+    server.shutdown();
+}
+
+/// A request that would exceed the frame cap is rejected locally, before
+/// anything hits the wire, with a typed error instead of a dead socket.
+#[test]
+fn oversized_outbound_requests_are_rejected_client_side() {
+    let server =
+        DistanceServer::start(Arc::new(line_index(2)), "127.0.0.1:0", NetConfig::default())
+            .unwrap();
+    let mut client = DistanceClient::connect(server.local_addr()).unwrap();
+    let huge: Vec<(VertexId, VertexId)> = vec![(0, 1); 200_000]; // > 1 MiB encoded
+    let err = client.distance_batch(&huge).unwrap_err();
+    assert!(matches!(&err, NetError::FrameTooLarge { .. }), "{err:?}");
+    // The connection is untouched: nothing was sent.
+    assert_eq!(client.distance(0, 2).unwrap(), Some(4));
+    server.shutdown();
+}
+
+/// The wire `Stats` opcode reports real percentiles and counters.
+#[test]
+fn wire_stats_report_latency_percentiles() {
+    let g = erdos_renyi_gnm(150, 400, WeightModel::UniformRange(1, 6), 0x33);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let server =
+        DistanceServer::start(Arc::new(index), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let mut client = DistanceClient::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    for &(s, t) in pair_mix(150, 50).iter() {
+        client.distance(s, t).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.engine, "islabel");
+    assert_eq!(stats.num_vertices, 150);
+    assert_eq!(stats.queries, 50);
+    assert_eq!(stats.connections_active, 1);
+    // The wire fields are µs-truncated (0 is legitimate for sub-µs
+    // queries on a fast machine); the nanosecond-precision histogram
+    // behind them is what must prove real observations.
+    assert!(stats.p99_us >= stats.p50_us);
+    let server_stats = server.shutdown();
+    assert_eq!(server_stats.latency.count(), 50);
+    assert!(server_stats.latency.p50() > std::time::Duration::ZERO);
+}
