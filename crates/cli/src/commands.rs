@@ -2,9 +2,11 @@
 
 use crate::args::Args;
 use islabel_baselines::{build_oracle, Engine};
-use islabel_core::persist::{load_index_from_path, try_save_index_to_path};
+use islabel_core::persist::{
+    compact_index_with_wal, load_index_from_path, load_index_with_wal, try_save_index_to_path,
+};
 use islabel_core::{
-    BatchOptions, BuildConfig, DistanceOracle, IsLabelIndex, KSelection, QueryError,
+    BatchOptions, BuildConfig, DistanceOracle, IsLabelIndex, KSelection, QueryError, WalRecovery,
 };
 use islabel_extmem::storage::Storage as _;
 use islabel_graph::algo::stats::{human_bytes, human_count};
@@ -31,9 +33,14 @@ USAGE:
                   [--clients N] [--requests N] [--batch B] [--seed S]
                   [--smoke]
     islabel serve <index.islx | graph> --listen ADDR [--engine E]
-                  [--no-reload]                      (TCP server; see README)
-    islabel remote-query <ADDR> [s t] [--ping] [--stats]
-                  [--reload PATH] [--shutdown]
+                  [--no-reload] [--admin-token T] [--wal WAL]
+                                                     (TCP server; see README)
+    islabel remote-query <ADDR> [s t] [--ping] [--stats] [--token T]
+                  [--reload PATH] [--compact] [--shutdown]
+    islabel ingest <index.islx> --wal WAL [--ops N] [--seed S]
+                  [--sleep-ms MS]       (apply WAL-logged random updates)
+    islabel recover <index.islx> --wal WAL [--check]
+    islabel compact <index.islx> --wal WAL   (fold the WAL into a rebuild)
     islabel stats <index.islx | graph>
 
 ENGINES (for graph inputs; an .islx artifact is always an IS-LABEL index):
@@ -56,6 +63,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "bench" => bench(rest),
         "serve" => serve(rest),
         "remote-query" => remote_query(rest),
+        "ingest" => ingest(rest),
+        "recover" => recover(rest),
+        "compact" => compact(rest),
         "stats" => stats(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -360,7 +370,15 @@ fn serve(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(
         argv,
         &[
-            "engine", "shards", "clients", "requests", "batch", "seed", "listen",
+            "engine",
+            "shards",
+            "clients",
+            "requests",
+            "batch",
+            "seed",
+            "listen",
+            "admin-token",
+            "wal",
         ],
     )?;
     args.reject_unknown_flags(&["smoke", "no-reload"])?;
@@ -383,6 +401,19 @@ fn serve(argv: &[String]) -> Result<(), String> {
                 ));
             }
         }
+    } else {
+        for opt in ["admin-token", "wal"] {
+            if args.opt(opt).is_some() {
+                return Err(format!("--{opt} applies to the --listen wire server only"));
+            }
+        }
+    }
+    // Wire compaction rebuilds from the on-disk artifact + WAL pair, so it
+    // needs an .islx input, not an engine built in memory from a graph.
+    if args.opt("wal").is_some() && !args.pos(0, "input").is_ok_and(|p| p.ends_with(".islx")) {
+        return Err(
+            "--wal needs an .islx index input (compaction rebuilds from the artifact)".into(),
+        );
     }
 
     let loaded = match args.pos(0, "index or graph path") {
@@ -416,7 +447,19 @@ fn serve(argv: &[String]) -> Result<(), String> {
     }
 
     if let Some(listen) = args.opt("listen") {
-        return serve_listen(oracle, listen, !args.flag("no-reload"));
+        let wal = args.opt("wal").map(|wal| {
+            (
+                args.pos(0, "index path").unwrap().to_string(),
+                wal.to_string(),
+            )
+        });
+        return serve_listen(
+            oracle,
+            listen,
+            !args.flag("no-reload"),
+            args.opt("admin-token"),
+            wal,
+        );
     }
 
     let shards: usize = args
@@ -565,17 +608,34 @@ fn serve_listen(
     oracle: std::sync::Arc<dyn DistanceOracle>,
     listen: &str,
     allow_reload: bool,
+    admin_token: Option<&str>,
+    wal: Option<(String, String)>,
 ) -> Result<(), String> {
     let config = NetConfig {
         allow_reload,
+        admin_token: admin_token.map(str::to_string),
         ..NetConfig::default()
     };
     let server =
         DistanceServer::start(oracle, listen, config).map_err(|e| format!("bind {listen}: {e}"))?;
+    if let Some((index_path, wal_path)) = &wal {
+        server.set_coordinator(std::sync::Arc::new(islabel_serve::RebuildCoordinator::new(
+            std::sync::Arc::clone(server.handle()),
+            index_path,
+            wal_path,
+            BuildConfig::default(),
+        )));
+        println!("wire compaction enabled over {index_path} + {wal_path}");
+    }
     println!(
-        "listening on {} (reload {}); stop with `islabel remote-query {} --shutdown`",
+        "listening on {} (reload {}, admin token {}); stop with `islabel remote-query {} --shutdown`",
         server.local_addr(),
         if allow_reload { "enabled" } else { "disabled" },
+        if admin_token.is_some() {
+            "required"
+        } else {
+            "open"
+        },
         server.local_addr()
     );
     server.wait_for_shutdown_request();
@@ -594,16 +654,25 @@ fn serve_listen(
 }
 
 /// Client-side operations against a running `serve --listen` server:
-/// optional `s t` query plus `--ping`, `--stats`, `--reload PATH` and
-/// `--shutdown` admin calls, executed in that order.
+/// optional `s t` query plus `--ping`, `--stats`, `--reload PATH`,
+/// `--compact` and `--shutdown` admin calls, executed in that order.
+/// `--token` presents the server's admin secret in the hello.
 fn remote_query(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["reload"])?;
-    args.reject_unknown_flags(&["ping", "stats", "shutdown"])?;
+    let args = Args::parse(argv, &["reload", "token"])?;
+    args.reject_unknown_flags(&["ping", "stats", "shutdown", "compact"])?;
     let addr = args.pos(0, "server address (host:port)")?;
-    let mut client = DistanceClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    // A wedged or partitioned server must not hang the CLI forever.
+    let mut client = match args.opt("token") {
+        Some(token) => DistanceClient::connect_with_token(addr, token),
+        None => DistanceClient::connect(addr),
+    }
+    .map_err(|e| format!("connect {addr}: {e}"))?;
+    // A wedged or partitioned server must not hang the CLI forever; a
+    // compaction rebuild legitimately takes a while, so the bound is
+    // generous rather than tight.
     client
-        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .set_read_timeout(Some(std::time::Duration::from_secs(
+            if args.flag("compact") { 600 } else { 30 },
+        )))
         .map_err(|e| e.to_string())?;
 
     if args.flag("ping") {
@@ -629,6 +698,14 @@ fn remote_query(argv: &[String]) -> Result<(), String> {
         let (version, num_vertices) = client.reload(path).map_err(|e| e.to_string())?;
         println!("reloaded {path}: snapshot generation {version}, {num_vertices} vertices");
     }
+    if args.flag("compact") {
+        let t0 = Instant::now();
+        let (version, num_vertices) = client.compact().map_err(|e| e.to_string())?;
+        println!(
+            "compacted: snapshot generation {version}, {num_vertices} vertices   [{:.2?}]",
+            t0.elapsed()
+        );
+    }
     if args.flag("stats") {
         let s = client.stats().map_err(|e| e.to_string())?;
         println!("server stats ({addr})");
@@ -649,6 +726,199 @@ fn remote_query(argv: &[String]) -> Result<(), String> {
         client.shutdown_server().map_err(|e| e.to_string())?;
         println!("shutdown acknowledged");
     }
+    Ok(())
+}
+
+fn describe_recovery(r: &WalRecovery) -> String {
+    let mut notes = Vec::new();
+    if r.created {
+        notes.push("log created".to_string());
+    }
+    if r.discarded_stale {
+        notes.push("stale-epoch log discarded".to_string());
+    }
+    if r.truncated {
+        notes.push("torn tail truncated".to_string());
+    }
+    if notes.is_empty() {
+        format!("{} op(s) replayed from WAL", r.replayed)
+    } else {
+        format!(
+            "{} op(s) replayed from WAL ({})",
+            r.replayed,
+            notes.join(", ")
+        )
+    }
+}
+
+/// Picks a live (not deleted) vertex, or `None` when the sampler keeps
+/// hitting tombstones.
+fn pick_live(rng: &mut StdRng, index: &IsLabelIndex) -> Option<VertexId> {
+    let n = index.num_vertices() as VertexId;
+    (0..64)
+        .map(|_| rng.gen_range(0..n))
+        .find(|&v| !index.is_vertex_deleted(v))
+}
+
+/// `ingest INDEX --wal WAL`: attach the log and stream a synthetic update
+/// workload (~70% edge inserts, ~20% vertex inserts, ~10% deletions)
+/// through the WAL-backed mutation path. The index is intentionally
+/// *never* re-saved: durability of the applied ops comes from the log
+/// alone, which is exactly what `recover` (and the CI crash smoke, which
+/// `kill -9`s this command mid-stream) exercises.
+fn ingest(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["wal", "ops", "seed", "sleep-ms"])?;
+    args.reject_unknown_flags(&[])?;
+    let index_path = args.pos(0, "index path (.islx)")?;
+    let wal_path = args.opt("wal").ok_or("missing --wal <path>")?;
+    let ops: usize = args.opt_parse("ops")?.unwrap_or(1000);
+    let seed: u64 = args.opt_parse("seed")?.unwrap_or(42);
+    let sleep_ms: u64 = args.opt_parse("sleep-ms")?.unwrap_or(0);
+
+    let (mut index, recovery) = load_index_with_wal(index_path, wal_path)
+        .map_err(|e| format!("load {index_path} + {wal_path}: {e}"))?;
+    println!(
+        "ingesting into {index_path} ({} vertices, {})",
+        human_count(index.num_vertices()),
+        describe_recovery(&recovery)
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = [0usize; 3]; // edges, vertices, deletions
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        let roll: u32 = rng.gen_range(0..100);
+        if roll < 70 {
+            let (Some(a), Some(b)) = (pick_live(&mut rng, &index), pick_live(&mut rng, &index))
+            else {
+                continue;
+            };
+            if a == b {
+                continue;
+            }
+            let w = rng.gen_range(1..=10);
+            index.try_insert_edge(a, b, w).map_err(|e| e.to_string())?;
+            counts[0] += 1;
+        } else if roll < 90 {
+            let degree = rng.gen_range(1..=3);
+            let edges: Vec<(VertexId, islabel_graph::Weight)> = (0..degree)
+                .filter_map(|_| pick_live(&mut rng, &index).map(|v| (v, rng.gen_range(1..=10))))
+                .collect();
+            if edges.is_empty() {
+                continue;
+            }
+            index.try_insert_vertex(&edges).map_err(|e| e.to_string())?;
+            counts[1] += 1;
+        } else {
+            let Some(v) = pick_live(&mut rng, &index) else {
+                continue;
+            };
+            index.try_delete_vertex(v).map_err(|e| e.to_string())?;
+            counts[2] += 1;
+        }
+        if sleep_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+        }
+    }
+    let took = t0.elapsed();
+    let applied: usize = counts.iter().sum();
+    println!(
+        "applied {applied} op(s) ({} edge inserts, {} vertex inserts, {} deletions) \
+         in {took:.2?} ({:.0} ops/sec); stale: {}",
+        counts[0],
+        counts[1],
+        counts[2],
+        applied as f64 / took.as_secs_f64().max(1e-9),
+        index.is_stale()
+    );
+    println!(
+        "pending ops now {}; durable in {wal_path}",
+        index.pending_ops()
+    );
+    Ok(())
+}
+
+/// `recover INDEX --wal WAL [--check]`: replay the log against the
+/// artifact and report what recovery did. `--check` cross-validates the
+/// recovered overlay: session answers must equal the direct query path,
+/// and (while the index is not stale) both must equal a from-scratch
+/// Dijkstra on the materialized current graph. Any mismatch fails the
+/// command — the CI crash smoke turns that into a red build.
+fn recover(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["wal"])?;
+    args.reject_unknown_flags(&["check"])?;
+    let index_path = args.pos(0, "index path (.islx)")?;
+    let wal_path = args.opt("wal").ok_or("missing --wal <path>")?;
+    let (index, recovery) = load_index_with_wal(index_path, wal_path)
+        .map_err(|e| format!("load {index_path} + {wal_path}: {e}"))?;
+    println!(
+        "recovered {index_path}: {} vertices, {} pending op(s), {}; stale: {}",
+        human_count(index.num_vertices()),
+        index.pending_ops(),
+        describe_recovery(&recovery),
+        index.is_stale()
+    );
+    if args.flag("check") {
+        let g = index.current_graph();
+        let mut session = index.session();
+        let n = index.num_vertices();
+        let mut checked = 0usize;
+        for i in 0..400usize {
+            let (s, t) = (((i * 13) % n) as VertexId, ((i * 29 + 7) % n) as VertexId);
+            if index.is_vertex_deleted(s) || index.is_vertex_deleted(t) {
+                continue;
+            }
+            let direct = index.try_distance(s, t).map_err(|e| e.to_string())?;
+            let served = session.distance(s, t).map_err(|e| e.to_string())?;
+            if served != direct {
+                return Err(format!(
+                    "recover check failed: dist({s}, {t}) session {served:?} != direct {direct:?}"
+                ));
+            }
+            if !index.is_stale() {
+                let exact = islabel_core::reference::dijkstra_p2p(&g, s, t);
+                if direct != exact {
+                    return Err(format!(
+                        "recover check failed: dist({s}, {t}) index {direct:?} != reference {exact:?}"
+                    ));
+                }
+            }
+            checked += 1;
+        }
+        println!(
+            "check OK: {checked} pair(s) agree across session, direct and {} paths",
+            if index.is_stale() {
+                "(stale; reference skipped)"
+            } else {
+                "reference"
+            }
+        );
+    }
+    Ok(())
+}
+
+/// `compact INDEX --wal WAL`: offline rebuild-then-truncate — fold the
+/// artifact's sealed ops plus the WAL tail into a fresh pristine index,
+/// persist it atomically, then reset the log (same ordering as the live
+/// `RebuildCoordinator`).
+fn compact(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["wal"])?;
+    args.reject_unknown_flags(&[])?;
+    let index_path = args.pos(0, "index path (.islx)")?;
+    let wal_path = args.opt("wal").ok_or("missing --wal <path>")?;
+    let t0 = Instant::now();
+    let info = compact_index_with_wal(index_path, wal_path)
+        .map_err(|e| format!("compact {index_path} + {wal_path}: {e}"))?;
+    println!(
+        "compacted {index_path}: folded {} op(s) ({} from WAL) into a pristine index of \
+         {} vertices / {} edges (epoch {:#x}) in {:.2?}",
+        info.folded_ops,
+        info.replayed_ops,
+        human_count(info.num_vertices),
+        human_count(info.num_edges),
+        info.epoch,
+        t0.elapsed()
+    );
     Ok(())
 }
 
@@ -915,6 +1185,109 @@ mod tests {
         server.join().unwrap().unwrap();
         std::fs::remove_file(&graph).ok();
         std::fs::remove_file(&index).ok();
+    }
+
+    #[test]
+    fn ingest_recover_compact_lifecycle() {
+        let graph = tmp("wal.isgb");
+        let index = tmp("wal.islx");
+        let wal = tmp("wal.wal");
+        run(&["gen", "google", "--scale", "tiny", "-o", &graph]).unwrap();
+        run(&["build", &graph, "-o", &index]).unwrap();
+
+        // Stream a logged workload, then prove recovery from artifact+WAL.
+        run(&[
+            "ingest", &index, "--wal", &wal, "--ops", "60", "--seed", "7",
+        ])
+        .unwrap();
+        run(&["recover", &index, "--wal", &wal, "--check"]).unwrap();
+        // A second ingest resumes the same log instead of restarting it.
+        run(&[
+            "ingest", &index, "--wal", &wal, "--ops", "40", "--seed", "8",
+        ])
+        .unwrap();
+        run(&["recover", &index, "--wal", &wal, "--check"]).unwrap();
+
+        // Fold everything back into a pristine pair; afterwards recovery
+        // replays nothing and the check still holds.
+        run(&["compact", &index, "--wal", &wal]).unwrap();
+        run(&["recover", &index, "--wal", &wal, "--check"]).unwrap();
+
+        // Missing --wal is a clean CLI error on all three commands.
+        for cmd in ["ingest", "recover", "compact"] {
+            let err = run(&[cmd, &index]).unwrap_err();
+            assert!(err.contains("--wal"), "{cmd}: {err}");
+        }
+        for f in [&graph, &index, &wal] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn wire_admin_token_gates_compact_and_shutdown() {
+        let graph = tmp("tok.isgb");
+        let index = tmp("tok.islx");
+        let wal = tmp("tok.wal");
+        run(&["gen", "google", "--scale", "tiny", "-o", &graph]).unwrap();
+        run(&["build", &graph, "-o", &index]).unwrap();
+        run(&[
+            "ingest", &index, "--wal", &wal, "--ops", "20", "--seed", "3",
+        ])
+        .unwrap();
+
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let server = {
+            let (index, wal, addr) = (index.clone(), wal.clone(), addr.clone());
+            std::thread::spawn(move || {
+                run(&[
+                    "serve",
+                    &index,
+                    "--listen",
+                    &addr,
+                    "--admin-token",
+                    "hunter2",
+                    "--wal",
+                    &wal,
+                ])
+            })
+        };
+        let mut attempts = 0;
+        loop {
+            match run(&["remote-query", &addr, "0", "5", "--ping"]) {
+                Ok(()) => break,
+                Err(e) if attempts < 50 => {
+                    assert!(e.contains("connect"), "unexpected failure: {e}");
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                Err(e) => panic!("server never came up: {e}"),
+            }
+        }
+        // Queries flow without the token; admin opcodes do not.
+        let err = run(&["remote-query", &addr, "--compact"]).unwrap_err();
+        assert!(err.contains("admin"), "{err}");
+        let err = run(&["remote-query", &addr, "--shutdown"]).unwrap_err();
+        assert!(err.contains("admin"), "{err}");
+        // With the token, compaction folds the WAL and swaps the snapshot.
+        run(&["remote-query", &addr, "--token", "hunter2", "--compact"]).unwrap();
+        run(&["remote-query", &addr, "--token", "hunter2", "--shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
+
+        // The on-disk pair is pristine after the wire compaction.
+        run(&["recover", &index, "--wal", &wal, "--check"]).unwrap();
+        for f in [&graph, &index, &wal] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn serve_listen_flags_are_validated() {
+        let err = run(&["serve", "--smoke", "--admin-token", "x"]).unwrap_err();
+        assert!(err.contains("--listen"), "{err}");
+        let err = run(&["serve", "g.isgb", "--listen", "127.0.0.1:0", "--wal", "w"]).unwrap_err();
+        assert!(err.contains(".islx"), "{err}");
     }
 
     #[test]

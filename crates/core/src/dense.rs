@@ -40,6 +40,18 @@ use islabel_graph::{CsrGraph, Dist, VertexId, Weight, INF};
 /// Sentinel for "vertex is not in `G_k`" in [`GkIdMap`]'s forward array.
 pub const NO_DENSE: u32 = u32::MAX;
 
+/// Read access to a dense adjacency over compact ids — what the kernel
+/// actually requires of its graph. Implemented by the pristine [`DenseCsr`]
+/// and by [`PatchedDense`] (base CSR plus a dynamic-update
+/// [`DensePatch`]), so the same allocation-free search serves both.
+pub trait DenseView {
+    /// Number of compact vertices (the dense id range).
+    fn num_vertices(&self) -> usize;
+
+    /// Iterates `(dense_neighbor, weight)` pairs of compact vertex `d`.
+    fn edges_of(&self, d: u32) -> impl Iterator<Item = (u32, Weight)> + '_;
+}
+
 /// A bidirectional mapping between global vertex ids and compact `G_k` ids
 /// `0..|G_k|`, built once per index.
 ///
@@ -181,6 +193,120 @@ impl DenseCsr {
         self.offsets.len() * std::mem::size_of::<u32>()
             + self.targets.len() * std::mem::size_of::<u32>()
             + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+}
+
+impl DenseView for DenseCsr {
+    fn num_vertices(&self) -> usize {
+        DenseCsr::num_vertices(self)
+    }
+
+    fn edges_of(&self, d: u32) -> impl Iterator<Item = (u32, Weight)> + '_ {
+        DenseCsr::edges_of(self, d)
+    }
+}
+
+/// Dynamic-update deltas remapped into compact-id space: an append-only
+/// *tail* of dense ids for inserted vertices, a tombstone bitmap for
+/// deletions, and per-vertex extra adjacency — what lets a moderately
+/// updated index stay on the zero-alloc dense kernel instead of falling
+/// back to the hashmap kernel.
+///
+/// Tail ids extend the base mapping order-preservingly: inserted global id
+/// `base_n + j` becomes dense id `base_len + j`, so the combined dense id
+/// order is still the global id order and the heap tie-breaking of
+/// [`dense_bi_dijkstra`] stays identical to the hashmap kernel's.
+#[derive(Debug, Clone, Default)]
+pub struct DensePatch {
+    /// Number of base compact ids; tail ids start here.
+    base_len: u32,
+    /// Number of appended (inserted-vertex) ids.
+    tail: u32,
+    /// Tombstone bitmap over `base_len + tail` dense ids.
+    dead: Vec<u64>,
+    /// Extra adjacency per dense id, push order preserved.
+    extra: Vec<Vec<(u32, Weight)>>,
+}
+
+impl DensePatch {
+    /// An empty patch over `base_len` base ids plus `tail` appended ids.
+    pub fn new(base_len: usize, tail: usize) -> Self {
+        let m = base_len + tail;
+        Self {
+            base_len: base_len as u32,
+            tail: tail as u32,
+            dead: vec![0u64; m.div_ceil(64)],
+            extra: vec![Vec::new(); m],
+        }
+    }
+
+    /// Total dense id range (base plus tail).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        (self.base_len + self.tail) as usize
+    }
+
+    /// Number of appended (inserted-vertex) dense ids.
+    pub fn tail(&self) -> u32 {
+        self.tail
+    }
+
+    /// Tombstones dense id `d`.
+    pub fn mark_dead(&mut self, d: u32) {
+        self.dead[(d / 64) as usize] |= 1u64 << (d % 64);
+    }
+
+    /// Whether dense id `d` is tombstoned.
+    #[inline]
+    pub fn is_dead(&self, d: u32) -> bool {
+        (self.dead[(d / 64) as usize] >> (d % 64)) & 1 == 1
+    }
+
+    /// Appends an extra (directed) adjacency entry to `from`'s list.
+    pub fn push_edge(&mut self, from: u32, to: u32, w: Weight) {
+        self.extra[from as usize].push((to, w));
+    }
+
+    /// Longest extra adjacency list (used to pre-size seed buffers).
+    pub fn max_extra_len(&self) -> usize {
+        self.extra.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    #[inline]
+    fn extra_of(&self, d: u32) -> &[(u32, Weight)] {
+        &self.extra[d as usize]
+    }
+}
+
+/// A [`DenseView`] of the base compact CSR with a [`DensePatch`] applied:
+/// a vertex's base adjacency first, then the patch's extra adjacency in
+/// push order, with tombstoned endpoints filtered — the dense mirror,
+/// edge for edge and in the same iteration order, of the sparse overlay
+/// residual view the hashmap fallback searches.
+#[derive(Debug, Clone, Copy)]
+pub struct PatchedDense<'a> {
+    /// The pristine base adjacency (dense ids `0..base_len`).
+    pub base: &'a DenseCsr,
+    /// The dynamic-update deltas.
+    pub patch: &'a DensePatch,
+}
+
+impl DenseView for PatchedDense<'_> {
+    fn num_vertices(&self) -> usize {
+        self.patch.num_vertices()
+    }
+
+    fn edges_of(&self, d: u32) -> impl Iterator<Item = (u32, Weight)> + '_ {
+        let alive = !self.patch.is_dead(d);
+        let base = (alive && d < self.patch.base_len)
+            .then(|| self.base.edges_of(d))
+            .into_iter()
+            .flatten();
+        let extra = alive
+            .then(|| self.patch.extra_of(d).iter().copied())
+            .into_iter()
+            .flatten();
+        base.chain(extra).filter(|&(u, _)| !self.patch.is_dead(u))
     }
 }
 
@@ -507,10 +633,12 @@ impl DenseScratch {
 /// [`crate::query::label_bi_dijkstra_directed_in`] exactly, including the
 /// settle-time µ tightening and the `min(FQ) + min(RQ) ≥ µ` cutoff; the
 /// conformance suite asserts bit-identical `(dist, meeting, settled)`
-/// against the hashmap kernel.
-pub fn dense_bi_dijkstra(
-    fwd: &DenseCsr,
-    rev: &DenseCsr,
+/// against the hashmap kernel. Generic over [`DenseView`], so the same
+/// code path serves the pristine [`DenseCsr`] and the dynamic-update
+/// [`PatchedDense`].
+pub fn dense_bi_dijkstra<G: DenseView>(
+    fwd: &G,
+    rev: &G,
     fseeds: &[(u32, Dist)],
     rseeds: &[(u32, Dist)],
     mu0: Dist,
@@ -628,12 +756,12 @@ pub fn dense_bi_dijkstra(
 /// `s` and the in-label of `t` for a directed query) so the seed handling
 /// cannot drift between them.
 #[allow(clippy::too_many_arguments)]
-pub fn seeded_search(
+pub fn seeded_search<G: DenseView>(
     ls: crate::label::LabelView<'_>,
     lt: crate::label::LabelView<'_>,
     ids: &GkIdMap,
-    fwd: &DenseCsr,
-    rev: &DenseCsr,
+    fwd: &G,
+    rev: &G,
     fseeds: &mut Vec<(u32, Dist)>,
     rseeds: &mut Vec<(u32, Dist)>,
     scratch: &mut DenseScratch,

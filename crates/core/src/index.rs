@@ -1,17 +1,42 @@
 //! The public IS-LABEL index for undirected graphs.
 
 use crate::config::BuildConfig;
-use crate::dense::{globalize_outcome, seeded_search, DenseGk, DenseScratch};
+use crate::dense::{
+    dense_bi_dijkstra, globalize_outcome, seeded_search, DenseGk, DensePatch, DenseScratch,
+    PatchedDense,
+};
 use crate::hierarchy::VertexHierarchy;
 use crate::label::LabelSet;
 use crate::oracle::{check_vertex, BatchOptions, DistanceOracle, Error, QueryError, QuerySession};
+use crate::persist::wal::{scan_wal, WalRecovery, WalWriter, WAL_HEADER_LEN};
 use crate::query::{
     intersect_min, label_bi_dijkstra, Meeting, QueryType, SearchParams, SearchResult,
 };
 use crate::stats::IndexStats;
-use crate::updates::Overlay;
+use crate::updates::{Overlay, UpdateOp};
 use islabel_graph::{CsrGraph, Dist, VertexId, Weight, INF};
+use std::path::Path;
 use std::time::Instant;
+
+/// Default `fsync` batching for an attached write-ahead log: sync every
+/// this many appended records (see [`IsLabelIndex::attach_wal_with`]).
+pub const DEFAULT_WAL_SYNC_EVERY: u32 = 32;
+
+/// Mints an artifact-lineage epoch: unique per build within a process
+/// (atomic sequence) and essentially unique across processes (wall-clock
+/// nanoseconds mixed in). Stored in the `.islx` header and the WAL header
+/// so recovery can tell whether a log belongs to the artifact next to it.
+fn mint_epoch() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    nanos
+        ^ SEQ
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
 
 /// Outcome of a detailed query (see [`IsLabelIndex::query`]).
 #[derive(Debug)]
@@ -66,6 +91,12 @@ pub struct IsLabelIndex {
     config: BuildConfig,
     stats: IndexStats,
     pub(crate) overlay: Overlay,
+    /// Identifies this index's build lineage; a WAL with a different epoch
+    /// belongs to a different base state and is never replayed here.
+    artifact_epoch: u64,
+    /// Attached write-ahead log, if any: every mutation is appended here
+    /// *before* it is applied (see [`IsLabelIndex::attach_wal`]).
+    wal: Option<WalWriter>,
 }
 
 impl IsLabelIndex {
@@ -112,6 +143,8 @@ impl IsLabelIndex {
             config,
             stats,
             overlay,
+            artifact_epoch: mint_epoch(),
+            wal: None,
         })
     }
 
@@ -136,6 +169,8 @@ impl IsLabelIndex {
             config,
             stats,
             overlay,
+            artifact_epoch: mint_epoch(),
+            wal: None,
         }
     }
 
@@ -401,13 +436,35 @@ impl IsLabelIndex {
     /// dense scratch is fully pre-sized against `|G_k|` and the seed
     /// buffers against the longest label, so steady-state queries perform
     /// zero heap allocations (asserted by the `alloc_free` test).
+    ///
+    /// Indexes carrying dynamic updates stay on the dense kernel too: the
+    /// session snapshots the overlay into a [`DensePatch`] (inserted-vertex
+    /// tail plus tombstones) at open time, sizes every buffer for the
+    /// patched universe, and queries run against the patched view — still
+    /// allocation-free in steady state. The session is a point-in-time
+    /// view; reopen it after further mutations.
     pub fn session(&self) -> IsLabelSession<'_> {
-        let seed_cap = self.labels.max_label_len();
+        let overlay = (!self.overlay.is_pristine()).then(|| {
+            let patch = self.overlay.dense_patch(self.dense.ids());
+            let label_cap = self.labels.max_label_len() + self.overlay.max_patch_len();
+            OverlayDense {
+                patch,
+                anc_s: Vec::with_capacity(label_cap),
+                dist_s: Vec::with_capacity(label_cap),
+                anc_t: Vec::with_capacity(label_cap),
+                dist_t: Vec::with_capacity(label_cap),
+            }
+        });
+        let seed_cap = self.labels.max_label_len() + self.overlay.max_patch_len();
+        let scratch_len = overlay
+            .as_ref()
+            .map_or(self.dense.ids().len(), |od| od.patch.num_vertices());
         IsLabelSession {
             index: self,
-            scratch: DenseScratch::new(self.dense.ids().len()),
+            scratch: DenseScratch::new(scratch_len),
             fseeds: Vec::with_capacity(seed_cap),
             rseeds: Vec::with_capacity(seed_cap),
+            overlay,
         }
     }
 
@@ -435,26 +492,243 @@ impl IsLabelIndex {
 
     // ---------------------------------------------------------------------
     // Dynamic updates (Section 8.3) — lazy, upper-bound semantics; see the
-    // `updates` module docs for the exact guarantees.
+    // `updates` module docs for the exact guarantees — and their
+    // durability (write-ahead logging; see `persist::wal`).
     // ---------------------------------------------------------------------
 
     /// Inserts a new vertex with the given adjacency, returning its id. The
     /// new vertex joins `G_k`; labels of affected descendants are patched
     /// (paper Section 8.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input (out-of-range or deleted neighbor,
+    /// non-positive weight) or if an attached WAL fails to append; use
+    /// [`IsLabelIndex::try_insert_vertex`] for typed I/O errors.
     pub fn insert_vertex(&mut self, edges: &[(VertexId, Weight)]) -> VertexId {
-        Overlay::insert_vertex(self, edges)
+        self.try_insert_vertex(edges)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`insert_vertex`](IsLabelIndex::insert_vertex) with typed WAL I/O
+    /// errors ([`Error::Persist`]): the op is appended to the attached log
+    /// (if any) *before* it is applied, so a crash directly after `Ok`
+    /// cannot lose it. Invalid input still panics — it is a programmer
+    /// error, not an I/O condition — and an op that fails the append is
+    /// *not* applied, keeping log and overlay in lockstep.
+    pub fn try_insert_vertex(&mut self, edges: &[(VertexId, Weight)]) -> Result<VertexId, Error> {
+        let op = UpdateOp::InsertVertex {
+            edges: edges.to_vec(),
+        };
+        // Validate before logging: an op that would panic on application
+        // must never reach the log (replay could not apply it).
+        if let Err(msg) = op.validate(&self.overlay) {
+            panic!("{msg}");
+        }
+        self.wal_append(&op)?;
+        Ok(Overlay::insert_vertex(self, edges))
     }
 
     /// Inserts an edge between two existing vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid input or a WAL append failure; see
+    /// [`IsLabelIndex::try_insert_edge`].
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        self.try_insert_edge(u, v, w)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`insert_edge`](IsLabelIndex::insert_edge) with typed WAL I/O errors
+    /// (log-before-apply; same contract as
+    /// [`IsLabelIndex::try_insert_vertex`]).
+    pub fn try_insert_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> Result<(), Error> {
+        let op = UpdateOp::InsertEdge { a: u, b: v, w };
+        if let Err(msg) = op.validate(&self.overlay) {
+            panic!("{msg}");
+        }
+        self.wal_append(&op)?;
         Overlay::insert_edge(self, u, v, w);
+        Ok(())
     }
 
     /// Deletes a vertex. Queries touching it return `None` afterwards.
     /// Deleting a vertex that was peeled into the hierarchy marks the index
     /// *stale* (see [`IsLabelIndex::is_stale`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or on a WAL append failure; see
+    /// [`IsLabelIndex::try_delete_vertex`].
     pub fn delete_vertex(&mut self, v: VertexId) {
+        self.try_delete_vertex(v).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`delete_vertex`](IsLabelIndex::delete_vertex) with typed WAL I/O
+    /// errors. Idempotent: re-deleting a deleted vertex is `Ok` and is not
+    /// logged (a consistent log never contains a delete of an
+    /// already-deleted vertex, which lets replay flag such records as
+    /// corruption).
+    pub fn try_delete_vertex(&mut self, v: VertexId) -> Result<(), Error> {
+        assert!(
+            (v as usize) < self.overlay.universe(),
+            "vertex {v} out of range"
+        );
+        if self.overlay.is_deleted(v) {
+            return Ok(());
+        }
+        self.wal_append(&UpdateOp::DeleteVertex { v })?;
         Overlay::delete_vertex(self, v);
+        Ok(())
+    }
+
+    fn wal_append(&mut self, op: &UpdateOp) -> Result<(), Error> {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append(op).map_err(Error::Persist)?;
+        }
+        Ok(())
+    }
+
+    /// Applies one recovered op (sealed section or WAL replay) through the
+    /// normal mutation path, first validating it against the current
+    /// overlay so corrupt records fail cleanly instead of panicking. Never
+    /// touches the attached WAL.
+    pub(crate) fn replay_op(&mut self, op: &UpdateOp) -> Result<(), String> {
+        op.validate(&self.overlay)?;
+        match op {
+            UpdateOp::InsertVertex { edges } => {
+                Overlay::insert_vertex(self, edges);
+            }
+            UpdateOp::InsertEdge { a, b, w } => Overlay::insert_edge(self, *a, *b, *w),
+            UpdateOp::DeleteVertex { v } => Overlay::delete_vertex(self, *v),
+        }
+        Ok(())
+    }
+
+    /// The artifact-lineage epoch: minted at build time, preserved by
+    /// save/load, shared with the paired write-ahead log (see
+    /// [`crate::persist::wal`]).
+    pub fn artifact_epoch(&self) -> u64 {
+        self.artifact_epoch
+    }
+
+    pub(crate) fn set_artifact_epoch(&mut self, epoch: u64) {
+        self.artifact_epoch = epoch;
+    }
+
+    /// Number of pending dynamic updates (the overlay op log length).
+    pub fn pending_ops(&self) -> usize {
+        self.overlay.ops().len()
+    }
+
+    /// Attaches the write-ahead log at `path` with the default `fsync`
+    /// batching ([`DEFAULT_WAL_SYNC_EVERY`]); see
+    /// [`IsLabelIndex::attach_wal_with`].
+    pub fn attach_wal(&mut self, path: impl AsRef<Path>) -> Result<WalRecovery, Error> {
+        self.attach_wal_with(path, DEFAULT_WAL_SYNC_EVERY)
+    }
+
+    /// Attaches (creating or recovering) the write-ahead log at `path`:
+    /// afterwards every mutation is appended to the log *before* it is
+    /// applied, with an `fsync` every `sync_every` records.
+    ///
+    /// The log is reconciled with this index's state first:
+    ///
+    /// * missing / shorter-than-header (a crash during creation) → a fresh
+    ///   log is written, seeded with the overlay's current op history so
+    ///   the pair is self-sufficient;
+    /// * epoch mismatch (the crash window between a compaction's artifact
+    ///   rename and its WAL reset) → the stale log is discarded and
+    ///   recreated — its ops are already folded into this artifact;
+    /// * a log inconsistent with the artifact's sealed op history → rewritten
+    ///   from the current overlay;
+    /// * otherwise the suffix beyond the sealed history is replayed through
+    ///   the mutation path, stopping at the first torn, corrupt, or
+    ///   inapplicable record, and the file is truncated to the last record
+    ///   that survived — recovery restores the exact overlay of some
+    ///   applied prefix, never a wrong one.
+    pub fn attach_wal_with(
+        &mut self,
+        path: impl AsRef<Path>,
+        sync_every: u32,
+    ) -> Result<WalRecovery, Error> {
+        let path = path.as_ref();
+        if !path.exists() {
+            self.recreate_wal(path, sync_every)?;
+            return Ok(WalRecovery {
+                created: true,
+                ..Default::default()
+            });
+        }
+        let Some(scan) = scan_wal(path).map_err(Error::Persist)? else {
+            // Shorter than the header: a crash during creation, before any
+            // op could have been logged. Start over.
+            self.recreate_wal(path, sync_every)?;
+            return Ok(WalRecovery {
+                created: true,
+                ..Default::default()
+            });
+        };
+        if scan.epoch != self.artifact_epoch {
+            self.recreate_wal(path, sync_every)?;
+            return Ok(WalRecovery {
+                created: true,
+                discarded_stale: true,
+                ..Default::default()
+            });
+        }
+        let sealed = self.overlay.ops().len();
+        if scan.ops.len() < sealed || scan.ops[..sealed] != *self.overlay.ops() {
+            // Same lineage but the log diverges from the artifact's sealed
+            // history (e.g. the artifact was re-saved after more ops while
+            // the log was lost): rewrite it from the trusted artifact state.
+            self.recreate_wal(path, sync_every)?;
+            return Ok(WalRecovery {
+                created: true,
+                ..Default::default()
+            });
+        }
+        // Replay the suffix beyond the sealed prefix (those ops are already
+        // in the overlay — replaying them again would double-apply).
+        let mut replayed = 0usize;
+        let mut truncated = scan.truncated_tail;
+        for op in &scan.ops[sealed..] {
+            if self.replay_op(op).is_err() {
+                truncated = true;
+                break;
+            }
+            replayed += 1;
+        }
+        let applied = sealed + replayed;
+        let valid_len = if applied == 0 {
+            WAL_HEADER_LEN
+        } else {
+            scan.offsets[applied - 1]
+        };
+        let writer = WalWriter::resume(path, self.artifact_epoch, sync_every, valid_len)
+            .map_err(Error::Persist)?;
+        self.wal = Some(writer);
+        Ok(WalRecovery {
+            replayed,
+            created: false,
+            discarded_stale: false,
+            truncated,
+        })
+    }
+
+    /// Writes a fresh log at `path` seeded with the overlay's op history.
+    fn recreate_wal(&mut self, path: &Path, sync_every: u32) -> Result<(), Error> {
+        let write = || -> std::io::Result<WalWriter> {
+            let mut w = WalWriter::create(path, self.artifact_epoch, sync_every)?;
+            for op in self.overlay.ops() {
+                w.append(op)?;
+            }
+            w.sync()?;
+            Ok(w)
+        };
+        self.wal = Some(write().map_err(Error::Persist)?);
+        Ok(())
     }
 
     /// Whether lazy deletions may have invalidated some distances (answers
@@ -468,6 +742,14 @@ impl IsLabelIndex {
         !self.overlay.is_pristine()
     }
 
+    /// Whether `v` has been removed by a dynamic [`delete_vertex`]
+    /// (`v` beyond the universe counts as not deleted).
+    ///
+    /// [`delete_vertex`]: IsLabelIndex::delete_vertex
+    pub fn is_vertex_deleted(&self, v: VertexId) -> bool {
+        (v as usize) < self.overlay.universe() && self.overlay.is_deleted(v)
+    }
+
     /// Materializes the current graph (base plus all dynamic updates);
     /// deleted vertices become isolated.
     pub fn current_graph(&self) -> CsrGraph {
@@ -476,6 +758,13 @@ impl IsLabelIndex {
 
     /// Rebuilds the index from the current graph, restoring exactness and
     /// clearing all overlay state.
+    ///
+    /// The rebuilt index starts a fresh artifact lineage (new epoch) and
+    /// any attached WAL is *dropped, not rotated* — the old log still pairs
+    /// with the pre-rebuild artifact on disk. For the crash-safe
+    /// rebuild-then-truncate rotation use
+    /// [`crate::persist::compact_index_with_wal`] (offline) or the
+    /// `RebuildCoordinator` in `islabel-serve` (live).
     pub fn rebuild(&mut self) {
         let g = self.current_graph();
         *self = Self::build(&g, self.config);
@@ -517,6 +806,21 @@ pub struct IsLabelSession<'a> {
     scratch: DenseScratch,
     fseeds: Vec<(u32, Dist)>,
     rseeds: Vec<(u32, Dist)>,
+    /// Present iff the index carries dynamic updates: the overlay folded
+    /// into dense-kernel form at session-open time.
+    overlay: Option<OverlayDense>,
+}
+
+/// Session-local snapshot of the update overlay in dense-kernel terms: the
+/// structural patch (inserted tail + tombstones) plus label merge buffers
+/// for the two endpoints, pre-sized so queries stay allocation-free.
+#[derive(Debug)]
+struct OverlayDense {
+    patch: DensePatch,
+    anc_s: Vec<VertexId>,
+    dist_s: Vec<Dist>,
+    anc_t: Vec<VertexId>,
+    dist_t: Vec<Dist>,
 }
 
 impl IsLabelSession<'_> {
@@ -526,22 +830,24 @@ impl IsLabelSession<'_> {
     }
 
     /// Exact distance `dist(s, t)` through the reused dense scratch; same
-    /// contract as [`IsLabelIndex::try_distance`].
+    /// contract as [`IsLabelIndex::try_distance`]. Both pristine and
+    /// updated indexes run on the dense kernel (the latter through the
+    /// session's [`DensePatch`] view), allocation-free in steady state.
     pub fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         let index = self.index;
         index.check_vertex(s)?;
         index.check_vertex(t)?;
-        // The allocation-free fast path serves the paper's core scenario: a
-        // built (pristine) index under a pure query workload. Indexes
-        // carrying dynamic updates take the general overlay-merging path on
-        // the sparse kernel (compact ids cover base G_k vertices only).
-        if !index.overlay.is_pristine() {
-            return index.try_distance(s, t);
+        if index.overlay.is_deleted(s) || index.overlay.is_deleted(t) {
+            return Ok(None);
         }
         if s == t {
             return Ok(Some(0));
         }
-        let outcome = self.run_dense(s, t);
+        let outcome = if self.overlay.is_some() {
+            self.run_dense_patched(s, t)
+        } else {
+            self.run_dense(s, t)
+        };
         Ok((outcome.dist < INF).then_some(outcome.dist))
     }
 
@@ -556,8 +862,12 @@ impl IsLabelSession<'_> {
         let index = self.index;
         index.check_vertex(s)?;
         index.check_vertex(t)?;
-        if !index.overlay.is_pristine() {
-            return Err(QueryError::StaleIndex);
+        if index.overlay.is_deleted(s) || index.overlay.is_deleted(t) {
+            return Ok(crate::query::SearchOutcome {
+                dist: INF,
+                meeting: Meeting::None,
+                settled: 0,
+            });
         }
         if s == t {
             return Ok(crate::query::SearchOutcome {
@@ -566,12 +876,16 @@ impl IsLabelSession<'_> {
                 settled: 0,
             });
         }
+        if self.overlay.is_some() {
+            let outcome = self.run_dense_patched(s, t);
+            return Ok(self.globalize_patched(outcome));
+        }
         let outcome = self.run_dense(s, t);
         Ok(globalize_outcome(outcome, self.index.dense.ids()))
     }
 
-    /// The shared fast path (pristine index, `s != t`, bounds checked):
-    /// seed translation plus the dense kernel, meeting still compact.
+    /// The pristine fast path (`s != t`, bounds checked): seed translation
+    /// plus the dense kernel, meeting still compact.
     fn run_dense(&mut self, s: VertexId, t: VertexId) -> crate::query::SearchOutcome {
         let index = self.index;
         seeded_search(
@@ -584,6 +898,88 @@ impl IsLabelSession<'_> {
             &mut self.rseeds,
             &mut self.scratch,
         )
+    }
+
+    /// The updated-index fast path: effective (patch-merged) labels seed
+    /// the dense kernel running over the [`PatchedDense`] view — base CSR
+    /// plus inserted tail, tombstoned vertices skipped. Dense ids extend
+    /// the base mapping monotonically (tail ids after all base ids), so
+    /// tie-breaking, settle order, and settled counts match the reference
+    /// overlay path exactly (pinned by the `dense_kernel` suite).
+    fn run_dense_patched(&mut self, s: VertexId, t: VertexId) -> crate::query::SearchOutcome {
+        let index = self.index;
+        let od = self
+            .overlay
+            .as_mut()
+            .expect("patched path requires overlay");
+        let ls =
+            index
+                .overlay
+                .effective_label_into(&index.labels, s, &mut od.anc_s, &mut od.dist_s);
+        let lt =
+            index
+                .overlay
+                .effective_label_into(&index.labels, t, &mut od.anc_t, &mut od.dist_t);
+        let (mu0, witness) = crate::query::intersect_min_adaptive(ls, lt);
+        let ids = index.dense.ids();
+        let m = ids.len();
+        let base_n = index.graph.num_vertices();
+        // Inserted vertices (global id >= base_n) live on the dense tail;
+        // deleted ancestors were already dropped by the label merge.
+        let to_dense = |a: VertexId| -> Option<u32> {
+            if (a as usize) < base_n {
+                ids.dense(a)
+            } else {
+                Some((m + (a as usize - base_n)) as u32)
+            }
+        };
+        self.fseeds.clear();
+        for (a, d) in ls.iter() {
+            if let Some(da) = to_dense(a) {
+                self.fseeds.push((da, d));
+            }
+        }
+        self.rseeds.clear();
+        for (a, d) in lt.iter() {
+            if let Some(da) = to_dense(a) {
+                self.rseeds.push((da, d));
+            }
+        }
+        let view = PatchedDense {
+            base: index.dense.fwd(),
+            patch: &od.patch,
+        };
+        dense_bi_dijkstra(
+            &view,
+            &view,
+            &self.fseeds,
+            &self.rseeds,
+            mu0,
+            witness,
+            &mut self.scratch,
+        )
+    }
+
+    /// Maps a patched-view outcome's meeting vertex back to global ids:
+    /// tail ids (`>= |G_k|`) are inserted vertices numbered from the base
+    /// universe size.
+    fn globalize_patched(
+        &self,
+        outcome: crate::query::SearchOutcome,
+    ) -> crate::query::SearchOutcome {
+        let ids = self.index.dense.ids();
+        let m = ids.len();
+        let base_n = self.index.graph.num_vertices();
+        crate::query::SearchOutcome {
+            meeting: match outcome.meeting {
+                Meeting::Search(d) if (d as usize) >= m => {
+                    Meeting::Search((base_n + (d as usize - m)) as VertexId)
+                }
+                Meeting::Search(d) => Meeting::Search(ids.global(d)),
+                other => other,
+            },
+            ..outcome
+        }
     }
 }
 
@@ -909,7 +1305,7 @@ mod tests {
     }
 
     #[test]
-    fn session_serves_updated_index_through_fallback() {
+    fn session_serves_updated_index_on_patched_dense_kernel() {
         let g = erdos_renyi_gnm(60, 140, WeightModel::UniformRange(1, 5), 23);
         let mut index = IsLabelIndex::build(&g, BuildConfig::default());
         let v = index.insert_vertex(&[(0, 2), (10, 1)]);

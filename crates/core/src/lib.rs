@@ -34,8 +34,14 @@
 //! * [`dense`] — the dense search kernel the session hot path runs on:
 //!   compact `G_k` ids ([`GkIdMap`]), generation-stamped flat arrays
 //!   ([`StampedSlab`]) and an indexed 4-ary heap with decrease-key
-//!   ([`IndexedHeap`]); the hashmap kernel in [`query`] remains the
-//!   reference and overlay-fallback path.
+//!   ([`IndexedHeap`]); updated indexes stay on it through a
+//!   [`DensePatch`]ed view, and the hashmap kernel in [`query`] remains
+//!   the reference path.
+//! * [`persist`] — versioned artifact serialization plus the write-ahead
+//!   log ([`persist::wal`]) that makes dynamic updates crash-durable:
+//!   [`persist::load_index_with_wal`] reconstructs the exact overlay after
+//!   a crash at any byte boundary, [`persist::compact_index_with_wal`]
+//!   folds the log into a rebuilt artifact.
 //! * [`IsLabelIndex`] — build/query interface for undirected graphs,
 //!   including shortest-path reconstruction (Section 8.1) and lazy dynamic
 //!   updates (Section 8.3).
@@ -82,11 +88,17 @@ pub mod stats;
 pub mod updates;
 
 pub use config::{BuildConfig, IsStrategy, KSelection};
-pub use dense::{DenseCsr, DenseGk, DenseScratch, GkIdMap, IndexedHeap, StampedSlab};
+pub use dense::{
+    DenseCsr, DenseGk, DensePatch, DenseScratch, DenseView, GkIdMap, IndexedHeap, PatchedDense,
+    StampedSlab,
+};
 pub use directed::{DiIsLabelIndex, DiIsLabelSession};
-pub use index::{IsLabelIndex, IsLabelSession};
+pub use index::{IsLabelIndex, IsLabelSession, DEFAULT_WAL_SYNC_EVERY};
 pub use oracle::{BatchOptions, DistanceOracle, Error, QueryError, QuerySession};
 pub use path::Path;
+pub use persist::wal::{WalRecovery, WalScan, WalWriter};
+pub use persist::{compact_index_with_wal, load_index_with_wal, CompactInfo};
 pub use query::QueryType;
 pub use snapshot::{OracleHandle, SharedOracle, Snapshot};
 pub use stats::IndexStats;
+pub use updates::UpdateOp;

@@ -11,7 +11,7 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic   "ISLX"  version u32
+//! magic   "ISLX"  version u32  epoch u64
 //! config  (k-selection tag + value, keep_path_info)
 //! graph   CSR binary block (islabel-graph format)
 //! k       u32
@@ -21,10 +21,19 @@
 //! gk_vias count u64, then (u, v, via) × count
 //! labels  offsets (n+1) × u64, ancestors n_e × u32, dists n_e × u64,
 //!         has_hops u8 [+ first_hops n_e × u32]
+//! ops     count u64, then per op: len u32 + payload ([`wal`] record
+//!         payload format, no per-record checksum)
 //! ```
 //!
-//! Dynamic-update overlays are session state and are not persisted; saving
-//! requires a pristine index (no pending updates).
+//! Version 2 added the `epoch` and `ops` sections: a non-pristine index now
+//! persists by *sealing* its overlay op log into the artifact, and the
+//! loader replays those ops through the normal mutation path — patching is
+//! deterministic, so the reloaded overlay is exact. The `epoch` pairs the
+//! artifact with its write-ahead log (see [`wal`],
+//! [`load_index_with_wal`], and [`compact_index_with_wal`]); version 1
+//! artifacts still load (fresh epoch, no ops). Path-level saves write a
+//! sibling temp file, `fsync`, and rename, so a crashed or failed save
+//! never destroys the previous artifact.
 
 use crate::config::{BuildConfig, KSelection};
 use crate::hierarchy::{PeelEdge, VertexHierarchy};
@@ -35,39 +44,32 @@ use bytes::{Buf, BufMut};
 use islabel_graph::io::{read_csr_binary, write_csr_binary};
 use islabel_graph::{FxHashMap, VertexId};
 use std::io::{self, Read, Write};
+use std::path::Path;
 use std::time::Duration;
 
+pub mod wal;
+
 const MAGIC: &[u8; 4] = b"ISLX";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-/// Serializes `index` to `writer`.
-///
-/// # Panics
-///
-/// Panics if the index has pending dynamic updates (persist after
-/// [`IsLabelIndex::rebuild`]); use [`try_save_index`] for the typed form.
+/// Serializes `index` to `writer`, including any pending dynamic updates
+/// (the overlay op log is sealed into the artifact and replayed on load).
+/// Historically this panicked on a non-pristine index; since the WAL path
+/// landed it accepts any index, and the old "rebuild before saving" advice
+/// only applies when you want a pristine (exact, dense-only) artifact.
 pub fn save_index<W: Write>(index: &IsLabelIndex, writer: &mut W) -> io::Result<()> {
-    try_save_index(index, writer).map_err(|e| match e {
-        crate::Error::Persist(io) => io,
-        other => panic!(
-            "cannot persist an index with pending dynamic updates; call rebuild() first: {other}"
-        ),
-    })
+    save_index_body(index, writer)
 }
 
-/// Fully typed serialization of `index` to `writer`: an index with pending
-/// dynamic updates surfaces as
-/// [`QueryError::StaleIndex`](crate::QueryError::StaleIndex) (the overlay
-/// is session state and is never persisted — rebuild first), I/O failures
-/// as [`Error::Persist`](crate::Error::Persist).
+/// Fully typed serialization of `index` to `writer`: I/O failures surface
+/// as [`Error::Persist`](crate::Error::Persist). Pending dynamic updates no
+/// longer refuse the save — they are sealed into the artifact's op section
+/// and the loader reconstructs the exact overlay (see the module docs).
 pub fn try_save_index<W: Write>(index: &IsLabelIndex, writer: &mut W) -> Result<(), crate::Error> {
-    if index.has_updates() {
-        return Err(crate::QueryError::StaleIndex.into());
-    }
     save_index_body(index, writer).map_err(crate::Error::Persist)
 }
 
@@ -75,6 +77,7 @@ fn save_index_body<W: Write>(index: &IsLabelIndex, writer: &mut W) -> io::Result
     let mut head = Vec::new();
     head.put_slice(MAGIC);
     head.put_u32_le(VERSION);
+    head.put_u64_le(index.artifact_epoch());
     // Config.
     let config = index.config();
     match config.k_selection {
@@ -178,6 +181,22 @@ fn save_index_body<W: Write>(index: &IsLabelIndex, writer: &mut W) -> io::Result
         }
     }
     writer.write_all(&buf)?;
+
+    // Sealed dynamic updates: the overlay op log, in the WAL payload
+    // format. The loader replays these through the mutation path, which
+    // reconstructs the exact overlay (patching is deterministic).
+    let ops = index.overlay.ops();
+    buf.clear();
+    buf.put_u64_le(ops.len() as u64);
+    let mut rec = Vec::new();
+    for op in ops {
+        rec.clear();
+        wal::encode_op(op, &mut rec);
+        buf.put_u32_le(rec.len() as u32);
+        buf.put_slice(&rec);
+        flush_if_large(writer, &mut buf)?;
+    }
+    writer.write_all(&buf)?;
     writer.flush()
 }
 
@@ -189,10 +208,12 @@ fn flush_if_large<W: Write>(writer: &mut W, buf: &mut Vec<u8>) -> io::Result<()>
     Ok(())
 }
 
-/// Loads an index previously written by [`save_index`].
+/// Loads an index previously written by [`save_index`]. Accepts the
+/// current version 2 format (artifact epoch + sealed dynamic updates) and
+/// the pristine version 1 format (a fresh epoch is minted).
 pub fn load_index<R: Read>(reader: &mut R) -> io::Result<IsLabelIndex> {
-    // Header + config.
-    let mut head = [0u8; 4 + 4 + 1 + 8 + 1];
+    // Magic + version, then the version-dependent epoch, then config.
+    let mut head = [0u8; 8];
     reader.read_exact(&mut head)?;
     let mut hb = &head[..];
     let mut magic = [0u8; 4];
@@ -201,9 +222,19 @@ pub fn load_index<R: Read>(reader: &mut R) -> io::Result<IsLabelIndex> {
         return Err(bad("bad magic (not an ISLX index)"));
     }
     let version = hb.get_u32_le();
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(bad(&format!("unsupported index version {version}")));
     }
+    let epoch = if version >= 2 {
+        let mut e = [0u8; 8];
+        reader.read_exact(&mut e)?;
+        Some(u64::from_le_bytes(e))
+    } else {
+        None
+    };
+    let mut config_head = [0u8; 1 + 8 + 1];
+    reader.read_exact(&mut config_head)?;
+    let mut hb = &config_head[..];
     let ksel_tag = hb.get_u8();
     let ksel_val = hb.get_f64_le();
     let keep_path_info = hb.get_u8() != 0;
@@ -366,18 +397,43 @@ pub fn load_index<R: Read>(reader: &mut R) -> io::Result<IsLabelIndex> {
         labeling_time: Duration::ZERO,
         build_time: Duration::ZERO,
     };
-    Ok(IsLabelIndex::from_parts(
-        graph, hierarchy, labels, config, stats,
-    ))
+    let mut index = IsLabelIndex::from_parts(graph, hierarchy, labels, config, stats);
+
+    // Version 2: restore the artifact epoch, then replay the sealed op log
+    // through the normal mutation path. Every record is validated against
+    // the overlay state it applies to, so a corrupt op section fails
+    // cleanly instead of panicking (or silently building a wrong overlay).
+    if let Some(epoch) = epoch {
+        index.set_artifact_epoch(epoch);
+        reader.read_exact(&mut cnt8)?;
+        let op_count = u64::from_le_bytes(cnt8);
+        let mut rec = Vec::new();
+        for i in 0..op_count {
+            let mut len4 = [0u8; 4];
+            reader.read_exact(&mut len4)?;
+            let len = u32::from_le_bytes(len4);
+            if len > wal::MAX_RECORD_LEN {
+                return Err(bad(&format!("sealed op {i} implausibly large")));
+            }
+            rec.resize(len as usize, 0);
+            reader.read_exact(&mut rec)?;
+            let op = wal::decode_op(&rec).map_err(|e| bad(&format!("sealed op {i}: {e}")))?;
+            index
+                .replay_op(&op)
+                .map_err(|e| bad(&format!("sealed op {i} inapplicable: {e}")))?;
+        }
+    }
+    Ok(index)
 }
 
-/// Saves to a file path.
+/// Saves to a file path, atomically: the artifact is written to a sibling
+/// temp file, `fsync`ed, and renamed into place, so a crash or I/O failure
+/// mid-save never destroys an existing artifact at `path`.
 pub fn save_index_to_path(
     index: &IsLabelIndex,
     path: impl AsRef<std::path::Path>,
 ) -> io::Result<()> {
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    save_index(index, &mut f)
+    atomic_save(index, path.as_ref())
 }
 
 /// Loads from a file path.
@@ -387,21 +443,43 @@ pub fn load_index_from_path(path: impl AsRef<std::path::Path>) -> io::Result<IsL
 }
 
 /// Fully typed save to a file path: I/O failures surface as
-/// [`Error::Persist`](crate::Error::Persist) and an index with pending
-/// dynamic updates surfaces as
-/// [`QueryError::StaleIndex`](crate::QueryError::StaleIndex) instead of the
-/// panic in [`save_index`] (see [`try_save_index`]).
+/// [`Error::Persist`](crate::Error::Persist). Like [`save_index_to_path`]
+/// the write is atomic (temp file + rename), and pending dynamic updates
+/// are sealed into the artifact rather than refused (see
+/// [`try_save_index`]).
 pub fn try_save_index_to_path(
     index: &IsLabelIndex,
     path: impl AsRef<std::path::Path>,
 ) -> Result<(), crate::Error> {
-    // Refuse *before* touching the filesystem: `File::create` truncates,
-    // and a stale save must not destroy an existing valid artifact.
-    if index.has_updates() {
-        return Err(crate::QueryError::StaleIndex.into());
+    atomic_save(index, path.as_ref()).map_err(crate::Error::Persist)
+}
+
+fn atomic_save(index: &IsLabelIndex, path: &Path) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "index".into());
+    tmp_name.push(format!(".tmp-{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let written = (|| {
+        let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        save_index_body(index, &mut w)?;
+        let f = w.into_inner().map_err(|e| e.into_error())?;
+        f.sync_all()
+    })();
+    if let Err(e) = written {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
     }
-    let mut f = io::BufWriter::new(std::fs::File::create(path).map_err(crate::Error::Persist)?);
-    try_save_index(index, &mut f)
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable where directory fsync is supported;
+    // best-effort elsewhere (the artifact is valid either way).
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
 }
 
 /// Fully typed load: I/O and format failures surface as
@@ -410,6 +488,74 @@ pub fn try_load_index_from_path(
     path: impl AsRef<std::path::Path>,
 ) -> Result<IsLabelIndex, crate::Error> {
     load_index_from_path(path).map_err(crate::Error::Persist)
+}
+
+/// Loads the artifact at `index_path` and attaches (recovering if needed)
+/// the write-ahead log at `wal_path` — the one call a serving process makes
+/// at startup to come back crash-consistent: sealed ops are already in the
+/// artifact, the WAL's epoch-matched suffix is replayed on top, a torn tail
+/// is truncated, and the returned index appends subsequent mutations to the
+/// log. See [`IsLabelIndex::attach_wal`] for the exact recovery cases.
+pub fn load_index_with_wal(
+    index_path: impl AsRef<Path>,
+    wal_path: impl AsRef<Path>,
+) -> Result<(IsLabelIndex, wal::WalRecovery), crate::Error> {
+    let mut index = try_load_index_from_path(index_path)?;
+    let recovery = index.attach_wal(wal_path)?;
+    Ok((index, recovery))
+}
+
+/// Outcome of [`compact_index_with_wal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactInfo {
+    /// Dynamic updates folded into the rebuilt base index (sealed ops plus
+    /// WAL-replayed ops).
+    pub folded_ops: usize,
+    /// Of those, how many came from WAL replay (vs. the artifact's sealed
+    /// section).
+    pub replayed_ops: usize,
+    /// Vertices of the rebuilt index.
+    pub num_vertices: usize,
+    /// Edges of the rebuilt index.
+    pub num_edges: usize,
+    /// The fresh artifact-lineage epoch shared by the new artifact and the
+    /// reset WAL.
+    pub epoch: u64,
+}
+
+/// Folds all pending updates into a fresh pristine index on disk: load +
+/// WAL recovery, rebuild from the materialized graph, **durably** save the
+/// new artifact (temp file + rename + fsync), then reset the WAL to the new
+/// epoch. The ordering makes every crash window safe: before the rename the
+/// old artifact/WAL pair is intact; between the rename and the WAL reset
+/// the leftover log's epoch no longer matches, so
+/// [`load_index_with_wal`] discards it instead of replaying already-folded
+/// ops twice.
+///
+/// This is the offline/CLI form; a serving process uses
+/// `RebuildCoordinator` in `islabel-serve`, which additionally swaps the
+/// live oracle between the save and the WAL reset.
+pub fn compact_index_with_wal(
+    index_path: impl AsRef<Path>,
+    wal_path: impl AsRef<Path>,
+) -> Result<CompactInfo, crate::Error> {
+    let (index, recovery) = load_index_with_wal(index_path.as_ref(), wal_path.as_ref())?;
+    let folded_ops = index.pending_ops();
+    let graph = index.current_graph();
+    let rebuilt = IsLabelIndex::try_build(&graph, *index.config())?;
+    let epoch = rebuilt.artifact_epoch();
+    drop(index); // release the old WAL writer before resetting the file
+    try_save_index_to_path(&rebuilt, index_path)?;
+    let mut w =
+        wal::WalWriter::create(wal_path.as_ref(), epoch, 1).map_err(crate::Error::Persist)?;
+    w.sync().map_err(crate::Error::Persist)?;
+    Ok(CompactInfo {
+        folded_ops,
+        replayed_ops: recovery.replayed,
+        num_vertices: rebuilt.stats().num_vertices,
+        num_edges: rebuilt.stats().num_edges,
+        epoch,
+    })
 }
 
 // The CSR binary format reads to end-of-stream; frame it with a length.
@@ -515,48 +661,82 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "pending dynamic updates")]
-    fn refuses_to_save_updated_index() {
-        let g = barabasi_albert(50, 2, WeightModel::Unit, 1);
+    fn non_pristine_index_roundtrips_with_sealed_ops() {
+        // The historical refusal to persist an updated index is gone: the
+        // overlay op log is sealed into the artifact and replayed on load,
+        // reconstructing the exact overlay.
+        let g = barabasi_albert(150, 3, WeightModel::Unit, 1);
         let mut index = IsLabelIndex::build(&g, BuildConfig::default());
         index.insert_edge(0, 30, 1);
+        let u = index.insert_vertex(&[(0, 2), (30, 1)]);
+        let victim = index.hierarchy().gk_members()[0];
+        index.delete_vertex(victim);
+        assert!(index.has_updates());
+
         let mut buf = Vec::new();
-        let _ = save_index(&index, &mut buf);
+        save_index(&index, &mut buf).unwrap();
+        let loaded = load_index(&mut &buf[..]).unwrap();
+        assert!(loaded.has_updates());
+        assert_eq!(loaded.num_vertices(), index.num_vertices());
+        assert_eq!(loaded.artifact_epoch(), index.artifact_epoch());
+        assert_eq!(loaded.is_stale(), index.is_stale());
+        for i in 0..40u32 {
+            let (s, t) = ((i * 7) % 151, (i * 11 + 3) % 151);
+            assert_eq!(loaded.try_distance(s, t), index.try_distance(s, t));
+        }
+        assert_eq!(loaded.try_distance(u, 30), index.try_distance(u, 30));
     }
 
     #[test]
-    fn try_save_types_stale_index_instead_of_panicking() {
+    fn pristine_artifacts_mint_distinct_epochs() {
+        let g = barabasi_albert(40, 2, WeightModel::Unit, 3);
+        let a = IsLabelIndex::build(&g, BuildConfig::default());
+        let b = IsLabelIndex::build(&g, BuildConfig::default());
+        assert_ne!(a.artifact_epoch(), b.artifact_epoch());
+        let mut buf = Vec::new();
+        save_index(&a, &mut buf).unwrap();
+        assert_eq!(
+            load_index(&mut &buf[..]).unwrap().artifact_epoch(),
+            a.artifact_epoch()
+        );
+    }
+
+    #[test]
+    fn path_save_is_atomic_and_types_io_errors() {
         let g = barabasi_albert(50, 2, WeightModel::Unit, 1);
         let mut index = IsLabelIndex::build(&g, BuildConfig::default());
         index.insert_edge(0, 30, 1);
-        let mut buf = Vec::new();
-        // The writer-level form is typed end to end...
-        assert!(matches!(
-            try_save_index(&index, &mut buf),
-            Err(crate::Error::Query(crate::QueryError::StaleIndex))
-        ));
-        assert!(buf.is_empty(), "stale save must not write partial data");
-        // ... and so is the path-level wrapper — which must also leave an
-        // existing artifact at the destination untouched (no truncation).
-        let path = std::env::temp_dir().join(format!("islabel-stale-{}.islx", std::process::id()));
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("islabel-atomic-{}.islx", std::process::id()));
+
+        // A non-pristine save now goes through and replaces the artifact
+        // in place (temp file + rename).
         let pristine = IsLabelIndex::build(&g, BuildConfig::default());
         save_index_to_path(&pristine, &path).unwrap();
-        let bytes_before = std::fs::metadata(&path).unwrap().len();
+        try_save_index_to_path(&index, &path).unwrap();
+        let loaded = load_index_from_path(&path).unwrap();
+        assert!(loaded.has_updates());
+        assert_eq!(loaded.try_distance(0, 30), index.try_distance(0, 30));
+
+        // An unwritable destination is a typed error, leaves the existing
+        // artifact untouched, and leaves no temp file behind.
+        let bad_dest = dir.join("islabel-no-such-dir").join("x.islx");
         assert!(matches!(
-            try_save_index_to_path(&index, &path),
-            Err(crate::Error::Query(crate::QueryError::StaleIndex))
+            try_save_index_to_path(&index, &bad_dest),
+            Err(crate::Error::Persist(_))
         ));
-        assert_eq!(
-            std::fs::metadata(&path).unwrap().len(),
-            bytes_before,
-            "failed stale save truncated the existing artifact"
-        );
         assert!(load_index_from_path(&path).is_ok());
+        let strays = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with(&format!("islabel-atomic-{}.islx.tmp", std::process::id()))
+            })
+            .count();
+        assert_eq!(strays, 0, "temp file leaked");
         std::fs::remove_file(&path).ok();
-        // Rebuilding clears the staleness and the save goes through.
-        index.rebuild();
-        assert!(try_save_index(&index, &mut buf).is_ok());
-        assert!(load_index(&mut &buf[..]).is_ok());
     }
 
     #[test]

@@ -26,18 +26,110 @@
 //!   filtered out of every label at query time.
 //!
 //! **Kernel routing**: the dense compact-id kernel ([`crate::dense`]) maps
-//! exactly the *base* `G_k` vertex set, which an overlay extends (inserted
-//! vertices and edges) and shrinks (tombstones) at arbitrary ids. Rather
-//! than rebuilding the id map per update, a non-pristine index routes every
-//! query through the sparse hashmap kernel over the overlay's patched
-//! residual view — the documented fallback path; `rebuild()` folds the
-//! overlay in and restores the dense fast path.
+//! the *base* `G_k` vertex set, and a non-pristine index stays on it:
+//! sessions build a [`crate::dense::DensePatch`] at creation time —
+//! inserted vertices become an order-preserving append-only tail of dense
+//! ids, deletions a tombstone bitmap, and inserted residual edges extra
+//! adjacency — and run the same zero-alloc search over the patched view
+//! (overlay-merged labels are produced into session-owned buffers at seed
+//! time). The sparse hashmap kernel over `Overlay::gk_view` remains the
+//! reference implementation that one-shot queries use and the conformance
+//! suite pins the dense path against; `rebuild()` folds the overlay into a
+//! fresh base index.
+//!
+//! **Durability**: every mutation is recorded in an ordered op log
+//! ([`UpdateOp`]) inside the overlay. When a write-ahead log is attached
+//! ([`IsLabelIndex::attach_wal`](crate::IsLabelIndex::attach_wal)) each op
+//! is appended to disk *before* it is applied, and
+//! [`crate::persist::load_index_with_wal`] replays the log to reconstruct
+//! the exact overlay after a crash; [`crate::persist::try_save_index`]
+//! seals the same ops into the artifact, so a non-pristine index persists
+//! and reloads losslessly (see [`crate::persist::wal`]).
 
+use crate::dense::{DensePatch, GkIdMap};
 use crate::hierarchy::VertexHierarchy;
 use crate::index::IsLabelIndex;
 use crate::label::{LabelSet, LabelView};
 use crate::query::GkGraph;
 use islabel_graph::{CsrGraph, Dist, FxHashMap, FxHashSet, VertexId, Weight};
+
+/// One dynamic update in application order — the unit of the write-ahead
+/// log ([`crate::persist::wal`]) and of the sealed-ops section of a
+/// persisted artifact. Replaying a prefix of the recorded ops through the
+/// normal mutation path reconstructs the overlay of that moment exactly
+/// (the patching algorithms are deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// [`IsLabelIndex::insert_vertex`] with the given adjacency.
+    InsertVertex {
+        /// `(neighbor, weight)` pairs of the new vertex.
+        edges: Vec<(VertexId, Weight)>,
+    },
+    /// [`IsLabelIndex::insert_edge`].
+    InsertEdge {
+        /// One endpoint.
+        a: VertexId,
+        /// The other endpoint.
+        b: VertexId,
+        /// Positive edge weight.
+        w: Weight,
+    },
+    /// [`IsLabelIndex::delete_vertex`].
+    DeleteVertex {
+        /// The tombstoned vertex.
+        v: VertexId,
+    },
+}
+
+impl UpdateOp {
+    /// Checks this op against the overlay state it would apply to,
+    /// mirroring the mutation path's assertions — so WAL replay can reject
+    /// a checksum-valid but semantically impossible record cleanly instead
+    /// of panicking mid-recovery. (A `DeleteVertex` of an already-deleted
+    /// vertex is also rejected: the mutation path never logs the idempotent
+    /// no-op, so such a record cannot occur in a consistent log.)
+    pub(crate) fn validate(&self, overlay: &Overlay) -> Result<(), String> {
+        let universe = overlay.universe();
+        let check = |v: VertexId, role: &str| -> Result<(), String> {
+            if (v as usize) >= universe {
+                return Err(format!("{role} {v} out of range"));
+            }
+            if overlay.is_deleted(v) {
+                return Err(format!("{role} {v} is deleted"));
+            }
+            Ok(())
+        };
+        match self {
+            UpdateOp::InsertVertex { edges } => {
+                for &(v, w) in edges {
+                    check(v, "neighbor")?;
+                    if w == 0 {
+                        return Err("weights must be positive".to_string());
+                    }
+                }
+            }
+            UpdateOp::InsertEdge { a, b, w } => {
+                check(*a, "vertex")?;
+                check(*b, "vertex")?;
+                if a == b {
+                    return Err("self-loops are not allowed".to_string());
+                }
+                if *w == 0 {
+                    return Err("weights must be positive".to_string());
+                }
+            }
+            UpdateOp::DeleteVertex { v } => {
+                if (*v as usize) >= universe {
+                    return Err(format!("vertex {v} out of range"));
+                }
+                if overlay.is_deleted(*v) {
+                    return Err(format!("vertex {v} already deleted"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Overlay state accumulated by dynamic updates.
 #[derive(Debug, Default)]
@@ -57,6 +149,10 @@ pub struct Overlay {
     /// lists `u`), built on first use.
     children: Option<Vec<Vec<VertexId>>>,
     stale: bool,
+    /// Every applied mutation in order — the source of WAL records and of
+    /// the sealed-ops section of a persisted artifact. Idempotent no-ops
+    /// (re-deleting a deleted vertex) are not recorded.
+    ops: Vec<UpdateOp>,
 }
 
 /// A label after overlay application: borrowed when untouched, materialized
@@ -105,6 +201,12 @@ impl Overlay {
             && self.gk_extra.is_empty()
             && self.label_patches.is_empty()
             && self.inserted_edges.is_empty()
+            && self.ops.is_empty()
+    }
+
+    /// The ordered mutation log (see [`UpdateOp`]).
+    pub(crate) fn ops(&self) -> &[UpdateOp] {
+        &self.ops
     }
 
     /// Whether deletions of peeled vertices have made distances unreliable.
@@ -128,17 +230,63 @@ impl Overlay {
 
     /// The label of `v` with patches merged and deleted ancestors removed.
     pub(crate) fn effective_label<'a>(&'a self, labels: &'a LabelSet, v: VertexId) -> EffLabel<'a> {
-        let patches = self.label_patches.get(&v);
-        if (v as usize) < self.base_n && patches.is_none() && self.deleted.is_empty() {
+        if (v as usize) < self.base_n
+            && !self.label_patches.contains_key(&v)
+            && self.deleted.is_empty()
+        {
             return EffLabel::Base(labels.label(v));
         }
-        // Merge base entries (if any) with patches, min per ancestor,
-        // dropping deleted ancestors.
-        let base = ((v as usize) < self.base_n).then(|| labels.label(v));
-        let empty: &[(VertexId, Dist)] = &[];
-        let patch: &[(VertexId, Dist)] = patches.map_or(empty, |p| p.as_slice());
         let mut ancestors = Vec::new();
         let mut dists = Vec::new();
+        self.merge_label_into(labels, v, &mut ancestors, &mut dists);
+        EffLabel::Owned { ancestors, dists }
+    }
+
+    /// Buffer-reusing form of [`Overlay::effective_label`] for the session
+    /// dense path: untouched labels are returned borrowed from the base
+    /// set, patched ones are merged into the caller's buffers (pre-size
+    /// them to `max_label_len + max_patch_len` for zero steady-state
+    /// allocations).
+    pub(crate) fn effective_label_into<'a>(
+        &self,
+        labels: &'a LabelSet,
+        v: VertexId,
+        ancestors: &'a mut Vec<VertexId>,
+        dists: &'a mut Vec<Dist>,
+    ) -> LabelView<'a> {
+        if (v as usize) < self.base_n
+            && !self.label_patches.contains_key(&v)
+            && self.deleted.is_empty()
+        {
+            return labels.label(v);
+        }
+        self.merge_label_into(labels, v, ancestors, dists);
+        LabelView {
+            ancestors,
+            dists,
+            first_hops: &[],
+        }
+    }
+
+    /// Longest label patch, in entries (pre-sizes session label buffers).
+    pub(crate) fn max_patch_len(&self) -> usize {
+        self.label_patches.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Merges `v`'s base entries (if any) with its patches, min per
+    /// ancestor, dropping deleted ancestors, into `ancestors`/`dists`.
+    fn merge_label_into(
+        &self,
+        labels: &LabelSet,
+        v: VertexId,
+        ancestors: &mut Vec<VertexId>,
+        dists: &mut Vec<Dist>,
+    ) {
+        ancestors.clear();
+        dists.clear();
+        let base = ((v as usize) < self.base_n).then(|| labels.label(v));
+        let empty: &[(VertexId, Dist)] = &[];
+        let patch: &[(VertexId, Dist)] = self.label_patches.get(&v).map_or(empty, |p| p.as_slice());
         let (mut i, mut j) = (0usize, 0usize);
         let (banc, bdist): (&[VertexId], &[Dist]) =
             base.map_or((&[], &[]), |b| (b.ancestors, b.dists));
@@ -176,7 +324,38 @@ impl Overlay {
                 j += 1;
             }
         }
-        EffLabel::Owned { ancestors, dists }
+    }
+
+    /// Remaps the overlay's residual deltas into compact-id space for the
+    /// session dense path: inserted vertices become tail ids (global
+    /// `base_n + j` → dense `|ids| + j`, preserving id order), deletions
+    /// become tombstones, and the extra residual adjacency is translated
+    /// list by list in push order — so
+    /// [`PatchedDense`](crate::dense::PatchedDense) iterates exactly the
+    /// edges [`Overlay::gk_view`] does.
+    pub(crate) fn dense_patch(&self, ids: &GkIdMap) -> DensePatch {
+        let m = ids.len();
+        let to_dense = |v: VertexId| -> Option<u32> {
+            if (v as usize) < self.base_n {
+                ids.dense(v)
+            } else {
+                Some((m + (v as usize - self.base_n)) as u32)
+            }
+        };
+        let mut patch = DensePatch::new(m, self.extra_vertices);
+        for &v in &self.deleted {
+            if let Some(d) = to_dense(v) {
+                patch.mark_dead(d);
+            }
+        }
+        for (&u, list) in &self.gk_extra {
+            let du = to_dense(u).expect("gk_extra key is an effective G_k vertex");
+            for &(v, w) in list {
+                let dv = to_dense(v).expect("gk_extra target is an effective G_k vertex");
+                patch.push_edge(du, dv, w);
+            }
+        }
+        patch
     }
 
     /// The `G_k` seeds of a label: entries whose ancestor is effectively in
@@ -237,6 +416,9 @@ impl Overlay {
             assert!(!index.overlay.is_deleted(v), "neighbor {v} is deleted");
             assert!(w > 0, "weights must be positive");
         }
+        index.overlay.ops.push(UpdateOp::InsertVertex {
+            edges: edges.to_vec(),
+        });
         index.overlay.extra_vertices += 1;
         // The new vertex lives in G_k with a self-only label.
         index.overlay.label_patches.insert(u, vec![(u, 0)]);
@@ -271,6 +453,7 @@ impl Overlay {
             "endpoint deleted"
         );
         assert!(w > 0, "weights must be positive");
+        index.overlay.ops.push(UpdateOp::InsertEdge { a, b, w });
         index.overlay.inserted_edges.push((a, b, w));
 
         let a_gk = index.overlay.effective_in_gk(&index.hierarchy, a);
@@ -305,6 +488,7 @@ impl Overlay {
         if index.overlay.is_deleted(v) {
             return;
         }
+        index.overlay.ops.push(UpdateOp::DeleteVertex { v });
         let was_peeled = (v as usize) < index.overlay.base_n && !index.hierarchy.is_in_gk(v);
         index.overlay.deleted.insert(v);
         index.overlay.label_patches.remove(&v);

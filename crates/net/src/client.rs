@@ -111,6 +111,12 @@ impl From<FrameReadError> for NetError {
     fn from(e: FrameReadError) -> Self {
         match e {
             FrameReadError::Io(io) => NetError::Io(io),
+            // A client-side read timeout (set_read_timeout) is an error
+            // here, not a housekeeping tick as on the server.
+            FrameReadError::IdleTimeout => NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "timed out waiting for a response frame",
+            )),
             FrameReadError::Oversized { len, max } => NetError::FrameTooLarge { len, max },
         }
     }
@@ -132,19 +138,37 @@ pub struct DistanceClient {
 impl DistanceClient {
     /// Connects and performs the magic/version handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
-        Self::connect_with(addr, protocol::DEFAULT_MAX_FRAME_BYTES)
+        Self::handshake(addr, protocol::DEFAULT_MAX_FRAME_BYTES, None)
     }
 
     /// [`connect`](DistanceClient::connect) with a custom inbound frame
     /// cap (must admit the server's largest batch response).
     pub fn connect_with(addr: impl ToSocketAddrs, max_frame_bytes: u32) -> Result<Self, NetError> {
+        Self::handshake(addr, max_frame_bytes, None)
+    }
+
+    /// [`connect`](DistanceClient::connect) presenting an admin token in
+    /// the hello. Required for the admin opcodes (`reload`,
+    /// `shutdown_server`, `compact`) against a server configured with
+    /// [`NetConfig::admin_token`](crate::NetConfig::admin_token); query
+    /// traffic never needs it. A wrong token still connects — the server
+    /// answers admin requests with the `AdminDenied` code instead.
+    pub fn connect_with_token(addr: impl ToSocketAddrs, token: &str) -> Result<Self, NetError> {
+        Self::handshake(addr, protocol::DEFAULT_MAX_FRAME_BYTES, Some(token))
+    }
+
+    fn handshake(
+        addr: impl ToSocketAddrs,
+        max_frame_bytes: u32,
+        token: Option<&str>,
+    ) -> Result<Self, NetError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let mut writer = BufWriter::new(stream.try_clone()?);
         let mut reader = BufReader::new(stream);
 
         let mut hello = Vec::with_capacity(HELLO_LEN);
-        protocol::encode_hello(&mut hello);
+        protocol::encode_hello_with_token(&mut hello, token);
         writer.write_all(&hello)?;
         writer.flush()?;
         let mut server_hello = [0u8; HELLO_LEN];
@@ -304,6 +328,20 @@ impl DistanceClient {
             } => Ok((version, num_vertices)),
             Response::Error(e) => Err(NetError::Remote(e)),
             other => Err(unexpected("Reloaded", other)),
+        }
+    }
+
+    /// Admin: fold the server's WAL into a fresh pristine index
+    /// (rebuild-then-swap compaction); returns the new snapshot generation
+    /// and vertex count. Blocks for the duration of the rebuild.
+    pub fn compact(&mut self) -> Result<(u64, u64), NetError> {
+        match self.call(&Request::Compact)? {
+            Response::Compacted {
+                version,
+                num_vertices,
+            } => Ok((version, num_vertices)),
+            Response::Error(e) => Err(NetError::Remote(e)),
+            other => Err(unexpected("Compacted", other)),
         }
     }
 

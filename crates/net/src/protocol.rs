@@ -14,7 +14,8 @@
 //! All integers are little-endian.
 //!
 //! ```text
-//! hello      := magic:[4] = "ISLW" | version:u16 | reserved:u16 = 0
+//! hello      := magic:[4] = "ISLW" | version:u16 | token_len:u16
+//!               | token:[token_len]     (client→server only, cap 256)
 //! frame      := len:u32 | body:[len]           (len capped by config)
 //! request    := id:u64 | opcode:u8 | payload
 //! response   := id:u64 | status:u8 | payload
@@ -26,6 +27,16 @@
 //! server validates and answers with its own. A magic mismatch closes the
 //! connection; a version mismatch is reported through the hello itself
 //! (each side sees the other's version and gives up cleanly).
+//!
+//! The hello's trailing `u16` (reserved and always 0 in earlier builds) is
+//! the byte length of an optional **admin token** the client sends
+//! immediately after its fixed 8 hello bytes. Servers configured with a
+//! shared secret require it for the admin opcodes (`Reload`, `Shutdown`,
+//! `Compact`) and answer unauthorized attempts with the stable code 21
+//! ([`WireError::AdminDenied`]); query opcodes never need it. The server's
+//! hello always carries `token_len = 0`, which is byte-identical to the
+//! legacy reserved field — old clients and new servers (and vice versa)
+//! interoperate for non-admin traffic.
 //!
 //! Request ids are chosen by the client and should be **nonzero**: the
 //! server addresses errors it cannot attribute to any request (e.g. an
@@ -42,11 +53,13 @@
 //! | `0x04` | Stats    | empty                                  |
 //! | `0x05` | Reload   | `path_len:u16, path:utf8`              |
 //! | `0x06` | Shutdown | empty                                  |
+//! | `0x07` | Compact  | empty                                  |
 //!
 //! Ok-response results: Ping → empty; Query → `dist:u64` (`u64::MAX` =
 //! unreachable, the in-process `INF` sentinel); Batch → `count:u32,
 //! count × dist:u64`; Stats → [`WireStats`]; Reload → `version:u64,
-//! num_vertices:u64`; Shutdown → empty.
+//! num_vertices:u64`; Shutdown → empty; Compact → `version:u64,
+//! num_vertices:u64`.
 //!
 //! Error codes are stable across releases (see [`WireError::code`]).
 //! Codes `1..=3` carry engine-level [`QueryError`]s and round-trip the
@@ -102,6 +115,10 @@ pub enum Request {
     },
     /// Admin: ask the server to drain and exit.
     Shutdown,
+    /// Admin: fold accumulated dynamic updates into a fresh pristine index
+    /// (background rebuild-then-swap, then WAL truncation) and hot-swap it
+    /// in; queries keep flowing on the old snapshot meanwhile.
+    Compact,
 }
 
 impl Request {
@@ -114,6 +131,7 @@ impl Request {
             Request::Stats => opcode::STATS,
             Request::Reload { .. } => opcode::RELOAD,
             Request::Shutdown => opcode::SHUTDOWN,
+            Request::Compact => opcode::COMPACT,
         }
     }
 }
@@ -132,6 +150,8 @@ pub mod opcode {
     pub const RELOAD: u8 = 0x05;
     /// [`super::Request::Shutdown`].
     pub const SHUTDOWN: u8 = 0x06;
+    /// [`super::Request::Compact`].
+    pub const COMPACT: u8 = 0x07;
 }
 
 /// Server/serving statistics as reported by the `Stats` opcode.
@@ -184,6 +204,14 @@ pub enum Response {
     },
     /// Ok for [`Request::Shutdown`]: the server acknowledges and drains.
     ShutdownAck,
+    /// Ok for [`Request::Compact`]: the rebuilt snapshot's generation and
+    /// size.
+    Compacted {
+        /// Generation the rebuild-then-swap installed.
+        version: u64,
+        /// Vertices of the rebuilt (pristine) index.
+        num_vertices: u64,
+    },
     /// Any failure, carrying a stable code (see [`WireError`]).
     Error(WireError),
 }
@@ -238,6 +266,15 @@ pub enum WireError {
     },
     /// Code 20: the server is draining and no longer answers queries.
     ShuttingDown,
+    /// Code 21: an admin opcode (`Reload`, `Shutdown`, `Compact`) from a
+    /// connection whose hello did not present the server's admin token.
+    AdminDenied,
+    /// Code 22: the background compaction could not complete (another one
+    /// running, I/O failure, no artifact/WAL configured).
+    CompactFailed {
+        /// Why the compaction was rejected or failed.
+        message: String,
+    },
 }
 
 impl WireError {
@@ -253,6 +290,8 @@ impl WireError {
             WireError::TooLarge { .. } => 18,
             WireError::ReloadFailed { .. } => 19,
             WireError::ShuttingDown => 20,
+            WireError::AdminDenied => 21,
+            WireError::CompactFailed { .. } => 22,
         }
     }
 
@@ -307,6 +346,13 @@ impl std::fmt::Display for WireError {
             WireError::TooLarge { message } => write!(f, "request too large: {message}"),
             WireError::ReloadFailed { message } => write!(f, "reload failed: {message}"),
             WireError::ShuttingDown => write!(f, "server is shutting down"),
+            WireError::AdminDenied => {
+                write!(
+                    f,
+                    "admin opcode denied: connection presented no valid token"
+                )
+            }
+            WireError::CompactFailed { message } => write!(f, "compaction failed: {message}"),
         }
     }
 }
@@ -465,23 +511,47 @@ fn get_dist(c: &mut Cursor<'_>) -> Result<Option<Dist>, DecodeError> {
     Ok(if raw == INF { None } else { Some(raw) })
 }
 
-/// Appends the serialized hello (either direction) to `out`.
+/// Longest admin token the hello accepts, in bytes. A bound keeps the
+/// pre-authentication read trivially small.
+pub const MAX_TOKEN_LEN: usize = 256;
+
+/// Appends the serialized hello (either direction, no token) to `out`.
 pub fn encode_hello(out: &mut impl BufMut) {
+    encode_hello_with_token(out, None);
+}
+
+/// Appends a client hello announcing `token` (sent verbatim right after
+/// the fixed 8 bytes). Tokens longer than [`MAX_TOKEN_LEN`] are truncated
+/// — the server would reject the excess read anyway.
+pub fn encode_hello_with_token(out: &mut impl BufMut, token: Option<&str>) {
+    let token = token.map(str::as_bytes).unwrap_or_default();
+    let len = token.len().min(MAX_TOKEN_LEN);
     out.put_slice(&MAGIC);
     out.put_u16_le(VERSION);
-    out.put_u16_le(0); // reserved
+    out.put_u16_le(len as u16);
+    out.put_slice(&token[..len]);
 }
 
 /// Validates a received hello and returns the peer's version. The caller
 /// decides whether a differing (but well-formed) version is fatal;
-/// [`DecodeError::BadMagic`] always is.
+/// [`DecodeError::BadMagic`] always is. Ignores the token-length field —
+/// use [`decode_hello_head`] when the trailing token bytes matter.
 pub fn decode_hello(raw: &[u8; HELLO_LEN]) -> Result<u16, DecodeError> {
+    decode_hello_head(raw).map(|(version, _)| version)
+}
+
+/// Validates a received hello and returns the peer's `(version,
+/// token_len)`: `token_len` bytes of admin token follow the fixed hello
+/// on the wire (0 for legacy peers and for server hellos).
+pub fn decode_hello_head(raw: &[u8; HELLO_LEN]) -> Result<(u16, u16), DecodeError> {
     if raw[..4] != MAGIC {
         return Err(DecodeError::BadMagic {
             got: raw[..4].try_into().unwrap(),
         });
     }
-    Ok(u16::from_le_bytes(raw[4..6].try_into().unwrap()))
+    let version = u16::from_le_bytes(raw[4..6].try_into().unwrap());
+    let token_len = u16::from_le_bytes(raw[6..8].try_into().unwrap());
+    Ok((version, token_len))
 }
 
 /// Appends one request *body* (no length prefix) to `out`.
@@ -489,7 +559,7 @@ pub fn encode_request(id: u64, req: &Request, out: &mut impl BufMut) {
     out.put_u64_le(id);
     out.put_u8(req.opcode());
     match req {
-        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::Ping | Request::Stats | Request::Shutdown | Request::Compact => {}
         Request::Query { s, t } => {
             out.put_u32_le(*s);
             out.put_u32_le(*t);
@@ -533,6 +603,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), DecodeError> {
         opcode::STATS => Request::Stats,
         opcode::RELOAD => Request::Reload { path: c.string()? },
         opcode::SHUTDOWN => Request::Shutdown,
+        opcode::COMPACT => Request::Compact,
         other => return Err(DecodeError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -557,11 +628,15 @@ pub fn encode_response(id: u64, resp: &Response, out: &mut impl BufMut) {
                     out.put_u32_le(*vertex);
                     out.put_u64_le(*universe);
                 }
-                WireError::StaleIndex | WireError::NoPathInfo | WireError::ShuttingDown => {}
+                WireError::StaleIndex
+                | WireError::NoPathInfo
+                | WireError::ShuttingDown
+                | WireError::AdminDenied => {}
                 WireError::UnknownQuery { message }
                 | WireError::Malformed { message }
                 | WireError::TooLarge { message }
-                | WireError::ReloadFailed { message } => put_string(out, message),
+                | WireError::ReloadFailed { message }
+                | WireError::CompactFailed { message } => put_string(out, message),
                 WireError::UnsupportedOpcode { opcode } => out.put_u8(*opcode),
             }
         }
@@ -608,6 +683,14 @@ pub fn encode_response(id: u64, resp: &Response, out: &mut impl BufMut) {
                     out.put_u64_le(*num_vertices);
                 }
                 Response::ShutdownAck => out.put_u8(opcode::SHUTDOWN),
+                Response::Compacted {
+                    version,
+                    num_vertices,
+                } => {
+                    out.put_u8(opcode::COMPACT);
+                    out.put_u64_le(*version);
+                    out.put_u64_le(*num_vertices);
+                }
                 Response::Error(_) => unreachable!("handled above"),
             }
         }
@@ -661,6 +744,10 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), DecodeError> {
                 num_vertices: c.u64()?,
             },
             opcode::SHUTDOWN => Response::ShutdownAck,
+            opcode::COMPACT => Response::Compacted {
+                version: c.u64()?,
+                num_vertices: c.u64()?,
+            },
             other => return Err(DecodeError::UnknownOpcode(other)),
         },
         1 => Response::Error(WireError::VertexOutOfRange {
@@ -683,6 +770,10 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), DecodeError> {
             message: c.string()?,
         }),
         20 => Response::Error(WireError::ShuttingDown),
+        21 => Response::Error(WireError::AdminDenied),
+        22 => Response::Error(WireError::CompactFailed {
+            message: c.string()?,
+        }),
         other => return Err(DecodeError::UnknownStatus(other)),
     };
     c.finish()?;
@@ -722,6 +813,12 @@ pub enum FrameReadError {
         /// The configured cap.
         max: u32,
     },
+    /// A read timeout expired *between* frames (no prefix byte arrived).
+    /// The connection is still perfectly synchronized — the caller may do
+    /// idle housekeeping (e.g. refresh a pinned snapshot) and read again.
+    /// A timeout *inside* a frame is [`Io`](FrameReadError::Io) instead:
+    /// the peer stalled mid-message.
+    IdleTimeout,
 }
 
 impl std::fmt::Display for FrameReadError {
@@ -731,6 +828,7 @@ impl std::fmt::Display for FrameReadError {
             FrameReadError::Oversized { len, max } => {
                 write!(f, "frame length {len} exceeds cap {max}")
             }
+            FrameReadError::IdleTimeout => write!(f, "read timed out between frames"),
         }
     }
 }
@@ -756,16 +854,28 @@ pub fn read_frame(
     // prefix or body is not.
     let mut filled = 0;
     while filled < prefix.len() {
-        match r.read(&mut prefix[filled..])? {
-            0 if filled == 0 => return Ok(false),
-            0 => {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "EOF inside frame length prefix",
                 )
                 .into())
             }
-            n => filled += n,
+            Ok(n) => filled += n,
+            // A timeout with zero prefix bytes read is a between-frames
+            // idle tick, not a broken stream.
+            Err(e)
+                if filled == 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Err(FrameReadError::IdleTimeout)
+            }
+            Err(e) => return Err(e.into()),
         }
     }
     let len = u32::from_le_bytes(prefix);
@@ -807,6 +917,7 @@ mod tests {
             path: "/tmp/ix.islx".into(),
         });
         roundtrip_request(Request::Shutdown);
+        roundtrip_request(Request::Compact);
     }
 
     #[test]
@@ -834,6 +945,10 @@ mod tests {
             num_vertices: 1000,
         });
         roundtrip_response(Response::ShutdownAck);
+        roundtrip_response(Response::Compacted {
+            version: 4,
+            num_vertices: 151,
+        });
         for err in [
             WireError::VertexOutOfRange {
                 vertex: 99,
@@ -855,6 +970,10 @@ mod tests {
                 message: "corrupt".into(),
             },
             WireError::ShuttingDown,
+            WireError::AdminDenied,
+            WireError::CompactFailed {
+                message: "busy".into(),
+            },
         ] {
             roundtrip_response(Response::Error(err));
         }
@@ -919,6 +1038,30 @@ mod tests {
             decode_hello(&bad),
             Err(DecodeError::BadMagic { .. })
         ));
+    }
+
+    #[test]
+    fn hello_token_field_roundtrips_and_stays_legacy_compatible() {
+        // Token-less hello is byte-identical to the legacy reserved field.
+        let mut plain = Vec::new();
+        encode_hello(&mut plain);
+        assert_eq!(plain.len(), HELLO_LEN);
+        let head: [u8; HELLO_LEN] = plain.as_slice().try_into().unwrap();
+        assert_eq!(decode_hello_head(&head), Ok((VERSION, 0)));
+
+        // A token rides after the fixed head, its length announced in the
+        // formerly-reserved u16.
+        let mut with = Vec::new();
+        encode_hello_with_token(&mut with, Some("sesame"));
+        assert_eq!(with.len(), HELLO_LEN + 6);
+        let head: [u8; HELLO_LEN] = with[..HELLO_LEN].try_into().unwrap();
+        assert_eq!(decode_hello_head(&head), Ok((VERSION, 6)));
+        assert_eq!(&with[HELLO_LEN..], b"sesame");
+
+        // Oversized tokens clamp to the wire cap instead of overflowing.
+        let mut huge = Vec::new();
+        encode_hello_with_token(&mut huge, Some(&"a".repeat(MAX_TOKEN_LEN + 50)));
+        assert_eq!(huge.len(), HELLO_LEN + MAX_TOKEN_LEN);
     }
 
     #[test]

@@ -11,12 +11,19 @@
 //!
 //! Hot swap semantics mirror `QueryService`: after every frame the reader
 //! compares its pinned generation with the shared [`OracleHandle`]; when
-//! a swap (e.g. a wire-triggered `Reload`) has landed, it re-pins and
-//! opens a fresh session, and the frame being processed when the swap hit
-//! finishes on the generation it pinned. An idle connection keeps its pin
-//! until the next frame arrives — swap-heavy deployments should expect
-//! retired snapshots to live until their slowest idle connection speaks
-//! again or closes.
+//! a swap (e.g. a wire-triggered `Reload` or `Compact`) has landed, it
+//! re-pins and opens a fresh session, and the frame being processed when
+//! the swap hit finishes on the generation it pinned. Idle connections
+//! re-pin too: the reader's socket read runs under
+//! [`NetConfig::idle_tick`], and a timeout that fires *between* frames
+//! checks the handle generation and drops a retired pin — a silent
+//! connection no longer keeps an old index's memory alive beyond one
+//! tick.
+//!
+//! Admin opcodes (`Reload`, `Shutdown`, `Compact`) can be gated behind a
+//! shared secret ([`NetConfig::admin_token`]) presented in the client's
+//! hello; connections without it get the stable `AdminDenied` code while
+//! query traffic flows unauthenticated.
 //!
 //! Error handling is frame-scoped: a body that fails to decode is
 //! answered with a `Malformed` error carrying the frame's request id (if
@@ -24,10 +31,12 @@
 //! the stream cannot recover from — a length prefix over the configured
 //! cap, a broken socket, a bad handshake — close the connection.
 
-use crate::protocol::{self, FrameReadError, Request, Response, WireError, WireStats, HELLO_LEN};
+use crate::protocol::{
+    self, FrameReadError, Request, Response, WireError, WireStats, HELLO_LEN, MAX_TOKEN_LEN,
+};
 use islabel_core::persist::try_load_index_from_path;
 use islabel_core::snapshot::{OracleHandle, SharedOracle, Snapshot};
-use islabel_serve::{AtomicLatencyHistogram, LatencyHistogram};
+use islabel_serve::{AtomicLatencyHistogram, LatencyHistogram, RebuildCoordinator};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -37,7 +46,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Limits and toggles of a [`DistanceServer`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Cap on one frame body's length; a prefix above it closes the
     /// connection (the stream cannot be resynchronized past it).
@@ -52,14 +61,25 @@ pub struct NetConfig {
     /// backpressure instead of unbounded buffering.
     pub write_queue_frames: usize,
     /// Whether the admin `Reload` opcode is honored; when `false` it is
-    /// answered with `ReloadFailed`. (Transport auth is a roadmap item;
-    /// until then this is the only guard.)
+    /// answered with `ReloadFailed` even for token-bearing connections.
     pub allow_reload: bool,
     /// Socket write timeout per connection. Bounds how long a client that
     /// stops *reading* can stall its writer thread — and therefore how
     /// long [`DistanceServer::shutdown`] can block on such a client.
     /// `None` disables the bound (not recommended).
     pub write_timeout: Option<Duration>,
+    /// Shared secret gating the admin opcodes (`Reload`, `Shutdown`,
+    /// `Compact`): when set, only connections whose hello presented
+    /// exactly this token may use them (stable error code 21,
+    /// `AdminDenied`, otherwise). `None` (the default) leaves admin open,
+    /// matching earlier builds.
+    pub admin_token: Option<String>,
+    /// Read timeout of the per-connection frame loop. A timeout between
+    /// frames is an idle housekeeping tick — the reader re-checks the
+    /// snapshot generation and releases a retired pin — not an error.
+    /// `None` blocks forever (idle connections then pin retired snapshots
+    /// until they next speak).
+    pub idle_tick: Option<Duration>,
 }
 
 impl Default for NetConfig {
@@ -71,6 +91,8 @@ impl Default for NetConfig {
             write_queue_frames: 1024,
             allow_reload: true,
             write_timeout: Some(Duration::from_secs(30)),
+            admin_token: None,
+            idle_tick: Some(Duration::from_millis(500)),
         }
     }
 }
@@ -207,6 +229,10 @@ struct ServerShared {
     handle: Arc<OracleHandle>,
     config: NetConfig,
     counters: NetCounters,
+    /// Serves the wire `Compact` opcode when configured (see
+    /// [`DistanceServer::set_coordinator`]); `None` answers with
+    /// `CompactFailed`.
+    coordinator: Mutex<Option<Arc<RebuildCoordinator>>>,
     shutting_down: AtomicBool,
     /// Set with the signal below; readers check it per frame and refuse
     /// queries with `ShuttingDown` once a drain has been requested.
@@ -270,6 +296,7 @@ impl DistanceServer {
             handle,
             config,
             counters: NetCounters::new(),
+            coordinator: Mutex::new(None),
             shutting_down: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
@@ -301,6 +328,18 @@ impl DistanceServer {
     /// served index.
     pub fn handle(&self) -> &Arc<OracleHandle> {
         &self.shared.handle
+    }
+
+    /// Wires up the background-compaction coordinator serving the wire
+    /// `Compact` opcode. Without one, `Compact` is answered with
+    /// `CompactFailed` — a server fronting an in-memory oracle has no
+    /// artifact + WAL pair to fold.
+    pub fn set_coordinator(&self, coordinator: Arc<RebuildCoordinator>) {
+        *self
+            .shared
+            .coordinator
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = Some(coordinator);
     }
 
     /// A point-in-time snapshot of the server's counters.
@@ -463,22 +502,46 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<ServerShared>) {
 }
 
 fn run_connection(stream: &mut TcpStream, shared: &Arc<ServerShared>) {
-    // Handshake: read the client hello, always answer with ours (so a
+    // Handshake: read the client hello head, then the (possibly empty)
+    // admin token it declares; always answer with our hello (so a
     // mismatched peer learns *our* version), then bail on mismatch.
     let mut hello = [0u8; HELLO_LEN];
     if stream.read_exact(&mut hello).is_err() {
         return;
     }
-    let client_version = protocol::decode_hello(&hello);
+    let head = protocol::decode_hello_head(&hello);
+    let token = match head {
+        Ok((_, token_len)) => {
+            if usize::from(token_len) > MAX_TOKEN_LEN {
+                return; // lying length: no way to resync, close unanswered
+            }
+            let mut buf = vec![0u8; usize::from(token_len)];
+            if stream.read_exact(&mut buf).is_err() {
+                return;
+            }
+            buf
+        }
+        Err(_) => Vec::new(),
+    };
     let mut our_hello = Vec::with_capacity(HELLO_LEN);
     protocol::encode_hello(&mut our_hello);
     if stream.write_all(&our_hello).is_err() || stream.flush().is_err() {
         return;
     }
-    match client_version {
-        Ok(v) if v == protocol::VERSION => {}
+    match head {
+        Ok((v, _)) if v == protocol::VERSION => {}
         _ => return, // bad magic or foreign version: hello sent, close
     }
+    // Admin gate: open when no token is configured; otherwise an exact
+    // byte match of the presented token. Decided once per connection.
+    let authed = match &shared.config.admin_token {
+        None => true,
+        Some(expected) => token == expected.as_bytes(),
+    };
+    // Only now arm the idle tick: the handshake itself should block
+    // normally, but the frame loop's reads wake periodically so an idle
+    // connection can release a retired snapshot pin.
+    let _ = stream.set_read_timeout(shared.config.idle_tick);
 
     let queue = Arc::new(WriteQueue::new(shared.config.write_queue_frames));
     let writer = {
@@ -493,7 +556,7 @@ fn run_connection(stream: &mut TcpStream, shared: &Arc<ServerShared>) {
             .expect("spawn connection writer")
     };
 
-    serve_frames(stream, shared, &queue);
+    serve_frames(stream, shared, &queue, authed);
 
     // Drain: the writer flushes everything queued, then exits.
     queue.close();
@@ -501,8 +564,14 @@ fn run_connection(stream: &mut TcpStream, shared: &Arc<ServerShared>) {
 }
 
 /// The frame loop: pin a snapshot, answer frames through one session,
-/// re-pin when a hot swap is observed between frames.
-fn serve_frames(stream: &mut TcpStream, shared: &Arc<ServerShared>, queue: &WriteQueue) {
+/// re-pin when a hot swap is observed between frames — or, for an idle
+/// connection, when the read-timeout tick notices a retired pin.
+fn serve_frames(
+    stream: &mut TcpStream,
+    shared: &Arc<ServerShared>,
+    queue: &WriteQueue,
+    authed: bool,
+) {
     let mut frame = Vec::new();
     let respond = |id: u64, resp: &Response| -> bool {
         if matches!(resp, Response::Error(_)) {
@@ -529,6 +598,16 @@ fn serve_frames(stream: &mut TcpStream, shared: &Arc<ServerShared>, queue: &Writ
                         }),
                     );
                     return;
+                }
+                Err(FrameReadError::IdleTimeout) => {
+                    // Between-frames housekeeping tick: if a swap landed
+                    // while this connection sat silent, drop the retired
+                    // pin (and its memory) by re-pinning now rather than
+                    // whenever the client next speaks.
+                    if shared.handle.version() != pinned.version() {
+                        continue 'pin;
+                    }
+                    continue;
                 }
                 Err(FrameReadError::Io(_)) => return,
             }
@@ -560,10 +639,24 @@ fn serve_frames(stream: &mut TcpStream, shared: &Arc<ServerShared>, queue: &Writ
                 _ if draining
                     && matches!(
                         request,
-                        Request::Query { .. } | Request::Batch { .. } | Request::Reload { .. }
+                        Request::Query { .. }
+                            | Request::Batch { .. }
+                            | Request::Reload { .. }
+                            | Request::Compact
                     ) =>
                 {
                     Response::Error(WireError::ShuttingDown)
+                }
+                // Admin gate: when a token is configured and this
+                // connection's hello didn't present it, every admin opcode
+                // gets the stable code — before any of its side effects.
+                _ if !authed
+                    && matches!(
+                        request,
+                        Request::Reload { .. } | Request::Shutdown | Request::Compact
+                    ) =>
+                {
+                    Response::Error(WireError::AdminDenied)
                 }
                 Request::Ping => Response::Pong,
                 Request::Query { s, t } => {
@@ -634,6 +727,29 @@ fn serve_frames(stream: &mut TcpStream, shared: &Arc<ServerShared>, queue: &Writ
                                 message: format!("{path}: {e}"),
                             }),
                         }
+                    }
+                }
+                Request::Compact => {
+                    // Clone the Arc out so a long rebuild doesn't hold the
+                    // registration lock (set_coordinator stays callable).
+                    let coordinator = shared
+                        .coordinator
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .clone();
+                    match coordinator {
+                        None => Response::Error(WireError::CompactFailed {
+                            message: "no compaction coordinator configured".into(),
+                        }),
+                        Some(c) => match c.compact() {
+                            Ok(stats) => Response::Compacted {
+                                version: stats.version,
+                                num_vertices: stats.num_vertices as u64,
+                            },
+                            Err(e) => Response::Error(WireError::CompactFailed {
+                                message: e.to_string(),
+                            }),
+                        },
                     }
                 }
                 Request::Shutdown => {

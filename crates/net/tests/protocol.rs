@@ -24,6 +24,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Stats),
         arb_path().prop_map(|path| Request::Reload { path }),
         Just(Request::Shutdown),
+        Just(Request::Compact),
     ]
 }
 
@@ -46,6 +47,8 @@ fn arb_wire_error() -> impl Strategy<Value = WireError> {
         arb_path().prop_map(|message| WireError::TooLarge { message }),
         arb_path().prop_map(|message| WireError::ReloadFailed { message }),
         Just(WireError::ShuttingDown),
+        Just(WireError::AdminDenied),
+        arb_path().prop_map(|message| WireError::CompactFailed { message }),
     ]
 }
 
@@ -77,6 +80,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 })
             }),
         (0u64..1000, 0u64..1 << 40).prop_map(|(version, num_vertices)| Response::Reloaded {
+            version,
+            num_vertices
+        }),
+        (0u64..1000, 0u64..1 << 40).prop_map(|(version, num_vertices)| Response::Compacted {
             version,
             num_vertices
         }),
@@ -179,7 +186,7 @@ fn max_size_batch_roundtrips_at_the_frame_cap() {
 /// contract remote clients rely on.
 #[test]
 fn error_codes_are_pinned() {
-    let cases: [(WireError, u8); 9] = [
+    let cases: [(WireError, u8); 11] = [
         (
             WireError::VertexOutOfRange {
                 vertex: 0,
@@ -195,6 +202,8 @@ fn error_codes_are_pinned() {
         (WireError::TooLarge { message: "".into() }, 18),
         (WireError::ReloadFailed { message: "".into() }, 19),
         (WireError::ShuttingDown, 20),
+        (WireError::AdminDenied, 21),
+        (WireError::CompactFailed { message: "".into() }, 22),
     ];
     for (err, code) in cases {
         assert_eq!(err.code(), code, "{err:?}");
@@ -207,8 +216,9 @@ fn error_codes_are_pinned() {
             protocol::opcode::STATS,
             protocol::opcode::RELOAD,
             protocol::opcode::SHUTDOWN,
+            protocol::opcode::COMPACT,
         ),
-        (0x01, 0x02, 0x03, 0x04, 0x05, 0x06)
+        (0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07)
     );
     assert_eq!(protocol::MAGIC, *b"ISLW");
     assert_eq!(protocol::VERSION, 1);

@@ -27,6 +27,11 @@
 //! * **Graceful shutdown** — [`QueryService::shutdown`] (and `Drop`)
 //!   closes the queues, drains every queued request and joins the
 //!   workers.
+//! * **Background compaction** — [`RebuildCoordinator`] ([`rebuild`])
+//!   folds accumulated dynamic updates (overlay + write-ahead log) into a
+//!   fresh pristine index on a worker thread, then atomically persists,
+//!   swaps, and truncates the log — *new index durable → swap → WAL
+//!   truncate*, so a crash at any point loses nothing.
 //!
 //! ```
 //! use islabel_core::{BuildConfig, IsLabelIndex};
@@ -47,6 +52,10 @@
 //! let stats = service.shutdown();
 //! assert_eq!(stats.total_queries(), 4);
 //! ```
+
+pub mod rebuild;
+
+pub use rebuild::{CompactError, CompactStats, RebuildCoordinator};
 
 use islabel_core::snapshot::{OracleHandle, SharedOracle, Snapshot};
 use islabel_core::{DistanceOracle, QueryError, QuerySession};

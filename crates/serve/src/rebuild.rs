@@ -1,0 +1,290 @@
+//! Background rebuild-then-swap ("compaction") for a served index.
+//!
+//! A long-running server accumulates dynamic updates: the overlay grows,
+//! deletions of peeled vertices make answers approximate
+//! ([`IsLabelIndex::is_stale`]), and the write-ahead log grows without
+//! bound. The [`RebuildCoordinator`] folds all of that back into a
+//! pristine artifact *while the server keeps answering queries*:
+//!
+//! 1. **Rebuild** — load the on-disk artifact, replay its WAL
+//!    ([`load_index_with_wal`]) and build a fresh index from the
+//!    materialized current graph on the calling worker thread. Queries
+//!    keep flowing against the old snapshot throughout.
+//! 2. **Durability point** — persist the rebuilt artifact atomically
+//!    (temp file + rename) *before* anything else changes.
+//! 3. **Swap** — publish the rebuilt index through the shared
+//!    [`OracleHandle`]; in-flight queries finish on the snapshot they
+//!    started on.
+//! 4. **WAL reset** — only now truncate the log, rewriting it with the
+//!    rebuilt artifact's fresh epoch.
+//!
+//! The ordering *new index durable → swap → WAL truncate* is what makes a
+//! crash at any point safe: before the rename the old artifact + full WAL
+//! still recover the exact overlay; between the rename and the WAL reset
+//! the new artifact simply discards the stale-epoch log (those ops are
+//! already folded in — see `persist::wal`); after the reset the pair is
+//! pristine. No window loses an acknowledged update or double-applies one.
+//!
+//! Compactions are single-flight: a second [`compact`] while one is
+//! running fails fast with [`CompactError::Busy`] instead of queueing —
+//! rebuilds are expensive and back-to-back runs would fold the same ops
+//! twice for no benefit.
+//!
+//! [`IsLabelIndex::is_stale`]: islabel_core::IsLabelIndex::is_stale
+//! [`load_index_with_wal`]: islabel_core::load_index_with_wal
+//! [`compact`]: RebuildCoordinator::compact
+
+use islabel_core::persist::{load_index_with_wal, try_save_index_to_path, wal::WalWriter};
+use islabel_core::snapshot::OracleHandle;
+use islabel_core::{BuildConfig, IsLabelIndex, DEFAULT_WAL_SYNC_EVERY};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// What one successful compaction did; returned by
+/// [`RebuildCoordinator::compact`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Snapshot generation the rebuilt index was published as.
+    pub version: u64,
+    /// Vertices in the rebuilt (pristine) index.
+    pub num_vertices: usize,
+    /// Pending ops (sealed + WAL-replayed) folded into the rebuild.
+    pub folded_ops: usize,
+    /// Ops replayed from the WAL tail specifically (the rest were sealed
+    /// in the artifact).
+    pub replayed_ops: usize,
+}
+
+/// Why a compaction did not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompactError {
+    /// Another compaction is already running; retry after it finishes.
+    Busy,
+    /// The rebuild pipeline failed (I/O, corrupt artifact, build panic);
+    /// the served index and the on-disk artifact + WAL pair are untouched.
+    Failed(String),
+}
+
+impl std::fmt::Display for CompactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompactError::Busy => write!(f, "a compaction is already in progress"),
+            CompactError::Failed(msg) => write!(f, "compaction failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompactError {}
+
+/// Coordinates background rebuild-then-swap compactions for a served
+/// index backed by an on-disk artifact + WAL pair (see the [module
+/// docs](self) for the crash-safety argument).
+///
+/// Shared with the serving side as an `Arc`: the network server's
+/// `Compact` admin opcode and the CLI's `compact` command both funnel
+/// into [`compact`](RebuildCoordinator::compact).
+pub struct RebuildCoordinator {
+    handle: Arc<OracleHandle>,
+    index_path: PathBuf,
+    wal_path: PathBuf,
+    config: BuildConfig,
+    /// Single-flight guard; holds no data, only the "running" claim.
+    running: Mutex<()>,
+}
+
+impl RebuildCoordinator {
+    /// A coordinator publishing through `handle`, rebuilding from the
+    /// artifact at `index_path` plus the WAL at `wal_path`, with `config`
+    /// governing the rebuild.
+    pub fn new(
+        handle: Arc<OracleHandle>,
+        index_path: impl Into<PathBuf>,
+        wal_path: impl Into<PathBuf>,
+        config: BuildConfig,
+    ) -> Self {
+        Self {
+            handle,
+            index_path: index_path.into(),
+            wal_path: wal_path.into(),
+            config,
+            running: Mutex::new(()),
+        }
+    }
+
+    /// The handle compactions publish through.
+    pub fn handle(&self) -> &Arc<OracleHandle> {
+        &self.handle
+    }
+
+    /// Runs one full compaction on a dedicated worker thread (joined
+    /// before returning, so a build panic surfaces as
+    /// [`CompactError::Failed`], never a poisoned server): rebuild from
+    /// artifact + WAL, persist durably, swap, then reset the log.
+    ///
+    /// Call it from a background/admin thread — the serving workers keep
+    /// answering on the old snapshot while this blocks.
+    pub fn compact(&self) -> Result<CompactStats, CompactError> {
+        let Ok(_guard) = self.running.try_lock() else {
+            return Err(CompactError::Busy);
+        };
+        let index_path = self.index_path.clone();
+        let wal_path = self.wal_path.clone();
+        let config = self.config;
+        let handle = Arc::clone(&self.handle);
+        let worker = std::thread::Builder::new()
+            .name("islabel-compact".into())
+            .spawn(move || -> Result<CompactStats, String> {
+                let (index, recovery) =
+                    load_index_with_wal(&index_path, &wal_path).map_err(|e| e.to_string())?;
+                let folded_ops = index.pending_ops();
+                let graph = index.current_graph();
+                // Release the recovered index's WAL writer before the new
+                // log is written below.
+                drop(index);
+                let rebuilt = IsLabelIndex::try_build(&graph, config).map_err(|e| e.to_string())?;
+                let epoch = rebuilt.artifact_epoch();
+                let num_vertices = rebuilt.num_vertices();
+                // Durability point: the rebuilt artifact reaches disk
+                // (atomically) before the swap and before the log is
+                // touched.
+                try_save_index_to_path(&rebuilt, &index_path).map_err(|e| e.to_string())?;
+                let snapshot = handle.swap(Arc::new(rebuilt));
+                drop(snapshot); // retire the old snapshot's pin immediately
+                                // Only now reset the log, onto the new artifact's epoch. A
+                                // crash before this point leaves a stale-epoch WAL the next
+                                // load discards.
+                let mut w = WalWriter::create(&wal_path, epoch, DEFAULT_WAL_SYNC_EVERY)
+                    .map_err(|e| e.to_string())?;
+                w.sync().map_err(|e| e.to_string())?;
+                Ok(CompactStats {
+                    version: handle.version(),
+                    num_vertices,
+                    folded_ops,
+                    replayed_ops: recovery.replayed,
+                })
+            })
+            .map_err(|e| CompactError::Failed(e.to_string()))?;
+        match worker.join() {
+            Ok(result) => result.map_err(CompactError::Failed),
+            Err(_) => Err(CompactError::Failed("rebuild worker panicked".into())),
+        }
+    }
+}
+
+impl std::fmt::Debug for RebuildCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RebuildCoordinator")
+            .field("index_path", &self.index_path)
+            .field("wal_path", &self.wal_path)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use islabel_core::persist;
+    use islabel_core::snapshot::Snapshot;
+    use islabel_graph::generators::{barabasi_albert, WeightModel};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("islabel-rebuild-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn compact_folds_wal_swaps_and_resets_log() {
+        let dir = tempdir("fold");
+        let index_path = dir.join("i.islx");
+        let wal_path = dir.join("i.wal");
+        let g = barabasi_albert(150, 3, WeightModel::Unit, 9);
+        let mut index = IsLabelIndex::build(&g, BuildConfig::default());
+        persist::try_save_index_to_path(&index, &index_path).unwrap();
+        index.attach_wal(&wal_path).unwrap();
+        index.insert_edge(2, 77, 1);
+        let u = index.insert_vertex(&[(3, 2), (50, 4)]);
+        let expected = index.current_graph();
+        let epoch_before = index.artifact_epoch();
+        drop(index); // server restarts from disk below
+
+        let (served, recovery) = load_index_with_wal(&index_path, &wal_path).unwrap();
+        assert_eq!(recovery.replayed, 2);
+        assert!(served.has_updates());
+        let handle = Arc::new(OracleHandle::new(Snapshot::new(served)));
+        let coordinator = RebuildCoordinator::new(
+            Arc::clone(&handle),
+            &index_path,
+            &wal_path,
+            BuildConfig::default(),
+        );
+
+        let stats = coordinator.compact().unwrap();
+        assert_eq!(stats.version, 1);
+        assert_eq!(stats.num_vertices, 151);
+        assert_eq!(stats.folded_ops, 2);
+        assert_eq!(stats.replayed_ops, 2);
+
+        // The served snapshot is the pristine rebuild.
+        let snap = handle.load();
+        assert_eq!(snap.version(), 1);
+        assert_eq!(
+            snap.oracle().try_distance(u, 3).unwrap(),
+            islabel_core::reference::dijkstra_p2p(&expected, u, 3)
+        );
+
+        // Artifact + WAL on disk are a pristine pair with a fresh epoch.
+        let (reloaded, rec2) = load_index_with_wal(&index_path, &wal_path).unwrap();
+        assert!(!reloaded.has_updates());
+        assert_eq!(rec2.replayed, 0);
+        assert!(!rec2.created, "the reset WAL already matches");
+        assert_ne!(reloaded.artifact_epoch(), epoch_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn second_concurrent_compact_reports_busy() {
+        let dir = tempdir("busy");
+        let index_path = dir.join("i.islx");
+        let wal_path = dir.join("i.wal");
+        let g = barabasi_albert(80, 2, WeightModel::Unit, 4);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        persist::try_save_index_to_path(&index, &index_path).unwrap();
+        let handle = Arc::new(OracleHandle::new(Snapshot::new(index)));
+        let coordinator = Arc::new(RebuildCoordinator::new(
+            Arc::clone(&handle),
+            &index_path,
+            &wal_path,
+            BuildConfig::default(),
+        ));
+
+        // Hold the single-flight guard as a concurrent compaction would.
+        let guard = coordinator.running.lock().unwrap();
+        assert_eq!(coordinator.compact(), Err(CompactError::Busy));
+        drop(guard);
+        coordinator.compact().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_compact_leaves_serving_state_untouched() {
+        let dir = tempdir("fail");
+        let g = barabasi_albert(80, 2, WeightModel::Unit, 4);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        let handle = Arc::new(OracleHandle::new(Snapshot::new(index)));
+        // No artifact on disk: the rebuild cannot even load.
+        let coordinator = RebuildCoordinator::new(
+            Arc::clone(&handle),
+            dir.join("missing.islx"),
+            dir.join("missing.wal"),
+            BuildConfig::default(),
+        );
+        assert!(matches!(
+            coordinator.compact(),
+            Err(CompactError::Failed(_))
+        ));
+        assert_eq!(handle.version(), 0, "no swap on failure");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

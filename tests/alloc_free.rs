@@ -101,6 +101,49 @@ fn sessions_answer_queries_without_allocating() {
     );
     drop(session);
 
+    // --- IS-LABEL with pending updates: the PatchedDense session path. ---
+    // A non-pristine index must stay on the dense kernel: the session
+    // snapshots the overlay into a DensePatch at open time and pre-sizes
+    // every buffer for the patched universe, so queries against an index
+    // carrying inserts, new vertices, and tombstones allocate nothing.
+    let mut updated = IsLabelIndex::build(&g, BuildConfig::default());
+    for i in 0..30u32 {
+        let a = (i * 37 + 1) % 1800;
+        let b = (i * 53 + 400) % 1800;
+        if a != b {
+            updated.insert_edge(a, b, i % 5 + 1);
+        }
+    }
+    for i in 0..10u32 {
+        updated.insert_vertex(&[((i * 97 + 3) % 1800, 2), ((i * 61 + 700) % 1800, 4)]);
+    }
+    for v in 1900..1916u32 {
+        updated.delete_vertex(v);
+    }
+    assert!(updated.has_updates());
+    let mut patched_session = updated.session();
+    let count = audited(|| {
+        for &(s, t) in &pairs[..200] {
+            if let Ok(Some(d)) = patched_session.distance(s, t) {
+                checksum = checksum.wrapping_add(d);
+            }
+        }
+    });
+    assert_eq!(
+        count, 0,
+        "patched IsLabelSession allocated {count} times over 200 queries"
+    );
+    // Outside the armed region: the patched dense path must agree with the
+    // hashmap overlay one-shot path on every audited pair.
+    for &(s, t) in &pairs[..200] {
+        assert_eq!(
+            patched_session.distance(s, t).unwrap(),
+            updated.try_distance(s, t).unwrap(),
+            "patched session vs try_distance ({s}, {t})"
+        );
+    }
+    drop(patched_session);
+
     // --- di-IS-LABEL over the symmetrized digraph. ---
     let mut b = DigraphBuilder::new(n);
     for (u, v, w) in g.edge_list() {

@@ -240,10 +240,12 @@ fn all_engines_agree_through_sessions() {
 }
 
 #[test]
-fn overlay_fallback_matches_reference_after_updates() {
-    // A non-pristine index must answer through the sparse overlay path —
-    // sessions included — with the documented upper-bound semantics, and
-    // return to the dense path (exact again) after rebuild().
+fn overlay_session_matches_hashmap_reference_after_updates() {
+    // A non-pristine index serves sessions through the dense kernel over a
+    // `PatchedDense` view (tail + tombstones); the one-shot `try_distance`
+    // path stays on the hashmap overlay kernel. The two must agree
+    // bit-for-bit on every answer, with the documented upper-bound
+    // semantics, and rebuild() returns to the plain dense path (exact).
     let g = barabasi_albert(250, 3, WeightModel::UniformRange(1, 4), 31);
     let mut index = IsLabelIndex::build(&g, BuildConfig::default());
     let gk_anchor = index.hierarchy().gk_members()[0];

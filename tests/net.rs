@@ -12,6 +12,7 @@ use islabel::prelude::*;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 fn pair_mix(n: u32, count: u32) -> Vec<(VertexId, VertexId)> {
     (0..count)
@@ -242,6 +243,97 @@ fn wire_reload_swaps_while_in_flight_queries_finish_on_their_generation() {
 
     server.shutdown();
     std::fs::remove_file(&artifact).ok();
+}
+
+/// Regression: an *idle* connection used to hold its snapshot pin until
+/// the client next spoke, keeping a retired index's memory alive
+/// indefinitely after a hot swap. The reader's read-timeout tick
+/// ([`NetConfig::idle_tick`]) must drop the retired pin within a tick,
+/// with no traffic from the client.
+#[test]
+fn idle_connection_releases_retired_snapshot_within_a_tick() {
+    let first: SharedOracle = Arc::new(line_index(5)); // dist(0, 2) = 10
+    let observer = Arc::clone(&first);
+    let server = DistanceServer::start(
+        first,
+        "127.0.0.1:0",
+        NetConfig {
+            idle_tick: Some(Duration::from_millis(30)),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut idle = DistanceClient::connect(server.local_addr()).unwrap();
+    assert_eq!(idle.distance(0, 2).unwrap(), Some(10)); // pins generation 0
+
+    // Hot-swap while the connection sits silent; retire our own pin too.
+    drop(server.handle().swap_oracle(line_index(1)));
+
+    // Without a single byte from the client, the idle tick must release
+    // the generation-0 oracle: our observer Arc becomes the last owner.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Arc::strong_count(&observer) > 1 {
+        assert!(
+            Instant::now() < deadline,
+            "idle connection still pins the retired snapshot after 5s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The same silent connection answers its next query on the new
+    // generation (it already re-pinned during the tick).
+    assert_eq!(idle.distance(0, 2).unwrap(), Some(2));
+    server.shutdown();
+}
+
+/// With `NetConfig::admin_token` set, admin opcodes require the token
+/// presented in the hello (stable code 21 otherwise) while query traffic
+/// stays open; a wrong token connects but stays unprivileged.
+#[test]
+fn admin_token_gates_admin_opcodes_but_not_queries() {
+    let server = DistanceServer::start(
+        Arc::new(line_index(3)),
+        "127.0.0.1:0",
+        NetConfig {
+            admin_token: Some("sesame".into()),
+            ..NetConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut anon = DistanceClient::connect(addr).unwrap();
+    assert_eq!(anon.distance(0, 2).unwrap(), Some(6), "queries stay open");
+    for err in [
+        anon.reload("whatever.islx").unwrap_err(),
+        anon.compact().unwrap_err(),
+        anon.shutdown_server().unwrap_err(),
+    ] {
+        assert!(
+            matches!(&err, NetError::Remote(WireError::AdminDenied)),
+            "{err:?}"
+        );
+    }
+    assert_eq!(server.handle().version(), 0, "denied admin had no effect");
+    assert_eq!(anon.distance(0, 2).unwrap(), Some(6), "connection survives");
+
+    let mut wrong = DistanceClient::connect_with_token(addr, "guess").unwrap();
+    assert!(matches!(
+        wrong.shutdown_server().unwrap_err(),
+        NetError::Remote(WireError::AdminDenied)
+    ));
+
+    let mut admin = DistanceClient::connect_with_token(addr, "sesame").unwrap();
+    assert_eq!(admin.distance(0, 2).unwrap(), Some(6));
+    // The token opens the gate; without a coordinator configured the
+    // compaction itself fails typed — not a denial.
+    assert!(matches!(
+        admin.compact().unwrap_err(),
+        NetError::Remote(WireError::CompactFailed { .. })
+    ));
+    admin.shutdown_server().unwrap();
+    server.shutdown();
 }
 
 /// A reload of a nonexistent artifact is a frame-scoped typed error; the

@@ -130,9 +130,9 @@ fn mem_and_dir_storage_hold_identical_bytes() {
 use std::io::Read;
 
 #[test]
-fn typed_persist_roundtrip_and_stale_rejection() {
+fn typed_persist_roundtrip_including_pending_updates() {
     use islabel::core::persist::{try_load_index_from_path, try_save_index_to_path};
-    use islabel::core::{Error, QueryError};
+    use islabel::core::Error;
 
     let dir = tempdir("typed-persist");
     let path = dir.join("i.islx");
@@ -148,12 +148,29 @@ fn typed_persist_roundtrip_and_stale_rejection() {
         assert_eq!(reloaded.distance(s, t), index.distance(s, t), "({s}, {t})");
     }
 
-    // A pending dynamic update is a typed StaleIndex, not a panic.
+    // Pending dynamic updates persist too: the op log is sealed into the
+    // artifact and replayed on load (the historical StaleIndex refusal is
+    // gone), reconstructing the exact overlay.
     index.insert_edge(0, 1, 5);
-    assert!(matches!(
-        try_save_index_to_path(&index, &path),
-        Err(Error::Query(QueryError::StaleIndex))
-    ));
+    let u = index.insert_vertex(&[(0, 2)]);
+    try_save_index_to_path(&index, &path).unwrap();
+    let updated = try_load_index_from_path(&path).unwrap();
+    assert!(updated.has_updates());
+    assert_eq!(updated.pending_ops(), index.pending_ops());
+    assert_eq!(updated.artifact_epoch(), index.artifact_epoch());
+    for i in 0..40u32 {
+        let n = g.num_vertices() as u32;
+        let (s, t) = ((i * 11) % n, (i * 17 + 3) % n);
+        assert_eq!(
+            updated.try_distance(s, t).unwrap(),
+            index.try_distance(s, t).unwrap(),
+            "({s}, {t})"
+        );
+    }
+    assert_eq!(
+        updated.try_distance(u, 1).unwrap(),
+        index.try_distance(u, 1).unwrap()
+    );
 
     // I/O failures map to Error::Persist.
     assert!(matches!(
