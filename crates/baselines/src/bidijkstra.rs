@@ -24,6 +24,12 @@ pub struct BiDijkstra {
     rq: IndexedHeap,
 }
 
+impl std::fmt::Debug for BiDijkstra {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BiDijkstra").finish_non_exhaustive()
+    }
+}
+
 impl BiDijkstra {
     /// Allocates buffers for graphs of `n` vertices; both heaps are
     /// pre-sized (decrease-key bounds each by `n`), so later queries never
@@ -117,6 +123,12 @@ pub struct BiDijkstraOracle {
     pool: Mutex<Vec<BiDijkstra>>,
 }
 
+impl std::fmt::Debug for BiDijkstraOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BiDijkstraOracle").finish_non_exhaustive()
+    }
+}
+
 impl BiDijkstraOracle {
     /// Wraps a graph; scratch states are created on demand.
     pub fn new(graph: CsrGraph) -> Self {
@@ -170,6 +182,12 @@ impl BiDijkstraOracle {
 pub struct BiDijkstraSession<'a> {
     oracle: &'a BiDijkstraOracle,
     searcher: Option<BiDijkstra>,
+}
+
+impl std::fmt::Debug for BiDijkstraSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BiDijkstraSession").finish_non_exhaustive()
+    }
 }
 
 impl BiDijkstraSession<'_> {

@@ -16,6 +16,12 @@ pub struct Dijkstra {
     heap: BinaryHeap<Reverse<(Dist, VertexId)>>,
 }
 
+impl std::fmt::Debug for Dijkstra {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dijkstra").finish_non_exhaustive()
+    }
+}
+
 impl Dijkstra {
     /// Allocates buffers for graphs of `n` vertices.
     pub fn new(n: usize) -> Self {

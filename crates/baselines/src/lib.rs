@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # islabel-baselines
 //!
 //! Every comparison method the paper's evaluation needs:

@@ -29,6 +29,12 @@ pub struct PllIndex {
     build_time: Duration,
 }
 
+impl std::fmt::Debug for PllIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PllIndex").finish_non_exhaustive()
+    }
+}
+
 impl PllIndex {
     /// Builds the index (descending-degree landmark order).
     pub fn build(g: &CsrGraph) -> Self {
@@ -199,6 +205,12 @@ impl DistanceOracle for PllIndex {
 /// serving surface as the search-based engines.
 pub struct PllSession<'a> {
     index: &'a PllIndex,
+}
+
+impl std::fmt::Debug for PllSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PllSession").finish_non_exhaustive()
+    }
 }
 
 impl QuerySession for PllSession<'_> {

@@ -68,6 +68,12 @@ pub struct VcIndex {
     build_time: Duration,
 }
 
+impl std::fmt::Debug for VcIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VcIndex").finish_non_exhaustive()
+    }
+}
+
 impl VcIndex {
     /// Builds the index over `g`.
     pub fn build(g: &CsrGraph, config: VcConfig) -> Self {
@@ -203,6 +209,12 @@ pub struct VcSession<'a> {
     index: &'a VcIndex,
     dist: StampedSlab<Dist>,
     heap: IndexedHeap,
+}
+
+impl std::fmt::Debug for VcSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VcSession").finish_non_exhaustive()
+    }
 }
 
 impl VcSession<'_> {

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # islabel-bench
 //!
 //! Experiment harness reproducing the IS-LABEL paper's evaluation

@@ -47,7 +47,14 @@ ENGINES (for graph inputs; an .islx artifact is always an IS-LABEL index):
     islabel (default), di-islabel, pll, vc, bidij
 
 DATASETS: btc, web, skitter, wikitalk, google (synthetic stand-ins for the
-paper's evaluation graphs; see DESIGN.md).";
+paper's evaluation graphs; see DESIGN.md).
+
+EXIT CODES:
+    0   success
+    1   any failure, printed to stderr as `error: ...` — bad arguments or
+        an unknown command, unreadable/corrupt artifacts, a `recover
+        --check` cross-validation mismatch, or a `remote-query` that
+        cannot connect or receives a wire error from the server.";
 
 /// Routes `argv` to a command.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -981,6 +988,16 @@ mod tests {
         dispatch(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
+    /// Serializes the tests that bind a real TCP listener. Ports are
+    /// reserved by bind-then-drop, so if two such tests overlap the kernel
+    /// can hand both the same ephemeral port; the loser's server dies with
+    /// AddrInUse and its client talks to the *other* test's server.
+    static WIRE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn wire_lock() -> std::sync::MutexGuard<'static, ()> {
+        WIRE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn end_to_end_gen_build_query_bench_stats() {
         let graph = tmp("g.isgb");
@@ -1153,6 +1170,7 @@ mod tests {
 
     #[test]
     fn serve_listen_and_remote_query_end_to_end() {
+        let _net = wire_lock();
         let graph = tmp("net.isgb");
         let index = tmp("net.islx");
         run(&["gen", "google", "--scale", "tiny", "-o", &graph]).unwrap();
@@ -1225,6 +1243,7 @@ mod tests {
 
     #[test]
     fn wire_admin_token_gates_compact_and_shutdown() {
+        let _net = wire_lock();
         let graph = tmp("tok.isgb");
         let index = tmp("tok.islx");
         let wal = tmp("tok.wal");

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `islabel` — command-line interface to the IS-LABEL index.
 //!
 //! ```text

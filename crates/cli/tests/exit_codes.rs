@@ -1,0 +1,94 @@
+//! Process-level exit-code contract for the `islabel` binary: scripts and
+//! CI gate on these, so they are asserted here against the real executable
+//! rather than the in-process `run()` helper.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn islabel(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_islabel"))
+        .args(args)
+        .output()
+        .expect("spawn islabel")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("islabel-exit-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn help_exits_zero_and_documents_exit_codes() {
+    let out = islabel(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("EXIT CODES"),
+        "--help must document exit codes"
+    );
+    assert!(text.contains("recover\n        --check") || text.contains("recover"));
+    assert!(text.contains("remote-query"));
+}
+
+#[test]
+fn unknown_command_exits_one_with_error_on_stderr() {
+    let out = islabel(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "stderr was: {err}");
+    assert!(err.contains("frobnicate"), "stderr was: {err}");
+}
+
+#[test]
+fn recover_check_exit_codes() {
+    let graph = tmp("g.isgb");
+    let index = tmp("i.islx");
+    let wal = tmp("w.wal");
+    let graph_s = graph.to_str().unwrap();
+    let index_s = index.to_str().unwrap();
+    let wal_s = wal.to_str().unwrap();
+
+    assert!(
+        islabel(&["gen", "google", "--scale", "tiny", "-o", graph_s])
+            .status
+            .success()
+    );
+    assert!(islabel(&["build", graph_s, "-o", index_s]).status.success());
+    assert!(
+        islabel(&["ingest", index_s, "--wal", wal_s, "--ops", "30", "--seed", "3"])
+            .status
+            .success()
+    );
+
+    // Healthy artifact + WAL: recover --check exits 0.
+    let out = islabel(&["recover", index_s, "--wal", wal_s, "--check"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A WAL that is not a WAL: exit 1 and `error:` on stderr.
+    std::fs::write(&wal, b"this is not a write-ahead log").unwrap();
+    let out = islabel(&["recover", index_s, "--wal", wal_s, "--check"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "stderr was: {err}");
+
+    for f in [&graph, &index, &wal] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn remote_query_against_dead_port_exits_one() {
+    // Bind-then-drop reserves a port that nothing is listening on.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+
+    let out = islabel(&["remote-query", &addr, "--ping"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "stderr was: {err}");
+}

@@ -33,6 +33,10 @@
 //! bit-identical `(dist, meeting, settled)` outcomes — the
 //! `dense_kernel` conformance suite holds the two kernels equal across
 //! graphs, engines, and dynamic updates.
+//!
+//! The kernel functions here are an **alloc-free zone**: `islabel-lint`
+//! (see `lint.toml` at the repo root) rejects any allocating construct
+//! inside them, so all scratch must come from the reusable state below.
 
 use crate::query::{Meeting, SearchOutcome};
 use islabel_graph::{CsrGraph, Dist, VertexId, Weight, INF};

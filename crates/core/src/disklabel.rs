@@ -46,6 +46,15 @@ pub struct DiskLabelStore {
     offsets: Vec<u64>,
 }
 
+impl std::fmt::Debug for DiskLabelStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskLabelStore")
+            .field("name", &self.name)
+            .field("num_vertices", &self.offsets.len().saturating_sub(1))
+            .finish_non_exhaustive()
+    }
+}
+
 impl DiskLabelStore {
     /// Serializes a label set to storage as `{name}` (data) and
     /// `{name}.idx` (offset table).

@@ -64,6 +64,15 @@ pub struct LabelCache {
     misses: AtomicU64,
 }
 
+impl std::fmt::Debug for LabelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabelCache")
+            .field("store", &self.store)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl LabelCache {
     /// Wraps `store` with a cache of at most `capacity_bytes` of label data
     /// in total, split evenly across the shards.

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # islabel-core
 //!
 //! The IS-LABEL index of Fu, Wu, Cheng, Chu and Wong (VLDB 2013): an

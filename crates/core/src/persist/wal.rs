@@ -37,6 +37,10 @@
 //! — replay either restores the exact overlay of some applied prefix or
 //! fails with a typed error, never with a wrong distance (asserted
 //! byte-by-byte in `tests/wal_crash.rs`).
+//!
+//! This module is a **panic-free zone** and its record kinds/version are
+//! pinned by `docs/wire_registry.toml` — both enforced by `islabel-lint`
+//! (see `lint.toml` at the repo root).
 
 use crate::updates::UpdateOp;
 use islabel_graph::{VertexId, Weight};
@@ -73,6 +77,7 @@ const CRC_TABLE: [u32; 256] = {
             };
             k += 1;
         }
+        // lint:allow(panic, const-eval index bounded by the `i < 256` loop — an overrun is a compile error, not a runtime panic)
         table[i] = c;
         i += 1;
     }
@@ -83,6 +88,7 @@ const CRC_TABLE: [u32; 256] = {
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // lint:allow(panic, index is masked with 0xFF and the table has 256 entries)
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -125,7 +131,12 @@ pub fn decode_op(payload: &[u8]) -> Result<UpdateOp, String> {
             .get(pos..end)
             .ok_or("record body shorter than declared")?;
         pos = end;
-        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+        // `get(pos..end)` guarantees 4 bytes; map instead of unwrap keeps
+        // recovery panic-free even if the invariant ever breaks.
+        let bytes: [u8; 4] = bytes
+            .try_into()
+            .map_err(|_| "record body shorter than declared".to_string())?;
+        Ok(u32::from_le_bytes(bytes))
     };
     let op = match kind {
         KIND_INSERT_VERTEX => {
@@ -195,6 +206,18 @@ pub struct WalScan {
     pub truncated_tail: bool,
 }
 
+/// Checked little-endian u32 read at `at` (`None` past the end).
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let raw: [u8; 4] = bytes.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(raw))
+}
+
+/// Checked little-endian u64 read at `at` (`None` past the end).
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let raw: [u8; 8] = bytes.get(at..at.checked_add(8)?)?.try_into().ok()?;
+    Some(u64::from_le_bytes(raw))
+}
+
 /// Reads and verifies a WAL file without applying anything.
 ///
 /// Returns `Ok(None)` when the file is shorter than the header — the
@@ -207,26 +230,30 @@ pub fn scan_wal(path: &Path) -> io::Result<Option<WalScan>> {
     if (bytes.len() as u64) < WAL_HEADER_LEN {
         return Ok(None);
     }
-    if &bytes[..4] != WAL_MAGIC {
+    // The header-length check above makes every `get` below succeed; the
+    // checked accessors keep recovery panic-free on any byte sequence.
+    if bytes.get(..4) != Some(WAL_MAGIC.as_slice()) {
         return Err(bad("not an ISWL write-ahead log"));
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let Some(version) = le_u32(&bytes, 4) else {
+        return Ok(None);
+    };
     if version != WAL_VERSION {
         return Err(bad(&format!("unsupported WAL version {version}")));
     }
-    let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let Some(epoch) = le_u64(&bytes, 8) else {
+        return Ok(None);
+    };
 
     let mut ops = Vec::new();
     let mut offsets = Vec::new();
     let mut pos = WAL_HEADER_LEN as usize;
     let mut truncated_tail = false;
     while pos < bytes.len() {
-        let Some(head) = bytes.get(pos..pos + 8) else {
+        let (Some(len), Some(crc)) = (le_u32(&bytes, pos), le_u32(&bytes, pos + 4)) else {
             truncated_tail = true;
             break;
         };
-        let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
         if len > MAX_RECORD_LEN {
             truncated_tail = true;
             break;

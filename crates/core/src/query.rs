@@ -28,6 +28,9 @@
 //!   generation-stamped flat arrays and an indexed 4-ary heap with
 //!   decrease-key. Pristine indexes route distance queries through it; it
 //!   returns bit-identical `(dist, meeting, settled)` outcomes.
+//!
+//! The merge-join intersections here are an **alloc-free zone** enforced
+//! by `islabel-lint` (see `lint.toml` at the repo root).
 
 use crate::label::LabelView;
 use islabel_graph::{CsrGraph, Dist, FxHashMap, VertexId, Weight, INF};
@@ -177,7 +180,7 @@ pub enum Meeting {
 }
 
 /// Inputs of one bidirectional search.
-#[derive(Clone, Copy)]
+#[derive(Debug, Clone, Copy)]
 pub struct SearchParams<'a> {
     /// Forward seeds: `(v, d(s, v))` for each `G_k` vertex in `label(s)`.
     pub fseeds: &'a [(VertexId, Dist)],

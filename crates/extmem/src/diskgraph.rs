@@ -243,6 +243,12 @@ pub struct AdjScan<'a> {
     reader: RecordReader<Box<dyn Read + Send + 'a>>,
 }
 
+impl std::fmt::Debug for AdjScan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdjScan").finish_non_exhaustive()
+    }
+}
+
 impl AdjScan<'_> {
     /// The next adjacency record, or `None` at end of graph.
     #[allow(clippy::should_implement_trait)] // fallible iterator

@@ -50,6 +50,12 @@ pub struct RecordWriter<W: Write> {
     scratch: Vec<u8>,
 }
 
+impl<W: Write> std::fmt::Debug for RecordWriter<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordWriter").finish_non_exhaustive()
+    }
+}
+
 impl<W: Write> RecordWriter<W> {
     /// Wraps a sink.
     pub fn new(sink: W) -> Self {
@@ -80,6 +86,12 @@ impl<W: Write> RecordWriter<W> {
 pub struct RecordReader<R: Read> {
     source: R,
     scratch: Vec<u8>,
+}
+
+impl<R: Read> std::fmt::Debug for RecordReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordReader").finish_non_exhaustive()
+    }
 }
 
 impl<R: Read> RecordReader<R> {

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # islabel-extmem
 //!
 //! External-memory substrate for the IS-LABEL reproduction.

@@ -63,6 +63,12 @@ pub struct MemStorage {
     stats: Arc<IoStats>,
 }
 
+impl std::fmt::Debug for MemStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemStorage").finish_non_exhaustive()
+    }
+}
+
 impl MemStorage {
     /// Creates an empty in-memory store.
     pub fn new() -> Self {
@@ -203,6 +209,14 @@ impl Storage for MemStorage {
 pub struct DirStorage {
     root: PathBuf,
     stats: Arc<IoStats>,
+}
+
+impl std::fmt::Debug for DirStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DirStorage")
+            .field("root", &self.root)
+            .finish_non_exhaustive()
+    }
 }
 
 impl DirStorage {

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # islabel-graph
 //!
 //! Graph substrate for the IS-LABEL reproduction.

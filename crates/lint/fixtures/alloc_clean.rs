@@ -1,0 +1,22 @@
+// Fixture: the zoned function only reuses scratch; construction happens
+// in the unzoned constructor.
+
+pub struct Scratch {
+    buf: Vec<u32>,
+}
+
+impl Scratch {
+    pub fn new(n: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(n),
+        }
+    }
+}
+
+pub fn hot(xs: &[u32], scratch: &mut Scratch) -> u32 {
+    scratch.buf.clear();
+    for &x in xs {
+        scratch.buf.push(x); // push into pre-sized scratch: no realloc
+    }
+    scratch.buf.iter().sum()
+}

@@ -1,0 +1,18 @@
+// Fixture for the alloc rule: `hot` is zoned and allocates six ways
+// (l10-l15); `build` also allocates but is NOT in the zone.
+
+pub fn build() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}
+
+pub fn hot(xs: &[u32]) -> u32 {
+    let a = Vec::with_capacity(xs.len());
+    let b = xs.to_vec();
+    let c: Vec<u32> = xs.iter().copied().collect();
+    let d = format!("{}", xs.len());
+    let e = vec![0u32; 4];
+    let f = Box::new(xs.len() as u32);
+    (a.len() + b.len() + c.len() + d.len() + e.len()) as u32 + *f
+}

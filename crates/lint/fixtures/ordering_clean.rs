@@ -1,0 +1,18 @@
+// Fixture: every atomic ordering justified, trailing or above; the
+// cmp::Ordering match arm must not be mistaken for an atomic.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64, a: u64, b: u64) -> u64 {
+    // ordering: Relaxed — independent monotonic counter.
+    c.fetch_add(1, Ordering::Relaxed);
+    let n = c.load(Ordering::Acquire); // ordering: pairs with store below
+    match a.cmp(&b) {
+        CmpOrdering::Less => {}
+        CmpOrdering::Equal | CmpOrdering::Greater => {}
+    }
+    // ordering: Release — publishes n to the Acquire load above.
+    c.store(n, Ordering::Release);
+    n
+}

@@ -1,0 +1,15 @@
+// Fixture: three atomic orderings with no `// ordering:` justification
+// (l8, l9, l13 — the blank line at l12 breaks the comment window, so
+// the unrelated comment at l11 cannot cover the store).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed);
+    let n = c.load(Ordering::SeqCst);
+
+    // a comment that is not the magic word
+
+    c.store(n, Ordering::Release);
+    n
+}

@@ -1,0 +1,16 @@
+// Fixture: the same shapes written panic-free, plus a justified allow.
+
+pub fn decode(buf: &[u8]) -> Option<u8> {
+    let a = buf.first().copied()?;
+    let b = buf.get(1).copied().unwrap_or_default();
+    let tail = match buf.split_first() {
+        Some((_, rest)) => rest.len() as u8,
+        None => 0,
+    };
+    // lint:allow(panic, index is bounds-checked by the branch above)
+    let c = if buf.len() > 2 { buf[2] } else { 0 };
+    let arr = [a, b]; // array literal, not an index expression
+    let s: &[u8] = &arr;
+    debug_assert!(s.len() == 2); // debug_assert is allowed in zones
+    Some(a.wrapping_add(b).wrapping_add(tail).wrapping_add(c))
+}

@@ -1,0 +1,25 @@
+// Fixture: every panic-rule construct, one per line. Expected findings:
+// unwrap (l7), expect (l8), panic! (l9), unreachable! (l10), indexing
+// (l11), reasonless allow does not suppress (l13) and is itself flagged.
+
+pub fn decode(buf: &[u8]) -> u8 {
+    let opt: Option<u8> = buf.first().copied();
+    let a = opt.unwrap();
+    let b = opt.expect("present");
+    panic!("boom");
+    unreachable!();
+    let c = buf[0];
+    // lint:allow(panic)
+    let d = buf[1];
+    a + b + c + d
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = vec![1];
+        assert_eq!(v[0], 1);
+        v.get(1).unwrap();
+    }
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+
+// Fixture: no unsafe anywhere and the root forbids it.
+
+pub fn double(x: u8) -> u8 {
+    x.wrapping_mul(2)
+}

@@ -1,0 +1,6 @@
+// Fixture: an unsafe block with no SAFETY contract (l5) in a file whose
+// crate root (this file) also lacks #![forbid(unsafe_code)].
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

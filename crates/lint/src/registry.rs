@@ -1,0 +1,497 @@
+//! Rule `wire-registry`: the on-the-wire constants are a compatibility
+//! contract, so they live twice — in the code and in the checked-in
+//! `docs/wire_registry.toml` — and this module diffs the two.
+//!
+//! Extraction is token-based, not regex-based: opcodes are the `const`s
+//! inside `mod opcode`, error codes are the match arms of
+//! `WireError::code()`, the protocol version is the `VERSION` const, and
+//! the WAL side contributes its `KIND_*` record kinds and `WAL_VERSION`.
+//! Renumbering any of them (or adding one without registering it) is a
+//! lint failure with both values in the message.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::rules::Finding;
+use crate::toml;
+use std::collections::BTreeMap;
+
+/// A named wire constant with where it was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireConst {
+    /// Constant name as it appears in code (e.g. `PING`,
+    /// `VertexOutOfRange`, `KIND_INSERT_EDGE`).
+    pub name: String,
+    /// Numeric value.
+    pub value: i64,
+    /// 1-based line in the source file.
+    pub line: u32,
+}
+
+/// Everything extracted from the protocol and WAL sources.
+#[derive(Debug, Default)]
+pub struct Extracted {
+    /// `mod opcode` constants.
+    pub opcodes: Vec<WireConst>,
+    /// `WireError::code()` match arms.
+    pub error_codes: Vec<WireConst>,
+    /// `VERSION` protocol constant.
+    pub protocol_version: Option<WireConst>,
+    /// WAL `KIND_*` record kinds.
+    pub wal_kinds: Vec<WireConst>,
+    /// `WAL_VERSION` constant.
+    pub wal_version: Option<WireConst>,
+}
+
+fn parse_num(tok: &Tok) -> Option<i64> {
+    let text = tok.text.replace('_', "");
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        // Numeric literals may carry a type suffix (`0x01u8`).
+        let hex = hex.trim_end_matches(|c: char| !c.is_ascii_hexdigit());
+        return i64::from_str_radix(hex, 16).ok();
+    }
+    let dec: String = text.chars().take_while(|c| c.is_ascii_digit()).collect();
+    dec.parse().ok()
+}
+
+/// Finds `const NAME … = VALUE` starting at token `i` (which must be the
+/// `const` keyword); returns the constant and the token index past it.
+fn parse_const(toks: &[Tok], i: usize) -> Option<(WireConst, usize)> {
+    if !toks[i].is_ident("const") {
+        return None;
+    }
+    let name_tok = toks.get(i + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = i + 2;
+    while j < toks.len() && !toks[j].is_punct(b'=') && !toks[j].is_punct(b';') {
+        j += 1;
+    }
+    if j >= toks.len() || !toks[j].is_punct(b'=') {
+        return None;
+    }
+    let value_tok = toks.get(j + 1)?;
+    let value = parse_num(value_tok)?;
+    Some((
+        WireConst {
+            name: name_tok.text.clone(),
+            value,
+            line: name_tok.line,
+        },
+        j + 2,
+    ))
+}
+
+/// Brace-matched span of the block that opens at the first `{` at or
+/// after `start`; returns (open_idx, one_past_close_idx).
+fn block_span(toks: &[Tok], start: usize) -> Option<(usize, usize)> {
+    let open = (start..toks.len()).find(|&k| toks[k].is_punct(b'{'))?;
+    let mut depth = 0usize;
+    for (k, tok) in toks.iter().enumerate().skip(open) {
+        match tok.kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, k + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts the wire constants from the protocol source.
+pub fn extract_protocol(src: &str) -> Extracted {
+    let lexed = crate::lexer::lex(src);
+    let toks = &lexed.toks;
+    let mut out = Extracted::default();
+
+    for i in 0..toks.len() {
+        // `mod opcode { const … }`
+        if toks[i].is_ident("mod") && toks.get(i + 1).is_some_and(|t| t.is_ident("opcode")) {
+            if let Some((open, close)) = block_span(toks, i + 2) {
+                let mut k = open;
+                while k < close {
+                    if let Some((c, next)) = parse_const(toks, k) {
+                        out.opcodes.push(c);
+                        k = next;
+                    } else {
+                        k += 1;
+                    }
+                }
+            }
+        }
+        // `fn code(&self) -> u8 { match self { WireError::X { .. } => N, … } }`
+        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.is_ident("code")) {
+            if let Some((open, close)) = block_span(toks, i + 2) {
+                let mut k = open;
+                while k + 5 < close {
+                    if toks[k].is_ident("WireError")
+                        && toks[k + 1].is_punct(b':')
+                        && toks[k + 2].is_punct(b':')
+                        && toks[k + 3].kind == TokKind::Ident
+                    {
+                        let name = toks[k + 3].text.clone();
+                        let line = toks[k + 3].line;
+                        // Skip an optional `{ .. }` payload pattern.
+                        let mut j = k + 4;
+                        if toks[j].is_punct(b'{') {
+                            if let Some((_, past)) = block_span(toks, j) {
+                                j = past;
+                            }
+                        }
+                        if toks.get(j).is_some_and(|t| t.is_punct(b'='))
+                            && toks.get(j + 1).is_some_and(|t| t.is_punct(b'>'))
+                        {
+                            if let Some(v) = toks.get(j + 2).and_then(parse_num_ref) {
+                                out.error_codes.push(WireConst {
+                                    name,
+                                    value: v,
+                                    line,
+                                });
+                            }
+                        }
+                        k = j;
+                    } else {
+                        k += 1;
+                    }
+                }
+            }
+        }
+        // `const VERSION: u16 = 1`
+        if toks[i].is_ident("const") && toks.get(i + 1).is_some_and(|t| t.is_ident("VERSION")) {
+            if let Some((c, _)) = parse_const(toks, i) {
+                out.protocol_version = Some(c);
+            }
+        }
+    }
+    out
+}
+
+fn parse_num_ref(tok: &Tok) -> Option<i64> {
+    parse_num(tok)
+}
+
+/// Extracts the WAL record kinds and format version.
+pub fn extract_wal(src: &str, into: &mut Extracted) {
+    let lexed = crate::lexer::lex(src);
+    extract_wal_lexed(&lexed, into);
+}
+
+fn extract_wal_lexed(lexed: &Lexed, into: &mut Extracted) {
+    let toks = &lexed.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some((c, next)) = parse_const(toks, i) {
+            if c.name.starts_with("KIND_") {
+                into.wal_kinds.push(c);
+            } else if c.name == "WAL_VERSION" {
+                into.wal_version = Some(c);
+            }
+            i = next;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parses the checked-in registry file into name → value maps.
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// `[opcodes]` section.
+    pub opcodes: BTreeMap<String, i64>,
+    /// `[error_codes]` section.
+    pub error_codes: BTreeMap<String, i64>,
+    /// `[protocol] version`.
+    pub protocol_version: Option<i64>,
+    /// `[wal_record_kinds]` section.
+    pub wal_kinds: BTreeMap<String, i64>,
+    /// `[wal] version`.
+    pub wal_version: Option<i64>,
+}
+
+impl Registry {
+    /// Parses `docs/wire_registry.toml` text.
+    pub fn parse(src: &str) -> Result<Self, String> {
+        let doc = toml::parse(src)?;
+        let mut reg = Registry::default();
+        let int_map = |t: &toml::Table| -> BTreeMap<String, i64> {
+            t.iter()
+                .filter_map(|(k, v)| v.as_int().map(|i| (k.clone(), i)))
+                .collect()
+        };
+        if let Some(t) = doc.table("opcodes") {
+            reg.opcodes = int_map(t);
+        }
+        if let Some(t) = doc.table("error_codes") {
+            reg.error_codes = int_map(t);
+        }
+        if let Some(t) = doc.table("wal_record_kinds") {
+            reg.wal_kinds = int_map(t);
+        }
+        reg.protocol_version = doc
+            .table("protocol")
+            .and_then(|t| t.get("version"))
+            .and_then(|v| v.as_int());
+        reg.wal_version = doc
+            .table("wal")
+            .and_then(|t| t.get("version"))
+            .and_then(|v| v.as_int());
+        Ok(reg)
+    }
+}
+
+/// Diffs one extracted group against its registry section.
+fn diff_group(
+    group: &str,
+    code: &[WireConst],
+    registry: &BTreeMap<String, i64>,
+    code_file: &str,
+    registry_file: &str,
+    out: &mut Vec<Finding>,
+) {
+    for c in code {
+        match registry.get(&c.name) {
+            None => out.push(Finding {
+                file: code_file.to_string(),
+                line: c.line,
+                rule: "wire-registry".into(),
+                message: format!(
+                    "{group} constant {} = {} is not registered in {registry_file}; \
+                     new wire constants must be added to the registry deliberately",
+                    c.name, c.value
+                ),
+            }),
+            Some(&reg_value) if reg_value != c.value => out.push(Finding {
+                file: code_file.to_string(),
+                line: c.line,
+                rule: "wire-registry".into(),
+                message: format!(
+                    "{group} constant {} = {} in code but {reg_value} in {registry_file}; \
+                     wire values are frozen — revert the renumbering or cut a new \
+                     registry entry",
+                    c.name, c.value
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, value) in registry {
+        if !code.iter().any(|c| &c.name == name) {
+            out.push(Finding {
+                file: registry_file.to_string(),
+                line: 1,
+                rule: "wire-registry".into(),
+                message: format!(
+                    "{group} constant {name} = {value} is registered but no longer \
+                     exists in {code_file}; registered wire values must not be \
+                     silently dropped"
+                ),
+            });
+        }
+    }
+}
+
+/// Runs the full registry diff; findings are empty when code and registry
+/// agree exactly.
+pub fn diff(
+    extracted: &Extracted,
+    registry: &Registry,
+    protocol_file: &str,
+    wal_file: &str,
+    registry_file: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if extracted.opcodes.is_empty() {
+        out.push(Finding {
+            file: protocol_file.to_string(),
+            line: 1,
+            rule: "wire-registry".into(),
+            message: "no opcode constants extracted from `mod opcode` — extraction is \
+                      broken or the module moved; update crates/lint/src/registry.rs"
+                .into(),
+        });
+    }
+    if extracted.error_codes.is_empty() {
+        out.push(Finding {
+            file: protocol_file.to_string(),
+            line: 1,
+            rule: "wire-registry".into(),
+            message: "no error codes extracted from WireError::code() — extraction is \
+                      broken or the method moved; update crates/lint/src/registry.rs"
+                .into(),
+        });
+    }
+    diff_group(
+        "opcode",
+        &extracted.opcodes,
+        &registry.opcodes,
+        protocol_file,
+        registry_file,
+        &mut out,
+    );
+    diff_group(
+        "error-code",
+        &extracted.error_codes,
+        &registry.error_codes,
+        protocol_file,
+        registry_file,
+        &mut out,
+    );
+    diff_group(
+        "wal-record-kind",
+        &extracted.wal_kinds,
+        &registry.wal_kinds,
+        wal_file,
+        registry_file,
+        &mut out,
+    );
+    for (what, code_v, reg_v, file) in [
+        (
+            "protocol version",
+            extracted.protocol_version.as_ref(),
+            registry.protocol_version,
+            protocol_file,
+        ),
+        (
+            "WAL format version",
+            extracted.wal_version.as_ref(),
+            registry.wal_version,
+            wal_file,
+        ),
+    ] {
+        match (code_v, reg_v) {
+            (Some(c), Some(r)) if c.value != r => out.push(Finding {
+                file: file.to_string(),
+                line: c.line,
+                rule: "wire-registry".into(),
+                message: format!(
+                    "{what} is {} in code but {r} in {registry_file}; version bumps \
+                     must update the registry in the same change",
+                    c.value
+                ),
+            }),
+            (Some(_), Some(_)) => {}
+            (Some(c), None) => out.push(Finding {
+                file: file.to_string(),
+                line: c.line,
+                rule: "wire-registry".into(),
+                message: format!("{what} is not recorded in {registry_file}"),
+            }),
+            (None, _) => out.push(Finding {
+                file: file.to_string(),
+                line: 1,
+                rule: "wire-registry".into(),
+                message: format!(
+                    "{what} constant not found in {file} — extraction is broken or \
+                     the constant moved; update crates/lint/src/registry.rs"
+                ),
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROTO: &str = "
+pub const VERSION: u16 = 1;
+pub mod opcode {
+    pub const PING: u8 = 0x01;
+    pub const QUERY: u8 = 0x02;
+}
+impl WireError {
+    pub fn code(&self) -> u8 {
+        match self {
+            WireError::StaleIndex => 2,
+            WireError::Malformed { .. } => 16,
+        }
+    }
+}
+";
+
+    const WAL: &str = "
+pub const WAL_VERSION: u32 = 1;
+const KIND_INSERT_VERTEX: u8 = 1;
+const KIND_INSERT_EDGE: u8 = 2;
+";
+
+    fn extract_both() -> Extracted {
+        let mut e = extract_protocol(PROTO);
+        extract_wal(WAL, &mut e);
+        e
+    }
+
+    #[test]
+    fn extraction_finds_everything() {
+        let e = extract_both();
+        assert_eq!(
+            e.opcodes
+                .iter()
+                .map(|c| (c.name.as_str(), c.value))
+                .collect::<Vec<_>>(),
+            vec![("PING", 1), ("QUERY", 2)]
+        );
+        assert_eq!(
+            e.error_codes
+                .iter()
+                .map(|c| (c.name.as_str(), c.value))
+                .collect::<Vec<_>>(),
+            vec![("StaleIndex", 2), ("Malformed", 16)]
+        );
+        assert_eq!(e.protocol_version.as_ref().unwrap().value, 1);
+        assert_eq!(e.wal_version.as_ref().unwrap().value, 1);
+        assert_eq!(e.wal_kinds.len(), 2);
+    }
+
+    const REG: &str = "
+[protocol]
+version = 1
+[opcodes]
+PING = 0x01
+QUERY = 0x02
+[error_codes]
+StaleIndex = 2
+Malformed = 16
+[wal]
+version = 1
+[wal_record_kinds]
+KIND_INSERT_VERTEX = 1
+KIND_INSERT_EDGE = 2
+";
+
+    #[test]
+    fn agreement_is_clean() {
+        let e = extract_both();
+        let r = Registry::parse(REG).unwrap();
+        let d = diff(&e, &r, "p.rs", "w.rs", "reg.toml");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn renumbering_is_caught_with_both_values() {
+        let e = extract_both();
+        let r = Registry::parse(&REG.replace("QUERY = 0x02", "QUERY = 0x09")).unwrap();
+        let d = diff(&e, &r, "p.rs", "w.rs", "reg.toml");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("QUERY"));
+        assert!(d[0].message.contains('2') && d[0].message.contains('9'));
+    }
+
+    #[test]
+    fn unregistered_and_dropped_constants_are_caught() {
+        let e = extract_both();
+        let r = Registry::parse(&REG.replace("PING = 0x01\n", "")).unwrap();
+        let d = diff(&e, &r, "p.rs", "w.rs", "reg.toml");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("not registered"));
+
+        let r = Registry::parse(&REG.replace("[error_codes]", "[error_codes]\nGone = 9")).unwrap();
+        let d = diff(&e, &r, "p.rs", "w.rs", "reg.toml");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("no longer exists"));
+    }
+}

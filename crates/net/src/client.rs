@@ -404,6 +404,8 @@ impl ClientPool {
     }
 
     fn checkout(&self) -> &Mutex<DistanceClient> {
+        // ordering: Relaxed — round-robin ticket; only uniqueness
+        // matters, no memory is published through it.
         let i = self.next.fetch_add(1, Ordering::Relaxed) % self.clients.len();
         &self.clients[i]
     }

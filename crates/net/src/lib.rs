@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # islabel-net
 //!
 //! IS-LABEL on the wire: a dependency-light networking layer over

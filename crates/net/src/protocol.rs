@@ -67,6 +67,10 @@
 //! escape hatch for future `QueryError` variants (the display string
 //! survives, the type does not — `to_query_error` returns `None`); `16..`
 //! are protocol-level rejections with no in-process counterpart.
+//!
+//! This module is a **panic-free zone** and its opcodes/error codes are
+//! pinned by `docs/wire_registry.toml` — both enforced by `islabel-lint`
+//! (see `lint.toml` at the repo root and § Static analysis in the README).
 
 use bytes::BufMut;
 use islabel_core::QueryError;
@@ -461,16 +465,25 @@ impl<'a> Cursor<'a> {
         Ok(self.bytes(1)?[0])
     }
 
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        // `bytes(N)` guarantees the length, so the conversion cannot
+        // actually fail; mapping instead of unwrapping keeps the decode
+        // path free of panicking constructs.
+        self.bytes(N)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated { needed: N, have: 0 })
+    }
+
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn string(&mut self) -> Result<String, DecodeError> {
@@ -497,7 +510,7 @@ fn put_string(out: &mut impl BufMut, s: &str) {
         len -= 1;
     }
     out.put_u16_le(len as u16);
-    out.put_slice(&s.as_bytes()[..len]);
+    out.put_slice(s.as_bytes().get(..len).unwrap_or_default());
 }
 
 fn put_dist(out: &mut impl BufMut, d: Option<Dist>) {
@@ -529,7 +542,7 @@ pub fn encode_hello_with_token(out: &mut impl BufMut, token: Option<&str>) {
     out.put_slice(&MAGIC);
     out.put_u16_le(VERSION);
     out.put_u16_le(len as u16);
-    out.put_slice(&token[..len]);
+    out.put_slice(token.get(..len).unwrap_or_default());
 }
 
 /// Validates a received hello and returns the peer's version. The caller
@@ -544,13 +557,13 @@ pub fn decode_hello(raw: &[u8; HELLO_LEN]) -> Result<u16, DecodeError> {
 /// token_len)`: `token_len` bytes of admin token follow the fixed hello
 /// on the wire (0 for legacy peers and for server hellos).
 pub fn decode_hello_head(raw: &[u8; HELLO_LEN]) -> Result<(u16, u16), DecodeError> {
-    if raw[..4] != MAGIC {
-        return Err(DecodeError::BadMagic {
-            got: raw[..4].try_into().unwrap(),
-        });
+    let mut c = Cursor::new(raw);
+    let magic: [u8; 4] = c.array()?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic { got: magic });
     }
-    let version = u16::from_le_bytes(raw[4..6].try_into().unwrap());
-    let token_len = u16::from_le_bytes(raw[6..8].try_into().unwrap());
+    let version = c.u16()?;
+    let token_len = c.u16()?;
     Ok((version, token_len))
 }
 
@@ -640,59 +653,68 @@ pub fn encode_response(id: u64, resp: &Response, out: &mut impl BufMut) {
                 WireError::UnsupportedOpcode { opcode } => out.put_u8(*opcode),
             }
         }
-        ok => {
+        // Success arms each write the 0 status byte themselves: keeping
+        // the match exhaustive at the top level means no `unreachable!`
+        // in a panic-free zone (and no way for a new variant to be
+        // half-handled — the compiler forces a real arm).
+        Response::Pong => {
             out.put_u8(0);
-            match ok {
-                Response::Pong => out.put_u8(opcode::PING),
-                Response::Distance(d) => {
-                    out.put_u8(opcode::QUERY);
-                    put_dist(out, *d);
-                }
-                Response::Batch(dists) => {
-                    out.put_u8(opcode::BATCH);
-                    out.put_u32_le(dists.len() as u32);
-                    for &d in dists {
-                        put_dist(out, d);
-                    }
-                }
-                Response::Stats(s) => {
-                    out.put_u8(opcode::STATS);
-                    put_string(out, &s.engine);
-                    for v in [
-                        s.num_vertices,
-                        s.snapshot_version,
-                        s.connections_total,
-                        s.connections_active,
-                        s.frames,
-                        s.queries,
-                        s.batches,
-                        s.errors,
-                        s.uptime_ms,
-                        s.p50_us,
-                        s.p99_us,
-                    ] {
-                        out.put_u64_le(v);
-                    }
-                }
-                Response::Reloaded {
-                    version,
-                    num_vertices,
-                } => {
-                    out.put_u8(opcode::RELOAD);
-                    out.put_u64_le(*version);
-                    out.put_u64_le(*num_vertices);
-                }
-                Response::ShutdownAck => out.put_u8(opcode::SHUTDOWN),
-                Response::Compacted {
-                    version,
-                    num_vertices,
-                } => {
-                    out.put_u8(opcode::COMPACT);
-                    out.put_u64_le(*version);
-                    out.put_u64_le(*num_vertices);
-                }
-                Response::Error(_) => unreachable!("handled above"),
+            out.put_u8(opcode::PING);
+        }
+        Response::Distance(d) => {
+            out.put_u8(0);
+            out.put_u8(opcode::QUERY);
+            put_dist(out, *d);
+        }
+        Response::Batch(dists) => {
+            out.put_u8(0);
+            out.put_u8(opcode::BATCH);
+            out.put_u32_le(dists.len() as u32);
+            for &d in dists {
+                put_dist(out, d);
             }
+        }
+        Response::Stats(s) => {
+            out.put_u8(0);
+            out.put_u8(opcode::STATS);
+            put_string(out, &s.engine);
+            for v in [
+                s.num_vertices,
+                s.snapshot_version,
+                s.connections_total,
+                s.connections_active,
+                s.frames,
+                s.queries,
+                s.batches,
+                s.errors,
+                s.uptime_ms,
+                s.p50_us,
+                s.p99_us,
+            ] {
+                out.put_u64_le(v);
+            }
+        }
+        Response::Reloaded {
+            version,
+            num_vertices,
+        } => {
+            out.put_u8(0);
+            out.put_u8(opcode::RELOAD);
+            out.put_u64_le(*version);
+            out.put_u64_le(*num_vertices);
+        }
+        Response::ShutdownAck => {
+            out.put_u8(0);
+            out.put_u8(opcode::SHUTDOWN);
+        }
+        Response::Compacted {
+            version,
+            num_vertices,
+        } => {
+            out.put_u8(0);
+            out.put_u8(opcode::COMPACT);
+            out.put_u64_le(*version);
+            out.put_u64_le(*num_vertices);
         }
     }
 }
@@ -719,24 +741,21 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), DecodeError> {
                 Response::Batch(dists)
             }
             opcode::STATS => {
-                let engine = c.string()?;
-                let mut v = [0u64; 11];
-                for slot in &mut v {
-                    *slot = c.u64()?;
-                }
+                // Struct-literal fields evaluate in written order, which
+                // matches the wire order the encoder writes.
                 Response::Stats(WireStats {
-                    engine,
-                    num_vertices: v[0],
-                    snapshot_version: v[1],
-                    connections_total: v[2],
-                    connections_active: v[3],
-                    frames: v[4],
-                    queries: v[5],
-                    batches: v[6],
-                    errors: v[7],
-                    uptime_ms: v[8],
-                    p50_us: v[9],
-                    p99_us: v[10],
+                    engine: c.string()?,
+                    num_vertices: c.u64()?,
+                    snapshot_version: c.u64()?,
+                    connections_total: c.u64()?,
+                    connections_active: c.u64()?,
+                    frames: c.u64()?,
+                    queries: c.u64()?,
+                    batches: c.u64()?,
+                    errors: c.u64()?,
+                    uptime_ms: c.u64()?,
+                    p50_us: c.u64()?,
+                    p99_us: c.u64()?,
                 })
             }
             opcode::RELOAD => Response::Reloaded {
@@ -794,7 +813,11 @@ pub fn encode_framed(encode_body: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
     let mut framed = vec![0u8; 4];
     encode_body(&mut framed);
     let len = (framed.len() - 4) as u32;
-    framed[..4].copy_from_slice(&len.to_le_bytes());
+    // The placeholder prefix always exists — the buffer starts at 4 bytes
+    // and `encode_body` only appends.
+    if let Some(prefix) = framed.get_mut(..4) {
+        prefix.copy_from_slice(&len.to_le_bytes());
+    }
     framed
 }
 
@@ -854,7 +877,10 @@ pub fn read_frame(
     // prefix or body is not.
     let mut filled = 0;
     while filled < prefix.len() {
-        match r.read(&mut prefix[filled..]) {
+        let Some(dst) = prefix.get_mut(filled..) else {
+            break; // unreachable: the loop condition bounds `filled`
+        };
+        match r.read(dst) {
             Ok(0) if filled == 0 => return Ok(false),
             Ok(0) => {
                 return Err(std::io::Error::new(

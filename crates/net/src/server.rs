@@ -30,6 +30,11 @@
 //! one could be recovered) and the connection keeps serving. Only lies
 //! the stream cannot recover from — a length prefix over the configured
 //! cap, a broken socket, a bad handshake — close the connection.
+//!
+//! This module is a **panic-free zone** (escapes need a `lint:allow`
+//! comment with a reason) and every atomic ordering here carries an
+//! `// ordering:` justification — enforced by `islabel-lint` via
+//! `lint.toml` at the repo root.
 
 use crate::protocol::{
     self, FrameReadError, Request, Response, WireError, WireStats, HELLO_LEN, MAX_TOKEN_LEN,
@@ -244,6 +249,9 @@ struct ServerShared {
 
 impl ServerShared {
     fn signal_shutdown(&self) {
+        // ordering: SeqCst — the drain flag must be globally ordered
+        // against in-flight request checks so no opcode is accepted after
+        // a shutdown ack was sent.
         self.draining.store(true, Ordering::SeqCst);
         let (lock, cv) = &self.shutdown_requested;
         *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
@@ -308,6 +316,7 @@ impl DistanceServer {
             std::thread::Builder::new()
                 .name("islabel-net-accept".into())
                 .spawn(move || accept_loop(&listener, &shared, &conns))
+                // lint:allow(panic, OS refusing to spawn the acceptor at startup is unrecoverable — no server exists to degrade)
                 .expect("spawn acceptor thread")
         };
         Ok(Self {
@@ -345,6 +354,8 @@ impl DistanceServer {
     /// A point-in-time snapshot of the server's counters.
     pub fn stats(&self) -> ServerStats {
         let c = &self.shared.counters;
+        // ordering: Relaxed — independent monotonic counters; a stats
+        // snapshot tolerates tearing across counters by design.
         ServerStats {
             connections_total: c.connections_total.load(Ordering::Relaxed),
             connections_active: c.connections_active.load(Ordering::Relaxed),
@@ -385,12 +396,16 @@ impl DistanceServer {
     }
 
     fn close_and_join(&mut self) {
+        // ordering: SeqCst — pairs with the acceptor's SeqCst load so the
+        // wake-up connection below cannot be accepted before the flag is
+        // visible.
         self.shared.shutting_down.store(true, Ordering::SeqCst);
         self.shared.signal_shutdown();
         if let Some(acceptor) = self.acceptor.take() {
             // The acceptor blocks in accept(); a throwaway connection
             // wakes it to observe the flag.
             drop(TcpStream::connect(self.local_addr));
+            // lint:allow(panic, a panicked acceptor is a server bug — propagating the panic out of shutdown is the honest failure)
             acceptor.join().expect("acceptor thread panicked");
         }
         let mut conns = self.conns.lock().unwrap_or_else(|e| e.into_inner());
@@ -402,6 +417,7 @@ impl DistanceServer {
             // a client that stopped reading cannot wedge this join.
             let _ = conn.stream.shutdown(Shutdown::Read);
             if let Some(reader) = conn.reader.take() {
+                // lint:allow(panic, re-raising a reader thread's panic at join keeps connection bugs loud instead of swallowed)
                 reader.join().expect("connection reader panicked");
             }
         }
@@ -430,6 +446,8 @@ fn accept_loop(
     conns: &Arc<Mutex<Vec<ConnSlot>>>,
 ) {
     for stream in listener.incoming() {
+        // ordering: SeqCst — pairs with close_and_join's SeqCst store;
+        // the shutdown wake-up connection must observe the flag.
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
         }
@@ -438,8 +456,12 @@ fn accept_loop(
         // Reap finished connections so a long-lived server's registry
         // tracks live sockets, not history.
         guard.retain_mut(|c| {
+            // ordering: Acquire — pairs with the reader's Release store
+            // of `done`, so everything the finished thread wrote
+            // happens-before this reap observes it.
             if c.done.load(Ordering::Acquire) {
                 if let Some(r) = c.reader.take() {
+                    // lint:allow(panic, re-raising a reader thread's panic at reap keeps connection bugs loud instead of swallowed)
                     r.join().expect("connection reader panicked");
                 }
                 false
@@ -462,21 +484,28 @@ fn accept_loop(
             std::thread::Builder::new()
                 .name("islabel-net-conn".into())
                 .spawn(move || {
+                    // ordering: Relaxed — independent monotonic counters,
+                    // no other memory is published through them.
                     shared
                         .counters
                         .connections_total
                         .fetch_add(1, Ordering::Relaxed);
+                    // ordering: Relaxed — same counter discipline.
                     shared
                         .counters
                         .connections_active
                         .fetch_add(1, Ordering::Relaxed);
                     connection_loop(stream, &shared);
+                    // ordering: Relaxed — same counter discipline.
                     shared
                         .counters
                         .connections_active
                         .fetch_sub(1, Ordering::Relaxed);
+                    // ordering: Release — pairs with the reaper's Acquire
+                    // load; publishes this thread's writes before `done`.
                     done.store(true, Ordering::Release);
                 })
+                // lint:allow(panic, OS refusing to spawn a connection thread means resource exhaustion — failing loudly beats silently dropping the socket)
                 .expect("spawn connection reader")
         };
         guard.push(ConnSlot {
@@ -553,6 +582,7 @@ fn run_connection(stream: &mut TcpStream, shared: &Arc<ServerShared>) {
         std::thread::Builder::new()
             .name("islabel-net-write".into())
             .spawn(move || writer_loop(stream, &queue))
+            // lint:allow(panic, OS refusing to spawn the writer half means resource exhaustion — failing loudly beats a silently half-duplex connection)
             .expect("spawn connection writer")
     };
 
@@ -560,6 +590,7 @@ fn run_connection(stream: &mut TcpStream, shared: &Arc<ServerShared>) {
 
     // Drain: the writer flushes everything queued, then exits.
     queue.close();
+    // lint:allow(panic, re-raising the writer thread's panic keeps connection bugs loud instead of swallowed)
     writer.join().expect("connection writer panicked");
 }
 
@@ -575,6 +606,7 @@ fn serve_frames(
     let mut frame = Vec::new();
     let respond = |id: u64, resp: &Response| -> bool {
         if matches!(resp, Response::Error(_)) {
+            // ordering: Relaxed — independent monotonic counter.
             shared.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
         queue.push(protocol::encode_framed(|out| {
@@ -611,6 +643,7 @@ fn serve_frames(
                 }
                 Err(FrameReadError::Io(_)) => return,
             }
+            // ordering: Relaxed — independent monotonic counter.
             shared.counters.frames.fetch_add(1, Ordering::Relaxed);
 
             let (id, request) = match protocol::decode_request(&frame) {
@@ -634,6 +667,8 @@ fn serve_frames(
             // Once a drain has been requested, work-carrying opcodes are
             // refused with the documented ShuttingDown code; Ping/Stats
             // stay answerable so clients can observe the drain.
+            // ordering: SeqCst — pairs with signal_shutdown's SeqCst
+            // store; after a shutdown ack no work opcode may slip in.
             let draining = shared.draining.load(Ordering::SeqCst);
             let response = match request {
                 _ if draining
@@ -660,6 +695,7 @@ fn serve_frames(
                 }
                 Request::Ping => Response::Pong,
                 Request::Query { s, t } => {
+                    // ordering: Relaxed — independent monotonic counter.
                     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
                     let q0 = Instant::now();
                     let answer = session.distance(s, t);
@@ -679,10 +715,12 @@ fn serve_frames(
                             ),
                         })
                     } else {
+                        // ordering: Relaxed — independent monotonic counter.
                         shared.counters.batches.fetch_add(1, Ordering::Relaxed);
                         let mut dists = Vec::with_capacity(pairs.len());
                         let mut failed = None;
                         for &(s, t) in &pairs {
+                            // ordering: Relaxed — independent monotonic counter.
                             shared.counters.queries.fetch_add(1, Ordering::Relaxed);
                             let q0 = Instant::now();
                             let answer = session.distance(s, t);
@@ -784,6 +822,8 @@ fn wire_stats(shared: &ServerShared, pinned: &Snapshot) -> WireStats {
         engine: pinned.oracle().engine_name().to_string(),
         num_vertices: pinned.oracle().num_vertices() as u64,
         snapshot_version: pinned.version(),
+        // ordering: Relaxed — independent monotonic counters; a stats
+        // frame tolerates tearing across counters by design.
         connections_total: c.connections_total.load(Ordering::Relaxed),
         connections_active: c.connections_active.load(Ordering::Relaxed),
         frames: c.frames.load(Ordering::Relaxed),

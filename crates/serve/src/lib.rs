@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # islabel-serve
 //!
 //! The concurrent serving layer over the IS-LABEL workspace: a sharded
@@ -275,12 +278,15 @@ impl AtomicLatencyHistogram {
 
     /// Records one observation (a relaxed increment of one bucket).
     pub fn record(&self, elapsed: Duration) {
+        // ordering: Relaxed — independent bucket counters; histogram
+        // reads tolerate tearing across buckets by design.
         self.buckets[bucket_index(elapsed)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the counts.
     pub fn snapshot(&self) -> LatencyHistogram {
         LatencyHistogram {
+            // ordering: Relaxed — same bucket-counter discipline.
             counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
         }
     }
@@ -563,6 +569,8 @@ impl QueryService {
         if n == 0 {
             return BatchTicket { state };
         }
+        // ordering: Relaxed — round-robin ticket for shard spreading;
+        // only uniqueness matters, no memory is published through it.
         let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
         for (i, slice) in pairs.chunks(chunk).enumerate() {
             let job = Job {
@@ -593,6 +601,8 @@ impl QueryService {
                 .enumerate()
                 .map(|(i, s)| ShardStats {
                     shard: i,
+                    // ordering: Relaxed — independent monotonic counters;
+                    // a stats snapshot tolerates tearing by design.
                     queries: s.counters.queries.load(Ordering::Relaxed),
                     batches: s.counters.batches.load(Ordering::Relaxed),
                     busy: Duration::from_nanos(s.counters.busy_nanos.load(Ordering::Relaxed)),
@@ -656,6 +666,7 @@ fn worker_loop(queue: &ShardQueue, handle: &OracleHandle, counters: &ShardCounte
         loop {
             process(job, session.as_mut(), counters);
             if handle.version() != version {
+                // ordering: Relaxed — independent monotonic counter.
                 counters.swaps_observed.fetch_add(1, Ordering::Relaxed);
                 continue 'serve; // reload the snapshot for the next job
             }
@@ -686,12 +697,15 @@ fn process(job: Job, session: &mut dyn QuerySession, counters: &ShardCounters) {
         }
     }
     let answered = local.len() as u64 + u64::from(err.is_some());
+    // ordering: Relaxed — independent monotonic counters; stats reads
+    // tolerate tearing across counters by design.
     counters.queries.fetch_add(answered, Ordering::Relaxed);
     counters.batches.fetch_add(1, Ordering::Relaxed);
     counters
         .busy_nanos
         .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     if err.is_some() {
+        // ordering: Relaxed — same counter discipline.
         counters.errors.fetch_add(1, Ordering::Relaxed);
     }
 

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 //! # islabel — facade crate
 //!
 //! Re-exports the whole IS-LABEL workspace behind one dependency:
