@@ -1,0 +1,203 @@
+//! The artifact-load benchmark behind `BENCH_PR8.json`: how fast an index
+//! becomes servable from disk, across the three load paths that exist
+//! after the v3 flat format landed.
+//!
+//! ```text
+//! load_time [--smoke] [--out PATH]
+//! ```
+//!
+//! Four numbers are measured over the same index saved twice (v2 stream
+//! and v3 flat):
+//!
+//! * `heap_load_v2_ms` — full deserialization of the legacy v2 stream
+//!   (the pre-PR-8 baseline: every byte parsed, every array copied);
+//! * `heap_load_v3_ms` — the v3 heap loader (validated sections, then
+//!   materialized — same end state, flat parsing);
+//! * `mmap_open_ms` — `MmapIndex::open`: map + checksum + validate, no
+//!   materialization. This is the PR-8 acceptance number: at the full
+//!   n = 50 000 it must be ≥ 10x faster than `heap_load_v2_ms`;
+//! * `first_query_warm_ms` — cold `MmapIndex::open` through the first
+//!   answered query, the "time to first answer after reload" a server
+//!   actually experiences on hot swap.
+//!
+//! Every run cross-checks the mmap engine bit-for-bit against the heap
+//! engine over the sampled query pairs before any timing is reported.
+//! `--smoke` shrinks the graph (and skips the ≥ 10x assertion — tiny
+//! artifacts are dominated by syscall constants, not byte volume). Env
+//! knobs: `ISLABEL_LOAD_N` (default 50 000 vertices), `ISLABEL_LOAD_REPS`
+//! (default 5 timed repetitions, median reported), `ISLABEL_LOAD_QUERIES`
+//! (default 500 cross-checked pairs).
+//!
+//! Schema (`islabel-bench-pr8/v1`): `artifact.{v2_bytes,v3_bytes}`,
+//! `load.{heap_load_v2_ms,heap_load_v3_ms,mmap_open_ms,first_query_warm_ms}`
+//! (medians), and `mmap_open_speedup_vs_v2` — the acceptance ratio.
+
+use islabel_core::persist::{load_index_from_path, save_index_to_path, save_index_v2_to_path};
+use islabel_core::{BuildConfig, DistanceOracle, IsLabelIndex, MmapIndex};
+use islabel_graph::generators::{barabasi_albert, WeightModel};
+use islabel_graph::VertexId;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn query_pairs(n: usize, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..count)
+        .map(|_| {
+            let s = (next() % n as u64) as VertexId;
+            let mut t = (next() % n as u64) as VertexId;
+            if t == s {
+                t = (t + 1) % n as VertexId;
+            }
+            (s, t)
+        })
+        .collect()
+}
+
+/// Times `reps` runs of `f`, returning the median wall-clock in ms. The
+/// result of each run is dropped inside the timed region on purpose: for
+/// heap loads the drop is part of the cost a reload pays, and excluding
+/// it would flatter the baseline the mmap path is compared against.
+fn median_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let r = f();
+            let elapsed = t0.elapsed().as_secs_f64() * 1e3;
+            drop(r);
+            elapsed
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+
+    let env_or = |key: &str, default: usize| -> usize {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let n = if smoke {
+        2_000
+    } else {
+        env_or("ISLABEL_LOAD_N", 50_000)
+    };
+    let reps = env_or("ISLABEL_LOAD_REPS", 5).max(1);
+    let queries = if smoke {
+        200
+    } else {
+        env_or("ISLABEL_LOAD_QUERIES", 500)
+    };
+
+    let g = barabasi_albert(n, 3, WeightModel::UniformRange(1, 10), 0x10AD);
+    eprintln!(
+        "[load_time] building index (n = {n}, m = {}) ...",
+        g.num_edges()
+    );
+    let t0 = Instant::now();
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("islabel-load-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench tempdir");
+    let v2_path = dir.join("bench-v2.islx");
+    let v3_path = dir.join("bench-v3.islx");
+    save_index_v2_to_path(&index, &v2_path).expect("save v2 artifact");
+    save_index_to_path(&index, &v3_path).expect("save v3 artifact");
+    let v2_bytes = std::fs::metadata(&v2_path).expect("stat v2").len();
+    let v3_bytes = std::fs::metadata(&v3_path).expect("stat v3").len();
+
+    // Correctness first: the mapped engine must answer bit-for-bit like
+    // the heap engine before its open time means anything.
+    eprintln!("[load_time] cross-checking mmap vs heap over {queries} pairs ...");
+    let pairs = query_pairs(n, queries, 0xD15C ^ n as u64);
+    let mapped = MmapIndex::open(&v3_path).expect("open mmap engine");
+    let mut heap_session = index.session();
+    let mut mmap_session = mapped.session();
+    for &(s, t) in &pairs {
+        let want = heap_session.distance(s, t).expect("heap in range");
+        let got = mmap_session.distance(s, t).expect("mmap in range");
+        assert_eq!(got, want, "mmap engine diverged on ({s}, {t})");
+    }
+    drop(mmap_session);
+    drop(heap_session);
+    drop(mapped);
+
+    eprintln!("[load_time] timing {reps} reps per path ...");
+    let heap_load_v2_ms = median_ms(reps, || {
+        load_index_from_path(&v2_path).expect("load v2 stream")
+    });
+    let heap_load_v3_ms = median_ms(reps, || {
+        load_index_from_path(&v3_path).expect("load v3 flat")
+    });
+    let mmap_open_ms = median_ms(reps, || MmapIndex::open(&v3_path).expect("open mmap"));
+    let (first_s, first_t) = pairs.first().copied().unwrap_or((0, 1));
+    let first_query_warm_ms = median_ms(reps, || {
+        let m = MmapIndex::open(&v3_path).expect("open mmap");
+        m.try_distance(first_s, first_t).expect("first query")
+    });
+    std::fs::remove_dir_all(&dir).ok();
+
+    let speedup = heap_load_v2_ms / mmap_open_ms.max(1e-9);
+    println!("{:<22} {:>12}", "path", "median_ms");
+    for (name, ms) in [
+        ("heap_load_v2", heap_load_v2_ms),
+        ("heap_load_v3", heap_load_v3_ms),
+        ("mmap_open", mmap_open_ms),
+        ("first_query_warm", first_query_warm_ms),
+    ] {
+        println!("{name:<22} {ms:>12.3}");
+    }
+    println!(
+        "artifact bytes: v2 = {v2_bytes}, v3 = {v3_bytes}; \
+         mmap_open speedup vs v2 heap load: {speedup:.1}x"
+    );
+    if !smoke {
+        assert!(
+            speedup >= 10.0,
+            "acceptance: mmap open must be >= 10x faster than v2 heap load, got {speedup:.1}x"
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": \"islabel-bench-pr8/v1\",\n  \"mode\": \"{}\",\n  \
+         \"graph\": {{\"name\": \"ba\", \"n\": {}, \"m\": {}}},\n  \"build_ms\": {:.2},\n  \
+         \"artifact\": {{\"v2_bytes\": {}, \"v3_bytes\": {}}},\n  \
+         \"reps\": {},\n  \"cross_checked_pairs\": {},\n  \"load\": {{\n    \
+         \"heap_load_v2_ms\": {:.3},\n    \"heap_load_v3_ms\": {:.3},\n    \
+         \"mmap_open_ms\": {:.3},\n    \"first_query_warm_ms\": {:.3}\n  }},\n  \
+         \"mmap_open_speedup_vs_v2\": {:.2}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        n,
+        g.num_edges(),
+        build_ms,
+        v2_bytes,
+        v3_bytes,
+        reps,
+        pairs.len(),
+        heap_load_v2_ms,
+        heap_load_v3_ms,
+        mmap_open_ms,
+        first_query_warm_ms,
+        speedup
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    println!("wrote {out_path}");
+}

@@ -24,6 +24,7 @@ islabel — IS-LABEL point-to-point distance index (VLDB 2013 reproduction)
 USAGE:
     islabel gen <dataset> [--scale tiny|small|medium|large] [-o out.isgb]
     islabel convert <in> <out>                 (.txt <-> .isgb by extension)
+    islabel convert <in.islx> <out.islx> --to v3|v2   (index format versions)
     islabel build <graph> -o <index.islx> [--sigma F | --k N | --full]
                   [--no-paths] [--external [--workdir DIR]]
     islabel query <index.islx | graph> <s> <t> [--path] [--engine E]
@@ -41,7 +42,8 @@ USAGE:
                   [--sleep-ms MS]       (apply WAL-logged random updates)
     islabel recover <index.islx> --wal WAL [--check]
     islabel compact <index.islx> --wal WAL   (fold the WAL into a rebuild)
-    islabel stats <index.islx | graph>
+    islabel stats <index.islx | graph> [--file]
+                  (--file: on-disk format version, section sizes, residency)
 
 ENGINES (for graph inputs; an .islx artifact is always an IS-LABEL index):
     islabel (default), di-islabel, pll, vc, bidij
@@ -153,10 +155,36 @@ fn gen(argv: &[String]) -> Result<(), String> {
 }
 
 fn convert(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &["to"])?;
     args.reject_unknown_flags(&[])?;
     let input = args.pos(0, "input path")?;
     let output = args.pos(1, "output path")?;
+    if input.ends_with(".islx") {
+        // Index-format conversion: load whichever version `input` is
+        // (auto-detected) and rewrite it as the requested version.
+        if !output.ends_with(".islx") {
+            return Err("index conversion needs an .islx output path".into());
+        }
+        let to = args.opt("to").unwrap_or("v3");
+        let index = load_index_from_path(input).map_err(|e| format!("load {input}: {e}"))?;
+        match to {
+            "v3" => islabel_core::persist::save_index_to_path(&index, output),
+            "v2" => islabel_core::persist::save_index_v2_to_path(&index, output),
+            other => return Err(format!("--to {other}: expected v2 or v3")),
+        }
+        .map_err(|e| format!("save {output}: {e}"))?;
+        let bytes = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "{input} -> {output} ({to} artifact, {} vertices, {} pending op(s), {})",
+            human_count(index.num_vertices()),
+            index.pending_ops(),
+            human_bytes(bytes as usize)
+        );
+        return Ok(());
+    }
+    if args.opt("to").is_some() {
+        return Err("--to only applies to .islx index inputs".into());
+    }
     let g = load_graph(input)?;
     save_graph(&g, output)?;
     println!(
@@ -623,15 +651,23 @@ fn serve_listen(
         admin_token: admin_token.map(str::to_string),
         ..NetConfig::default()
     };
-    let server =
-        DistanceServer::start(oracle, listen, config).map_err(|e| format!("bind {listen}: {e}"))?;
-    if let Some((index_path, wal_path)) = &wal {
-        server.set_coordinator(std::sync::Arc::new(islabel_serve::RebuildCoordinator::new(
-            std::sync::Arc::clone(server.handle()),
+    // Build the handle first so the compaction coordinator can be wired
+    // before the server accepts its first connection — an early `Compact`
+    // must never race the wiring and see "no coordinator configured".
+    let handle = std::sync::Arc::new(islabel_core::OracleHandle::new(
+        islabel_core::Snapshot::from_arc(oracle),
+    ));
+    let coordinator = wal.as_ref().map(|(index_path, wal_path)| {
+        std::sync::Arc::new(islabel_serve::RebuildCoordinator::new(
+            std::sync::Arc::clone(&handle),
             index_path,
             wal_path,
             BuildConfig::default(),
-        )));
+        ))
+    });
+    let server = DistanceServer::bind_with_coordinator(handle, listen, config, coordinator)
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    if let Some((index_path, wal_path)) = &wal {
         println!("wire compaction enabled over {index_path} + {wal_path}");
     }
     println!(
@@ -931,8 +967,14 @@ fn compact(argv: &[String]) -> Result<(), String> {
 
 fn stats(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
-    args.reject_unknown_flags(&[])?;
+    args.reject_unknown_flags(&["file"])?;
     let path = args.pos(0, "artifact path")?;
+    if args.flag("file") {
+        if !path.ends_with(".islx") {
+            return Err("--file reports on-disk index artifacts (.islx)".into());
+        }
+        return file_stats(path);
+    }
     if path.ends_with(".islx") {
         let index = load_index_from_path(path).map_err(|e| format!("load {path}: {e}"))?;
         let s = index.stats();
@@ -970,6 +1012,67 @@ fn stats(argv: &[String]) -> Result<(), String> {
         println!("  max deg:  {}", g.max_degree());
         println!("  CSR size: {}", human_bytes(g.memory_bytes()));
     }
+    Ok(())
+}
+
+/// `stats --file`: the on-disk view of an `.islx` artifact — format
+/// version, header facts, per-section byte layout (v3) and whether
+/// serving it would be memory-mapped or heap-resident.
+fn file_stats(path: &str) -> Result<(), String> {
+    let bytes = std::fs::metadata(path)
+        .map(|m| m.len() as usize)
+        .map_err(|e| format!("stat {path}: {e}"))?;
+    let mut head = [0u8; 8];
+    {
+        use std::io::Read as _;
+        let mut f = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        f.read_exact(&mut head)
+            .map_err(|e| format!("read {path}: {e}"))?;
+    }
+    if &head[..4] != b"ISLX" {
+        return Err(format!("{path}: not an ISLX artifact"));
+    }
+    let version = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+    println!("artifact: {path}");
+    println!("  file size:     {}", human_bytes(bytes));
+    if version != islabel_store::format::FORMAT_VERSION {
+        println!("  format:        v{version} (stream; loads fully onto the heap)");
+        println!("  residency:     heap (convert --to v3 for mmap serving)");
+        return Ok(());
+    }
+    let reader = islabel_store::StoreReader::open(std::path::Path::new(path))
+        .map_err(|e| format!("open {path}: {e}"))?;
+    let h = reader.header();
+    println!("  format:        v{version} (flat sections; mmap-servable)");
+    println!("  epoch:         {}", h.epoch);
+    println!("  k:             {}", h.k);
+    println!("  vertices:      {}", human_count(h.n as usize));
+    println!("  |V_Gk|:        {}", human_count(h.dense_m as usize));
+    println!("  sealed ops:    {}", h.op_count);
+    println!(
+        "  residency:     {}",
+        match (reader.is_mapped(), h.op_count == 0) {
+            (true, true) => "mmap (zero-copy; served in place)",
+            (true, false) => "mmap for inspection; serving loads to heap (sealed ops)",
+            (false, _) => "heap (mapping unavailable on this platform)",
+        }
+    );
+    println!("  sections:      {} of 16 slots", h.sections.len());
+    let data_bytes: u64 = h.sections.iter().map(|s| s.len).sum();
+    for s in &h.sections {
+        println!(
+            "    {:<16} {:>12}   offset {:>10}   checksum 0x{:016x}",
+            islabel_store::format::section_kind_name(s.kind),
+            human_bytes(s.len as usize),
+            s.offset,
+            s.checksum
+        );
+    }
+    println!(
+        "  overhead:      {} header + padding ({} data)",
+        human_bytes(bytes.saturating_sub(data_bytes as usize)),
+        human_bytes(data_bytes as usize)
+    );
     Ok(())
 }
 
@@ -1048,6 +1151,47 @@ mod tests {
         let b = load_graph(&back).unwrap();
         assert_eq!(a, b);
         for f in [&bin, &txt, &back] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn convert_index_versions_and_file_stats() {
+        let graph = tmp("cvi.isgb");
+        let v3 = tmp("cvi.islx");
+        let v2 = tmp("cvi2.islx");
+        let back = tmp("cvi3.islx");
+        run(&["gen", "google", "--scale", "tiny", "-o", &graph]).unwrap();
+        run(&["build", &graph, "-o", &v3]).unwrap();
+
+        let version_of = |p: &str| {
+            let bytes = std::fs::read(p).unwrap();
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap())
+        };
+        // Builds write v3 by default; conversion reaches v2 and back.
+        assert_eq!(version_of(&v3), 3);
+        run(&["convert", &v3, &v2, "--to", "v2"]).unwrap();
+        assert_eq!(version_of(&v2), 2);
+        run(&["convert", &v2, &back]).unwrap(); // --to defaults to v3
+        assert_eq!(version_of(&back), 3);
+
+        // Every version answers queries, and --file reports each layout.
+        for p in [&v3, &v2, &back] {
+            run(&["query", p, "0", "5"]).unwrap();
+            run(&["stats", p, "--file"]).unwrap();
+        }
+
+        // Misuse is rejected cleanly.
+        let err = run(&["convert", &graph, &v2, "--to", "v2"]).unwrap_err();
+        assert!(err.contains("--to"), "{err}");
+        let err = run(&["convert", &v3, "out.txt", "--to", "v2"]).unwrap_err();
+        assert!(err.contains(".islx"), "{err}");
+        let err = run(&["convert", &v3, &v2, "--to", "v7"]).unwrap_err();
+        assert!(err.contains("v2 or v3"), "{err}");
+        let err = run(&["stats", &graph, "--file"]).unwrap_err();
+        assert!(err.contains(".islx"), "{err}");
+
+        for f in [&graph, &v3, &v2, &back] {
             std::fs::remove_file(f).ok();
         }
     }

@@ -116,6 +116,18 @@ impl GkIdMap {
         self.dense_of.len() * std::mem::size_of::<u32>()
             + self.global_of.len() * std::mem::size_of::<VertexId>()
     }
+
+    /// The raw forward array (`dense_of[global]`, [`NO_DENSE`] sentinel),
+    /// serialized verbatim as the v3 artifact's `GK_DENSE_OF` section.
+    pub(crate) fn dense_of_raw(&self) -> &[u32] {
+        &self.dense_of
+    }
+
+    /// The raw reverse array (`global_of[dense]`), serialized verbatim as
+    /// the v3 artifact's `GK_GLOBAL_OF` section.
+    pub(crate) fn global_of_raw(&self) -> &[VertexId] {
+        &self.global_of
+    }
 }
 
 /// `G_k` adjacency over compact ids in flat CSR arrays.
@@ -197,6 +209,12 @@ impl DenseCsr {
         self.offsets.len() * std::mem::size_of::<u32>()
             + self.targets.len() * std::mem::size_of::<u32>()
             + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+
+    /// The raw CSR arrays `(offsets, targets, weights)`, serialized
+    /// verbatim as the v3 artifact's three `GK_*` sections.
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[u32], &[Weight]) {
+        (&self.offsets, &self.targets, &self.weights)
     }
 }
 

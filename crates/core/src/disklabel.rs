@@ -11,11 +11,17 @@
 //! positioned read — counted as exactly one seek by the I/O statistics,
 //! which is how the experiment harness reconstructs the paper's Time (a)
 //! (~10 ms per label on their 7200 RPM disk).
+//!
+//! The at-rest entry layout (`ancestor u32 + distance u64`) is shared with
+//! the label sections of the persistent v3 artifact —
+//! [`islabel_store::format`] (`crates/store`) is the single source of
+//! truth for these record sizes.
 
 use crate::label::{LabelSet, LabelView};
 use bytes::{Buf, BufMut};
 use islabel_extmem::storage::Storage;
 use islabel_graph::{Dist, VertexId};
+use islabel_store::format::LABEL_ENTRY_BYTES;
 use std::io::{self, Read, Write};
 
 /// A label fetched from disk, owning its arrays.
@@ -80,7 +86,8 @@ impl DiskLabelStore {
         drop(w);
 
         let mut iw = storage.create(&format!("{name}.idx"))?;
-        let mut ibuf = Vec::with_capacity(8 + offsets.len() * 8);
+        let mut ibuf =
+            Vec::with_capacity(8 + offsets.len() * islabel_store::format::LABEL_OFFSET_BYTES);
         ibuf.put_u64_le(n as u64);
         for &o in &offsets {
             ibuf.put_u64_le(o);
@@ -136,7 +143,7 @@ impl DiskLabelStore {
         let hi = self.offsets[v as usize + 1];
         let mut buf = vec![0u8; (hi - lo) as usize];
         storage.read_at(&self.name, lo, &mut buf)?;
-        let count = buf.len() / 12;
+        let count = buf.len() / LABEL_ENTRY_BYTES;
         let mut ancestors = Vec::with_capacity(count);
         let mut dists = Vec::with_capacity(count);
         let mut b = &buf[..];

@@ -81,6 +81,7 @@ pub mod hierarchy;
 pub mod index;
 pub mod label;
 pub mod labelcache;
+pub mod mmapindex;
 pub mod oracle;
 pub mod path;
 pub mod persist;
@@ -97,6 +98,7 @@ pub use dense::{
 };
 pub use directed::{DiIsLabelIndex, DiIsLabelSession};
 pub use index::{IsLabelIndex, IsLabelSession, DEFAULT_WAL_SYNC_EVERY};
+pub use mmapindex::MmapIndex;
 pub use oracle::{BatchOptions, DistanceOracle, Error, QueryError, QuerySession};
 pub use path::Path;
 pub use persist::wal::{WalRecovery, WalScan, WalWriter};

@@ -1,0 +1,291 @@
+//! # Zero-copy serving straight off a mapped v3 artifact
+//!
+//! [`MmapIndex`] implements [`DistanceOracle`] over the raw bytes of a v3
+//! `.islx` file — no deserialization: labels, the dense `G_k` CSR, and
+//! the id maps are the mapped sections themselves, cast to typed slices
+//! at open (`islabel-store` validates structure — header CRC, section
+//! bounds and alignment; [`super::persist::v3::Sections::validate`] adds
+//! the semantic scans that make querying the raw bytes sound; section
+//! content checksums are verified by writers before a swap, not on every
+//! open — see [`MmapIndex::open`]). Opening is therefore O(index bytes
+//! scanned once) with no allocation proportional to the label set, and
+//! the mapping is prefaulted (`MAP_POPULATE`) so that one scan runs at
+//! memory speed.
+//!
+//! Two deliberate scope limits keep this engine simple and bit-identical
+//! to the heap path:
+//!
+//! * only **pristine** artifacts are served (`op_count == 0`): sealed
+//!   dynamic updates require overlay state that is inherently heap-built.
+//!   [`MmapIndex::open`] refuses non-pristine files and the oracle loader
+//!   in [`super::persist`] falls back to the heap engine.
+//! * queries answer **distances** (the serving hot path); path expansion
+//!   still goes through the heap index.
+//!
+//! The query algorithm is exactly the session fast path of
+//! [`crate::index::IsLabelSession`]: Equation 1 via
+//! [`crate::query::intersect_min_adaptive`], seeds filtered through the
+//! mapped `dense_of` array, then [`dense_bi_dijkstra`] on a
+//! [`DenseView`] over the mapped CSR sections. The `store_mmap`
+//! integration suite pins bit-identical results against the heap engine.
+
+use crate::dense::{dense_bi_dijkstra, DenseScratch, DenseView, NO_DENSE};
+use crate::oracle::{check_vertex, DistanceOracle, Error, QueryError, QuerySession};
+use crate::persist::v3::Sections;
+use islabel_graph::{Dist, VertexId, Weight, INF};
+use islabel_store::StoreReader;
+use std::path::Path;
+
+/// A distance oracle serving directly from a memory-mapped v3 artifact.
+/// See the [module docs](self) for scope and guarantees.
+#[derive(Debug)]
+pub struct MmapIndex {
+    reader: StoreReader,
+}
+
+/// The dense `G_k` CSR as typed views of the mapped sections — the
+/// [`DenseView`] the kernel runs on. `G_k` is undirected, so the same
+/// view serves as both search directions.
+#[derive(Debug, Clone, Copy)]
+struct MappedDense<'a> {
+    offsets: &'a [u32],
+    targets: &'a [u32],
+    weights: &'a [u32],
+}
+
+impl DenseView for MappedDense<'_> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    #[inline]
+    fn edges_of(&self, d: u32) -> impl Iterator<Item = (u32, Weight)> + '_ {
+        let lo = self.offsets[d as usize] as usize;
+        let hi = self.offsets[d as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&t, &w)| (t, w))
+    }
+}
+
+impl MmapIndex {
+    /// Maps and validates `path`. Fails with a typed error on any
+    /// structural or semantic defect, and on artifacts with sealed
+    /// dynamic updates (those need the heap engine).
+    ///
+    /// Validation here is structural (header CRC, section table bounds)
+    /// plus the full semantic scan — every stored value range-checked,
+    /// every cross-array invariant verified — which is what makes
+    /// querying the raw bytes sound. Section *content checksums* are
+    /// deliberately not recomputed on this path: that second O(file)
+    /// pass exists to attribute corruption, not to contain it, and it
+    /// belongs to the writers ([`open_verified`](Self::open_verified)
+    /// before a hot swap, `StoreReader::open` in recovery and tooling),
+    /// not to every serving open.
+    pub fn open(path: &Path) -> Result<Self, Error> {
+        Self::from_reader(StoreReader::open_unverified(path)?)
+    }
+
+    /// [`open`](Self::open) plus content-checksum verification of every
+    /// section. The rebuild coordinator uses this before publishing a
+    /// freshly written artifact, so a corrupt file can never be swapped
+    /// into serving.
+    pub fn open_verified(path: &Path) -> Result<Self, Error> {
+        let this = Self::open(path)?;
+        this.reader.verify()?;
+        Ok(this)
+    }
+
+    /// Same as [`open_verified`](Self::open_verified) over an in-memory
+    /// image (testing).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Self, Error> {
+        Self::from_reader(StoreReader::from_bytes(bytes)?)
+    }
+
+    fn from_reader(reader: StoreReader) -> Result<Self, Error> {
+        let s = Sections::resolve(&reader)?;
+        s.validate()?;
+        if s.op_count != 0 {
+            return Err(Error::Persist(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "artifact has sealed dynamic updates; the mmap engine serves only pristine indexes",
+            )));
+        }
+        Ok(Self { reader })
+    }
+
+    /// The underlying store (header facts, section table, residency).
+    pub fn reader(&self) -> &StoreReader {
+        &self.reader
+    }
+
+    /// Artifact epoch, for swap-coherence checks against the WAL.
+    pub fn artifact_epoch(&self) -> u64 {
+        self.reader.epoch()
+    }
+
+    /// Whether the bytes are an actual `mmap` (as opposed to the heap
+    /// fallback used for in-memory images and exotic platforms).
+    pub fn is_mapped(&self) -> bool {
+        self.reader.is_mapped()
+    }
+
+    /// Re-resolves the section views. Infallible after `from_reader`
+    /// validated the image (the mapping is immutable), so failures are
+    /// reported as the (unreachable) zero-universe index rather than a
+    /// panic.
+    fn sections(&self) -> Sections<'_> {
+        match Sections::resolve(&self.reader) {
+            Ok(s) => s,
+            // Unreachable: validated at open and immutable since.
+            Err(_) => Sections::empty(),
+        }
+    }
+}
+
+impl DistanceOracle for MmapIndex {
+    fn engine_name(&self) -> &'static str {
+        "islabel-mmap"
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.reader.header().n as usize
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.reader.len()
+    }
+
+    fn try_distance(&self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        MmapSession::new(self).distance(s, t)
+    }
+
+    fn session(&self) -> Box<dyn QuerySession + '_> {
+        Box::new(MmapSession::new(self))
+    }
+}
+
+/// Per-thread query state over a mapped artifact: the resolved section
+/// views plus reusable seed buffers and dense-search scratch.
+#[derive(Debug)]
+pub struct MmapSession<'a> {
+    sections: Sections<'a>,
+    fseeds: Vec<(u32, Dist)>,
+    rseeds: Vec<(u32, Dist)>,
+    scratch: DenseScratch,
+}
+
+impl<'a> MmapSession<'a> {
+    fn new(index: &'a MmapIndex) -> Self {
+        let sections = index.sections();
+        let scratch = DenseScratch::new(sections.m);
+        Self {
+            sections,
+            fseeds: Vec::new(),
+            rseeds: Vec::new(),
+            scratch,
+        }
+    }
+
+    fn run(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        let sec = &self.sections;
+        check_vertex(s, sec.n)?;
+        check_vertex(t, sec.n)?;
+        if s == t {
+            return Ok(Some(0));
+        }
+        let ls = sec.label_view(s);
+        let lt = sec.label_view(t);
+        let (mu0, witness) = crate::query::intersect_min_adaptive(ls, lt);
+        self.fseeds.clear();
+        for (a, d) in ls.iter() {
+            let da = sec.dense_of[a as usize];
+            if da != NO_DENSE {
+                self.fseeds.push((da, d));
+            }
+        }
+        self.rseeds.clear();
+        for (a, d) in lt.iter() {
+            let da = sec.dense_of[a as usize];
+            if da != NO_DENSE {
+                self.rseeds.push((da, d));
+            }
+        }
+        let dense = MappedDense {
+            offsets: sec.gk_offsets,
+            targets: sec.gk_targets,
+            weights: sec.gk_weights,
+        };
+        let out = dense_bi_dijkstra(
+            &dense,
+            &dense,
+            &self.fseeds,
+            &self.rseeds,
+            mu0,
+            witness,
+            &mut self.scratch,
+        );
+        Ok((out.dist < INF).then_some(out.dist))
+    }
+}
+
+impl QuerySession for MmapSession<'_> {
+    fn engine_name(&self) -> &'static str {
+        "islabel-mmap"
+    }
+
+    fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
+        self.run(s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BuildConfig;
+    use crate::index::IsLabelIndex;
+    use crate::persist::v3;
+    use islabel_graph::generators::{barabasi_albert, WeightModel};
+    use std::io::Cursor;
+
+    fn mmap_of(index: &IsLabelIndex) -> MmapIndex {
+        let buf = v3::write_index(index, Cursor::new(Vec::new()))
+            .unwrap()
+            .into_inner();
+        MmapIndex::from_bytes(buf).unwrap()
+    }
+
+    #[test]
+    fn mmap_matches_heap_engine() {
+        let g = barabasi_albert(300, 3, WeightModel::UniformRange(1, 9), 21);
+        let index = IsLabelIndex::build(&g, BuildConfig::default());
+        let mapped = mmap_of(&index);
+        assert_eq!(mapped.num_vertices(), 300);
+        let mut session = mapped.session();
+        let mut heap_session = index.session();
+        for i in 0..200u32 {
+            let (s, t) = ((i * 7) % 300, (i * 13 + 5) % 300);
+            assert_eq!(
+                session.distance(s, t),
+                heap_session.distance(s, t),
+                "({s}, {t})"
+            );
+        }
+        // Out-of-range vertices are typed errors, and s == t is free.
+        assert!(session.distance(300, 0).is_err());
+        assert_eq!(session.distance(17, 17), Ok(Some(0)));
+    }
+
+    #[test]
+    fn mmap_refuses_sealed_updates() {
+        let g = barabasi_albert(80, 2, WeightModel::Unit, 3);
+        let mut index = IsLabelIndex::build(&g, BuildConfig::default());
+        index.insert_edge(0, 40, 1);
+        let buf = v3::write_index(&index, Cursor::new(Vec::new()))
+            .unwrap()
+            .into_inner();
+        assert!(MmapIndex::from_bytes(buf).is_err());
+    }
+}

@@ -47,10 +47,13 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 use std::time::Duration;
 
+pub mod v3;
 pub mod wal;
 
 const MAGIC: &[u8; 4] = b"ISLX";
 const VERSION: u32 = 2;
+/// The flat, section-table version written by [`v3`] / `islabel-store`.
+const VERSION_V3: u32 = 3;
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
@@ -429,6 +432,11 @@ pub fn load_index<R: Read>(reader: &mut R) -> io::Result<IsLabelIndex> {
 /// Saves to a file path, atomically: the artifact is written to a sibling
 /// temp file, `fsync`ed, and renamed into place, so a crash or I/O failure
 /// mid-save never destroys an existing artifact at `path`.
+///
+/// Path-level saves write the **v3 flat format** (the mmap-servable
+/// section container of [`v3`] / `islabel-store`); the stream-level
+/// [`save_index`] still writes the v2 stream, and [`save_index_v2_to_path`]
+/// exists for explicit down-conversion. Loading auto-detects either.
 pub fn save_index_to_path(
     index: &IsLabelIndex,
     path: impl AsRef<std::path::Path>,
@@ -436,10 +444,60 @@ pub fn save_index_to_path(
     atomic_save(index, path.as_ref())
 }
 
-/// Loads from a file path.
+/// Saves the legacy v2 stream format to a file path (atomic like
+/// [`save_index_to_path`]). For interoperability with pre-v3 readers and
+/// the CLI's `convert --to v2`.
+pub fn save_index_v2_to_path(
+    index: &IsLabelIndex,
+    path: impl AsRef<std::path::Path>,
+) -> io::Result<()> {
+    atomic_save_with(path.as_ref(), |mut w| {
+        save_index_body(index, &mut w)?;
+        w.into_inner().map_err(|e| e.into_error())
+    })
+}
+
+/// Loads from a file path, auto-detecting the artifact version from the
+/// shared `"ISLX" + version` prefix: v3 goes through the flat-section
+/// reader (fully validated, then materialized on the heap), v1/v2 through
+/// the stream loader.
 pub fn load_index_from_path(path: impl AsRef<std::path::Path>) -> io::Result<IsLabelIndex> {
+    let path = path.as_ref();
     let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    let mut head = [0u8; 8];
+    let is_v3 = match f.read_exact(&mut head) {
+        Ok(()) => {
+            &head[..4] == MAGIC
+                && u32::from_le_bytes([head[4], head[5], head[6], head[7]]) == VERSION_V3
+        }
+        // Too short for any version; let the stream loader report it.
+        Err(_) => false,
+    };
+    if is_v3 {
+        drop(f);
+        let reader = islabel_store::StoreReader::open(path)?;
+        return v3::read_index(&reader);
+    }
+    io::Seek::seek(&mut f, io::SeekFrom::Start(0))?;
     load_index(&mut f)
+}
+
+/// Loads the artifact at `path` as a serving oracle, preferring the
+/// zero-copy engine: a pristine v3 artifact is memory-mapped and served
+/// in place ([`crate::MmapIndex`]); anything else — a v2 artifact, a v3
+/// artifact with sealed dynamic updates, or a platform where mapping
+/// fails — falls back to the fully materialized heap engine. Both engines
+/// are bit-identical on queries, so callers only observe the difference
+/// in [`DistanceOracle::engine_name`](crate::DistanceOracle::engine_name)
+/// and load time.
+pub fn try_load_oracle_from_path(
+    path: impl AsRef<std::path::Path>,
+) -> Result<crate::SharedOracle, crate::Error> {
+    let path = path.as_ref();
+    if let Ok(mapped) = crate::MmapIndex::open(path) {
+        return Ok(std::sync::Arc::new(mapped));
+    }
+    Ok(std::sync::Arc::new(try_load_index_from_path(path)?))
 }
 
 /// Fully typed save to a file path: I/O failures surface as
@@ -455,6 +513,20 @@ pub fn try_save_index_to_path(
 }
 
 fn atomic_save(index: &IsLabelIndex, path: &Path) -> io::Result<()> {
+    atomic_save_with(path, |w| {
+        let w = v3::write_index(index, w)?;
+        w.into_inner().map_err(|e| e.into_error())
+    })
+}
+
+/// The temp-file-fsync-rename-fsync-dir dance, generalized over the body
+/// writer so the v2 stream and the v3 flat format share one durability
+/// path. `write` receives the buffered temp file and must hand back the
+/// inner [`File`](std::fs::File) for the pre-rename `sync_all`.
+fn atomic_save_with(
+    path: &Path,
+    write: impl FnOnce(io::BufWriter<std::fs::File>) -> io::Result<std::fs::File>,
+) -> io::Result<()> {
     let mut tmp_name = path
         .file_name()
         .map(|n| n.to_os_string())
@@ -462,9 +534,8 @@ fn atomic_save(index: &IsLabelIndex, path: &Path) -> io::Result<()> {
     tmp_name.push(format!(".tmp-{}", std::process::id()));
     let tmp = path.with_file_name(tmp_name);
     let written = (|| {
-        let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
-        save_index_body(index, &mut w)?;
-        let f = w.into_inner().map_err(|e| e.into_error())?;
+        let w = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        let f = write(w)?;
         f.sync_all()
     })();
     if let Err(e) = written {

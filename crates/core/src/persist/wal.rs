@@ -62,37 +62,10 @@ const KIND_INSERT_VERTEX: u8 = 1;
 const KIND_INSERT_EDGE: u8 = 2;
 const KIND_DELETE_VERTEX: u8 = 3;
 
-/// IEEE CRC-32 lookup table, generated at compile time.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0usize;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 == 1 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        // lint:allow(panic, const-eval index bounded by the `i < 256` loop — an overrun is a compile error, not a runtime panic)
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-/// IEEE CRC-32 of `data` (the checksum stored in every WAL record).
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        // lint:allow(panic, index is masked with 0xFF and the table has 256 entries)
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+/// IEEE CRC-32 of `data` (the checksum stored in every WAL record). The
+/// one implementation lives in `islabel-store` — the same function
+/// checksums v3 artifact sections, so the two formats cannot drift.
+pub use islabel_store::format::crc32;
 
 /// Serializes one op as a WAL record payload (kind byte + body), appending
 /// to `out`. The inverse of [`decode_op`].

@@ -11,12 +11,18 @@
 //! Each adjacency entry also carries the augmenting-edge `via` annotation
 //! (Section 8.1) so that the external build produces the same path metadata
 //! as the in-memory build.
+//!
+//! The `(neighbor, weight, via)` triple layout is shared with the peel
+//! adjacency and via sections of the persistent v3 artifact —
+//! [`islabel_store::format`] (`crates/store`) is the single source of
+//! truth for these at-rest record sizes.
 
 use crate::extsort::{ExtRecord, RecordReader, RecordWriter};
 use crate::storage::Storage;
 use bytes::{Buf, BufMut};
 use islabel_graph::adjacency::NO_VIA;
 use islabel_graph::{CsrGraph, VertexId, Weight};
+use islabel_store::format::EDGE_TRIPLE_BYTES;
 use std::io::{self, Read};
 
 /// One vertex's adjacency list.
@@ -65,7 +71,7 @@ impl ExtRecord for AdjRecord {
     }
 
     fn approx_size(&self) -> usize {
-        8 + self.edges.len() * 12 + 24
+        8 + self.edges.len() * EDGE_TRIPLE_BYTES + 24
     }
 }
 

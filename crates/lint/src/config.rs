@@ -37,12 +37,19 @@ pub struct LintConfig {
     pub ordering_paths: Vec<String>,
     /// Crate-root files that must carry `#![forbid(unsafe_code)]`.
     pub forbid_unsafe_roots: Vec<String>,
+    /// The only files allowed to contain `unsafe` at all (the workspace's
+    /// declared unsafe zone); an `unsafe` token anywhere else is a
+    /// finding even when it carries a `// SAFETY:` comment.
+    pub unsafe_allowed_files: Vec<String>,
     /// The checked-in registry file (workspace-relative).
     pub registry_path: String,
     /// The protocol source the registry is extracted from.
     pub protocol_path: String,
     /// The WAL source the registry's record kinds are extracted from.
     pub wal_path: String,
+    /// The store format source the registry's artifact version and
+    /// section kinds are extracted from (empty = store diff disabled).
+    pub store_path: String,
 }
 
 impl LintConfig {
@@ -87,12 +94,16 @@ impl LintConfig {
             if let Some(v) = t.get("forbid_crate_roots") {
                 cfg.forbid_unsafe_roots = v.str_items();
             }
+            if let Some(v) = t.get("allowed_files") {
+                cfg.unsafe_allowed_files = v.str_items();
+            }
         }
         if let Some(t) = doc.table("wire_registry") {
             for (key, slot) in [
                 ("registry", &mut cfg.registry_path),
                 ("protocol", &mut cfg.protocol_path),
                 ("wal", &mut cfg.wal_path),
+                ("store", &mut cfg.store_path),
             ] {
                 if let Some(v) = t.get(key).and_then(|v| v.as_str()) {
                     *slot = v.to_string();

@@ -90,6 +90,7 @@ pub fn run(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, String> {
         .iter()
         .chain(cfg.alloc_free.iter().map(|z| &z.path))
         .chain(cfg.forbid_unsafe_roots.iter())
+        .chain(cfg.unsafe_allowed_files.iter())
     {
         if !files.iter().any(|f| f == zoned) {
             findings.push(Finding {
@@ -135,9 +136,14 @@ pub fn check_file(rel: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
     }
     // Unsafe hygiene is workspace-wide: any unsafe block anywhere needs a
     // SAFETY contract (the workspace denies unsafe_code by default, so
-    // the few sites that opt in are exactly the ones worth documenting).
+    // the few sites that opt in are exactly the ones worth documenting),
+    // and outside the declared unsafe zone `unsafe` is not allowed at all
+    // even with one — confinement is what keeps the zone auditable.
     active.push("unsafe");
     rules::rule_unsafe(&ctx, &mut findings);
+    if !cfg.unsafe_allowed_files.is_empty() && !cfg.unsafe_allowed_files.iter().any(|p| p == rel) {
+        rules::rule_unsafe_confined(&ctx, &mut findings);
+    }
     if cfg.forbid_unsafe_roots.iter().any(|p| p == rel) {
         rules::check_forbid_unsafe(&ctx, &mut findings);
     }
@@ -160,6 +166,10 @@ pub fn registry_findings(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, 
     let reg_src = read(&cfg.registry_path)?;
     let mut extracted = registry::extract_protocol(&proto_src);
     registry::extract_wal(&wal_src, &mut extracted);
+    if !cfg.store_path.is_empty() {
+        let store_src = read(&cfg.store_path)?;
+        registry::extract_store(&store_src, &mut extracted);
+    }
     let reg =
         registry::Registry::parse(&reg_src).map_err(|e| format!("{}: {e}", cfg.registry_path))?;
     Ok(registry::diff(
@@ -167,6 +177,7 @@ pub fn registry_findings(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, 
         &reg,
         &cfg.protocol_path,
         &cfg.wal_path,
+        &cfg.store_path,
         &cfg.registry_path,
     ))
 }

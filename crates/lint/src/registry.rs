@@ -4,10 +4,12 @@
 //!
 //! Extraction is token-based, not regex-based: opcodes are the `const`s
 //! inside `mod opcode`, error codes are the match arms of
-//! `WireError::code()`, the protocol version is the `VERSION` const, and
-//! the WAL side contributes its `KIND_*` record kinds and `WAL_VERSION`.
-//! Renumbering any of them (or adding one without registering it) is a
-//! lint failure with both values in the message.
+//! `WireError::code()`, the protocol version is the `VERSION` const, the
+//! WAL side contributes its `KIND_*` record kinds and `WAL_VERSION`, and
+//! the store format contributes its `SECTION_*` kinds and
+//! `FORMAT_VERSION` (the at-rest artifact is a compatibility surface just
+//! like the wire). Renumbering any of them (or adding one without
+//! registering it) is a lint failure with both values in the message.
 
 use crate::lexer::{Lexed, Tok, TokKind};
 use crate::rules::Finding;
@@ -39,6 +41,11 @@ pub struct Extracted {
     pub wal_kinds: Vec<WireConst>,
     /// `WAL_VERSION` constant.
     pub wal_version: Option<WireConst>,
+    /// Store-format `SECTION_*` constants (kinds plus the frozen
+    /// alignment/max layout constants sharing the prefix).
+    pub store_sections: Vec<WireConst>,
+    /// Store `FORMAT_VERSION` constant.
+    pub store_version: Option<WireConst>,
 }
 
 fn parse_num(tok: &Tok) -> Option<i64> {
@@ -196,6 +203,25 @@ fn extract_wal_lexed(lexed: &Lexed, into: &mut Extracted) {
     }
 }
 
+/// Extracts the store-format section kinds and artifact format version.
+pub fn extract_store(src: &str, into: &mut Extracted) {
+    let lexed = crate::lexer::lex(src);
+    let toks = &lexed.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some((c, next)) = parse_const(toks, i) {
+            if c.name.starts_with("SECTION_") {
+                into.store_sections.push(c);
+            } else if c.name == "FORMAT_VERSION" {
+                into.store_version = Some(c);
+            }
+            i = next;
+        } else {
+            i += 1;
+        }
+    }
+}
+
 /// Parses the checked-in registry file into name → value maps.
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -209,6 +235,10 @@ pub struct Registry {
     pub wal_kinds: BTreeMap<String, i64>,
     /// `[wal] version`.
     pub wal_version: Option<i64>,
+    /// `[store_section_kinds]` section.
+    pub store_sections: BTreeMap<String, i64>,
+    /// `[store] version`.
+    pub store_version: Option<i64>,
 }
 
 impl Registry {
@@ -230,6 +260,13 @@ impl Registry {
         if let Some(t) = doc.table("wal_record_kinds") {
             reg.wal_kinds = int_map(t);
         }
+        if let Some(t) = doc.table("store_section_kinds") {
+            reg.store_sections = int_map(t);
+        }
+        reg.store_version = doc
+            .table("store")
+            .and_then(|t| t.get("version"))
+            .and_then(|v| v.as_int());
         reg.protocol_version = doc
             .table("protocol")
             .and_then(|t| t.get("version"))
@@ -294,12 +331,14 @@ fn diff_group(
 }
 
 /// Runs the full registry diff; findings are empty when code and registry
-/// agree exactly.
+/// agree exactly. The store group is skipped when `store_file` is empty
+/// (a workspace without a declared store format source).
 pub fn diff(
     extracted: &Extracted,
     registry: &Registry,
     protocol_file: &str,
     wal_file: &str,
+    store_file: &str,
     registry_file: &str,
 ) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -347,7 +386,28 @@ pub fn diff(
         registry_file,
         &mut out,
     );
-    for (what, code_v, reg_v, file) in [
+    if !store_file.is_empty() {
+        if extracted.store_sections.is_empty() {
+            out.push(Finding {
+                file: store_file.to_string(),
+                line: 1,
+                rule: "wire-registry".into(),
+                message: "no SECTION_* constants extracted from the store format source — \
+                          extraction is broken or the constants moved; update \
+                          crates/lint/src/registry.rs"
+                    .into(),
+            });
+        }
+        diff_group(
+            "store-section",
+            &extracted.store_sections,
+            &registry.store_sections,
+            store_file,
+            registry_file,
+            &mut out,
+        );
+    }
+    let mut versions = vec![
         (
             "protocol version",
             extracted.protocol_version.as_ref(),
@@ -360,7 +420,16 @@ pub fn diff(
             registry.wal_version,
             wal_file,
         ),
-    ] {
+    ];
+    if !store_file.is_empty() {
+        versions.push((
+            "store artifact format version",
+            extracted.store_version.as_ref(),
+            registry.store_version,
+            store_file,
+        ));
+    }
+    for (what, code_v, reg_v, file) in versions {
         match (code_v, reg_v) {
             (Some(c), Some(r)) if c.value != r => out.push(Finding {
                 file: file.to_string(),
@@ -419,9 +488,16 @@ const KIND_INSERT_VERTEX: u8 = 1;
 const KIND_INSERT_EDGE: u8 = 2;
 ";
 
+    const STORE: &str = "
+pub const FORMAT_VERSION: u32 = 3;
+pub const SECTION_GRAPH: u32 = 1;
+pub const SECTION_LEVELS: u32 = 2;
+";
+
     fn extract_both() -> Extracted {
         let mut e = extract_protocol(PROTO);
         extract_wal(WAL, &mut e);
+        extract_store(STORE, &mut e);
         e
     }
 
@@ -445,6 +521,14 @@ const KIND_INSERT_EDGE: u8 = 2;
         assert_eq!(e.protocol_version.as_ref().unwrap().value, 1);
         assert_eq!(e.wal_version.as_ref().unwrap().value, 1);
         assert_eq!(e.wal_kinds.len(), 2);
+        assert_eq!(e.store_version.as_ref().unwrap().value, 3);
+        assert_eq!(
+            e.store_sections
+                .iter()
+                .map(|c| (c.name.as_str(), c.value))
+                .collect::<Vec<_>>(),
+            vec![("SECTION_GRAPH", 1), ("SECTION_LEVELS", 2)]
+        );
     }
 
     const REG: &str = "
@@ -461,21 +545,52 @@ version = 1
 [wal_record_kinds]
 KIND_INSERT_VERTEX = 1
 KIND_INSERT_EDGE = 2
+[store]
+version = 3
+[store_section_kinds]
+SECTION_GRAPH = 1
+SECTION_LEVELS = 2
 ";
 
     #[test]
     fn agreement_is_clean() {
         let e = extract_both();
         let r = Registry::parse(REG).unwrap();
-        let d = diff(&e, &r, "p.rs", "w.rs", "reg.toml");
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn store_group_is_skipped_without_a_store_file() {
+        let mut e = extract_protocol(PROTO);
+        extract_wal(WAL, &mut e);
+        let r = Registry::parse(REG).unwrap();
+        // No store constants extracted, but the registry lists them: that
+        // is only a finding when a store source is declared.
+        assert!(diff(&e, &r, "p.rs", "w.rs", "", "reg.toml").is_empty());
+        assert!(!diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml").is_empty());
+    }
+
+    #[test]
+    fn store_renumbering_is_caught() {
+        let e = extract_both();
+        let r = Registry::parse(&REG.replace("SECTION_LEVELS = 2", "SECTION_LEVELS = 7")).unwrap();
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("SECTION_LEVELS"));
+        assert!(d[0].message.contains('2') && d[0].message.contains('7'));
+
+        let r = Registry::parse(&REG.replace("version = 3", "version = 4")).unwrap();
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("store artifact format version"));
     }
 
     #[test]
     fn renumbering_is_caught_with_both_values() {
         let e = extract_both();
         let r = Registry::parse(&REG.replace("QUERY = 0x02", "QUERY = 0x09")).unwrap();
-        let d = diff(&e, &r, "p.rs", "w.rs", "reg.toml");
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("QUERY"));
         assert!(d[0].message.contains('2') && d[0].message.contains('9'));
@@ -485,12 +600,12 @@ KIND_INSERT_EDGE = 2
     fn unregistered_and_dropped_constants_are_caught() {
         let e = extract_both();
         let r = Registry::parse(&REG.replace("PING = 0x01\n", "")).unwrap();
-        let d = diff(&e, &r, "p.rs", "w.rs", "reg.toml");
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("not registered"));
 
         let r = Registry::parse(&REG.replace("[error_codes]", "[error_codes]\nGone = 9")).unwrap();
-        let d = diff(&e, &r, "p.rs", "w.rs", "reg.toml");
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("no longer exists"));
     }

@@ -558,6 +558,25 @@ pub fn rule_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
+/// Rule `unsafe` (confinement): `unsafe` may only appear in the files
+/// lint.toml declares as the unsafe zone (`[unsafe] allowed_files`). In
+/// every other file a `// SAFETY:` comment does not help — the fix is to
+/// move the code into the zone or extend the zone deliberately.
+pub fn rule_unsafe_confined(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    for t in &ctx.lexed.toks {
+        if t.is_ident("unsafe") {
+            ctx.push(
+                out,
+                "unsafe",
+                t.line,
+                "`unsafe` outside the declared unsafe zone ([unsafe] allowed_files in \
+                 lint.toml); move the code into the zone or extend the zone deliberately"
+                    .to_string(),
+            );
+        }
+    }
+}
+
 /// Checks that a crate-root file opens with `#![forbid(unsafe_code)]`.
 pub fn check_forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
     let toks = &ctx.lexed.toks;

@@ -149,14 +149,17 @@ fn registry_drift_reports_exactly_the_mutated_constant() {
     assert_ne!(mutated, reg_src, "fixture assumption: StaleIndex = 2");
     let proto = std::fs::read_to_string(root.join(&cfg.protocol_path)).expect("protocol reads");
     let wal = std::fs::read_to_string(root.join(&cfg.wal_path)).expect("wal reads");
+    let store = std::fs::read_to_string(root.join(&cfg.store_path)).expect("store format reads");
     let mut extracted = registry::extract_protocol(&proto);
     registry::extract_wal(&wal, &mut extracted);
+    registry::extract_store(&store, &mut extracted);
     let reg = registry::Registry::parse(&mutated).expect("mutated registry parses");
     let findings = registry::diff(
         &extracted,
         &reg,
         &cfg.protocol_path,
         &cfg.wal_path,
+        &cfg.store_path,
         &cfg.registry_path,
     );
     assert_eq!(findings.len(), 1, "{findings:?}");

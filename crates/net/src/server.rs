@@ -39,7 +39,7 @@
 use crate::protocol::{
     self, FrameReadError, Request, Response, WireError, WireStats, HELLO_LEN, MAX_TOKEN_LEN,
 };
-use islabel_core::persist::try_load_index_from_path;
+use islabel_core::persist::try_load_oracle_from_path;
 use islabel_core::snapshot::{OracleHandle, SharedOracle, Snapshot};
 use islabel_serve::{AtomicLatencyHistogram, LatencyHistogram, RebuildCoordinator};
 use std::collections::VecDeque;
@@ -298,13 +298,27 @@ impl DistanceServer {
         addr: impl ToSocketAddrs,
         config: NetConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_with_coordinator(handle, addr, config, None)
+    }
+
+    /// [`bind`](Self::bind) with the compaction coordinator wired up
+    /// *before* the acceptor thread starts, so a `Compact` request racing
+    /// server startup can never observe the unconfigured state (a
+    /// [`set_coordinator`](Self::set_coordinator) after `bind` leaves that
+    /// window open).
+    pub fn bind_with_coordinator(
+        handle: Arc<OracleHandle>,
+        addr: impl ToSocketAddrs,
+        config: NetConfig,
+        coordinator: Option<Arc<RebuildCoordinator>>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
             handle,
             config,
             counters: NetCounters::new(),
-            coordinator: Mutex::new(None),
+            coordinator: Mutex::new(coordinator),
             shutting_down: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
@@ -748,14 +762,16 @@ fn serve_frames(
                             message: "admin reload disabled by server config".into(),
                         })
                     } else {
-                        match try_load_index_from_path(&path) {
-                            Ok(index) => {
-                                let num_vertices =
-                                    islabel_core::DistanceOracle::num_vertices(&index) as u64;
+                        // Mmap-preferred: a pristine v3 artifact is served
+                        // zero-copy off the mapped file, anything else
+                        // (v2, sealed updates) loads onto the heap.
+                        match try_load_oracle_from_path(&path) {
+                            Ok(oracle) => {
+                                let num_vertices = oracle.num_vertices() as u64;
                                 // The retired snapshot pins which swap was
                                 // ours; re-reading handle.version() would
                                 // race a concurrent admin's swap.
-                                let retired = shared.handle.swap_oracle(index);
+                                let retired = shared.handle.swap(oracle);
                                 Response::Reloaded {
                                     version: retired.version() + 1,
                                     num_vertices,

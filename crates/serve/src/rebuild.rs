@@ -12,9 +12,13 @@
 //!    keep flowing against the old snapshot throughout.
 //! 2. **Durability point** — persist the rebuilt artifact atomically
 //!    (temp file + rename) *before* anything else changes.
-//! 3. **Swap** — publish the rebuilt index through the shared
-//!    [`OracleHandle`]; in-flight queries finish on the snapshot they
-//!    started on.
+//! 3. **Swap** — publish through the shared [`OracleHandle`]; in-flight
+//!    queries finish on the snapshot they started on. The published
+//!    oracle is the *memory-mapped* view of the just-saved v3 artifact
+//!    ([`islabel_core::MmapIndex`]) — the rebuild's heap index is
+//!    dropped and the server serves zero-copy off the artifact it owns
+//!    on disk; if mapping fails for any reason the heap index is
+//!    published instead, so compaction never fails on the swap.
 //! 4. **WAL reset** — only now truncate the log, rewriting it with the
 //!    rebuilt artifact's fresh epoch.
 //!
@@ -36,7 +40,7 @@
 
 use islabel_core::persist::{load_index_with_wal, try_save_index_to_path, wal::WalWriter};
 use islabel_core::snapshot::OracleHandle;
-use islabel_core::{BuildConfig, IsLabelIndex, DEFAULT_WAL_SYNC_EVERY};
+use islabel_core::{BuildConfig, IsLabelIndex, MmapIndex, SharedOracle, DEFAULT_WAL_SYNC_EVERY};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -148,7 +152,17 @@ impl RebuildCoordinator {
                 // (atomically) before the swap and before the log is
                 // touched.
                 try_save_index_to_path(&rebuilt, &index_path).map_err(|e| e.to_string())?;
-                let snapshot = handle.swap(Arc::new(rebuilt));
+                // Serve zero-copy off the artifact just persisted: map it
+                // and drop the rebuild's heap copy. The verified open
+                // recomputes every section checksum, so a corrupt write
+                // can never be published. Any failure falls back to the
+                // heap index — both engines answer identically, so this
+                // choice is unobservable to queries.
+                let published: SharedOracle = match MmapIndex::open_verified(&index_path) {
+                    Ok(mapped) => Arc::new(mapped),
+                    Err(_) => Arc::new(rebuilt),
+                };
+                let snapshot = handle.swap(published);
                 drop(snapshot); // retire the old snapshot's pin immediately
                                 // Only now reset the log, onto the new artifact's epoch. A
                                 // crash before this point leaves a stale-epoch WAL the next

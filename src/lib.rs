@@ -16,6 +16,9 @@
 //! * [`net`] — the network boundary: a binary wire protocol, a pipelining
 //!   TCP [`DistanceServer`], and a blocking [`DistanceClient`] /
 //!   [`ClientPool`].
+//! * [`store`] — the on-disk v3 `.islx` artifact: flat sectioned format,
+//!   streaming writer, and the validating zero-copy mapped reader that
+//!   [`MmapIndex`] serves from.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -56,11 +59,12 @@ pub use islabel_extmem as extmem;
 pub use islabel_graph as graph;
 pub use islabel_net as net;
 pub use islabel_serve as serve;
+pub use islabel_store as store;
 
 pub use islabel_baselines::{build_oracle, BiDijkstraOracle, Engine};
 pub use islabel_core::{
-    BatchOptions, BuildConfig, DiIsLabelIndex, DistanceOracle, Error, IsLabelIndex, OracleHandle,
-    QueryError, QuerySession, SharedOracle, Snapshot,
+    BatchOptions, BuildConfig, DiIsLabelIndex, DistanceOracle, Error, IsLabelIndex, MmapIndex,
+    OracleHandle, QueryError, QuerySession, SharedOracle, Snapshot,
 };
 pub use islabel_graph::{
     CsrDigraph, CsrGraph, Dataset, DigraphBuilder, Dist, GraphBuilder, Scale, VertexId, Weight, INF,
@@ -75,7 +79,7 @@ pub mod prelude {
     pub use islabel_baselines::{build_oracle, BiDijkstraOracle, Engine};
     pub use islabel_baselines::{PllIndex, VcConfig, VcIndex};
     pub use islabel_core::{
-        BatchOptions, BuildConfig, DiIsLabelIndex, DistanceOracle, Error, IsLabelIndex,
+        BatchOptions, BuildConfig, DiIsLabelIndex, DistanceOracle, Error, IsLabelIndex, MmapIndex,
         OracleHandle, QueryError, QuerySession, SharedOracle, Snapshot,
     };
     pub use islabel_graph::{

@@ -237,8 +237,8 @@ fn wire_reload_swaps_while_in_flight_queries_finish_on_their_generation() {
     let stats = admin.stats().unwrap();
     assert_eq!(stats.snapshot_version, 1);
     assert_eq!(
-        stats.engine, "islabel",
-        "reloaded artifact is an IS-LABEL index"
+        stats.engine, "islabel-mmap",
+        "a reloaded pristine v3 artifact is served zero-copy off the mapped file"
     );
 
     server.shutdown();

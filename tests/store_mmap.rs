@@ -1,0 +1,255 @@
+//! Integration suite for the v3 mmap store: the zero-copy engine must be
+//! bit-identical to the heap engine on pristine artifacts, and opening
+//! hostile bytes — mutated headers, truncations, random flips — must
+//! yield typed errors or semantically-valid successes, never a panic.
+
+use islabel::core::persist::{
+    compact_index_with_wal, load_index_from_path, load_index_with_wal, save_index_to_path,
+    save_index_v2_to_path, try_load_oracle_from_path,
+};
+use islabel::core::{BuildConfig, IsLabelIndex, MmapIndex};
+use islabel::graph::generators::{barabasi_albert, erdos_renyi_gnm, grid2d, WeightModel};
+use islabel::store::format::{DATA_START, SECTION_LABEL_DISTS};
+use islabel::store::StoreReader;
+use islabel::DistanceOracle;
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("islabel-smm-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deterministic query pairs spread over the vertex universe.
+fn pairs(n: usize, count: u32) -> impl Iterator<Item = (u32, u32)> {
+    let n = n as u32;
+    (0..count).map(move |i| ((i * 97 + 3) % n, (i * 131 + 50) % n))
+}
+
+/// A small pristine artifact reused by every corruption test.
+fn sample_artifact() -> (IsLabelIndex, Vec<u8>) {
+    let g = barabasi_albert(300, 3, WeightModel::UniformRange(1, 9), 7);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let dir = tempdir("sample");
+    let path = dir.join("sample.islx");
+    save_index_to_path(&index, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    (index, bytes)
+}
+
+#[test]
+fn mmap_is_bit_identical_to_heap_across_graphs_and_configs() {
+    let graphs = [
+        (
+            "ba",
+            barabasi_albert(600, 3, WeightModel::UniformRange(1, 10), 11),
+        ),
+        (
+            "er",
+            erdos_renyi_gnm(500, 1500, WeightModel::UniformRange(1, 6), 12),
+        ),
+        ("grid", grid2d(20, 25, WeightModel::Unit, 13)),
+    ];
+    let configs = [
+        ("default", BuildConfig::default()),
+        ("fixed-k", BuildConfig::fixed_k(3)),
+        (
+            "no-paths",
+            BuildConfig {
+                keep_path_info: false,
+                ..BuildConfig::default()
+            },
+        ),
+    ];
+    let dir = tempdir("crosscheck");
+    for (gname, g) in &graphs {
+        for (cname, config) in &configs {
+            let heap = IsLabelIndex::build(g, *config);
+            let path = dir.join(format!("{gname}-{cname}.islx"));
+            save_index_to_path(&heap, &path).unwrap();
+            let mapped = MmapIndex::open_verified(&path).unwrap();
+            assert_eq!(mapped.engine_name(), "islabel-mmap");
+            assert_eq!(mapped.num_vertices(), heap.num_vertices());
+            // The heap reload of the same v3 bytes is the third witness.
+            let reloaded = load_index_from_path(&path).unwrap();
+            let mut ms = mapped.session();
+            let mut hs = heap.session();
+            let mut rs = reloaded.session();
+            for (s, t) in pairs(g.num_vertices(), 400) {
+                let want = hs.distance(s, t);
+                assert_eq!(ms.distance(s, t), want, "{gname}/{cname} mmap {s}->{t}");
+                assert_eq!(rs.distance(s, t), want, "{gname}/{cname} reload {s}->{t}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_header_and_table_byte_mutation_is_contained() {
+    let (index, good) = sample_artifact();
+    let mut heap = index.session();
+    // Exhaustive over the header + section table: every byte, one flip.
+    // Outcomes are a typed error or a semantically identical artifact
+    // (flips in reserved/padding bytes are invisible) — never a panic,
+    // never a different answer.
+    let mut accepted = 0usize;
+    for at in 0..DATA_START {
+        let mut bad = good.clone();
+        bad[at] ^= 0x5A;
+        match MmapIndex::from_bytes(bad) {
+            Err(_) => {}
+            Ok(m) => {
+                accepted += 1;
+                let mut s = m.session();
+                for (a, b) in pairs(index.num_vertices(), 20) {
+                    assert_eq!(s.distance(a, b), heap.distance(a, b), "byte {at}");
+                }
+            }
+        }
+    }
+    // The load-bearing bytes must actually reject: a mutation budget far
+    // below the region size proves the checks have teeth.
+    assert!(
+        accepted < DATA_START / 4,
+        "{accepted} of {DATA_START} header mutations went undetected"
+    );
+}
+
+#[test]
+fn truncation_at_any_length_is_a_typed_error() {
+    let (_, good) = sample_artifact();
+    let mut lengths: Vec<usize> = vec![0, 1, 39, 40, 63, 64, 71, 72, DATA_START - 1, DATA_START];
+    lengths.extend((1..=36).map(|i| good.len() * i / 37));
+    lengths.push(good.len() - 1);
+    for len in lengths {
+        let err = MmapIndex::from_bytes(good[..len].to_vec())
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} bytes accepted"));
+        let _ = err.to_string(); // typed + printable, not a panic
+    }
+}
+
+#[test]
+fn random_corruption_never_panics_verified_or_not() {
+    let (index, good) = sample_artifact();
+    let dir = tempdir("fuzz");
+    let path = dir.join("fuzzed.islx");
+    let mut heap = index.session();
+    // xorshift64*: deterministic, no external crates.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut rng = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    for _ in 0..300 {
+        let mut bad = good.clone();
+        let at = (rng() as usize) % bad.len();
+        let bit = 1u8 << (rng() % 8);
+        bad[at] ^= bit;
+        // Verified path (in-memory image): a content flip is caught by
+        // the section checksum; survivors must answer identically.
+        match MmapIndex::from_bytes(bad.clone()) {
+            Err(_) => {}
+            Ok(m) => {
+                let mut s = m.session();
+                for (a, b) in pairs(index.num_vertices(), 5) {
+                    assert_eq!(s.distance(a, b), heap.distance(a, b), "byte {at} bit {bit}");
+                }
+            }
+        }
+        // Serving path (structural + semantic validation only): may
+        // accept a flip in payload values, but every query must still
+        // return — the semantic scan is what makes that sound.
+        std::fs::write(&path, &bad).unwrap();
+        if let Ok(m) = MmapIndex::open(&path) {
+            let mut s = m.session();
+            for (a, b) in pairs(index.num_vertices(), 5) {
+                let _ = s.distance(a, b);
+            }
+        }
+    }
+}
+
+#[test]
+fn open_verified_catches_payload_corruption_that_open_tolerates() {
+    let (_, good) = sample_artifact();
+    let dir = tempdir("verify");
+    let path = dir.join("flip.islx");
+    // Locate the label-distances payload and nudge one value upward: the
+    // result is structurally and semantically a valid artifact — only the
+    // checksum knows.
+    let r = StoreReader::from_bytes(good.clone()).unwrap();
+    let sec = r.header().section(SECTION_LABEL_DISTS).unwrap();
+    let at = sec.offset as usize; // low byte of the first distance
+    drop(r);
+    let mut bad = good.clone();
+    bad[at] = bad[at].wrapping_add(1);
+    std::fs::write(&path, &bad).unwrap();
+    assert!(
+        MmapIndex::open_verified(&path).is_err(),
+        "checksum verification must flag the payload flip"
+    );
+    std::fs::write(&path, &good).unwrap();
+    MmapIndex::open_verified(&path).unwrap();
+}
+
+#[test]
+fn oracle_loader_prefers_mmap_for_v3_and_falls_back_for_v2() {
+    let g = grid2d(12, 12, WeightModel::UniformRange(1, 4), 5);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let dir = tempdir("loader");
+    let v3 = dir.join("index.islx");
+    let v2 = dir.join("index-v2.islx");
+    save_index_to_path(&index, &v3).unwrap();
+    save_index_v2_to_path(&index, &v2).unwrap();
+    assert_eq!(
+        try_load_oracle_from_path(&v3).unwrap().engine_name(),
+        "islabel-mmap"
+    );
+    assert_eq!(
+        try_load_oracle_from_path(&v2).unwrap().engine_name(),
+        "islabel"
+    );
+}
+
+#[test]
+fn compact_returns_serving_to_the_mmap_engine() {
+    let g = barabasi_albert(250, 3, WeightModel::UniformRange(1, 8), 21);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let dir = tempdir("compact");
+    let ipath = dir.join("index.islx");
+    let wpath = dir.join("index.wal");
+    save_index_to_path(&index, &ipath).unwrap();
+
+    // Pristine artifact: mmap serves.
+    assert_eq!(
+        try_load_oracle_from_path(&ipath).unwrap().engine_name(),
+        "islabel-mmap"
+    );
+
+    // Stream durable updates; the sealed artifact now needs the heap.
+    let (mut live, _) = load_index_with_wal(&ipath, &wpath).unwrap();
+    for i in 0..20u32 {
+        live.try_insert_edge(i, (i * 3 + 40) % 250, 2).unwrap();
+    }
+    save_index_to_path(&live, &ipath).unwrap(); // seals the pending ops
+    drop(live);
+    assert_eq!(
+        try_load_oracle_from_path(&ipath).unwrap().engine_name(),
+        "islabel"
+    );
+
+    // Compaction folds the ops into a fresh pristine artifact: mmap again,
+    // and the answers match a from-scratch heap rebuild of the same graph.
+    let info = compact_index_with_wal(&ipath, &wpath).unwrap();
+    assert_eq!(info.folded_ops, 20);
+    let oracle = try_load_oracle_from_path(&ipath).unwrap();
+    assert_eq!(oracle.engine_name(), "islabel-mmap");
+    let reference = load_index_from_path(&ipath).unwrap();
+    let mut os = oracle.session();
+    let mut rs = reference.session();
+    for (s, t) in pairs(250, 200) {
+        assert_eq!(os.distance(s, t), rs.distance(s, t));
+    }
+}
