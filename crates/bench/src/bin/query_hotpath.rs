@@ -1,8 +1,10 @@
-//! The query hot-path benchmark behind `BENCH_PR4.json`: per-engine build
+//! The query hot-path benchmark behind `BENCH_PR9.json`: per-engine build
 //! time, p50/p99 query latency, throughput and settled counts on ER / BA /
-//! grid graphs, plus the two PR-4 before/after comparisons — the dense
-//! compact-id kernel vs the hashmap kernel on single-thread throughput, and
-//! parallel vs single-thread `LabelSet::build` wall-clock.
+//! grid graphs — the IS-LABEL engine measured once per supported kernel
+//! tier — plus four before/after comparisons: the dispatched SIMD
+//! intersection vs the scalar adaptive kernel, interleaved vs split
+//! `DenseCsr` adjacency layout, the dense compact-id kernel vs the hashmap
+//! kernel (PR 4), and parallel vs single-thread `LabelSet::build` (PR 4).
 //!
 //! ```text
 //! query_hotpath [--smoke] [--out PATH]
@@ -18,20 +20,39 @@
 //! topologies (≈ 90 s and 200 MB of labels already at n = 20 000), so
 //! graphs above the cap report the other four engines and skip PLL.
 //!
-//! Schema (`islabel-bench-pr4/v1`) — see README § Performance:
+//! Schema (`islabel-bench-pr9/v1`) — see README § Performance:
 //! `graphs[].engines[]` carries `build_ms`, `queries`, `p50_us`, `p99_us`,
 //! `qps`, `settled_total` (null for engines without a settle counter);
-//! `kernel_comparison` and `label_build` carry the two speedup claims.
+//! IS-LABEL appears once auto-dispatched (`islabel`) and once per
+//! supported tier (`islabel:scalar`, `islabel:sse2`, ...). The
+//! `intersect` section carries per-tier label-intersection throughput and
+//! the SIMD-vs-scalar speedup claim; `layout` the interleaved-vs-split
+//! adjacency claim; `kernel_comparison` and `label_build` the PR-4
+//! claims. Every comparison interleaves its contestants over three
+//! rounds and keeps each one's best run.
 
 use islabel_baselines::{BiDijkstra, PllIndex, VcConfig, VcIndex};
+use islabel_core::dense::{dense_bi_dijkstra, DenseGk, DenseScratch, DenseView};
+use islabel_core::kernel::{self, KernelTier};
 use islabel_core::label::LabelSet;
 use islabel_core::oracle::DistanceOracle;
 use islabel_core::query::{intersect_min, label_bi_dijkstra_in, SearchParams, SearchScratch};
 use islabel_core::reference::dijkstra_p2p;
 use islabel_core::{BuildConfig, DiIsLabelIndex, IsLabelIndex};
 use islabel_graph::generators::{barabasi_albert, erdos_renyi_gnm, grid2d, WeightModel};
-use islabel_graph::{CsrGraph, DigraphBuilder, Dist, VertexId, INF};
+use islabel_graph::{CsrGraph, DigraphBuilder, Dist, VertexId, Weight, INF};
 use std::time::Instant;
+
+/// Engine label for a forced-tier IS-LABEL run (`EngineReport.engine` is
+/// `&'static str`, so the names are spelled out).
+fn tier_engine_name(tier: KernelTier) -> &'static str {
+    match tier {
+        KernelTier::Scalar => "islabel:scalar",
+        KernelTier::Sse2 => "islabel:sse2",
+        KernelTier::Avx2 => "islabel:avx2",
+        KernelTier::Neon => "islabel:neon",
+    }
+}
 
 /// Per-query latencies in nanoseconds, plus whatever the engine settled.
 struct RunStats {
@@ -162,6 +183,30 @@ fn bench_graph(
     drop(session);
     engines.push(finish("islabel", build_ms, stats));
 
+    // islabel per kernel tier — same index, dispatch forced, so the p50 /
+    // p99 / qps deltas between rows isolate the intersection kernel and
+    // nothing else. The auto-dispatched row above should match the
+    // highest supported tier's row to within noise.
+    for tier in KernelTier::ALL {
+        if !tier.is_supported() {
+            continue;
+        }
+        let name = tier_engine_name(tier);
+        eprintln!("[query_hotpath]   {name} ...");
+        kernel::force_tier(Some(tier));
+        let mut session = index.session();
+        let stats = run_workload(&pairs, truth, name, |s, t| {
+            let out = session.search_outcome(s, t).expect("in range");
+            (
+                (out.dist < INF).then_some(out.dist),
+                Some(out.settled as u64),
+            )
+        });
+        drop(session);
+        engines.push(finish(name, build_ms, stats));
+    }
+    kernel::force_tier(None);
+
     // di-islabel over the symmetrized digraph.
     eprintln!("[query_hotpath]   di-islabel ...");
     let t0 = Instant::now();
@@ -228,6 +273,216 @@ fn bench_graph(
         n,
         m: g.num_edges(),
         engines,
+    }
+}
+
+struct IntersectBench {
+    graph: &'static str,
+    n: usize,
+    queries: usize,
+    /// `(tier name, intersections per second)`, scalar first.
+    tiers: Vec<(&'static str, f64)>,
+    /// Best SIMD tier vs the scalar adaptive kernel (1.0 when the host
+    /// supports no SIMD tier).
+    simd_speedup: f64,
+}
+
+/// Raw Equation-1 throughput per kernel tier: the same label pairs pushed
+/// through `intersect_min_at` at every supported tier, interleaved over
+/// three rounds (best run each). Each tier's `(Σ dist, Σ witness)`
+/// checksum must agree with the scalar tier's — a wrong-but-fast kernel
+/// fails here before it can win anything.
+///
+/// The index is built over a **deep** fixed-k hierarchy, like
+/// [`label_build_comparison`] and for the same reason: the σ rule stops
+/// ER-like graphs at k = 2, where labels are a handful of entries and
+/// Equation 1 is a few dozen nanoseconds of mostly call overhead. Deep
+/// hierarchies are where labels grow to hundreds of entries and the
+/// intersection becomes the query bottleneck — the regime the SIMD
+/// tiers exist for (short skewed pairs delegate to the scalar gallop at
+/// every tier regardless; see `kernel::intersect_min_at`).
+fn intersect_bench(name: &'static str, g: &CsrGraph, queries: usize) -> IntersectBench {
+    let index = IsLabelIndex::build(g, BuildConfig::fixed_k(10));
+    let pairs = query_pairs(g.num_vertices(), queries, 0x51D3);
+    let supported: Vec<KernelTier> = KernelTier::ALL
+        .into_iter()
+        .filter(|t| t.is_supported())
+        .collect();
+
+    let pass = |tier: KernelTier| -> (std::time::Duration, u64) {
+        let mut sum = 0u64;
+        let t0 = Instant::now();
+        for &(s, t) in &pairs {
+            let (d, w) =
+                kernel::intersect_min_at(tier, index.labels().label(s), index.labels().label(t));
+            sum = sum.wrapping_add(d).wrapping_add(w.unwrap_or(0) as u64);
+        }
+        (t0.elapsed(), sum)
+    };
+
+    let mut best: Vec<std::time::Duration> = vec![std::time::Duration::MAX; supported.len()];
+    let mut checksums: Vec<u64> = vec![0; supported.len()];
+    for _ in 0..3 {
+        for (i, &tier) in supported.iter().enumerate() {
+            let (dt, sum) = pass(tier);
+            best[i] = best[i].min(dt);
+            checksums[i] = sum;
+        }
+    }
+    for (i, &tier) in supported.iter().enumerate() {
+        assert_eq!(
+            checksums[i],
+            checksums[0],
+            "{} tier disagrees with scalar on {name}",
+            tier.name()
+        );
+    }
+
+    let qps: Vec<(&'static str, f64)> = supported
+        .iter()
+        .zip(&best)
+        .map(|(t, dt)| (t.name(), pairs.len() as f64 / dt.as_secs_f64()))
+        .collect();
+    let scalar_qps = qps[0].1;
+    let best_simd = qps[1..].iter().map(|&(_, q)| q).fold(f64::NAN, f64::max);
+    IntersectBench {
+        graph: name,
+        n: g.num_vertices(),
+        queries: pairs.len(),
+        simd_speedup: if best_simd.is_nan() {
+            1.0
+        } else {
+            best_simd / scalar_qps
+        },
+        tiers: qps,
+    }
+}
+
+struct LayoutComparison {
+    graph: &'static str,
+    n: usize,
+    m: usize,
+    queries: usize,
+    split_qps: f64,
+    interleaved_qps: f64,
+}
+
+/// The split CSR layout `DenseCsr` used before this pass: one `u32`
+/// stream of targets, a parallel one of weights. Kept here as the
+/// measured-against baseline for [`layout_comparison`]; prefetch hints
+/// mirror the interleaved layout's so the rows differ only in layout.
+struct SplitCsr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<Weight>,
+}
+
+impl DenseView for SplitCsr {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    #[inline]
+    fn edges_of(&self, d: u32) -> impl Iterator<Item = (u32, Weight)> + '_ {
+        let lo = self.offsets[d as usize] as usize;
+        let hi = self.offsets[d as usize + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&t, &w)| (t, w))
+    }
+
+    #[inline]
+    fn prefetch_row(&self, d: u32) {
+        if let Some(&lo) = self.offsets.get(d as usize) {
+            kernel::prefetch_index(&self.targets, lo as usize);
+            kernel::prefetch_index(&self.weights, lo as usize);
+        }
+    }
+}
+
+/// Interleaved vs split adjacency on point-to-point dense searches over
+/// the whole grid graph as `G_k` — the measurement that keeps the
+/// interleaved `DenseCsr` honest: single-seed searches walk long
+/// adjacency runs, the workload where layout matters most.
+fn layout_comparison(name: &'static str, g: &CsrGraph, queries: usize) -> LayoutComparison {
+    let n = g.num_vertices();
+    let members: Vec<VertexId> = (0..n as VertexId).collect();
+    let dg = DenseGk::undirected(n, &members, g);
+    let interleaved = dg.fwd();
+    let mut split = SplitCsr {
+        offsets: vec![0],
+        targets: Vec::with_capacity(interleaved.num_entries()),
+        weights: Vec::with_capacity(interleaved.num_entries()),
+    };
+    for d in 0..n as u32 {
+        for (t, w) in interleaved.edges_of(d) {
+            split.targets.push(t);
+            split.weights.push(w);
+        }
+        split.offsets.push(split.targets.len() as u32);
+    }
+
+    let pairs = query_pairs(n, queries, 0x1A70);
+    let mut scratch = DenseScratch::new(n);
+    let to_dense = |v: VertexId| dg.ids().dense(v).expect("full membership");
+    let mut pass =
+        |view: &dyn Fn(&mut DenseScratch, u32, u32) -> Dist| -> (std::time::Duration, u64) {
+            let mut sum = 0u64;
+            let t0 = Instant::now();
+            for &(s, t) in &pairs {
+                sum = sum.wrapping_add(view(&mut scratch, to_dense(s), to_dense(t)));
+            }
+            (t0.elapsed(), sum)
+        };
+
+    let run_interleaved = |scratch: &mut DenseScratch, s: u32, t: u32| -> Dist {
+        dense_bi_dijkstra(
+            interleaved,
+            interleaved,
+            &[(s, 0)],
+            &[(t, 0)],
+            INF,
+            None,
+            scratch,
+        )
+        .dist
+    };
+    let split_ref = &split;
+    let run_split = |scratch: &mut DenseScratch, s: u32, t: u32| -> Dist {
+        dense_bi_dijkstra(
+            split_ref,
+            split_ref,
+            &[(s, 0)],
+            &[(t, 0)],
+            INF,
+            None,
+            scratch,
+        )
+        .dist
+    };
+
+    let mut best_inter = std::time::Duration::MAX;
+    let mut best_split = std::time::Duration::MAX;
+    let (mut sum_inter, mut sum_split) = (0u64, 0u64);
+    for _ in 0..3 {
+        let (dt, sum) = pass(&run_interleaved);
+        best_inter = best_inter.min(dt);
+        sum_inter = sum;
+        let (dt, sum) = pass(&run_split);
+        best_split = best_split.min(dt);
+        sum_split = sum;
+    }
+    assert_eq!(sum_inter, sum_split, "layouts disagree on {name}");
+
+    LayoutComparison {
+        graph: name,
+        n,
+        m: g.num_edges(),
+        queries: pairs.len(),
+        split_qps: pairs.len() as f64 / best_split.as_secs_f64(),
+        interleaved_qps: pairs.len() as f64 / best_inter.as_secs_f64(),
     }
 }
 
@@ -381,12 +636,14 @@ fn json_escape_free(v: Option<u64>) -> String {
 fn to_json(
     mode: &str,
     graphs: &[GraphReport],
+    intersect: &IntersectBench,
+    layout: &LayoutComparison,
     kernel: &KernelComparison,
     labels: &LabelBuild,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"islabel-bench-pr4/v1\",\n");
+    out.push_str("  \"schema\": \"islabel-bench-pr9/v1\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!(
         "  \"host_threads\": {},\n",
@@ -418,6 +675,31 @@ fn to_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"intersect\": {{\"graph\": \"{}\", \"n\": {}, \"queries\": {}, \"tiers\": [",
+        intersect.graph, intersect.n, intersect.queries
+    ));
+    for (i, (tier, qps)) in intersect.tiers.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{{\"tier\": \"{tier}\", \"qps\": {qps:.1}}}",
+            if i > 0 { ", " } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "], \"simd_speedup\": {:.3}}},\n",
+        intersect.simd_speedup
+    ));
+    out.push_str(&format!(
+        "  \"layout\": {{\"graph\": \"{}\", \"n\": {}, \"m\": {}, \"queries\": {}, \
+         \"split_qps\": {:.1}, \"interleaved_qps\": {:.1}, \"speedup\": {:.3}}},\n",
+        layout.graph,
+        layout.n,
+        layout.m,
+        layout.queries,
+        layout.split_qps,
+        layout.interleaved_qps,
+        layout.interleaved_qps / layout.split_qps
+    ));
     out.push_str(&format!(
         "  \"kernel_comparison\": {{\"graph\": \"{}\", \"n\": {}, \"queries\": {}, \
          \"hashmap_qps\": {:.1}, \"dense_qps\": {:.1}, \"speedup\": {:.3}}},\n",
@@ -451,7 +733,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
 
     let n: usize = if smoke {
         400
@@ -498,6 +780,10 @@ fn main() {
         reports.push(bench_graph(name, g, label_queries, search_queries, smoke));
     }
 
+    eprintln!("[query_hotpath] intersection kernel tiers (SIMD vs scalar) ...");
+    let intersect = intersect_bench("er", &graphs[0].1, label_queries);
+    eprintln!("[query_hotpath] adjacency layout (interleaved vs split) ...");
+    let layout = layout_comparison("grid", &graphs[2].1, if smoke { 50 } else { 300 });
     eprintln!("[query_hotpath] kernel comparison (dense vs hashmap) ...");
     let kernel = kernel_comparison("er", &graphs[0].1, label_queries, smoke);
     eprintln!("[query_hotpath] label construction (parallel vs single) ...");
@@ -505,13 +791,13 @@ fn main() {
 
     // Human-readable summary.
     println!(
-        "{:<6} {:<11} {:>11} {:>8} {:>9} {:>9} {:>11} {:>12}",
+        "{:<6} {:<15} {:>11} {:>8} {:>9} {:>9} {:>11} {:>12}",
         "graph", "engine", "build_ms", "queries", "p50_us", "p99_us", "qps", "settled"
     );
     for g in &reports {
         for e in &g.engines {
             println!(
-                "{:<6} {:<11} {:>11.1} {:>8} {:>9.2} {:>9.2} {:>11.0} {:>12}",
+                "{:<6} {:<15} {:>11.1} {:>8} {:>9.2} {:>9.2} {:>11.0} {:>12}",
                 g.name,
                 e.engine,
                 e.build_ms,
@@ -523,6 +809,24 @@ fn main() {
             );
         }
     }
+    let tier_summary = intersect
+        .tiers
+        .iter()
+        .map(|(t, q)| format!("{t} {q:.0}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "intersect: {} ips on {} n={} ({:.2}x best SIMD vs scalar)",
+        tier_summary, intersect.graph, intersect.n, intersect.simd_speedup
+    );
+    println!(
+        "layout: interleaved {:.0} qps vs split {:.0} qps ({:.2}x) on {} n={}",
+        layout.interleaved_qps,
+        layout.split_qps,
+        layout.interleaved_qps / layout.split_qps,
+        layout.graph,
+        layout.n
+    );
     println!(
         "kernel: dense {:.0} qps vs hashmap {:.0} qps ({:.2}x) on {} n={}",
         kernel.dense_qps,
@@ -544,6 +848,8 @@ fn main() {
     let json = to_json(
         if smoke { "smoke" } else { "full" },
         &reports,
+        &intersect,
+        &layout,
         &kernel,
         &labels,
     );

@@ -54,6 +54,13 @@ pub trait DenseView {
 
     /// Iterates `(dense_neighbor, weight)` pairs of compact vertex `d`.
     fn edges_of(&self, d: u32) -> impl Iterator<Item = (u32, Weight)> + '_;
+
+    /// Best-effort hint that `d`'s adjacency is about to be iterated:
+    /// implementations issue a software prefetch for the row's first
+    /// cache line so the miss overlaps with the work before the
+    /// iteration. Never affects results; the default is a no-op.
+    #[inline]
+    fn prefetch_row(&self, _d: u32) {}
 }
 
 /// A bidirectional mapping between global vertex ids and compact `G_k` ids
@@ -135,11 +142,19 @@ impl GkIdMap {
 /// The base residual graph spans the full id universe with peeled vertices
 /// isolated; remapping to `0..|G_k|` packs the arrays the relax loop
 /// actually touches into contiguous, cache-dense memory.
+///
+/// Edges are stored **interleaved** as `(neighbor, weight)` pairs rather
+/// than split target/weight arrays: the relax loop always consumes both
+/// halves of an entry together, and interleaving them means a short row
+/// (grid graphs average degree 4 = one 32-byte span) costs one cache
+/// line instead of two. `query_hotpath`'s `layout_comparison` section
+/// measures this layout against the split one per PR; the on-disk v3
+/// format keeps split sections (a compatibility surface), and the writer
+/// de-interleaves on save.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DenseCsr {
     offsets: Vec<u32>,
-    targets: Vec<u32>,
-    weights: Vec<Weight>,
+    entries: Vec<(u32, Weight)>,
 }
 
 impl DenseCsr {
@@ -150,25 +165,17 @@ impl DenseCsr {
         mut edges: impl FnMut(u32) -> I,
     ) -> Self {
         let mut offsets = Vec::with_capacity(m + 1);
-        let mut targets = Vec::new();
-        let mut weights = Vec::new();
+        let mut entries = Vec::new();
         offsets.push(0);
         for d in 0..m as u32 {
-            for (t, w) in edges(d) {
-                targets.push(t);
-                weights.push(w);
-            }
+            entries.extend(edges(d));
             assert!(
-                targets.len() <= u32::MAX as usize,
+                entries.len() <= u32::MAX as usize,
                 "G_k adjacency exceeds u32 offsets; widen DenseCsr::offsets"
             );
-            offsets.push(targets.len() as u32);
+            offsets.push(entries.len() as u32);
         }
-        Self {
-            offsets,
-            targets,
-            weights,
-        }
+        Self { offsets, entries }
     }
 
     /// Compacts the undirected residual graph `gk` (over the full universe)
@@ -190,7 +197,7 @@ impl DenseCsr {
 
     /// Number of stored (directed) adjacency entries.
     pub fn num_entries(&self) -> usize {
-        self.targets.len()
+        self.entries.len()
     }
 
     /// Iterates `(dense_neighbor, weight)` pairs of compact vertex `d`.
@@ -198,23 +205,27 @@ impl DenseCsr {
     pub fn edges_of(&self, d: u32) -> impl Iterator<Item = (u32, Weight)> + '_ {
         let lo = self.offsets[d as usize] as usize;
         let hi = self.offsets[d as usize + 1] as usize;
-        self.targets[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.weights[lo..hi].iter().copied())
+        self.entries[lo..hi].iter().copied()
     }
 
-    /// Resident bytes of the three CSR arrays.
+    /// Resident bytes of the CSR arrays.
     pub fn memory_bytes(&self) -> usize {
         self.offsets.len() * std::mem::size_of::<u32>()
-            + self.targets.len() * std::mem::size_of::<u32>()
-            + self.weights.len() * std::mem::size_of::<Weight>()
+            + self.entries.len() * std::mem::size_of::<(u32, Weight)>()
     }
 
-    /// The raw CSR arrays `(offsets, targets, weights)`, serialized
-    /// verbatim as the v3 artifact's three `GK_*` sections.
-    pub(crate) fn raw_parts(&self) -> (&[u32], &[u32], &[Weight]) {
-        (&self.offsets, &self.targets, &self.weights)
+    /// The raw offsets array, serialized verbatim as the v3 artifact's
+    /// `GK_OFFSETS` section.
+    pub(crate) fn offsets_raw(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw interleaved `(neighbor, weight)` entries; the v3 writer
+    /// de-interleaves these into the split `GK_TARGETS` / `GK_WEIGHTS`
+    /// sections (the on-disk layout is a compatibility surface and stays
+    /// split regardless of the in-memory choice).
+    pub(crate) fn entries_raw(&self) -> &[(u32, Weight)] {
+        &self.entries
     }
 }
 
@@ -225,6 +236,13 @@ impl DenseView for DenseCsr {
 
     fn edges_of(&self, d: u32) -> impl Iterator<Item = (u32, Weight)> + '_ {
         DenseCsr::edges_of(self, d)
+    }
+
+    #[inline]
+    fn prefetch_row(&self, d: u32) {
+        if let Some(&lo) = self.offsets.get(d as usize) {
+            crate::kernel::prefetch_index(&self.entries, lo as usize);
+        }
     }
 }
 
@@ -329,6 +347,13 @@ impl DenseView for PatchedDense<'_> {
             .into_iter()
             .flatten();
         base.chain(extra).filter(|&(u, _)| !self.patch.is_dead(u))
+    }
+
+    #[inline]
+    fn prefetch_row(&self, d: u32) {
+        if d < self.patch.base_len {
+            self.base.prefetch_row(d);
+        }
     }
 }
 
@@ -453,6 +478,16 @@ impl<T: Copy + Default> StampedSlab<T> {
         self.vals[i as usize] = v;
         self.stamps[i as usize] = self.epoch;
     }
+
+    /// Best-effort prefetch of slot `i`'s stamp and value lines, so a
+    /// `get`/`set` a few dozen cycles later finds them resident. The
+    /// arrays stay split (stamp-only probes of dead slots pack 16 stamps
+    /// per line), so both lines are hinted.
+    #[inline]
+    pub fn prefetch(&self, i: u32) {
+        crate::kernel::prefetch_index(&self.stamps, i as usize);
+        crate::kernel::prefetch_index(&self.vals, i as usize);
+    }
 }
 
 /// An indexed 4-ary min-heap with decrease-key over compact vertex ids.
@@ -514,6 +549,21 @@ impl IndexedHeap {
     #[inline]
     pub fn peek_key(&self) -> Dist {
         self.slots.first().map_or(INF, |&(k, _)| k)
+    }
+
+    /// The minimum `(key, vertex)` without popping — what the search
+    /// uses to prefetch the likely-next settle's adjacency row while the
+    /// current row is relaxed.
+    #[inline]
+    pub fn peek(&self) -> Option<(Dist, u32)> {
+        self.slots.first().copied()
+    }
+
+    /// Best-effort prefetch of `v`'s position-slab lines ahead of a
+    /// `push_or_decrease`.
+    #[inline]
+    pub fn prefetch_pos(&self, v: u32) {
+        self.pos.prefetch(v);
     }
 
     /// Pops the minimum `(key, vertex)`.
@@ -733,6 +783,12 @@ pub fn dense_bi_dijkstra<G: DenseView>(
             )
         };
         let (d, v) = q.pop().expect("peek_key returned a finite minimum");
+        // While v's row is decoded and relaxed, pull the likely-next
+        // settle's adjacency row toward L1 (best-effort: a decrease-key
+        // may still reorder the queue before the next pop).
+        if let Some((_, next)) = q.peek() {
+            g.prefetch_row(next);
+        }
         settled_x.set(v, d);
         settled += 1;
         // Settle-time meeting check: any distance on the other side
@@ -743,6 +799,13 @@ pub fn dense_bi_dijkstra<G: DenseView>(
                 mu = cand;
                 meeting = Meeting::Search(v);
             }
+        }
+        // First pass over the row: hint the per-neighbor slab lines
+        // (tentative distance + heap position) so the relax pass's
+        // random accesses are already in flight when it reads them.
+        for (u, _) in g.edges_of(v) {
+            dist_x.prefetch(u);
+            q.prefetch_pos(u);
         }
         for (u, w) in g.edges_of(v) {
             let nd = d + w as Dist;
@@ -768,36 +831,42 @@ pub fn dense_bi_dijkstra<G: DenseView>(
     }
 }
 
-/// The full session fast path for one query: Equation 1 via the adaptive
-/// intersect, label seeds translated to compact ids through `ids` (the
-/// lookup doubling as the `G_k` membership filter), then
+/// The full session fast path for one query: Equation 1 via the
+/// dispatched kernel ([`crate::kernel::intersect_min_auto`] — the single
+/// entry point every engine shares, so no caller can silently stay on
+/// the scalar path), label seeds translated to compact ids through
+/// `to_dense` (the lookup doubling as the `G_k` membership filter), then
 /// [`dense_bi_dijkstra`]. The returned meeting vertex is still compact —
 /// callers wanting global ids apply [`globalize_outcome`].
 ///
-/// Shared by the undirected and directed sessions (pass the out-label of
-/// `s` and the in-label of `t` for a directed query) so the seed handling
-/// cannot drift between them.
+/// Shared by the undirected, directed, patched-overlay, and mmap
+/// sessions (pass the out-label of `s` and the in-label of `t` for a
+/// directed query) so neither the seed handling nor the kernel dispatch
+/// can drift between them: pristine heap sessions pass
+/// [`GkIdMap::dense`], the mmap session a closure over its mapped
+/// `dense_of` section, and the patched session its tail-aware extension
+/// of the base map.
 #[allow(clippy::too_many_arguments)]
 pub fn seeded_search<G: DenseView>(
     ls: crate::label::LabelView<'_>,
     lt: crate::label::LabelView<'_>,
-    ids: &GkIdMap,
+    to_dense: impl Fn(VertexId) -> Option<u32>,
     fwd: &G,
     rev: &G,
     fseeds: &mut Vec<(u32, Dist)>,
     rseeds: &mut Vec<(u32, Dist)>,
     scratch: &mut DenseScratch,
 ) -> SearchOutcome {
-    let (mu0, witness) = crate::query::intersect_min_adaptive(ls, lt);
+    let (mu0, witness) = crate::kernel::intersect_min_auto(ls, lt);
     fseeds.clear();
     for (a, d) in ls.iter() {
-        if let Some(da) = ids.dense(a) {
+        if let Some(da) = to_dense(a) {
             fseeds.push((da, d));
         }
     }
     rseeds.clear();
     for (a, d) in lt.iter() {
-        if let Some(da) = ids.dense(a) {
+        if let Some(da) = to_dense(a) {
             rseeds.push((da, d));
         }
     }

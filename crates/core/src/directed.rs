@@ -404,6 +404,10 @@ impl DiIsLabelIndex {
     /// seed buffers are fully pre-sized, so steady-state queries are
     /// allocation-free.
     pub fn session(&self) -> DiIsLabelSession<'_> {
+        // Resolve the kernel dispatch tier before queries run (tier
+        // resolution reads the environment and so may allocate; steady-
+        // state queries must not — see tests/alloc_free.rs).
+        let _ = crate::kernel::active_tier();
         let seed_cap = self
             .out_labels
             .max_label_len()
@@ -441,7 +445,7 @@ impl DiIsLabelSession<'_> {
         let outcome = seeded_search(
             index.out_labels.label(s),
             index.in_labels.label(t),
-            index.dense.ids(),
+            |a| index.dense.ids().dense(a),
             index.dense.fwd(),
             index.dense.rev(),
             &mut self.fseeds,

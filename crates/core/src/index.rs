@@ -2,8 +2,7 @@
 
 use crate::config::BuildConfig;
 use crate::dense::{
-    dense_bi_dijkstra, globalize_outcome, seeded_search, DenseGk, DensePatch, DenseScratch,
-    PatchedDense,
+    globalize_outcome, seeded_search, DenseGk, DensePatch, DenseScratch, PatchedDense,
 };
 use crate::hierarchy::VertexHierarchy;
 use crate::label::LabelSet;
@@ -444,6 +443,10 @@ impl IsLabelIndex {
     /// allocation-free in steady state. The session is a point-in-time
     /// view; reopen it after further mutations.
     pub fn session(&self) -> IsLabelSession<'_> {
+        // Resolve the kernel dispatch tier now: resolution reads the
+        // environment (allocates), and queries must stay allocation-free
+        // after construction (tests/alloc_free.rs arms its counter here).
+        let _ = crate::kernel::active_tier();
         let overlay = (!self.overlay.is_pristine()).then(|| {
             let patch = self.overlay.dense_patch(self.dense.ids());
             let label_cap = self.labels.max_label_len() + self.overlay.max_patch_len();
@@ -891,7 +894,7 @@ impl IsLabelSession<'_> {
         seeded_search(
             index.labels.label(s),
             index.labels.label(t),
-            index.dense.ids(),
+            |a| index.dense.ids().dense(a),
             index.dense.fwd(),
             index.dense.rev(),
             &mut self.fseeds,
@@ -920,42 +923,29 @@ impl IsLabelSession<'_> {
             index
                 .overlay
                 .effective_label_into(&index.labels, t, &mut od.anc_t, &mut od.dist_t);
-        let (mu0, witness) = crate::query::intersect_min_adaptive(ls, lt);
         let ids = index.dense.ids();
         let m = ids.len();
         let base_n = index.graph.num_vertices();
-        // Inserted vertices (global id >= base_n) live on the dense tail;
-        // deleted ancestors were already dropped by the label merge.
-        let to_dense = |a: VertexId| -> Option<u32> {
-            if (a as usize) < base_n {
-                ids.dense(a)
-            } else {
-                Some((m + (a as usize - base_n)) as u32)
-            }
-        };
-        self.fseeds.clear();
-        for (a, d) in ls.iter() {
-            if let Some(da) = to_dense(a) {
-                self.fseeds.push((da, d));
-            }
-        }
-        self.rseeds.clear();
-        for (a, d) in lt.iter() {
-            if let Some(da) = to_dense(a) {
-                self.rseeds.push((da, d));
-            }
-        }
         let view = PatchedDense {
             base: index.dense.fwd(),
             patch: &od.patch,
         };
-        dense_bi_dijkstra(
+        // Inserted vertices (global id >= base_n) live on the dense tail;
+        // deleted ancestors were already dropped by the label merge.
+        seeded_search(
+            ls,
+            lt,
+            |a| {
+                if (a as usize) < base_n {
+                    ids.dense(a)
+                } else {
+                    Some((m + (a as usize - base_n)) as u32)
+                }
+            },
             &view,
             &view,
-            &self.fseeds,
-            &self.rseeds,
-            mu0,
-            witness,
+            &mut self.fseeds,
+            &mut self.rseeds,
             &mut self.scratch,
         )
     }

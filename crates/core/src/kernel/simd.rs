@@ -1,0 +1,345 @@
+//! The workspace's only SIMD `unsafe`: vector merge-join kernels and the
+//! prefetch hint, confined here behind safe entry points.
+//!
+//! # Safety design
+//!
+//! Everything unsafe in this file is one of exactly three shapes, each
+//! with a local `// SAFETY:` justification at the call site:
+//!
+//! 1. **Unaligned vector loads** (`_mm256_loadu_si256` / `_mm_loadu_si128`
+//!    / `vld1q_u32`) from a slice. Every load is dominated by an explicit
+//!    bounds check (`j + LANES <= slice.len()`), uses the unaligned form
+//!    (no alignment obligation), and reads only plain-old-data (`u32` /
+//!    `u64`) — no validity or aliasing conditions beyond the borrow the
+//!    slice already holds.
+//! 2. **Calling a `#[target_feature]` kernel.** The AVX2 kernel is only
+//!    entered after `is_x86_feature_detected!("avx2")`; SSE2 and NEON are
+//!    architectural baselines of x86_64 and aarch64 respectively, so on
+//!    those targets the feature is unconditionally present.
+//! 3. **The prefetch hint**, which performs no memory access at all: it
+//!    is architecturally defined to be fault-free on any address.
+//!
+//! No pointer escapes this module, no mutable state is shared, and every
+//! kernel's result is pinned bit-identical to the scalar
+//! [`crate::query::intersect_min`] by the proptest equivalence suite
+//! (`tests/kernel_simd.rs`) across all dispatch tiers.
+//!
+//! # Kernel shape
+//!
+//! All three ISA kernels run the same branchless-skip merge-join: the
+//! probe `short[i]` is broadcast and compared against a LANES-wide window
+//! of the longer label; a movemask (or horizontal reduction on NEON) of
+//! the `< probe` lanes tells how far the window cursor may skip — the
+//! lanes below a probe always form a prefix of the window because
+//! ancestors are strictly ascending — and an equality mask extracts the
+//! at-most-one match per probe. Matches are accumulated in ascending
+//! ancestor order with the scalar kernel's strict `sum < best` rule, so
+//! distance *and* witness come out identical. The AVX2 kernel adds a
+//! dense-overlap fast path: when the next eight entries of both labels
+//! are equal it folds all eight `d(s,w) + d(w,t)` candidates with 4×u64
+//! vector saturating adds and a vector min-reduction.
+
+#![allow(unsafe_code)]
+
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+use super::merge_tail;
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+use crate::label::LabelView;
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+use islabel_graph::{Dist, VertexId, INF};
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// Hints the cache hierarchy to pull `*p` toward L1. No memory access is
+/// performed: prefetch instructions are architecturally fault-free on
+/// any address, so this is safe to call with any pointer (the public
+/// wrapper [`super::prefetch_index`] bounds-checks anyway so the hint is
+/// never wasted on a line we cannot own).
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` performs no memory access and cannot fault
+    // on any address — it is a pure cache hint (shape 3 in the module
+    // safety design).
+    unsafe {
+        _mm_prefetch(p.cast::<i8>(), _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// 8-lane AVX2 intersection; falls back to the scalar reference when the
+/// CPU lacks AVX2 (so a forced tier can never fault).
+#[cfg(target_arch = "x86_64")]
+pub(super) fn intersect_min_avx2(
+    short: LabelView<'_>,
+    long: LabelView<'_>,
+) -> (Dist, Option<VertexId>) {
+    if !std::arch::is_x86_feature_detected!("avx2") {
+        return crate::query::intersect_min(short, long);
+    }
+    // SAFETY: AVX2 presence was verified on this CPU immediately above
+    // (shape 2 in the module safety design).
+    unsafe { avx2_merge(short.ancestors, short.dists, long.ancestors, long.dists) }
+}
+
+/// 4-lane SSE2 intersection. SSE2 needs no detection: it is part of the
+/// x86_64 baseline ISA.
+#[cfg(target_arch = "x86_64")]
+pub(super) fn intersect_min_sse2(
+    short: LabelView<'_>,
+    long: LabelView<'_>,
+) -> (Dist, Option<VertexId>) {
+    // SAFETY: SSE2 is an architectural baseline of x86_64 — every CPU
+    // that can reach this instruction executes it (shape 2 in the module
+    // safety design).
+    unsafe { sse2_merge(short.ancestors, short.dists, long.ancestors, long.dists) }
+}
+
+/// 4-lane NEON intersection. NEON needs no detection: it is part of the
+/// aarch64 baseline ISA.
+#[cfg(target_arch = "aarch64")]
+pub(super) fn intersect_min_neon(
+    short: LabelView<'_>,
+    long: LabelView<'_>,
+) -> (Dist, Option<VertexId>) {
+    // SAFETY: NEON is an architectural baseline of aarch64 — every CPU
+    // that can reach this instruction executes it (shape 2 in the module
+    // safety design).
+    unsafe { neon_merge(short.ancestors, short.dists, long.ancestors, long.dists) }
+}
+
+/// The AVX2 merge-join: probe broadcast vs 8-lane windows, movemask skip
+/// extraction, and the dense-overlap vector min-reduction fast path.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn avx2_merge(
+    sa: &[VertexId],
+    sd: &[Dist],
+    la: &[VertexId],
+    ld: &[Dist],
+) -> (Dist, Option<VertexId>) {
+    let mut best = INF;
+    let mut witness = None;
+    let (mut i, mut j) = (0usize, 0usize);
+    // u32 compares via signed intrinsics: XOR the sign bit into both
+    // operands, which maps unsigned order onto signed order.
+    let sign32 = _mm256_set1_epi32(i32::MIN);
+    while i < sa.len() && j + 8 <= la.len() {
+        // SAFETY: `j + 8 <= la.len()` (loop guard) — unaligned 8×u32
+        // load in bounds (shape 1 in the module safety design).
+        let vwin = unsafe { _mm256_loadu_si256(la.as_ptr().add(j).cast()) };
+        if i + 8 <= sa.len() {
+            // SAFETY: `i + 8 <= sa.len()` checked immediately above —
+            // unaligned 8×u32 load in bounds (shape 1).
+            let va = unsafe { _mm256_loadu_si256(sa.as_ptr().add(i).cast()) };
+            let eqm = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(va, vwin)));
+            if eqm == 0xFF {
+                // Dense-overlap fast path: the next eight entries of
+                // both labels are identical ancestors — fold all eight
+                // distance sums with one vector min-reduction.
+                avx2_fold_equal_run(
+                    &sa[i..i + 8],
+                    &sd[i..i + 8],
+                    &ld[j..j + 8],
+                    &mut best,
+                    &mut witness,
+                );
+                i += 8;
+                j += 8;
+                continue;
+            }
+        }
+        let probe = sa[i];
+        let vp = _mm256_set1_epi32(probe as i32);
+        let lt = _mm256_cmpgt_epi32(_mm256_xor_si256(vp, sign32), _mm256_xor_si256(vwin, sign32));
+        let ltm = _mm256_movemask_ps(_mm256_castsi256_ps(lt)) as u32;
+        if ltm == 0xFF {
+            // The whole window is strictly below the probe: skip it
+            // without consuming the probe.
+            j += 8;
+            continue;
+        }
+        let eqm = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(vp, vwin))) as u32;
+        if eqm != 0 {
+            let p = j + eqm.trailing_zeros() as usize;
+            let sum = sd[i].saturating_add(ld[p]);
+            if sum < best {
+                best = sum;
+                witness = Some(probe);
+            }
+            j = p + 1;
+        } else {
+            // Strictly ascending ancestors make the `< probe` lanes a
+            // prefix of the window; its popcount is the skip distance.
+            j += ltm.count_ones() as usize;
+        }
+        i += 1;
+    }
+    merge_tail(sa, sd, la, ld, i, j, &mut best, &mut witness);
+    (best, witness)
+}
+
+/// Folds an 8-entry equal-ancestor run: vector saturating `u64` adds of
+/// the two distance columns, a vector min-reduction of the eight sums,
+/// and — only when the run improves `best` — a scalar scan for the first
+/// lane achieving the minimum (the witness the scalar strict-`<`
+/// accumulation would keep).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn avx2_fold_equal_run(
+    anc8: &[VertexId],
+    sd8: &[Dist],
+    ld8: &[Dist],
+    best: &mut Dist,
+    witness: &mut Option<VertexId>,
+) {
+    debug_assert!(anc8.len() == 8 && sd8.len() == 8 && ld8.len() == 8);
+    let sign64 = _mm256_set1_epi64x(i64::MIN);
+    // SAFETY: `sd8` and `ld8` hold exactly 8 u64s (asserted above), so
+    // lanes 0–3 and 4–7 are both in-bounds unaligned loads (shape 1).
+    let (s0, s1, l0, l1) = unsafe {
+        (
+            _mm256_loadu_si256(sd8.as_ptr().cast()),
+            _mm256_loadu_si256(sd8.as_ptr().add(4).cast()),
+            _mm256_loadu_si256(ld8.as_ptr().cast()),
+            _mm256_loadu_si256(ld8.as_ptr().add(4).cast()),
+        )
+    };
+    let sum0 = avx2_saturating_sum(s0, l0, sign64);
+    let sum1 = avx2_saturating_sum(s1, l1, sign64);
+    // Vector min-reduction: lanes 0–3 vs 4–7, then cross-half, then
+    // within-half, leaving the minimum in every lane.
+    let m = avx2_min_u64(sum0, sum1, sign64);
+    let m = avx2_min_u64(m, _mm256_permute4x64_epi64::<0b01_00_11_10>(m), sign64);
+    let m = avx2_min_u64(m, _mm256_shuffle_epi32::<0b01_00_11_10>(m), sign64);
+    let run_min = _mm256_extract_epi64::<0>(m) as u64;
+    if run_min < *best {
+        *best = run_min;
+        let mut sums = [0u64; 8];
+        // SAFETY: `sums` is 8 u64s — room for both 4-lane stores
+        // (shape 1).
+        unsafe {
+            _mm256_storeu_si256(sums.as_mut_ptr().cast(), sum0);
+            _mm256_storeu_si256(sums.as_mut_ptr().add(4).cast(), sum1);
+        }
+        for k in 0..8 {
+            if sums[k] == run_min {
+                *witness = Some(anc8[k]);
+                break;
+            }
+        }
+    }
+}
+
+/// Lane-wise `u64::saturating_add`: 4×u64 add, detect unsigned overflow
+/// (`sum < a` via sign-biased signed compare), OR overflowed lanes to
+/// all-ones (= `u64::MAX`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+fn avx2_saturating_sum(a: __m256i, b: __m256i, sign64: __m256i) -> __m256i {
+    let sum = _mm256_add_epi64(a, b);
+    let overflow = _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign64), _mm256_xor_si256(sum, sign64));
+    _mm256_or_si256(sum, overflow)
+}
+
+/// Lane-wise unsigned `u64` minimum via sign-biased compare + blend.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+fn avx2_min_u64(a: __m256i, b: __m256i, sign64: __m256i) -> __m256i {
+    let a_gt = _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign64), _mm256_xor_si256(b, sign64));
+    _mm256_blendv_epi8(a, b, a_gt)
+}
+
+/// The SSE2 merge-join: same skip structure as AVX2 at 4 lanes, without
+/// the equal-run fast path (SSE2 lacks the 64-bit compare it needs).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+fn sse2_merge(
+    sa: &[VertexId],
+    sd: &[Dist],
+    la: &[VertexId],
+    ld: &[Dist],
+) -> (Dist, Option<VertexId>) {
+    let mut best = INF;
+    let mut witness = None;
+    let (mut i, mut j) = (0usize, 0usize);
+    let sign32 = _mm_set1_epi32(i32::MIN);
+    while i < sa.len() && j + 4 <= la.len() {
+        // SAFETY: `j + 4 <= la.len()` (loop guard) — unaligned 4×u32
+        // load in bounds (shape 1 in the module safety design).
+        let vwin = unsafe { _mm_loadu_si128(la.as_ptr().add(j).cast()) };
+        let probe = sa[i];
+        let vp = _mm_set1_epi32(probe as i32);
+        let lt = _mm_cmpgt_epi32(_mm_xor_si128(vp, sign32), _mm_xor_si128(vwin, sign32));
+        let ltm = _mm_movemask_ps(_mm_castsi128_ps(lt)) as u32;
+        if ltm == 0xF {
+            j += 4;
+            continue;
+        }
+        let eqm = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(vp, vwin))) as u32;
+        if eqm != 0 {
+            let p = j + eqm.trailing_zeros() as usize;
+            let sum = sd[i].saturating_add(ld[p]);
+            if sum < best {
+                best = sum;
+                witness = Some(probe);
+            }
+            j = p + 1;
+        } else {
+            j += ltm.count_ones() as usize;
+        }
+        i += 1;
+    }
+    merge_tail(sa, sd, la, ld, i, j, &mut best, &mut witness);
+    (best, witness)
+}
+
+/// The NEON merge-join: 4 lanes with horizontal reductions standing in
+/// for movemask (`vaddvq` of the shifted compare counts the `< probe`
+/// prefix; `vmaxvq` of the equality compare detects the match, whose
+/// lane is exactly that prefix length).
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+fn neon_merge(
+    sa: &[VertexId],
+    sd: &[Dist],
+    la: &[VertexId],
+    ld: &[Dist],
+) -> (Dist, Option<VertexId>) {
+    use core::arch::aarch64::*;
+    let mut best = INF;
+    let mut witness = None;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < sa.len() && j + 4 <= la.len() {
+        let probe = sa[i];
+        // SAFETY: `j + 4 <= la.len()` (loop guard) — unaligned 4×u32
+        // load in bounds (shape 1 in the module safety design).
+        let vwin = unsafe { vld1q_u32(la.as_ptr().add(j)) };
+        let vp = vdupq_n_u32(probe);
+        // All-ones lanes where window < probe; shift to 0/1 and sum to
+        // count the prefix of lanes strictly below the probe.
+        let below = vaddvq_u32(vshrq_n_u32::<31>(vcltq_u32(vwin, vp))) as usize;
+        if below == 4 {
+            j += 4;
+            continue;
+        }
+        if vmaxvq_u32(vceqq_u32(vwin, vp)) != 0 {
+            let p = j + below;
+            let sum = sd[i].saturating_add(ld[p]);
+            if sum < best {
+                best = sum;
+                witness = Some(probe);
+            }
+            j = p + 1;
+        } else {
+            j += below;
+        }
+        i += 1;
+    }
+    merge_tail(sa, sd, la, ld, i, j, &mut best, &mut witness);
+    (best, witness)
+}

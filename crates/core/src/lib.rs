@@ -1,4 +1,8 @@
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one SAFETY-documented SIMD module
+// (`kernel::simd`) opts back in with a module-level allow; everything
+// else in the crate stays unsafe-free, and `islabel-lint`'s confinement
+// rule (`lint.toml [unsafe] allowed_files`) pins that boundary.
+#![deny(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
 //! # islabel-core
@@ -40,6 +44,11 @@
 //!   ([`IndexedHeap`]); updated indexes stay on it through a
 //!   [`DensePatch`]ed view, and the hashmap kernel in [`query`] remains
 //!   the reference path.
+//! * [`kernel`] — runtime-dispatched SIMD label intersection
+//!   (AVX2/SSE2/NEON with the scalar adaptive kernel as the mandatory,
+//!   bit-identical fallback) plus the software-prefetch hints the dense
+//!   search uses; every session hot path routes Equation 1 through
+//!   [`kernel::intersect_min_auto`].
 //! * [`persist`] — versioned artifact serialization plus the write-ahead
 //!   log ([`persist::wal`]) that makes dynamic updates crash-durable:
 //!   [`persist::load_index_with_wal`] reconstructs the exact overlay after
@@ -79,6 +88,7 @@ pub mod disklabel;
 pub mod embuild;
 pub mod hierarchy;
 pub mod index;
+pub mod kernel;
 pub mod label;
 pub mod labelcache;
 pub mod mmapindex;
@@ -98,6 +108,7 @@ pub use dense::{
 };
 pub use directed::{DiIsLabelIndex, DiIsLabelSession};
 pub use index::{IsLabelIndex, IsLabelSession, DEFAULT_WAL_SYNC_EVERY};
+pub use kernel::KernelTier;
 pub use mmapindex::MmapIndex;
 pub use oracle::{BatchOptions, DistanceOracle, Error, QueryError, QuerySession};
 pub use path::Path;

@@ -4,7 +4,7 @@
 //! `.islx` file — no deserialization: labels, the dense `G_k` CSR, and
 //! the id maps are the mapped sections themselves, cast to typed slices
 //! at open (`islabel-store` validates structure — header CRC, section
-//! bounds and alignment; [`super::persist::v3::Sections::validate`] adds
+//! bounds and alignment; `Sections::validate` adds
 //! the semantic scans that make querying the raw bytes sound; section
 //! content checksums are verified by writers before a swap, not on every
 //! open — see [`MmapIndex::open`]). Opening is therefore O(index bytes
@@ -23,13 +23,13 @@
 //!   still goes through the heap index.
 //!
 //! The query algorithm is exactly the session fast path of
-//! [`crate::index::IsLabelSession`]: Equation 1 via
-//! [`crate::query::intersect_min_adaptive`], seeds filtered through the
-//! mapped `dense_of` array, then [`dense_bi_dijkstra`] on a
-//! [`DenseView`] over the mapped CSR sections. The `store_mmap`
+//! [`crate::index::IsLabelSession`]: [`seeded_search`] — Equation 1 via
+//! the dispatched kernel [`crate::kernel::intersect_min_auto`], seeds
+//! filtered through the mapped `dense_of` array, then the dense search
+//! on a [`DenseView`] over the mapped CSR sections. The `store_mmap`
 //! integration suite pins bit-identical results against the heap engine.
 
-use crate::dense::{dense_bi_dijkstra, DenseScratch, DenseView, NO_DENSE};
+use crate::dense::{seeded_search, DenseScratch, DenseView, NO_DENSE};
 use crate::oracle::{check_vertex, DistanceOracle, Error, QueryError, QuerySession};
 use crate::persist::v3::Sections;
 use islabel_graph::{Dist, VertexId, Weight, INF};
@@ -67,6 +67,16 @@ impl DenseView for MappedDense<'_> {
             .iter()
             .zip(&self.weights[lo..hi])
             .map(|(&t, &w)| (t, w))
+    }
+
+    #[inline]
+    fn prefetch_row(&self, d: u32) {
+        // The mapped sections keep the on-disk split layout, so a row
+        // spans two streams: hint both.
+        if let Some(&lo) = self.offsets.get(d as usize) {
+            crate::kernel::prefetch_index(self.targets, lo as usize);
+            crate::kernel::prefetch_index(self.weights, lo as usize);
+        }
     }
 }
 
@@ -179,6 +189,10 @@ pub struct MmapSession<'a> {
 
 impl<'a> MmapSession<'a> {
     fn new(index: &'a MmapIndex) -> Self {
+        // Resolve the kernel dispatch tier before queries run (tier
+        // resolution reads the environment and so may allocate; steady-
+        // state queries must not — see tests/alloc_free.rs).
+        let _ = crate::kernel::active_tier();
         let sections = index.sections();
         let scratch = DenseScratch::new(sections.m);
         Self {
@@ -196,35 +210,22 @@ impl<'a> MmapSession<'a> {
         if s == t {
             return Ok(Some(0));
         }
-        let ls = sec.label_view(s);
-        let lt = sec.label_view(t);
-        let (mu0, witness) = crate::query::intersect_min_adaptive(ls, lt);
-        self.fseeds.clear();
-        for (a, d) in ls.iter() {
-            let da = sec.dense_of[a as usize];
-            if da != NO_DENSE {
-                self.fseeds.push((da, d));
-            }
-        }
-        self.rseeds.clear();
-        for (a, d) in lt.iter() {
-            let da = sec.dense_of[a as usize];
-            if da != NO_DENSE {
-                self.rseeds.push((da, d));
-            }
-        }
         let dense = MappedDense {
             offsets: sec.gk_offsets,
             targets: sec.gk_targets,
             weights: sec.gk_weights,
         };
-        let out = dense_bi_dijkstra(
+        let out = seeded_search(
+            sec.label_view(s),
+            sec.label_view(t),
+            |a| {
+                let da = sec.dense_of[a as usize];
+                (da != NO_DENSE).then_some(da)
+            },
             &dense,
             &dense,
-            &self.fseeds,
-            &self.rseeds,
-            mu0,
-            witness,
+            &mut self.fseeds,
+            &mut self.rseeds,
             &mut self.scratch,
         );
         Ok((out.dist < INF).then_some(out.dist))

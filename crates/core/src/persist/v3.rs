@@ -2,7 +2,7 @@
 //! `islabel-store` section container and loading it back — either fully
 //! into heap structures (this module's [`read_index`]) or zero-copy via
 //! [`crate::mmapindex::MmapIndex`], which shares this module's
-//! [`Sections`] resolution and semantic validation so the two load paths
+//! `Sections` resolution and semantic validation so the two load paths
 //! cannot drift in what they accept.
 //!
 //! Unlike the v2 stream, every array is its own 8-byte-aligned section
@@ -135,16 +135,37 @@ pub fn write_index<W: Write + Seek>(index: &IsLabelIndex, out: W) -> io::Result<
     w.write_u32s(&buf32)?;
     w.end_section()?;
 
-    // Dense G_k: the compact CSR and both id maps, verbatim.
-    let (offsets, targets, weights) = dense.fwd().raw_parts();
+    // Dense G_k: the compact CSR and both id maps. The in-memory CSR
+    // interleaves (neighbor, weight) pairs for the search's cache
+    // behavior; the on-disk sections are a compatibility surface and
+    // stay split, so the writer de-interleaves through the streaming
+    // buffer here.
+    let fwd_csr = dense.fwd();
     w.begin_section(SECTION_GK_OFFSETS)?;
-    w.write_u32s(offsets)?;
+    w.write_u32s(fwd_csr.offsets_raw())?;
     w.end_section()?;
     w.begin_section(SECTION_GK_TARGETS)?;
-    w.write_u32s(targets)?;
+    buf32.clear();
+    for &(t, _) in fwd_csr.entries_raw() {
+        buf32.push(t);
+        if buf32.len() >= 4096 {
+            w.write_u32s(&buf32)?;
+            buf32.clear();
+        }
+    }
+    w.write_u32s(&buf32)?;
+    buf32.clear();
     w.end_section()?;
     w.begin_section(SECTION_GK_WEIGHTS)?;
-    w.write_u32s(weights)?;
+    for &(_, wt) in fwd_csr.entries_raw() {
+        buf32.push(wt);
+        if buf32.len() >= 4096 {
+            w.write_u32s(&buf32)?;
+            buf32.clear();
+        }
+    }
+    w.write_u32s(&buf32)?;
+    buf32.clear();
     w.end_section()?;
     w.begin_section(SECTION_GK_DENSE_OF)?;
     w.write_u32s(dense.ids().dense_of_raw())?;

@@ -14,7 +14,7 @@
 //! `unsafe` module in the workspace ([`mmap`]) lives here behind a safe
 //! API.
 //!
-//! - [`format`] — constants, header/section-table codec, CRC-32 (header)
+//! - [`mod@format`] — constants, header/section-table codec, CRC-32 (header)
 //!   plus the 64-bit section content checksum, validate-on-open checks,
 //!   shared record-layout constants. Panic-free zone: decoding untrusted
 //!   bytes returns typed errors.

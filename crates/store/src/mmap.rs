@@ -1,10 +1,11 @@
 //! Read-only memory mapping with a heap fallback.
 //!
-//! This is the workspace's only unsafe zone (`lint.toml [unsafe]
-//! allowed_files`): a minimal shim over `mmap(2)`/`munmap(2)` declared
+//! This is one of the workspace's two product unsafe zones (`lint.toml
+//! [unsafe] allowed_files`; the other is the SIMD intersection kernel in
+//! `islabel-core`): a minimal shim over `mmap(2)`/`munmap(2)` declared
 //! directly against libc, since the offline build cannot pull the `libc`
-//! or `memmap2` crates. Everything else in the workspace stays
-//! `forbid(unsafe_code)` and consumes the mapping through the safe
+//! or `memmap2` crates. Everything else in the workspace forbids or
+//! denies `unsafe_code` and consumes the mapping through the safe
 //! [`MappedFile`] API.
 //!
 //! Design rules that keep the unsafety contained:
