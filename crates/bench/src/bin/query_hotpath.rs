@@ -1,10 +1,13 @@
-//! The query hot-path benchmark behind `BENCH_PR9.json`: per-engine build
+//! The query hot-path benchmark behind `BENCH_PR10.json`: per-engine build
 //! time, p50/p99 query latency, throughput and settled counts on ER / BA /
 //! grid graphs — the IS-LABEL engine measured once per supported kernel
 //! tier — plus four before/after comparisons: the dispatched SIMD
 //! intersection vs the scalar adaptive kernel, interleaved vs split
 //! `DenseCsr` adjacency layout, the dense compact-id kernel vs the hashmap
 //! kernel (PR 4), and parallel vs single-thread `LabelSet::build` (PR 4).
+//! PR 10 adds the `obs_overhead` section: the documented overhead budget
+//! for query-phase tracing plus registry re-emission (metrics-on, the
+//! serving default) vs a trace-disabled session (metrics-off).
 //!
 //! ```text
 //! query_hotpath [--smoke] [--out PATH]
@@ -20,7 +23,7 @@
 //! topologies (≈ 90 s and 200 MB of labels already at n = 20 000), so
 //! graphs above the cap report the other four engines and skip PLL.
 //!
-//! Schema (`islabel-bench-pr9/v1`) — see README § Performance:
+//! Schema (`islabel-bench-pr10/v1`) — see README § Performance:
 //! `graphs[].engines[]` carries `build_ms`, `queries`, `p50_us`, `p99_us`,
 //! `qps`, `settled_total` (null for engines without a settle counter);
 //! IS-LABEL appears once auto-dispatched (`islabel`) and once per
@@ -28,8 +31,9 @@
 //! `intersect` section carries per-tier label-intersection throughput and
 //! the SIMD-vs-scalar speedup claim; `layout` the interleaved-vs-split
 //! adjacency claim; `kernel_comparison` and `label_build` the PR-4
-//! claims. Every comparison interleaves its contestants over three
-//! rounds and keeps each one's best run.
+//! claims; `obs_overhead` the PR-10 claim (metrics-on p50 within a few
+//! percent of metrics-off). Every comparison interleaves its contestants
+//! over three rounds and keeps each one's best run.
 
 use islabel_baselines::{BiDijkstra, PllIndex, VcConfig, VcIndex};
 use islabel_core::dense::{dense_bi_dijkstra, DenseGk, DenseScratch, DenseView};
@@ -629,6 +633,72 @@ fn label_build_comparison(name: &'static str, g: &CsrGraph, k: u32) -> LabelBuil
     }
 }
 
+struct ObsOverhead {
+    graph: &'static str,
+    n: usize,
+    queries: usize,
+    p50_on_us: f64,
+    p50_off_us: f64,
+    /// `(p50_on − p50_off) / p50_off`, in percent; negative means the
+    /// traced run measured faster (noise floor).
+    overhead_pct: f64,
+}
+
+/// Metrics-on vs metrics-off p50 on the same session and workload: the
+/// overhead budget for the observability pass. Metrics-on is the serving
+/// default — phase boundaries timed by the session's [`QueryTrace`] and
+/// every sample re-emitted to the process-wide `QueryPhases` counters,
+/// exactly what the serve/net layers do per query. Metrics-off flips
+/// [`QueryTrace::enabled`], which removes even the boundary `Instant`
+/// reads. The two variants are interleaved over three rounds (best p50
+/// each) and must agree on a distance checksum.
+///
+/// [`QueryTrace`]: islabel_core::trace::QueryTrace
+/// [`QueryTrace::enabled`]: islabel_core::trace::QueryTrace::enabled
+fn obs_overhead_bench(name: &'static str, g: &CsrGraph, queries: usize) -> ObsOverhead {
+    use islabel_core::oracle::QuerySession;
+
+    let index = IsLabelIndex::build(g, BuildConfig::default());
+    let pairs = query_pairs(g.num_vertices(), queries, 0x0B5E);
+    let mut session = index.session();
+    let phases = islabel_obs::QueryPhases::global();
+
+    // [metrics-on, metrics-off]
+    let mut best_p50 = [f64::INFINITY; 2];
+    let mut sums = [0u64; 2];
+    let mut latencies = Vec::with_capacity(pairs.len());
+    for _ in 0..3 {
+        for (slot, on) in [(0usize, true), (1usize, false)] {
+            session.trace_mut().expect("islabel sessions trace").enabled = on;
+            latencies.clear();
+            let mut sum = 0u64;
+            for &(s, t) in &pairs {
+                let t0 = Instant::now();
+                let out = session.search_outcome(s, t).expect("in range");
+                if on {
+                    let l = session.trace().expect("islabel sessions trace").last;
+                    phases.record(l.intersect_ns, l.seed_ns, l.search_ns, l.settled);
+                }
+                latencies.push(t0.elapsed().as_nanos() as u64);
+                sum = sum.wrapping_add(out.dist);
+            }
+            latencies.sort_unstable();
+            best_p50[slot] = best_p50[slot].min(percentile_us(&latencies, 0.50));
+            sums[slot] = sum;
+        }
+    }
+    assert_eq!(sums[0], sums[1], "tracing changed answers on {name}");
+
+    ObsOverhead {
+        graph: name,
+        n: g.num_vertices(),
+        queries: pairs.len(),
+        p50_on_us: best_p50[0],
+        p50_off_us: best_p50[1],
+        overhead_pct: (best_p50[0] - best_p50[1]) / best_p50[1] * 100.0,
+    }
+}
+
 fn json_escape_free(v: Option<u64>) -> String {
     v.map_or_else(|| "null".into(), |x| x.to_string())
 }
@@ -640,10 +710,11 @@ fn to_json(
     layout: &LayoutComparison,
     kernel: &KernelComparison,
     labels: &LabelBuild,
+    obs: &ObsOverhead,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"islabel-bench-pr9/v1\",\n");
+    out.push_str("  \"schema\": \"islabel-bench-pr10/v1\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!(
         "  \"host_threads\": {},\n",
@@ -712,7 +783,7 @@ fn to_json(
     ));
     out.push_str(&format!(
         "  \"label_build\": {{\"graph\": \"{}\", \"k\": {}, \"entries\": {}, \"threads\": {}, \
-         \"single_thread_ms\": {:.1}, \"parallel_ms\": {:.1}, \"speedup\": {:.3}}}\n",
+         \"single_thread_ms\": {:.1}, \"parallel_ms\": {:.1}, \"speedup\": {:.3}}},\n",
         labels.graph,
         labels.k,
         labels.entries,
@@ -720,6 +791,11 @@ fn to_json(
         labels.single_ms,
         labels.parallel_ms,
         labels.single_ms / labels.parallel_ms
+    ));
+    out.push_str(&format!(
+        "  \"obs_overhead\": {{\"graph\": \"{}\", \"n\": {}, \"queries\": {}, \
+         \"p50_on_us\": {:.3}, \"p50_off_us\": {:.3}, \"overhead_pct\": {:.2}}}\n",
+        obs.graph, obs.n, obs.queries, obs.p50_on_us, obs.p50_off_us, obs.overhead_pct
     ));
     out.push_str("}\n");
     out
@@ -733,7 +809,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
 
     let n: usize = if smoke {
         400
@@ -788,6 +864,8 @@ fn main() {
     let kernel = kernel_comparison("er", &graphs[0].1, label_queries, smoke);
     eprintln!("[query_hotpath] label construction (parallel vs single) ...");
     let labels = label_build_comparison("er", &graphs[0].1, 10);
+    eprintln!("[query_hotpath] observability overhead (metrics on vs off) ...");
+    let obs = obs_overhead_bench("er", &graphs[0].1, label_queries);
 
     // Human-readable summary.
     println!(
@@ -844,6 +922,10 @@ fn main() {
         labels.k,
         labels.entries
     );
+    println!(
+        "obs: metrics-on p50 {:.2} us vs metrics-off p50 {:.2} us ({:+.2}%) on {} n={}",
+        obs.p50_on_us, obs.p50_off_us, obs.overhead_pct, obs.graph, obs.n
+    );
 
     let json = to_json(
         if smoke { "smoke" } else { "full" },
@@ -852,6 +934,7 @@ fn main() {
         &layout,
         &kernel,
         &labels,
+        &obs,
     );
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("wrote {out_path}");

@@ -32,12 +32,14 @@ USAGE:
                   [--threads N] [--engine E]
     islabel serve [index.islx | graph] [--engine E] [--shards N]
                   [--clients N] [--requests N] [--batch B] [--seed S]
-                  [--smoke]
+                  [--smoke] [--slow-query-ms MS]
     islabel serve <index.islx | graph> --listen ADDR [--engine E]
                   [--no-reload] [--admin-token T] [--wal WAL]
-                                                     (TCP server; see README)
+                  [--slow-query-ms MS]               (TCP server; see README)
     islabel remote-query <ADDR> [s t] [--ping] [--stats] [--token T]
                   [--reload PATH] [--compact] [--shutdown]
+    islabel metrics <ADDR | --addr ADDR> [--watch SECS]
+                  (scrape a server's Prometheus exposition; see README)
     islabel ingest <index.islx> --wal WAL [--ops N] [--seed S]
                   [--sleep-ms MS]       (apply WAL-logged random updates)
     islabel recover <index.islx> --wal WAL [--check]
@@ -72,6 +74,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "bench" => bench(rest),
         "serve" => serve(rest),
         "remote-query" => remote_query(rest),
+        "metrics" => metrics(rest),
         "ingest" => ingest(rest),
         "recover" => recover(rest),
         "compact" => compact(rest),
@@ -414,10 +417,18 @@ fn serve(argv: &[String]) -> Result<(), String> {
             "listen",
             "admin-token",
             "wal",
+            "slow-query-ms",
         ],
     )?;
     args.reject_unknown_flags(&["smoke", "no-reload"])?;
     let smoke = args.flag("smoke");
+
+    // Arm the process-wide slow-query log before any query runs; entries
+    // surface in the `metrics` exposition (wire opcode 0x08).
+    if let Some(ms) = args.opt_parse::<u64>("slow-query-ms")? {
+        islabel_obs::SlowQueryLog::global().set_threshold_ns(ms.saturating_mul(1_000_000));
+        println!("slow-query log armed at {ms} ms");
+    }
 
     // The wire server takes no workload: the closed-loop options are
     // in-process-mode only, and silently dropping them would turn a
@@ -521,6 +532,9 @@ fn serve(argv: &[String]) -> Result<(), String> {
             queue_capacity: 256,
         },
     );
+    // Re-emit the per-shard counters through the process-wide registry so
+    // the same exposition the wire server streams is available here.
+    service.register_metrics(islabel_obs::Registry::global());
     println!(
         "serving [{}] on {} shard(s): {} clients x {} requests (batch {})",
         oracle.engine_name(),
@@ -762,7 +776,18 @@ fn remote_query(argv: &[String]) -> Result<(), String> {
             "  traffic:      {} frames, {} queries, {} batches, {} errors",
             s.frames, s.queries, s.batches, s.errors
         );
-        println!("  latency:      p50 {} µs, p99 {} µs", s.p50_us, s.p99_us);
+        // Prefer the full histogram tail (µs-precise percentiles derived
+        // client-side); fall back to the truncated scalars a pre-histogram
+        // server sends.
+        match &s.latency {
+            Some(h) => println!(
+                "  latency:      p50 {:.1} µs, p99 {:.1} µs ({} samples)",
+                h.p50().as_secs_f64() * 1e6,
+                h.p99().as_secs_f64() * 1e6,
+                h.count()
+            ),
+            None => println!("  latency:      p50 {} µs, p99 {} µs", s.p50_us, s.p99_us),
+        }
         println!("  uptime:       {:.1} s", s.uptime_ms as f64 / 1e3);
     }
     if args.flag("shutdown") {
@@ -770,6 +795,35 @@ fn remote_query(argv: &[String]) -> Result<(), String> {
         println!("shutdown acknowledged");
     }
     Ok(())
+}
+
+/// `metrics ADDR [--watch SECS]`: fetch a running server's Prometheus
+/// exposition text over the wire `Metrics` opcode and print it verbatim
+/// (so `islabel metrics HOST:PORT > scrape.prom` is a valid scrape).
+/// `--watch` re-fetches every N seconds until interrupted.
+fn metrics(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["addr", "watch"])?;
+    args.reject_unknown_flags(&[])?;
+    let addr = match args.opt("addr") {
+        Some(addr) => addr,
+        None => args.pos(0, "server address (host:port, or --addr)")?,
+    };
+    let watch: Option<u64> = args.opt_parse("watch")?;
+    if watch == Some(0) {
+        return Err("--watch needs a positive number of seconds".into());
+    }
+    let mut client = DistanceClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    loop {
+        let text = client.metrics().map_err(|e| e.to_string())?;
+        print!("{text}");
+        let Some(secs) = watch else {
+            return Ok(());
+        };
+        std::thread::sleep(std::time::Duration::from_secs(secs));
+    }
 }
 
 fn describe_recovery(r: &WalRecovery) -> String {
@@ -1343,6 +1397,54 @@ mod tests {
                 Err(e) => panic!("server never came up: {e}"),
             }
         }
+        run(&["remote-query", &addr, "--shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&index).ok();
+    }
+
+    #[test]
+    fn metrics_command_scrapes_a_listening_server() {
+        let _net = wire_lock();
+        let graph = tmp("met.isgb");
+        let index = tmp("met.islx");
+        run(&["gen", "google", "--scale", "tiny", "-o", &graph]).unwrap();
+        run(&["build", &graph, "-o", &index]).unwrap();
+
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let server = {
+            let (index, addr) = (index.clone(), addr.clone());
+            std::thread::spawn(move || {
+                run(&["serve", &index, "--listen", &addr, "--slow-query-ms", "250"])
+            })
+        };
+        let mut attempts = 0;
+        loop {
+            match run(&["remote-query", &addr, "0", "5"]) {
+                Ok(()) => break,
+                Err(e) if attempts < 50 => {
+                    assert!(e.contains("connect"), "unexpected failure: {e}");
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                Err(e) => panic!("server never came up: {e}"),
+            }
+        }
+        // Both address spellings scrape successfully.
+        run(&["metrics", &addr]).unwrap();
+        run(&["metrics", "--addr", &addr]).unwrap();
+        // The exposition itself carries the registered families.
+        let text = DistanceClient::connect(&addr).unwrap().metrics().unwrap();
+        assert!(text.contains("islabel_net_queries_total"), "{text}");
+
+        // Misuse is rejected cleanly.
+        let err = run(&["metrics"]).unwrap_err();
+        assert!(err.contains("address"), "{err}");
+        let err = run(&["metrics", &addr, "--watch", "0"]).unwrap_err();
+        assert!(err.contains("--watch"), "{err}");
+
         run(&["remote-query", &addr, "--shutdown"]).unwrap();
         server.join().unwrap().unwrap();
         std::fs::remove_file(&graph).ok();

@@ -846,6 +846,11 @@ pub fn dense_bi_dijkstra<G: DenseView>(
 /// [`GkIdMap::dense`], the mmap session a closure over its mapped
 /// `dense_of` section, and the patched session its tail-aware extension
 /// of the base map.
+///
+/// When `trace.enabled`, the phase boundaries (intersect → seed fetch →
+/// dense search) are timestamped — four `Instant::now()` reads per
+/// query, none inside a loop — and accumulated into `trace` as plain
+/// field adds, preserving this function's zero-allocation contract.
 #[allow(clippy::too_many_arguments)]
 pub fn seeded_search<G: DenseView>(
     ls: crate::label::LabelView<'_>,
@@ -856,8 +861,11 @@ pub fn seeded_search<G: DenseView>(
     fseeds: &mut Vec<(u32, Dist)>,
     rseeds: &mut Vec<(u32, Dist)>,
     scratch: &mut DenseScratch,
+    trace: &mut crate::trace::QueryTrace,
 ) -> SearchOutcome {
+    let t0 = trace.enabled.then(std::time::Instant::now);
     let (mu0, witness) = crate::kernel::intersect_min_auto(ls, lt);
+    let t1 = trace.enabled.then(std::time::Instant::now);
     fseeds.clear();
     for (a, d) in ls.iter() {
         if let Some(da) = to_dense(a) {
@@ -870,7 +878,18 @@ pub fn seeded_search<G: DenseView>(
             rseeds.push((da, d));
         }
     }
-    dense_bi_dijkstra(fwd, rev, fseeds, rseeds, mu0, witness, scratch)
+    let t2 = trace.enabled.then(std::time::Instant::now);
+    let out = dense_bi_dijkstra(fwd, rev, fseeds, rseeds, mu0, witness, scratch);
+    if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
+        let t3 = std::time::Instant::now();
+        trace.record_query(
+            t1.duration_since(t0).as_nanos() as u64,
+            t2.duration_since(t1).as_nanos() as u64,
+            t3.duration_since(t2).as_nanos() as u64,
+            out.settled as u64,
+        );
+    }
+    out
 }
 
 /// Maps a dense search outcome's meeting vertex back to global ids.

@@ -417,6 +417,7 @@ impl DiIsLabelIndex {
             scratch: DenseScratch::new(self.dense.ids().len()),
             fseeds: Vec::with_capacity(seed_cap),
             rseeds: Vec::with_capacity(seed_cap),
+            trace: crate::trace::QueryTrace::new(),
         }
     }
 }
@@ -430,6 +431,7 @@ pub struct DiIsLabelSession<'a> {
     scratch: DenseScratch,
     fseeds: Vec<(u32, Dist)>,
     rseeds: Vec<(u32, Dist)>,
+    trace: crate::trace::QueryTrace,
 }
 
 impl DiIsLabelSession<'_> {
@@ -451,6 +453,7 @@ impl DiIsLabelSession<'_> {
             &mut self.fseeds,
             &mut self.rseeds,
             &mut self.scratch,
+            &mut self.trace,
         );
         Ok((outcome.dist < INF).then_some(outcome.dist))
     }
@@ -463,6 +466,14 @@ impl QuerySession for DiIsLabelSession<'_> {
 
     fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         DiIsLabelSession::distance(self, s, t)
+    }
+
+    fn trace(&self) -> Option<&crate::trace::QueryTrace> {
+        Some(&self.trace)
+    }
+
+    fn trace_mut(&mut self) -> Option<&mut crate::trace::QueryTrace> {
+        Some(&mut self.trace)
     }
 }
 

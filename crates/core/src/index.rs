@@ -468,6 +468,7 @@ impl IsLabelIndex {
             fseeds: Vec::with_capacity(seed_cap),
             rseeds: Vec::with_capacity(seed_cap),
             overlay,
+            trace: crate::trace::QueryTrace::new(),
         }
     }
 
@@ -656,7 +657,12 @@ impl IsLabelIndex {
         path: impl AsRef<Path>,
         sync_every: u32,
     ) -> Result<WalRecovery, Error> {
-        let path = path.as_ref();
+        let recovery = self.attach_wal_inner(path.as_ref(), sync_every)?;
+        crate::persist::wal::record_recovery_metrics(&recovery);
+        Ok(recovery)
+    }
+
+    fn attach_wal_inner(&mut self, path: &Path, sync_every: u32) -> Result<WalRecovery, Error> {
         if !path.exists() {
             self.recreate_wal(path, sync_every)?;
             return Ok(WalRecovery {
@@ -812,6 +818,9 @@ pub struct IsLabelSession<'a> {
     /// Present iff the index carries dynamic updates: the overlay folded
     /// into dense-kernel form at session-open time.
     overlay: Option<OverlayDense>,
+    /// Phase timings/settle counts, recorded by the seeded search (plain
+    /// fields — the zero-allocation contract includes tracing).
+    trace: crate::trace::QueryTrace,
 }
 
 /// Session-local snapshot of the update overlay in dense-kernel terms: the
@@ -900,6 +909,7 @@ impl IsLabelSession<'_> {
             &mut self.fseeds,
             &mut self.rseeds,
             &mut self.scratch,
+            &mut self.trace,
         )
     }
 
@@ -947,6 +957,7 @@ impl IsLabelSession<'_> {
             &mut self.fseeds,
             &mut self.rseeds,
             &mut self.scratch,
+            &mut self.trace,
         )
     }
 
@@ -980,6 +991,14 @@ impl QuerySession for IsLabelSession<'_> {
 
     fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         IsLabelSession::distance(self, s, t)
+    }
+
+    fn trace(&self) -> Option<&crate::trace::QueryTrace> {
+        Some(&self.trace)
+    }
+
+    fn trace_mut(&mut self) -> Option<&mut crate::trace::QueryTrace> {
+        Some(&mut self.trace)
     }
 }
 

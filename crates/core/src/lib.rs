@@ -99,6 +99,7 @@ pub mod query;
 pub mod reference;
 pub mod snapshot;
 pub mod stats;
+pub mod trace;
 pub mod updates;
 
 pub use config::{BuildConfig, IsStrategy, KSelection};
@@ -117,4 +118,5 @@ pub use persist::{compact_index_with_wal, load_index_with_wal, CompactInfo};
 pub use query::QueryType;
 pub use snapshot::{OracleHandle, SharedOracle, Snapshot};
 pub use stats::IndexStats;
+pub use trace::{PhaseSample, QueryTrace};
 pub use updates::UpdateOp;

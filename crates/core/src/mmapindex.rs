@@ -185,6 +185,7 @@ pub struct MmapSession<'a> {
     fseeds: Vec<(u32, Dist)>,
     rseeds: Vec<(u32, Dist)>,
     scratch: DenseScratch,
+    trace: crate::trace::QueryTrace,
 }
 
 impl<'a> MmapSession<'a> {
@@ -200,6 +201,7 @@ impl<'a> MmapSession<'a> {
             fseeds: Vec::new(),
             rseeds: Vec::new(),
             scratch,
+            trace: crate::trace::QueryTrace::new(),
         }
     }
 
@@ -227,6 +229,7 @@ impl<'a> MmapSession<'a> {
             &mut self.fseeds,
             &mut self.rseeds,
             &mut self.scratch,
+            &mut self.trace,
         );
         Ok((out.dist < INF).then_some(out.dist))
     }
@@ -239,6 +242,14 @@ impl QuerySession for MmapSession<'_> {
 
     fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError> {
         self.run(s, t)
+    }
+
+    fn trace(&self) -> Option<&crate::trace::QueryTrace> {
+        Some(&self.trace)
+    }
+
+    fn trace_mut(&mut self) -> Option<&mut crate::trace::QueryTrace> {
+        Some(&mut self.trace)
     }
 }
 

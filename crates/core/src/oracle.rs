@@ -170,6 +170,19 @@ pub trait QuerySession {
     /// Exact distance `dist(s, t)` using this session's scratch buffers;
     /// `Ok(None)` when `t` is unreachable.
     fn distance(&mut self, s: VertexId, t: VertexId) -> Result<Option<Dist>, QueryError>;
+
+    /// The session's query-phase trace, for engines that record one (the
+    /// IS-LABEL family — heap, patched, directed, mmap). Baseline engines
+    /// without a phased search return `None` (the default).
+    fn trace(&self) -> Option<&crate::trace::QueryTrace> {
+        None
+    }
+
+    /// Mutable access to the trace, e.g. to flip
+    /// [`QueryTrace::enabled`](crate::trace::QueryTrace::enabled) off.
+    fn trace_mut(&mut self) -> Option<&mut crate::trace::QueryTrace> {
+        None
+    }
 }
 
 /// A point-to-point exact distance engine.

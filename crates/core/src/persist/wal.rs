@@ -67,6 +67,67 @@ const KIND_DELETE_VERTEX: u8 = 3;
 /// checksums v3 artifact sections, so the two formats cannot drift.
 pub use islabel_store::format::crc32;
 
+/// Process-wide WAL counters, registered lazily on the global metrics
+/// registry the first time any writer touches the log. Handles are cached
+/// so the append path pays one `Arc` deref + one relaxed increment.
+struct WalMetrics {
+    appends: std::sync::Arc<islabel_obs::Counter>,
+    fsync_batches: std::sync::Arc<islabel_obs::Counter>,
+}
+
+fn wal_metrics() -> &'static WalMetrics {
+    static METRICS: std::sync::OnceLock<WalMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = islabel_obs::Registry::global();
+        WalMetrics {
+            appends: registry.counter(
+                islabel_obs::names::METRIC_WAL_APPENDS_TOTAL,
+                "Records appended to the write-ahead log.",
+                &[],
+            ),
+            fsync_batches: registry.counter(
+                islabel_obs::names::METRIC_WAL_FSYNC_BATCHES_TOTAL,
+                "fsync calls that flushed a batch of appended WAL records.",
+                &[],
+            ),
+        }
+    })
+}
+
+/// Re-emits a recovery outcome through the global metrics registry.
+/// Called once per [`attach_wal`](crate::IsLabelIndex::attach_wal), from
+/// the index layer (this file stays panic-free; the registry panics only
+/// on a kind clash between two registrations of the same name, which the
+/// `docs/wire_registry.toml` metric-name registry pins statically).
+pub(crate) fn record_recovery_metrics(recovery: &WalRecovery) {
+    let outcome = if recovery.discarded_stale {
+        "discarded_stale"
+    } else if recovery.created {
+        "created"
+    } else if recovery.truncated {
+        "truncated"
+    } else {
+        "clean"
+    };
+    let registry = islabel_obs::Registry::global();
+    registry
+        .counter(
+            islabel_obs::names::METRIC_WAL_RECOVERIES_TOTAL,
+            "WAL recovery attempts by outcome.",
+            &[("outcome", outcome)],
+        )
+        .inc();
+    if recovery.replayed > 0 {
+        registry
+            .counter(
+                islabel_obs::names::METRIC_WAL_RECOVERED_OPS_TOTAL,
+                "Update ops replayed from the WAL during recovery.",
+                &[("kind", "replayed")],
+            )
+            .add(recovery.replayed as u64);
+    }
+}
+
 /// Serializes one op as a WAL record payload (kind byte + body), appending
 /// to `out`. The inverse of [`decode_op`].
 pub fn encode_op(op: &UpdateOp, out: &mut Vec<u8>) {
@@ -323,6 +384,7 @@ impl WalWriter {
         record.extend_from_slice(&crc32(&self.buf).to_le_bytes());
         record.extend_from_slice(&self.buf);
         self.file.write_all(&record)?;
+        wal_metrics().appends.inc();
         self.pending += 1;
         if self.pending >= self.sync_every {
             self.sync()?;
@@ -333,6 +395,9 @@ impl WalWriter {
     /// Forces all appended records to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.sync_data()?;
+        if self.pending > 0 {
+            wal_metrics().fsync_batches.inc();
+        }
         self.pending = 0;
         Ok(())
     }

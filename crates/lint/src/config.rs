@@ -50,6 +50,10 @@ pub struct LintConfig {
     /// The store format source the registry's artifact version and
     /// section kinds are extracted from (empty = store diff disabled).
     pub store_path: String,
+    /// The observability metric-name source the registry's
+    /// `[metric_names]` section is extracted from (empty = obs diff
+    /// disabled).
+    pub obs_path: String,
 }
 
 impl LintConfig {
@@ -104,6 +108,7 @@ impl LintConfig {
                 ("protocol", &mut cfg.protocol_path),
                 ("wal", &mut cfg.wal_path),
                 ("store", &mut cfg.store_path),
+                ("obs", &mut cfg.obs_path),
             ] {
                 if let Some(v) = t.get(key).and_then(|v| v.as_str()) {
                     *slot = v.to_string();

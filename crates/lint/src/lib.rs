@@ -170,6 +170,10 @@ pub fn registry_findings(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, 
         let store_src = read(&cfg.store_path)?;
         registry::extract_store(&store_src, &mut extracted);
     }
+    if !cfg.obs_path.is_empty() {
+        let obs_src = read(&cfg.obs_path)?;
+        registry::extract_metric_names(&obs_src, &mut extracted);
+    }
     let reg =
         registry::Registry::parse(&reg_src).map_err(|e| format!("{}: {e}", cfg.registry_path))?;
     Ok(registry::diff(
@@ -178,6 +182,7 @@ pub fn registry_findings(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, 
         &cfg.protocol_path,
         &cfg.wal_path,
         &cfg.store_path,
+        &cfg.obs_path,
         &cfg.registry_path,
     ))
 }

@@ -8,8 +8,12 @@
 //! WAL side contributes its `KIND_*` record kinds and `WAL_VERSION`, and
 //! the store format contributes its `SECTION_*` kinds and
 //! `FORMAT_VERSION` (the at-rest artifact is a compatibility surface just
-//! like the wire). Renumbering any of them (or adding one without
-//! registering it) is a lint failure with both values in the message.
+//! like the wire). The observability crate contributes its `METRIC_*`
+//! string constants — exported metric family names are a scrape-side
+//! contract, so renaming one breaks dashboards exactly like renumbering
+//! an opcode breaks clients. Renumbering or renaming any of them (or
+//! adding one without registering it) is a lint failure with both values
+//! in the message.
 
 use crate::lexer::{Lexed, Tok, TokKind};
 use crate::rules::Finding;
@@ -24,6 +28,18 @@ pub struct WireConst {
     pub name: String,
     /// Numeric value.
     pub value: i64,
+    /// 1-based line in the source file.
+    pub line: u32,
+}
+
+/// A named string constant (a metric family name) with where it was
+/// found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrConst {
+    /// Constant name as it appears in code (e.g. `METRIC_NET_QUERIES_TOTAL`).
+    pub name: String,
+    /// The string value, quotes stripped (e.g. `islabel_net_queries_total`).
+    pub value: String,
     /// 1-based line in the source file.
     pub line: u32,
 }
@@ -46,6 +62,8 @@ pub struct Extracted {
     pub store_sections: Vec<WireConst>,
     /// Store `FORMAT_VERSION` constant.
     pub store_version: Option<WireConst>,
+    /// Observability `METRIC_*` metric-name constants.
+    pub metric_names: Vec<StrConst>,
 }
 
 fn parse_num(tok: &Tok) -> Option<i64> {
@@ -222,6 +240,46 @@ pub fn extract_store(src: &str, into: &mut Extracted) {
     }
 }
 
+/// Extracts the `METRIC_*` string constants from the obs metric-name
+/// source. The lexer keeps string literals as single tokens with their
+/// surrounding quotes, so the value is unquoted here.
+pub fn extract_metric_names(src: &str, into: &mut Extracted) {
+    let lexed = crate::lexer::lex(src);
+    let toks = &lexed.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("const")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text.starts_with("METRIC_"))
+        {
+            let name_tok = &toks[i + 1];
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct(b'=') && !toks[j].is_punct(b';') {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_punct(b'='))
+                && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Str)
+            {
+                let raw = &toks[j + 1].text;
+                let value = raw
+                    .strip_prefix('"')
+                    .and_then(|s| s.strip_suffix('"'))
+                    .unwrap_or(raw)
+                    .to_string();
+                into.metric_names.push(StrConst {
+                    name: name_tok.text.clone(),
+                    value,
+                    line: name_tok.line,
+                });
+                i = j + 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
 /// Parses the checked-in registry file into name → value maps.
 #[derive(Debug, Default)]
 pub struct Registry {
@@ -239,6 +297,8 @@ pub struct Registry {
     pub store_sections: BTreeMap<String, i64>,
     /// `[store] version`.
     pub store_version: Option<i64>,
+    /// `[metric_names]` section (constant name → metric family name).
+    pub metric_names: BTreeMap<String, String>,
 }
 
 impl Registry {
@@ -262,6 +322,12 @@ impl Registry {
         }
         if let Some(t) = doc.table("store_section_kinds") {
             reg.store_sections = int_map(t);
+        }
+        if let Some(t) = doc.table("metric_names") {
+            reg.metric_names = t
+                .iter()
+                .filter_map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())))
+                .collect();
         }
         reg.store_version = doc
             .table("store")
@@ -330,15 +396,72 @@ fn diff_group(
     }
 }
 
+/// Diffs the extracted metric-name string constants against the
+/// registry's `[metric_names]` section. Same contract as `diff_group`,
+/// but the frozen values are strings (scrape-side family names) instead
+/// of numbers.
+fn diff_str_group(
+    group: &str,
+    code: &[StrConst],
+    registry: &BTreeMap<String, String>,
+    code_file: &str,
+    registry_file: &str,
+    out: &mut Vec<Finding>,
+) {
+    for c in code {
+        match registry.get(&c.name) {
+            None => out.push(Finding {
+                file: code_file.to_string(),
+                line: c.line,
+                rule: "wire-registry".into(),
+                message: format!(
+                    "{group} constant {} = \"{}\" is not registered in {registry_file}; \
+                     new metric family names must be added to the registry deliberately",
+                    c.name, c.value
+                ),
+            }),
+            Some(reg_value) if reg_value != &c.value => out.push(Finding {
+                file: code_file.to_string(),
+                line: c.line,
+                rule: "wire-registry".into(),
+                message: format!(
+                    "{group} constant {} = \"{}\" in code but \"{reg_value}\" in \
+                     {registry_file}; exported metric names are frozen — scrapers \
+                     and dashboards key on them; revert the rename or register the \
+                     new name deliberately",
+                    c.name, c.value
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, value) in registry {
+        if !code.iter().any(|c| &c.name == name) {
+            out.push(Finding {
+                file: registry_file.to_string(),
+                line: 1,
+                rule: "wire-registry".into(),
+                message: format!(
+                    "{group} constant {name} = \"{value}\" is registered but no longer \
+                     exists in {code_file}; registered metric names must not be \
+                     silently dropped"
+                ),
+            });
+        }
+    }
+}
+
 /// Runs the full registry diff; findings are empty when code and registry
 /// agree exactly. The store group is skipped when `store_file` is empty
-/// (a workspace without a declared store format source).
+/// (a workspace without a declared store format source), and likewise the
+/// metric-name group when `obs_file` is empty.
 pub fn diff(
     extracted: &Extracted,
     registry: &Registry,
     protocol_file: &str,
     wal_file: &str,
     store_file: &str,
+    obs_file: &str,
     registry_file: &str,
 ) -> Vec<Finding> {
     let mut out = Vec::new();
@@ -403,6 +526,27 @@ pub fn diff(
             &extracted.store_sections,
             &registry.store_sections,
             store_file,
+            registry_file,
+            &mut out,
+        );
+    }
+    if !obs_file.is_empty() {
+        if extracted.metric_names.is_empty() {
+            out.push(Finding {
+                file: obs_file.to_string(),
+                line: 1,
+                rule: "wire-registry".into(),
+                message: "no METRIC_* constants extracted from the obs metric-name source — \
+                          extraction is broken or the constants moved; update \
+                          crates/lint/src/registry.rs"
+                    .into(),
+            });
+        }
+        diff_str_group(
+            "metric-name",
+            &extracted.metric_names,
+            &registry.metric_names,
+            obs_file,
             registry_file,
             &mut out,
         );
@@ -494,10 +638,16 @@ pub const SECTION_GRAPH: u32 = 1;
 pub const SECTION_LEVELS: u32 = 2;
 ";
 
+    const OBS: &str = "
+pub const METRIC_NET_QUERIES_TOTAL: &str = \"islabel_net_queries_total\";
+pub const METRIC_WAL_APPENDS_TOTAL: &str = \"islabel_wal_appends_total\";
+";
+
     fn extract_both() -> Extracted {
         let mut e = extract_protocol(PROTO);
         extract_wal(WAL, &mut e);
         extract_store(STORE, &mut e);
+        extract_metric_names(OBS, &mut e);
         e
     }
 
@@ -529,6 +679,16 @@ pub const SECTION_LEVELS: u32 = 2;
                 .collect::<Vec<_>>(),
             vec![("SECTION_GRAPH", 1), ("SECTION_LEVELS", 2)]
         );
+        assert_eq!(
+            e.metric_names
+                .iter()
+                .map(|c| (c.name.as_str(), c.value.as_str()))
+                .collect::<Vec<_>>(),
+            vec![
+                ("METRIC_NET_QUERIES_TOTAL", "islabel_net_queries_total"),
+                ("METRIC_WAL_APPENDS_TOTAL", "islabel_wal_appends_total"),
+            ]
+        );
     }
 
     const REG: &str = "
@@ -550,13 +710,16 @@ version = 3
 [store_section_kinds]
 SECTION_GRAPH = 1
 SECTION_LEVELS = 2
+[metric_names]
+METRIC_NET_QUERIES_TOTAL = \"islabel_net_queries_total\"
+METRIC_WAL_APPENDS_TOTAL = \"islabel_wal_appends_total\"
 ";
 
     #[test]
     fn agreement_is_clean() {
         let e = extract_both();
         let r = Registry::parse(REG).unwrap();
-        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml");
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -564,24 +727,38 @@ SECTION_LEVELS = 2
     fn store_group_is_skipped_without_a_store_file() {
         let mut e = extract_protocol(PROTO);
         extract_wal(WAL, &mut e);
+        extract_metric_names(OBS, &mut e);
         let r = Registry::parse(REG).unwrap();
         // No store constants extracted, but the registry lists them: that
         // is only a finding when a store source is declared.
-        assert!(diff(&e, &r, "p.rs", "w.rs", "", "reg.toml").is_empty());
-        assert!(!diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml").is_empty());
+        assert!(diff(&e, &r, "p.rs", "w.rs", "", "o.rs", "reg.toml").is_empty());
+        assert!(!diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml").is_empty());
+    }
+
+    #[test]
+    fn metric_group_is_skipped_without_an_obs_file() {
+        let mut e = extract_protocol(PROTO);
+        extract_wal(WAL, &mut e);
+        extract_store(STORE, &mut e);
+        let r = Registry::parse(REG).unwrap();
+        // Same skip contract as the store group: registered metric names
+        // with no extraction are only a finding when an obs source is
+        // declared.
+        assert!(diff(&e, &r, "p.rs", "w.rs", "s.rs", "", "reg.toml").is_empty());
+        assert!(!diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml").is_empty());
     }
 
     #[test]
     fn store_renumbering_is_caught() {
         let e = extract_both();
         let r = Registry::parse(&REG.replace("SECTION_LEVELS = 2", "SECTION_LEVELS = 7")).unwrap();
-        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("SECTION_LEVELS"));
         assert!(d[0].message.contains('2') && d[0].message.contains('7'));
 
         let r = Registry::parse(&REG.replace("version = 3", "version = 4")).unwrap();
-        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("store artifact format version"));
     }
@@ -590,22 +767,56 @@ SECTION_LEVELS = 2
     fn renumbering_is_caught_with_both_values() {
         let e = extract_both();
         let r = Registry::parse(&REG.replace("QUERY = 0x02", "QUERY = 0x09")).unwrap();
-        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("QUERY"));
         assert!(d[0].message.contains('2') && d[0].message.contains('9'));
     }
 
     #[test]
+    fn metric_rename_is_caught_with_both_names() {
+        let e = extract_both();
+        let r =
+            Registry::parse(&REG.replace("islabel_net_queries_total", "islabel_net_query_count"))
+                .unwrap();
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("islabel_net_queries_total"));
+        assert!(d[0].message.contains("islabel_net_query_count"));
+    }
+
+    #[test]
     fn unregistered_and_dropped_constants_are_caught() {
         let e = extract_both();
         let r = Registry::parse(&REG.replace("PING = 0x01\n", "")).unwrap();
-        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("not registered"));
 
         let r = Registry::parse(&REG.replace("[error_codes]", "[error_codes]\nGone = 9")).unwrap();
-        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "reg.toml");
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("no longer exists"));
+    }
+
+    #[test]
+    fn unregistered_and_dropped_metric_names_are_caught() {
+        let e = extract_both();
+        let r = Registry::parse(&REG.replace(
+            "METRIC_NET_QUERIES_TOTAL = \"islabel_net_queries_total\"\n",
+            "",
+        ))
+        .unwrap();
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("not registered"));
+
+        let r = Registry::parse(&REG.replace(
+            "[metric_names]",
+            "[metric_names]\nMETRIC_GONE = \"islabel_gone\"",
+        ))
+        .unwrap();
+        let d = diff(&e, &r, "p.rs", "w.rs", "s.rs", "o.rs", "reg.toml");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("no longer exists"));
     }

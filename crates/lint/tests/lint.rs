@@ -150,9 +150,11 @@ fn registry_drift_reports_exactly_the_mutated_constant() {
     let proto = std::fs::read_to_string(root.join(&cfg.protocol_path)).expect("protocol reads");
     let wal = std::fs::read_to_string(root.join(&cfg.wal_path)).expect("wal reads");
     let store = std::fs::read_to_string(root.join(&cfg.store_path)).expect("store format reads");
+    let obs = std::fs::read_to_string(root.join(&cfg.obs_path)).expect("obs names read");
     let mut extracted = registry::extract_protocol(&proto);
     registry::extract_wal(&wal, &mut extracted);
     registry::extract_store(&store, &mut extracted);
+    registry::extract_metric_names(&obs, &mut extracted);
     let reg = registry::Registry::parse(&mutated).expect("mutated registry parses");
     let findings = registry::diff(
         &extracted,
@@ -160,6 +162,7 @@ fn registry_drift_reports_exactly_the_mutated_constant() {
         &cfg.protocol_path,
         &cfg.wal_path,
         &cfg.store_path,
+        &cfg.obs_path,
         &cfg.registry_path,
     );
     assert_eq!(findings.len(), 1, "{findings:?}");
@@ -185,9 +188,11 @@ fn registry_extraction_covers_the_real_surface() {
     let cfg = LintConfig::load(&root).expect("repo lint.toml loads");
     let proto = std::fs::read_to_string(root.join(&cfg.protocol_path)).expect("protocol reads");
     let wal = std::fs::read_to_string(root.join(&cfg.wal_path)).expect("wal reads");
+    let obs = std::fs::read_to_string(root.join(&cfg.obs_path)).expect("obs names read");
     let mut extracted = registry::extract_protocol(&proto);
     registry::extract_wal(&wal, &mut extracted);
-    assert_eq!(extracted.opcodes.len(), 7, "{:?}", extracted.opcodes);
+    registry::extract_metric_names(&obs, &mut extracted);
+    assert_eq!(extracted.opcodes.len(), 8, "{:?}", extracted.opcodes);
     assert_eq!(
         extracted.error_codes.len(),
         11,
@@ -197,6 +202,19 @@ fn registry_extraction_covers_the_real_surface() {
     assert_eq!(extracted.wal_kinds.len(), 3, "{:?}", extracted.wal_kinds);
     assert!(extracted.protocol_version.is_some());
     assert!(extracted.wal_version.is_some());
+    // Every exported metric family name must be extracted; the count is
+    // pinned so adding a METRIC_ constant forces a registry update here
+    // too, keeping this guard honest.
+    assert_eq!(
+        extracted.metric_names.len(),
+        27,
+        "{:?}",
+        extracted.metric_names
+    );
+    assert!(extracted
+        .metric_names
+        .iter()
+        .all(|m| m.value.starts_with("islabel_")));
 }
 
 /// THE self-check: the shipped workspace lints clean. Every rule runs

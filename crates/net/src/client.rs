@@ -316,6 +316,16 @@ impl DistanceClient {
         }
     }
 
+    /// The server's metrics registry plus slow-query log as Prometheus
+    /// exposition text. Needs no admin token.
+    pub fn metrics(&mut self) -> Result<String, NetError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            Response::Error(e) => Err(NetError::Remote(e)),
+            other => Err(unexpected("Metrics", other)),
+        }
+    }
+
     /// Admin: hot-swap the served index from a path on the *server's*
     /// filesystem; returns the new snapshot generation and vertex count.
     pub fn reload(&mut self, path: &str) -> Result<(u64, u64), NetError> {

@@ -54,12 +54,21 @@
 //! | `0x05` | Reload   | `path_len:u16, path:utf8`              |
 //! | `0x06` | Shutdown | empty                                  |
 //! | `0x07` | Compact  | empty                                  |
+//! | `0x08` | Metrics  | empty                                  |
 //!
 //! Ok-response results: Ping → empty; Query → `dist:u64` (`u64::MAX` =
 //! unreachable, the in-process `INF` sentinel); Batch → `count:u32,
 //! count × dist:u64`; Stats → [`WireStats`]; Reload → `version:u64,
 //! num_vertices:u64`; Shutdown → empty; Compact → `version:u64,
-//! num_vertices:u64`.
+//! num_vertices:u64`; Metrics → `text_len:u32, text:utf8` (Prometheus
+//! exposition text — a `u32` length because exposition easily exceeds the
+//! `u16` string-field cap).
+//!
+//! The Stats result ends with an optional latency-histogram tail
+//! (`bucket_count:u32, bucket_count × count:u64, sum_nanos:u64`): encoders
+//! that have a histogram append it, and the decoder reads it only when
+//! bytes remain — so a pre-histogram Stats payload still decodes (the
+//! field comes back `None`).
 //!
 //! Error codes are stable across releases (see [`WireError::code`]).
 //! Codes `1..=3` carry engine-level [`QueryError`]s and round-trip the
@@ -123,6 +132,11 @@ pub enum Request {
     /// (background rebuild-then-swap, then WAL truncation) and hot-swap it
     /// in; queries keep flowing on the old snapshot meanwhile.
     Compact,
+    /// Prometheus exposition text of the server's metrics registry plus
+    /// the slow-query log. Not an admin opcode — scraping needs no token —
+    /// but a draining server refuses it like the other work-carrying
+    /// opcodes (rendering the registry is not free).
+    Metrics,
 }
 
 impl Request {
@@ -136,6 +150,7 @@ impl Request {
             Request::Reload { .. } => opcode::RELOAD,
             Request::Shutdown => opcode::SHUTDOWN,
             Request::Compact => opcode::COMPACT,
+            Request::Metrics => opcode::METRICS,
         }
     }
 }
@@ -156,6 +171,8 @@ pub mod opcode {
     pub const SHUTDOWN: u8 = 0x06;
     /// [`super::Request::Compact`].
     pub const COMPACT: u8 = 0x07;
+    /// [`super::Request::Metrics`].
+    pub const METRICS: u8 = 0x08;
 }
 
 /// Server/serving statistics as reported by the `Stats` opcode.
@@ -186,6 +203,12 @@ pub struct WireStats {
     pub p50_us: u64,
     /// 99th-percentile per-query service latency, microseconds.
     pub p99_us: u64,
+    /// Full per-query latency histogram (pow-2 nanosecond buckets), from
+    /// which any percentile can be derived client-side. `None` when the
+    /// payload predates the histogram tail — the scalar `p50_us`/`p99_us`
+    /// stay authoritative either way. Boxed so the common histogram-free
+    /// responses don't carry the 40-bucket array inline.
+    pub latency: Option<Box<islabel_obs::LatencyHistogram>>,
 }
 
 /// Everything the server can answer with.
@@ -215,6 +238,11 @@ pub enum Response {
         version: u64,
         /// Vertices of the rebuilt (pristine) index.
         num_vertices: u64,
+    },
+    /// Ok for [`Request::Metrics`]: Prometheus exposition text.
+    Metrics {
+        /// The rendered registry plus slow-query log comment block.
+        text: String,
     },
     /// Any failure, carrying a stable code (see [`WireError`]).
     Error(WireError),
@@ -572,7 +600,11 @@ pub fn encode_request(id: u64, req: &Request, out: &mut impl BufMut) {
     out.put_u64_le(id);
     out.put_u8(req.opcode());
     match req {
-        Request::Ping | Request::Stats | Request::Shutdown | Request::Compact => {}
+        Request::Ping
+        | Request::Stats
+        | Request::Shutdown
+        | Request::Compact
+        | Request::Metrics => {}
         Request::Query { s, t } => {
             out.put_u32_le(*s);
             out.put_u32_le(*t);
@@ -617,6 +649,7 @@ pub fn decode_request(body: &[u8]) -> Result<(u64, Request), DecodeError> {
         opcode::RELOAD => Request::Reload { path: c.string()? },
         opcode::SHUTDOWN => Request::Shutdown,
         opcode::COMPACT => Request::Compact,
+        opcode::METRICS => Request::Metrics,
         other => return Err(DecodeError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -693,6 +726,13 @@ pub fn encode_response(id: u64, resp: &Response, out: &mut impl BufMut) {
             ] {
                 out.put_u64_le(v);
             }
+            if let Some(h) = &s.latency {
+                out.put_u32_le(h.buckets().len() as u32);
+                for &count in h.buckets() {
+                    out.put_u64_le(count);
+                }
+                out.put_u64_le(h.sum_nanos());
+            }
         }
         Response::Reloaded {
             version,
@@ -715,6 +755,14 @@ pub fn encode_response(id: u64, resp: &Response, out: &mut impl BufMut) {
             out.put_u8(opcode::COMPACT);
             out.put_u64_le(*version);
             out.put_u64_le(*num_vertices);
+        }
+        Response::Metrics { text } => {
+            out.put_u8(0);
+            out.put_u8(opcode::METRICS);
+            // Exposition text can exceed the u16 string-field cap, so it
+            // carries its own u32 length instead of using `put_string`.
+            out.put_u32_le(text.len() as u32);
+            out.put_slice(text.as_bytes());
         }
     }
 }
@@ -743,7 +791,7 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), DecodeError> {
             opcode::STATS => {
                 // Struct-literal fields evaluate in written order, which
                 // matches the wire order the encoder writes.
-                Response::Stats(WireStats {
+                let mut stats = WireStats {
                     engine: c.string()?,
                     num_vertices: c.u64()?,
                     snapshot_version: c.u64()?,
@@ -756,7 +804,28 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), DecodeError> {
                     uptime_ms: c.u64()?,
                     p50_us: c.u64()?,
                     p99_us: c.u64()?,
-                })
+                    latency: None,
+                };
+                // Optional histogram tail: absent in pre-histogram
+                // payloads, which therefore still decode.
+                if c.remaining() > 0 {
+                    let declared = c.u32()? as usize;
+                    if declared != islabel_obs::LATENCY_BUCKETS {
+                        return Err(DecodeError::CountMismatch {
+                            declared,
+                            actual: islabel_obs::LATENCY_BUCKETS,
+                        });
+                    }
+                    let mut counts = [0u64; islabel_obs::LATENCY_BUCKETS];
+                    for slot in counts.iter_mut() {
+                        *slot = c.u64()?;
+                    }
+                    let sum_nanos = c.u64()?;
+                    stats.latency = Some(Box::new(islabel_obs::LatencyHistogram::from_parts(
+                        counts, sum_nanos,
+                    )));
+                }
+                Response::Stats(stats)
             }
             opcode::RELOAD => Response::Reloaded {
                 version: c.u64()?,
@@ -767,6 +836,13 @@ pub fn decode_response(body: &[u8]) -> Result<(u64, Response), DecodeError> {
                 version: c.u64()?,
                 num_vertices: c.u64()?,
             },
+            opcode::METRICS => {
+                let len = c.u32()? as usize;
+                let raw = c.bytes(len)?;
+                Response::Metrics {
+                    text: String::from_utf8(raw.to_vec()).map_err(|_| DecodeError::InvalidUtf8)?,
+                }
+            }
             other => return Err(DecodeError::UnknownOpcode(other)),
         },
         1 => Response::Error(WireError::VertexOutOfRange {
@@ -944,6 +1020,7 @@ mod tests {
         });
         roundtrip_request(Request::Shutdown);
         roundtrip_request(Request::Compact);
+        roundtrip_request(Request::Metrics);
     }
 
     #[test]
@@ -965,7 +1042,17 @@ mod tests {
             uptime_ms: 12_345,
             p50_us: 8,
             p99_us: 120,
+            latency: Some(Box::new({
+                let mut h = islabel_obs::LatencyHistogram::new();
+                h.record(std::time::Duration::from_micros(8));
+                h.record(std::time::Duration::from_micros(120));
+                h
+            })),
         }));
+        roundtrip_response(Response::Stats(WireStats::default()));
+        roundtrip_response(Response::Metrics {
+            text: "# HELP islabel_net_queries_total q\n".into(),
+        });
         roundtrip_response(Response::Reloaded {
             version: 3,
             num_vertices: 1000,
@@ -1003,6 +1090,40 @@ mod tests {
         ] {
             roundtrip_response(Response::Error(err));
         }
+    }
+
+    #[test]
+    fn pre_histogram_stats_payload_still_decodes() {
+        // Hand-build the old Stats wire shape: engine string + 11 u64
+        // scalars, no histogram tail. The decoder must accept it and
+        // report `latency: None` rather than erroring on the short body.
+        let mut body = Vec::new();
+        body.put_u64_le(7); // id
+        body.put_u8(0); // status Ok
+        body.put_u8(opcode::STATS);
+        put_string(&mut body, "islabel");
+        for v in 1..=11u64 {
+            body.put_u64_le(v);
+        }
+        let (id, resp) = decode_response(&body).expect("legacy payload decodes");
+        assert_eq!(id, 7);
+        match resp {
+            Response::Stats(s) => {
+                assert_eq!(s.engine, "islabel");
+                assert_eq!(s.num_vertices, 1);
+                assert_eq!(s.p99_us, 11);
+                assert_eq!(s.latency, None);
+            }
+            other => panic!("wrong response {other:?}"),
+        }
+
+        // A tail with a lying bucket count is rejected, not mis-read.
+        body.put_u32_le(3);
+        body.put_u64_le(0);
+        assert!(matches!(
+            decode_response(&body),
+            Err(DecodeError::CountMismatch { declared: 3, .. })
+        ));
     }
 
     #[test]

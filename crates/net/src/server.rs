@@ -323,6 +323,7 @@ impl DistanceServer {
             draining: AtomicBool::new(false),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
         });
+        register_net_metrics(&shared);
         let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -692,6 +693,7 @@ fn serve_frames(
                             | Request::Batch { .. }
                             | Request::Reload { .. }
                             | Request::Compact
+                            | Request::Metrics
                     ) =>
                 {
                     Response::Error(WireError::ShuttingDown)
@@ -711,9 +713,39 @@ fn serve_frames(
                 Request::Query { s, t } => {
                     // ordering: Relaxed — independent monotonic counter.
                     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+                    let traced_before = session.trace().map_or(0, |tr| tr.queries);
                     let q0 = Instant::now();
                     let answer = session.distance(s, t);
-                    shared.counters.latency.record(q0.elapsed());
+                    let elapsed = q0.elapsed();
+                    shared.counters.latency.record(elapsed);
+                    // Re-emit the engine's per-phase trace (if this query
+                    // actually produced one — short-circuits like s == t
+                    // don't) through the registry and the slow-query log.
+                    if let Some(sample) = session
+                        .trace()
+                        .filter(|tr| tr.queries > traced_before)
+                        .map(|tr| tr.last)
+                    {
+                        islabel_obs::QueryPhases::global().record(
+                            sample.intersect_ns,
+                            sample.seed_ns,
+                            sample.search_ns,
+                            sample.settled,
+                        );
+                        islabel_obs::SlowQueryLog::global().observe(islabel_obs::SlowQuery {
+                            seq: 0,
+                            src: s,
+                            dst: t,
+                            dist: answer.as_ref().ok().and_then(|d| *d),
+                            total_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                            intersect_ns: sample.intersect_ns,
+                            seed_ns: sample.seed_ns,
+                            search_ns: sample.search_ns,
+                            settled: sample.settled,
+                            kernel_tier: islabel_core::kernel::active_tier().name(),
+                            snapshot_generation: pinned.version(),
+                        });
+                    }
                     match answer {
                         Ok(d) => Response::Distance(d),
                         Err(e) => Response::Error(WireError::from(e)),
@@ -806,6 +838,11 @@ fn serve_frames(
                         },
                     }
                 }
+                Request::Metrics => {
+                    let mut text = islabel_obs::Registry::global().render();
+                    islabel_obs::SlowQueryLog::global().render_into(&mut text);
+                    Response::Metrics { text }
+                }
                 Request::Shutdown => {
                     shutdown_after = true;
                     Response::ShutdownAck
@@ -825,6 +862,80 @@ fn serve_frames(
             }
         }
     }
+}
+
+/// Registers this server's counters as collectors on the global metrics
+/// registry (exposed by the wire `Metrics` opcode and the CLI `metrics`
+/// command). Re-binding a server replaces the previous one's collectors —
+/// one process serves one exposition, and collectors are upserted by
+/// (name, labels).
+fn register_net_metrics(shared: &Arc<ServerShared>) {
+    use islabel_obs::names::{
+        METRIC_NET_BATCHES_TOTAL, METRIC_NET_CONNECTIONS_ACTIVE, METRIC_NET_CONNECTIONS_TOTAL,
+        METRIC_NET_ERRORS_TOTAL, METRIC_NET_FRAMES_TOTAL, METRIC_NET_QUERIES_TOTAL,
+        METRIC_NET_QUERY_LATENCY_SECONDS, METRIC_NET_SNAPSHOT_GENERATION,
+    };
+    let registry = islabel_obs::Registry::global();
+    type Pick = fn(&NetCounters) -> &AtomicU64;
+    let counters: [(&'static str, &'static str, Pick); 5] = [
+        (
+            METRIC_NET_CONNECTIONS_TOTAL,
+            "Connections accepted since the server started.",
+            |c| &c.connections_total,
+        ),
+        (
+            METRIC_NET_FRAMES_TOTAL,
+            "Request frames processed (all opcodes).",
+            |c| &c.frames,
+        ),
+        (
+            METRIC_NET_QUERIES_TOTAL,
+            "Distance queries answered over the wire (singles plus batch members).",
+            |c| &c.queries,
+        ),
+        (
+            METRIC_NET_BATCHES_TOTAL,
+            "Batch frames answered over the wire.",
+            |c| &c.batches,
+        ),
+        (
+            METRIC_NET_ERRORS_TOTAL,
+            "Error responses sent over the wire.",
+            |c| &c.errors,
+        ),
+    ];
+    for (name, help, pick) in counters {
+        let s = Arc::clone(shared);
+        registry.counter_fn(name, help, &[], move || {
+            // ordering: Relaxed — independent monotonic counter; a scrape
+            // tolerates tearing across counters by design.
+            pick(&s.counters).load(Ordering::Relaxed)
+        });
+    }
+    let s = Arc::clone(shared);
+    registry.gauge_fn(
+        METRIC_NET_CONNECTIONS_ACTIVE,
+        "Connections currently open.",
+        &[],
+        move || {
+            // ordering: Relaxed — same counter discipline.
+            s.counters.connections_active.load(Ordering::Relaxed) as i64
+        },
+    );
+    let s = Arc::clone(shared);
+    registry.gauge_fn(
+        METRIC_NET_SNAPSHOT_GENERATION,
+        "Hot-swap generation of the currently served snapshot.",
+        &[],
+        move || s.handle.version() as i64,
+    );
+    let s = Arc::clone(shared);
+    registry.histogram_fn(
+        METRIC_NET_QUERY_LATENCY_SECONDS,
+        "Per-query service latency over the wire.",
+        &[],
+        move || s.counters.latency.snapshot(),
+    );
 }
 
 fn wire_stats(shared: &ServerShared, pinned: &Snapshot) -> WireStats {
@@ -849,6 +960,9 @@ fn wire_stats(shared: &ServerShared, pinned: &Snapshot) -> WireStats {
         uptime_ms: c.started.elapsed().as_millis() as u64,
         p50_us: latency.p50().as_micros() as u64,
         p99_us: latency.p99().as_micros() as u64,
+        // The scalars above stay for old clients; new ones derive any
+        // percentile from the full buckets.
+        latency: Some(Box::new(latency)),
     }
 }
 

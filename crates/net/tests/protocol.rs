@@ -25,6 +25,20 @@ fn arb_request() -> impl Strategy<Value = Request> {
         arb_path().prop_map(|path| Request::Reload { path }),
         Just(Request::Shutdown),
         Just(Request::Compact),
+        Just(Request::Metrics),
+    ]
+}
+
+fn arb_latency() -> impl Strategy<Value = Option<Box<islabel_obs::LatencyHistogram>>> {
+    prop_oneof![
+        Just(None),
+        collection::vec(0u64..1 << 30, 1..6).prop_map(|samples| {
+            let mut h = islabel_obs::LatencyHistogram::new();
+            for ns in samples {
+                h.record(std::time::Duration::from_nanos(ns));
+            }
+            Some(Box::new(h))
+        }),
     ]
 }
 
@@ -61,9 +75,9 @@ fn arb_response() -> impl Strategy<Value = Response> {
             arb_path(),
             (0u64..1 << 40, 0u64..1000, 0u64..1 << 30, 0u64..1 << 20),
             (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 30, 0u64..1 << 30),
-            (0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20),
+            ((0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20), arb_latency()),
         )
-            .prop_map(|(engine, a, b, c)| {
+            .prop_map(|(engine, a, b, (c, latency))| {
                 Response::Stats(WireStats {
                     engine,
                     num_vertices: a.0,
@@ -77,6 +91,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     uptime_ms: c.0,
                     p50_us: c.1,
                     p99_us: c.2,
+                    latency,
                 })
             }),
         (0u64..1000, 0u64..1 << 40).prop_map(|(version, num_vertices)| Response::Reloaded {
@@ -88,6 +103,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
             num_vertices
         }),
         Just(Response::ShutdownAck),
+        arb_path().prop_map(|text| Response::Metrics { text }),
         arb_wire_error().prop_map(Response::Error),
     ]
 }
@@ -217,8 +233,9 @@ fn error_codes_are_pinned() {
             protocol::opcode::RELOAD,
             protocol::opcode::SHUTDOWN,
             protocol::opcode::COMPACT,
+            protocol::opcode::METRICS,
         ),
-        (0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07)
+        (0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08)
     );
     assert_eq!(protocol::MAGIC, *b"ISLW");
     assert_eq!(protocol::VERSION, 1);

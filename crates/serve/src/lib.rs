@@ -250,138 +250,12 @@ impl ShardQueue {
     }
 }
 
-/// Number of buckets in a [`LatencyHistogram`]: bucket `i` counts
-/// latencies in `[2^i, 2^{i+1})` nanoseconds, so 40 buckets span 1 ns to
-/// ~18 minutes — any conceivable query service time.
-pub const LATENCY_BUCKETS: usize = 40;
-
-/// Lock-free recorder behind [`LatencyHistogram`]: one relaxed atomic
-/// increment per observation, shared across threads. Used by the shard
-/// workers here and by the network server in `islabel-net`.
-pub struct AtomicLatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-}
-
-impl Default for AtomicLatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl AtomicLatencyHistogram {
-    /// An empty recorder.
-    pub fn new() -> Self {
-        Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
-
-    /// Records one observation (a relaxed increment of one bucket).
-    pub fn record(&self, elapsed: Duration) {
-        // ordering: Relaxed — independent bucket counters; histogram
-        // reads tolerate tearing across buckets by design.
-        self.buckets[bucket_index(elapsed)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// A point-in-time copy of the counts.
-    pub fn snapshot(&self) -> LatencyHistogram {
-        LatencyHistogram {
-            // ordering: Relaxed — same bucket-counter discipline.
-            counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-        }
-    }
-}
-
-impl std::fmt::Debug for AtomicLatencyHistogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        self.snapshot().fmt(f)
-    }
-}
-
-#[inline]
-fn bucket_index(elapsed: Duration) -> usize {
-    let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
-    // floor(log2(ns)); `| 1` makes 0 ns land in bucket 0.
-    let idx = (63 - (ns | 1).leading_zeros()) as usize;
-    idx.min(LATENCY_BUCKETS - 1)
-}
-
-/// A fixed-bucket (power-of-two) latency histogram: cheap to record
-/// (one increment), cheap to merge, and accurate enough for serving
-/// percentiles — [`percentile`](LatencyHistogram::percentile) reports the
-/// upper edge of the bucket the quantile falls in, i.e. within 2x of the
-/// true value, conservatively rounded up.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyHistogram {
-    counts: [u64; LATENCY_BUCKETS],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self {
-            counts: [0; LATENCY_BUCKETS],
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one observation (single-threaded variant; serving layers
-    /// share an [`AtomicLatencyHistogram`] instead).
-    pub fn record(&mut self, elapsed: Duration) {
-        self.counts[bucket_index(elapsed)] += 1;
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// Adds another histogram's counts into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-    }
-
-    /// The raw bucket counts; bucket `i` covers `[2^i, 2^{i+1})` ns.
-    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
-        &self.counts
-    }
-
-    /// The latency at quantile `q` in `[0, 1]`: the upper edge of the
-    /// first bucket whose cumulative count reaches `q` of the total.
-    /// [`Duration::ZERO`] when nothing has been recorded.
-    pub fn percentile(&self, q: f64) -> Duration {
-        let total = self.count();
-        if total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Duration::from_nanos(1u64 << (i + 1).min(63));
-            }
-        }
-        Duration::from_nanos(1u64 << LATENCY_BUCKETS.min(63))
-    }
-
-    /// Median observed latency (histogram upper bound).
-    pub fn p50(&self) -> Duration {
-        self.percentile(0.50)
-    }
-
-    /// 99th-percentile observed latency (histogram upper bound).
-    pub fn p99(&self) -> Duration {
-        self.percentile(0.99)
-    }
-}
+// The latency histogram lived here through PR 9; PR 10 promoted it into
+// the zero-dependency `islabel-obs` crate so the network server, the
+// registry exposition, and this worker pool share one implementation.
+// Re-exported for compatibility (islabel-net and the integration suites
+// import it from here).
+pub use islabel_obs::{AtomicLatencyHistogram, LatencyHistogram, LATENCY_BUCKETS};
 
 /// Monotonic per-shard counters, written by the worker with relaxed
 /// atomics.
@@ -614,6 +488,77 @@ impl QueryService {
         }
     }
 
+    /// Registers this service's shard counters and merged latency
+    /// histogram on `registry` as collector closures (sampled at
+    /// exposition time, so recording stays a plain relaxed atomic in the
+    /// worker). Re-registering — e.g. after a service restart — replaces
+    /// the previous instance's collectors.
+    pub fn register_metrics(&self, registry: &islabel_obs::Registry) {
+        use islabel_obs::names::*;
+        let all: Vec<Arc<ShardCounters>> = self
+            .shards
+            .iter()
+            .map(|s| Arc::clone(&s.counters))
+            .collect();
+        for (i, c) in all.iter().enumerate() {
+            let shard = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &shard)];
+            let h = Arc::clone(c);
+            registry.counter_fn(
+                METRIC_SERVE_QUERIES_TOTAL,
+                "Queries answered by the shard worker.",
+                labels,
+                // ordering: Relaxed — independent monotonic counter; the
+                // exposition snapshot tolerates tearing by design.
+                move || h.queries.load(Ordering::Relaxed),
+            );
+            let h = Arc::clone(c);
+            registry.counter_fn(
+                METRIC_SERVE_BATCHES_TOTAL,
+                "Batch chunks processed by the shard worker.",
+                labels,
+                // ordering: Relaxed — same counter discipline.
+                move || h.batches.load(Ordering::Relaxed),
+            );
+            let h = Arc::clone(c);
+            registry.counter_fn(
+                METRIC_SERVE_ERRORS_TOTAL,
+                "Queries that returned a typed error.",
+                labels,
+                // ordering: Relaxed — same counter discipline.
+                move || h.errors.load(Ordering::Relaxed),
+            );
+            let h = Arc::clone(c);
+            registry.counter_fn(
+                METRIC_SERVE_SWAPS_OBSERVED_TOTAL,
+                "Hot-swap refreshes observed by the shard worker.",
+                labels,
+                // ordering: Relaxed — same counter discipline.
+                move || h.swaps_observed.load(Ordering::Relaxed),
+            );
+            let h = Arc::clone(c);
+            registry.counter_fn(
+                METRIC_SERVE_BUSY_NANOSECONDS_TOTAL,
+                "Wall-clock nanoseconds the shard worker spent answering.",
+                labels,
+                // ordering: Relaxed — same counter discipline.
+                move || h.busy_nanos.load(Ordering::Relaxed),
+            );
+        }
+        registry.histogram_fn(
+            METRIC_SERVE_QUERY_LATENCY_SECONDS,
+            "In-worker service time per query, all shards merged.",
+            &[],
+            move || {
+                let mut merged = LatencyHistogram::new();
+                for c in &all {
+                    merged.merge(&c.latency.snapshot());
+                }
+                merged
+            },
+        );
+    }
+
     /// Graceful shutdown: stops accepting work, drains every queued
     /// request, joins the workers and returns the final stats.
     pub fn shutdown(mut self) -> ServiceStats {
@@ -664,7 +609,7 @@ fn worker_loop(queue: &ShardQueue, handle: &OracleHandle, counters: &ShardCounte
         let mut session = snapshot.session();
         let mut job = first;
         loop {
-            process(job, session.as_mut(), counters);
+            process(job, session.as_mut(), counters, version);
             if handle.version() != version {
                 // ordering: Relaxed — independent monotonic counter.
                 counters.swaps_observed.fetch_add(1, Ordering::Relaxed);
@@ -680,14 +625,49 @@ fn worker_loop(queue: &ShardQueue, handle: &OracleHandle, counters: &ShardCounte
     }
 }
 
-fn process(job: Job, session: &mut dyn QuerySession, counters: &ShardCounters) {
+fn process(job: Job, session: &mut dyn QuerySession, counters: &ShardCounters, version: u64) {
     let t0 = Instant::now();
     let mut local: Vec<Option<Dist>> = Vec::with_capacity(job.pairs.len());
     let mut err = None;
+    // Registry re-emission happens here, per query, after the engine
+    // returns — never inside the session's kernel loops (see the
+    // counter-placement invariant in the islabel-obs crate docs).
+    let phases = islabel_obs::QueryPhases::global();
+    let slowlog = islabel_obs::SlowQueryLog::global();
+    let kernel_tier = islabel_core::kernel::active_tier().name();
     for &(s, t) in &job.pairs {
         let q0 = Instant::now();
+        let traced_before = session.trace().map_or(0, |tr| tr.queries);
         let answer = session.distance(s, t);
-        counters.latency.record(q0.elapsed());
+        let elapsed = q0.elapsed();
+        counters.latency.record(elapsed);
+        // A fresh trace sample exists only if the query actually ran the
+        // seeded search (s == t and errors short-circuit before it).
+        if let Some(sample) = session
+            .trace()
+            .filter(|tr| tr.queries > traced_before)
+            .map(|tr| tr.last)
+        {
+            phases.record(
+                sample.intersect_ns,
+                sample.seed_ns,
+                sample.search_ns,
+                sample.settled,
+            );
+            slowlog.observe(islabel_obs::SlowQuery {
+                seq: 0,
+                src: s,
+                dst: t,
+                dist: answer.as_ref().ok().and_then(|d| d.map(u64::from)),
+                total_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                intersect_ns: sample.intersect_ns,
+                seed_ns: sample.seed_ns,
+                search_ns: sample.search_ns,
+                settled: sample.settled,
+                kernel_tier,
+                snapshot_generation: version,
+            });
+        }
         match answer {
             Ok(d) => local.push(d),
             Err(e) => {

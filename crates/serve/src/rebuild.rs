@@ -128,6 +128,42 @@ impl RebuildCoordinator {
     /// Call it from a background/admin thread — the serving workers keep
     /// answering on the old snapshot while this blocks.
     pub fn compact(&self) -> Result<CompactStats, CompactError> {
+        let result = self.compact_inner();
+        // Re-emit the outcome through the process-wide registry; folded
+        // and replayed op totals accumulate across compactions.
+        let registry = islabel_obs::Registry::global();
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(CompactError::Busy) => "busy",
+            Err(CompactError::Failed(_)) => "failed",
+        };
+        registry
+            .counter(
+                islabel_obs::names::METRIC_COMPACTIONS_TOTAL,
+                "Background compactions by outcome.",
+                &[("outcome", outcome)],
+            )
+            .inc();
+        if let Ok(stats) = &result {
+            registry
+                .counter(
+                    islabel_obs::names::METRIC_COMPACT_FOLDED_OPS_TOTAL,
+                    "Overlay + WAL operations folded into rebuilt indexes.",
+                    &[],
+                )
+                .add(stats.folded_ops as u64);
+            registry
+                .counter(
+                    islabel_obs::names::METRIC_COMPACT_REPLAYED_OPS_TOTAL,
+                    "WAL-tail operations replayed during compaction rebuilds.",
+                    &[],
+                )
+                .add(stats.replayed_ops as u64);
+        }
+        result
+    }
+
+    fn compact_inner(&self) -> Result<CompactStats, CompactError> {
         let Ok(_guard) = self.running.try_lock() else {
             return Err(CompactError::Busy);
         };

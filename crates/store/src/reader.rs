@@ -52,12 +52,33 @@ impl StoreReader {
     }
 
     fn from_map(map: MappedFile, verify_contents: bool) -> io::Result<StoreReader> {
-        let bytes = map.bytes();
-        let header = Header::decode(bytes, bytes.len() as u64).map_err(io::Error::from)?;
-        if verify_contents {
-            validate_sections(&header, bytes).map_err(io::Error::from)?;
-        }
-        Ok(StoreReader { map, header })
+        let registry = islabel_obs::Registry::global();
+        registry
+            .counter(
+                islabel_obs::names::METRIC_STORE_OPENS_TOTAL,
+                "Artifact opens by byte source.",
+                &[("backing", if map.is_mapped() { "mmap" } else { "heap" })],
+            )
+            .inc();
+        let result: io::Result<Header> = (|| {
+            let bytes = map.bytes();
+            let header = Header::decode(bytes, bytes.len() as u64).map_err(io::Error::from)?;
+            if verify_contents {
+                validate_sections(&header, bytes).map_err(io::Error::from)?;
+            }
+            Ok(header)
+        })();
+        registry
+            .counter(
+                islabel_obs::names::METRIC_STORE_VALIDATE_TOTAL,
+                "Validate-on-open outcomes.",
+                &[("outcome", if result.is_ok() { "ok" } else { "error" })],
+            )
+            .inc();
+        Ok(StoreReader {
+            map,
+            header: result?,
+        })
     }
 
     /// Verifies every section's content checksum against the table.

@@ -575,3 +575,71 @@ fn wire_stats_report_latency_percentiles() {
     assert_eq!(server_stats.latency.count(), 50);
     assert!(server_stats.latency.p50() > std::time::Duration::ZERO);
 }
+
+/// The wire `Stats` payload now carries the full latency histogram, so a
+/// remote client derives the same percentiles the server computes — not
+/// just the µs-truncated scalars.
+#[test]
+fn wire_stats_carry_full_histogram_buckets() {
+    let g = erdos_renyi_gnm(120, 300, WeightModel::UniformRange(1, 6), 0x44);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let server =
+        DistanceServer::start(Arc::new(index), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let mut client = DistanceClient::connect(server.local_addr()).unwrap();
+    for &(s, t) in pair_mix(120, 40).iter() {
+        client.distance(s, t).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    let hist = stats.latency.expect("histogram tail present");
+    assert_eq!(hist.count(), 40);
+    assert!(hist.sum_nanos() > 0);
+    // The scalar fields are the histogram's own percentiles, µs-truncated.
+    assert_eq!(stats.p50_us, hist.p50().as_micros() as u64);
+    assert_eq!(stats.p99_us, hist.p99().as_micros() as u64);
+    server.shutdown();
+}
+
+/// The `Metrics` opcode (0x08) streams non-empty Prometheus exposition
+/// text with the registered families over a live socket — and a draining
+/// server refuses it like the other work-carrying opcodes.
+#[test]
+fn metrics_opcode_round_trips_and_is_refused_while_draining() {
+    let g = erdos_renyi_gnm(100, 260, WeightModel::UniformRange(1, 5), 0x55);
+    let index = IsLabelIndex::build(&g, BuildConfig::default());
+    let server =
+        DistanceServer::start(Arc::new(index), "127.0.0.1:0", NetConfig::default()).unwrap();
+    let mut client = DistanceClient::connect(server.local_addr()).unwrap();
+    for &(s, t) in pair_mix(100, 20).iter() {
+        client.distance(s, t).unwrap();
+    }
+
+    let text = client.metrics().unwrap();
+    assert!(!text.is_empty());
+    // The server's own counter families are registered and typed.
+    assert!(
+        text.contains("# TYPE islabel_net_queries_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("islabel_net_connections_active"), "{text}");
+    assert!(
+        text.contains("# TYPE islabel_net_query_latency_seconds histogram"),
+        "{text}"
+    );
+    // The per-phase query trace re-emitted by the frame loop shows up
+    // with a nonzero traced-query count.
+    let traced = text
+        .lines()
+        .find(|l| l.starts_with("islabel_query_traced_total"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("traced counter rendered");
+    assert!(traced >= 20, "{traced}");
+
+    server.request_shutdown();
+    let err = client.metrics().unwrap_err();
+    assert!(
+        matches!(&err, NetError::Remote(WireError::ShuttingDown)),
+        "{err:?}"
+    );
+    server.shutdown();
+}
